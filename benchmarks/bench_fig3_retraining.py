@@ -1,0 +1,91 @@
+"""Figure 3 — basic vs enhanced retraining trajectories on Fashion-MNIST.
+
+The paper's case study (Sec. 3.3) compares the default retraining strategy
+against an "enhanced" variant that (a) updates every wrong class that is more
+similar than the true class and (b) scales each update by the similarity
+error.  Figure 3 shows, over retraining iterations, that the enhanced variant
+starts higher, converges higher, and is more stable, while basic retraining
+oscillates after its initial convergence.
+
+This benchmark regenerates both trajectories (training and testing accuracy
+per iteration) on the Fashion-MNIST substitute and renders them as text
+sparklines plus summary statistics (start / final / best / oscillation).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import BENCH_DIMENSION, BENCH_PROFILE, print_report
+from repro.classifiers.enhanced import EnhancedRetrainingHDC
+from repro.classifiers.retraining import RetrainingHDC
+from repro.datasets.registry import get_dataset
+from repro.eval.figures import TrajectorySeries, render_trajectories
+from repro.hdc.encoders import RecordEncoder
+
+FIG3_ITERATIONS = 40
+FIG3_DATASET = "fashion_mnist"
+
+
+def run_fig3():
+    data = get_dataset(FIG3_DATASET, profile=BENCH_PROFILE, seed=3)
+    encoder = RecordEncoder(dimension=BENCH_DIMENSION, num_levels=32, seed=3)
+    encoder.fit(data.train_features)
+    train_encoded = encoder.encode(data.train_features)
+    test_encoded = encoder.encode(data.test_features)
+
+    results = {}
+    for name, model in (
+        ("basic retraining", RetrainingHDC(iterations=FIG3_ITERATIONS, epsilon=0.0, seed=3)),
+        (
+            "enhanced retraining",
+            EnhancedRetrainingHDC(iterations=FIG3_ITERATIONS, epsilon=0.0, seed=3),
+        ),
+    ):
+        model.fit(
+            train_encoded,
+            data.train_labels,
+            validation_hypervectors=test_encoded,
+            validation_labels=data.test_labels,
+        )
+        results[name] = model.history_
+    return results
+
+
+def test_fig3_retraining_trajectories(benchmark):
+    histories = benchmark.pedantic(run_fig3, rounds=1, iterations=1)
+
+    iterations = list(range(1, FIG3_ITERATIONS + 1))
+    train_series = [
+        TrajectorySeries(name, iterations, history.train_accuracy)
+        for name, history in histories.items()
+    ]
+    test_series = [
+        TrajectorySeries(name, iterations, history.test_accuracy)
+        for name, history in histories.items()
+    ]
+    print_report(
+        f"Figure 3(a) — training trajectory on {FIG3_DATASET} "
+        f"(D={BENCH_DIMENSION}, {FIG3_ITERATIONS} iterations)",
+        render_trajectories(train_series, x_label="retraining iteration"),
+    )
+    print_report(
+        f"Figure 3(b) — testing trajectory on {FIG3_DATASET}",
+        render_trajectories(test_series, x_label="retraining iteration"),
+    )
+
+    basic_train = histories["basic retraining"].train_accuracy
+    enhanced_train = histories["enhanced retraining"].train_accuracy
+    basic_test = histories["basic retraining"].test_accuracy
+    enhanced_test = histories["enhanced retraining"].test_accuracy
+
+    # Shape checks mirroring the paper's observations: the enhanced strategy
+    # converges at least as high and is at least as stable.
+    assert max(enhanced_test) >= max(basic_test) - 0.02
+    assert enhanced_train[-1] >= basic_train[-1] - 0.02
+
+    def oscillation(series):
+        tail = series[len(series) // 2 :]
+        return sum(abs(b - a) for a, b in zip(tail, tail[1:])) / max(len(tail) - 1, 1)
+
+    assert oscillation(enhanced_test) <= oscillation(basic_test) + 0.01

@@ -1,0 +1,147 @@
+"""Sec. 5.1 resource discussion — inference cost of the four strategies.
+
+The paper argues LeHDC "has the same time consumption and resource occupation
+as the baseline and retraining binary HDC" while the multi-model strategy
+"costs more storage due to the multiple class hypervectors".  This benchmark
+verifies that claim two ways:
+
+1. analytically, through the :mod:`repro.hardware` cost model (storage bits,
+   XOR+popcount operations, latency cycles on a word-serial datapath);
+2. empirically, by timing actual nearest-Hamming inference (pytest-benchmark's
+   natural use-case) for a baseline-trained and a LeHDC-trained model over the
+   same queries — the timings must be statistically indistinguishable because
+   the datapath is identical — and for a multi-model ensemble, which must be
+   slower and larger.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import BENCH_DIMENSION, print_report
+from repro.classifiers.baseline import BaselineHDC
+from repro.classifiers.multimodel import MultiModelHDC
+from repro.core.configs import LeHDCConfig
+from repro.core.lehdc import LeHDCClassifier
+from repro.datasets.registry import get_dataset
+from repro.eval.tables import format_table
+from repro.hardware.cost_model import compare_strategies
+from repro.hdc.encoders import RecordEncoder
+from repro.hdc.packing import pack_bipolar
+
+NUM_QUERIES = 200
+
+
+@pytest.fixture(scope="module")
+def trained_models():
+    data = get_dataset("ucihar", profile="tiny", seed=9)
+    encoder = RecordEncoder(dimension=BENCH_DIMENSION, num_levels=32, seed=9)
+    encoder.fit(data.train_features)
+    train_encoded = encoder.encode(data.train_features)
+    test_encoded = encoder.encode(data.test_features)
+
+    baseline = BaselineHDC(seed=9).fit(train_encoded, data.train_labels)
+    lehdc = LeHDCClassifier(
+        config=LeHDCConfig(epochs=10, batch_size=64, dropout_rate=0.3, weight_decay=0.03),
+        seed=9,
+    ).fit(train_encoded, data.train_labels)
+    multimodel = MultiModelHDC(models_per_class=8, iterations=1, seed=9).fit(
+        train_encoded, data.train_labels
+    )
+    queries = test_encoded[:NUM_QUERIES]
+    return {
+        "baseline": baseline,
+        "lehdc": lehdc,
+        "multimodel": multimodel,
+        "queries": queries,
+    }
+
+
+def test_resource_cost_model(benchmark):
+    """Analytical storage/operations/latency comparison (Sec. 5.1)."""
+
+    def run():
+        return compare_strategies(
+            dimension=10_000, num_classes=10, multimodel_models_per_class=64
+        )
+
+    costs = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [
+        [
+            name,
+            f"{cost.storage_kib:.1f}",
+            cost.xor_popcount_ops,
+            cost.latency_cycles,
+        ]
+        for name, cost in costs.items()
+    ]
+    print_report(
+        "Sec. 5.1 — inference cost model (D=10000, K=10, multi-model N=64)",
+        format_table(["strategy", "storage KiB", "xor+popcount ops", "latency cycles"], rows),
+    )
+    assert costs["lehdc"].storage_bits == costs["baseline"].storage_bits
+    assert costs["lehdc"].latency_cycles == costs["retraining"].latency_cycles
+    assert costs["multimodel"].storage_bits == 64 * costs["lehdc"].storage_bits
+
+
+def test_inference_latency_baseline(benchmark, trained_models):
+    """Measured inference latency of the baseline-trained class hypervectors."""
+    model = trained_models["baseline"]
+    queries = trained_models["queries"]
+    benchmark(model.predict, queries)
+
+
+def test_inference_latency_lehdc(benchmark, trained_models):
+    """Measured inference latency of LeHDC-trained class hypervectors.
+
+    Identical datapath to the baseline: the recorded timing should match the
+    baseline benchmark within noise, demonstrating the zero-overhead claim.
+    """
+    model = trained_models["lehdc"]
+    queries = trained_models["queries"]
+    benchmark(model.predict, queries)
+    assert model.class_hypervectors_.shape == trained_models["baseline"].class_hypervectors_.shape
+
+
+def test_inference_latency_multimodel(benchmark, trained_models):
+    """Measured inference latency of the multi-model ensemble (8x hypervectors)."""
+    model = trained_models["multimodel"]
+    queries = trained_models["queries"]
+    benchmark(model.predict, queries)
+    assert model.storage_hypervectors == 8 * trained_models["baseline"].class_hypervectors_.shape[0]
+
+
+def test_inference_latency_packed_backend(benchmark, trained_models):
+    """Bit-packed XOR+popcount inference, the hardware-style datapath."""
+    model = trained_models["baseline"]
+    queries = trained_models["queries"]
+    packed_classes = pack_bipolar(model.class_hypervectors_)
+    packed_queries = pack_bipolar(queries)
+
+    def packed_predict():
+        distances = packed_queries.hamming_distance(packed_classes)
+        return np.argmin(distances, axis=1)
+
+    predictions = benchmark(packed_predict)
+    np.testing.assert_array_equal(predictions, model.predict(queries))
+
+
+def test_storage_comparison_report(trained_models):
+    """Print the measured storage of each trained model's inference state."""
+    baseline_bits = trained_models["baseline"].class_hypervectors_.size
+    lehdc_bits = trained_models["lehdc"].class_hypervectors_.size
+    multimodel_bits = (
+        trained_models["multimodel"].model_hypervectors_.size
+    )
+    rows = [
+        ["baseline", baseline_bits // 8192],
+        ["lehdc", lehdc_bits // 8192],
+        ["multimodel (8/class)", multimodel_bits // 8192],
+    ]
+    print_report(
+        "Measured inference storage (KiB of packed class hypervectors)",
+        format_table(["strategy", "storage KiB"], rows),
+    )
+    assert lehdc_bits == baseline_bits
+    assert multimodel_bits == 8 * baseline_bits

@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Per-class analysis: which classes does LeHDC actually recover?
+
+Table 1 only reports overall accuracy.  This example digs one level deeper on
+a multi-cluster activity-recognition workload (the PAMAP2 substitute, where
+each activity spans several distinct motion modes): it prints a full
+classification report for the baseline and for LeHDC, and a side-by-side
+per-class recall comparison.  The pattern to look for — and the reason the
+BNN view helps — is that centroid training collapses multi-modal classes into
+a single average hypervector and loses several of them almost entirely, while
+the discriminatively trained class hypervectors keep every class usable.
+"""
+
+from __future__ import annotations
+
+from repro import BaselineHDC, LeHDCClassifier, RecordEncoder, get_dataset, get_paper_config
+from repro.eval.reports import classification_report, compare_per_class
+
+DATASET = "pamap"
+DIMENSION = 2000
+SEED = 7
+
+
+def main() -> None:
+    data = get_dataset(DATASET, profile="small", seed=SEED)
+    print(f"Dataset: {data.describe()}\n")
+
+    encoder = RecordEncoder(dimension=DIMENSION, num_levels=32, seed=SEED)
+    encoder.fit(data.train_features)
+    train_encoded = encoder.encode(data.train_features)
+    test_encoded = encoder.encode(data.test_features)
+
+    baseline = BaselineHDC(seed=SEED).fit(train_encoded, data.train_labels)
+    config = get_paper_config(DATASET).with_overrides(
+        epochs=30, batch_size=64, learning_rate=0.01
+    )
+    lehdc = LeHDCClassifier(config=config, seed=SEED).fit(train_encoded, data.train_labels)
+
+    reports = {}
+    for name, model in (("baseline", baseline), ("lehdc", lehdc)):
+        predictions = model.predict(test_encoded)
+        reports[name] = classification_report(
+            predictions, data.test_labels, num_classes=data.num_classes
+        )
+        print(f"=== {name} (overall accuracy {reports[name].accuracy:.4f})")
+        print(reports[name].to_text())
+        print()
+
+    print(compare_per_class(reports, metric="recall"))
+    worst_baseline = min(reports["baseline"].classes, key=lambda entry: entry.recall)
+    improved = reports["lehdc"].classes[worst_baseline.label].recall
+    print(
+        f"\nBaseline's weakest class is {worst_baseline.label} "
+        f"(recall {worst_baseline.recall:.2f}); LeHDC lifts it to {improved:.2f}."
+    )
+
+
+if __name__ == "__main__":
+    main()

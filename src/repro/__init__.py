@@ -1,0 +1,90 @@
+"""repro — reproduction of "LeHDC: Learning-Based Hyperdimensional Computing
+Classifier" (Duan et al., DAC 2022).
+
+The package is organised as:
+
+* :mod:`repro.hdc` — hypervector algebra, item memories and encoders;
+* :mod:`repro.nn` — the NumPy neural-network substrate (Adam, dropout, binary
+  linear layer with straight-through estimator);
+* :mod:`repro.classifiers` — baseline HDC and the heuristic training
+  strategies the paper compares against;
+* :mod:`repro.core` — LeHDC itself: class hypervectors trained as the weights
+  of an equivalent single-layer BNN;
+* :mod:`repro.datasets` — synthetic substitutes for the six paper benchmarks
+  (plus loaders for the real files when present);
+* :mod:`repro.eval` — multi-seed experiments, dimension sweeps, tables and
+  text figures;
+* :mod:`repro.hardware` — the inference cost model behind the paper's
+  zero-overhead claim.
+
+Quickstart::
+
+    from repro import RecordEncoder, LeHDCClassifier, HDCPipeline, get_dataset
+
+    data = get_dataset("fashion_mnist", profile="small", seed=0)
+    pipeline = HDCPipeline(RecordEncoder(dimension=4000, seed=0), LeHDCClassifier(seed=0))
+    pipeline.fit(data.train_features, data.train_labels)
+    print(pipeline.score(data.test_features, data.test_labels))
+"""
+
+from repro.classifiers import (
+    AdaptHDC,
+    BaselineHDC,
+    EnhancedRetrainingHDC,
+    HDCPipeline,
+    MultiModelHDC,
+    NearestCentroidClassifier,
+    NonBinaryHDC,
+    RetrainingHDC,
+)
+from repro.core import (
+    DEFAULT_CONFIG,
+    PAPER_CONFIGS,
+    BNNTrainer,
+    LeHDCClassifier,
+    LeHDCConfig,
+    NonBinaryLeHDCClassifier,
+    SingleLayerBNN,
+)
+from repro.core.configs import get_paper_config
+from repro.datasets import Dataset, get_dataset, list_datasets
+from repro.eval import run_dimension_sweep, run_strategy_comparison
+from repro.hdc import NGramEncoder, RecordEncoder
+from repro.io import load_model, save_model
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # encoders
+    "RecordEncoder",
+    "NGramEncoder",
+    # classifiers
+    "BaselineHDC",
+    "RetrainingHDC",
+    "EnhancedRetrainingHDC",
+    "AdaptHDC",
+    "MultiModelHDC",
+    "NonBinaryHDC",
+    "NearestCentroidClassifier",
+    "HDCPipeline",
+    # LeHDC core
+    "LeHDCClassifier",
+    "NonBinaryLeHDCClassifier",
+    "LeHDCConfig",
+    "PAPER_CONFIGS",
+    "DEFAULT_CONFIG",
+    "get_paper_config",
+    "SingleLayerBNN",
+    "BNNTrainer",
+    # datasets
+    "Dataset",
+    "get_dataset",
+    "list_datasets",
+    # evaluation
+    "run_strategy_comparison",
+    "run_dimension_sweep",
+    # persistence
+    "save_model",
+    "load_model",
+]

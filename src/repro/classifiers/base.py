@@ -1,0 +1,96 @@
+"""Shared interface for HDC classifiers.
+
+Every strategy ends up with a set of binary class hypervectors and classifies
+a query by nearest Hamming distance (Eq. 4) — that is the whole point of the
+paper: inference is identical across strategies, only training differs.  The
+base class therefore owns the inference path and accuracy scoring, and
+subclasses implement ``fit`` to produce ``class_hypervectors_``.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional
+
+import numpy as np
+
+from repro.hdc.hypervector import dot_similarity, hamming_distance
+from repro.utils.rng import RngMixin, SeedLike
+from repro.utils.validation import check_fitted, check_labels, check_matrix
+
+
+class HDCClassifierBase(RngMixin, abc.ABC):
+    """Abstract binary-HDC classifier operating on encoded hypervectors.
+
+    Parameters
+    ----------
+    seed:
+        Seed or generator used for any stochastic part of training
+        (tie-breaking, shuffling, stochastic updates).
+
+    Attributes
+    ----------
+    class_hypervectors_:
+        ``(K, D)`` int8 bipolar matrix after :meth:`fit`; ``None`` before.
+    num_classes_:
+        Number of classes ``K`` seen during :meth:`fit`.
+    """
+
+    def __init__(self, seed: SeedLike = None):
+        super().__init__(seed=seed)
+        self.class_hypervectors_: Optional[np.ndarray] = None
+        self.num_classes_: Optional[int] = None
+
+    # ------------------------------------------------------------------ fit
+    @abc.abstractmethod
+    def fit(self, hypervectors: np.ndarray, labels: np.ndarray) -> "HDCClassifierBase":
+        """Train class hypervectors from encoded samples and integer labels."""
+
+    def _validate_fit_inputs(self, hypervectors, labels):
+        hypervectors = check_matrix(hypervectors, "hypervectors")
+        labels = check_labels(labels, hypervectors.shape[0])
+        num_classes = int(labels.max()) + 1
+        if num_classes < 2:
+            raise ValueError("training data must contain at least two classes")
+        return hypervectors, labels, num_classes
+
+    # ------------------------------------------------------------ inference
+    def decision_scores(self, hypervectors: np.ndarray) -> np.ndarray:
+        """Similarity of each sample to each class: higher is more similar.
+
+        Returns the integer dot product ``En(x)^T c_k`` (the BNN output of
+        Eq. 6); argmax over it equals argmin over Hamming distance.
+        """
+        check_fitted(self, "class_hypervectors_")
+        hypervectors = check_matrix(
+            hypervectors, "hypervectors", n_columns=self.class_hypervectors_.shape[1]
+        )
+        return dot_similarity(hypervectors, self.class_hypervectors_)
+
+    def hamming_distances(self, hypervectors: np.ndarray) -> np.ndarray:
+        """Normalised Hamming distance of each sample to each class hypervector."""
+        check_fitted(self, "class_hypervectors_")
+        hypervectors = check_matrix(
+            hypervectors, "hypervectors", n_columns=self.class_hypervectors_.shape[1]
+        )
+        return hamming_distance(hypervectors, self.class_hypervectors_)
+
+    def predict(self, hypervectors: np.ndarray) -> np.ndarray:
+        """Predict integer class labels for encoded samples (Eq. 4)."""
+        return np.argmax(self.decision_scores(hypervectors), axis=1)
+
+    def score(self, hypervectors: np.ndarray, labels: np.ndarray) -> float:
+        """Classification accuracy on encoded samples."""
+        hypervectors = check_matrix(hypervectors, "hypervectors")
+        labels = check_labels(labels, hypervectors.shape[0])
+        return float(np.mean(self.predict(hypervectors) == labels))
+
+    # -------------------------------------------------------------- helpers
+    @property
+    def dimension_(self) -> int:
+        """Hypervector dimension ``D`` of the fitted model."""
+        check_fitted(self, "class_hypervectors_")
+        return int(self.class_hypervectors_.shape[1])
+
+
+__all__ = ["HDCClassifierBase"]

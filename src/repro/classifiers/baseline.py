@@ -1,0 +1,59 @@
+"""Baseline binary HDC: centroid bundling (Eq. 2).
+
+Each class hypervector is the element-wise majority (sum + sign) of all
+training sample hypervectors belonging to that class.  This is the "Baseline
+Binary HDC" row of Table 1 and the initialisation every retraining strategy
+starts from.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.classifiers.base import HDCClassifierBase
+from repro.hdc.hypervector import BIPOLAR_DTYPE, sign_with_ties
+from repro.utils.rng import SeedLike
+
+
+class BaselineHDC(HDCClassifierBase):
+    """Vanilla binary HDC classifier trained by class-wise bundling.
+
+    Parameters
+    ----------
+    tie_break:
+        How ``sgn(0)`` is resolved when a class's accumulated sum has zero
+        entries (paper: random).
+    seed:
+        Seed or generator for tie-breaking.
+    """
+
+    def __init__(self, tie_break: str = "random", seed: SeedLike = None):
+        super().__init__(seed=seed)
+        if tie_break not in ("random", "positive"):
+            raise ValueError(
+                f"tie_break must be 'random' or 'positive', got {tie_break!r}"
+            )
+        self.tie_break = tie_break
+        self.accumulators_: Optional[np.ndarray] = None
+
+    def fit(self, hypervectors: np.ndarray, labels: np.ndarray) -> "BaselineHDC":
+        """Bundle the sample hypervectors of each class into its class hypervector."""
+        hypervectors, labels, num_classes = self._validate_fit_inputs(
+            hypervectors, labels
+        )
+        dimension = hypervectors.shape[1]
+        accumulators = np.zeros((num_classes, dimension), dtype=np.int64)
+        # np.add.at accumulates rows grouped by label without a Python loop
+        # over samples.
+        np.add.at(accumulators, labels, hypervectors.astype(np.int64))
+        self.accumulators_ = accumulators
+        self.class_hypervectors_ = sign_with_ties(
+            accumulators, rng=self.rng, tie_break=self.tie_break
+        ).astype(BIPOLAR_DTYPE)
+        self.num_classes_ = num_classes
+        return self
+
+
+__all__ = ["BaselineHDC"]

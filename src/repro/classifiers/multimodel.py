@@ -1,0 +1,185 @@
+"""Multi-model (ensemble) HDC in the style of SearcHD, the paper's Ref. [8].
+
+SearcHD keeps ``N`` binary class hypervectors *per class* instead of one and
+trains them with stochastic updates: each misclassified sample updates the
+per-class model it is most similar to, flipping a random subset of the bits
+that disagree with the sample.  At inference, a query is compared against all
+``K * N`` hypervectors and the class of the best match wins.
+
+The paper uses 64 models per class in its evaluation (Sec. 5) and notes two
+behaviours this implementation reproduces:
+
+* the ensemble's storage grows linearly in ``N`` (captured by the hardware
+  cost model and the resource benchmark);
+* on datasets with many features/classes but few training samples the
+  ensemble can do *worse* than the plain baseline (Table 1's CIFAR-10 and
+  ISOLET rows), because each sub-model sees too few updates.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.classifiers.base import HDCClassifierBase
+from repro.hdc.hypervector import BIPOLAR_DTYPE, random_hypervectors
+from repro.utils.rng import SeedLike
+from repro.utils.validation import check_fitted, check_matrix, check_positive_int, check_probability
+
+
+class MultiModelHDC(HDCClassifierBase):
+    """SearcHD-style multi-model binary HDC ensemble.
+
+    Parameters
+    ----------
+    models_per_class:
+        Number of binary hypervectors kept per class (paper: 64).
+    iterations:
+        Number of stochastic training passes over the data.
+    flip_fraction:
+        Fraction of disagreeing bits flipped toward a sample on an update
+        (the stochastic update of SearcHD).
+    push_away:
+        When ``True`` also flip bits of the winning *wrong* sub-model away
+        from a misclassified sample.  Disabled by default: with the small
+        training sets used here the destructive update dominates and drags
+        every sub-model toward noise, whereas the pull-only update keeps the
+        ensemble's mixed behaviour reported in Table 1 (sometimes above,
+        sometimes below the baseline).
+    seed:
+        Seed or generator for initialisation and stochastic flips.
+    """
+
+    def __init__(
+        self,
+        models_per_class: int = 64,
+        iterations: int = 10,
+        flip_fraction: float = 0.02,
+        push_away: bool = False,
+        seed: SeedLike = None,
+    ):
+        super().__init__(seed=seed)
+        self.models_per_class = check_positive_int(models_per_class, "models_per_class")
+        self.iterations = check_positive_int(iterations, "iterations")
+        self.flip_fraction = check_probability(flip_fraction, "flip_fraction")
+        if self.flip_fraction == 0.0:
+            raise ValueError("flip_fraction must be > 0 for training to make progress")
+        self.push_away = bool(push_away)
+        self.model_hypervectors_: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------ fit
+    def fit(self, hypervectors: np.ndarray, labels: np.ndarray) -> "MultiModelHDC":
+        """Train the per-class ensembles with stochastic bit-flip updates."""
+        hypervectors, labels, num_classes = self._validate_fit_inputs(
+            hypervectors, labels
+        )
+        dimension = hypervectors.shape[1]
+        models = self._initialise_models(hypervectors, labels, num_classes, dimension)
+
+        samples = hypervectors.astype(np.int8)
+        for _ in range(self.iterations):
+            order = self.rng.permutation(samples.shape[0])
+            for index in order:
+                sample = samples[index]
+                true_label = labels[index]
+                flat = models.reshape(-1, dimension)
+                scores = flat.astype(np.int32) @ sample.astype(np.int32)
+                best = int(np.argmax(scores))
+                predicted = best // self.models_per_class
+                if predicted == true_label:
+                    continue
+                # Pull the closest sub-model of the true class toward the sample
+                # and push the winning wrong sub-model away, each by flipping a
+                # random subset of disagreeing/agreeing bits.
+                true_scores = scores[
+                    true_label
+                    * self.models_per_class : (true_label + 1)
+                    * self.models_per_class
+                ]
+                target = int(np.argmax(true_scores))
+                self._flip_toward(models[true_label, target], sample)
+                if self.push_away:
+                    self._flip_away(models[predicted, best % self.models_per_class], sample)
+
+        self.model_hypervectors_ = models.astype(BIPOLAR_DTYPE)
+        self.num_classes_ = num_classes
+        # The base-class inference path expects one hypervector per class; the
+        # ensemble overrides decision_scores instead, but we still expose the
+        # per-class majority vector for storage accounting and inspection.
+        majority = np.where(models.sum(axis=1) >= 0, 1, -1)
+        self.class_hypervectors_ = majority.astype(BIPOLAR_DTYPE)
+        return self
+
+    def _initialise_models(
+        self,
+        hypervectors: np.ndarray,
+        labels: np.ndarray,
+        num_classes: int,
+        dimension: int,
+    ) -> np.ndarray:
+        """Seed each sub-model by bundling a bootstrap subset of its class.
+
+        SearcHD starts its per-class models from stochastic combinations of the
+        class's encoded samples rather than pure noise; bootstrapping a random
+        half of the class per sub-model reproduces that behaviour and gives the
+        ensemble diversity without requiring many refinement passes.  Classes
+        with no samples (possible only with malformed labels) fall back to a
+        random hypervector.
+        """
+        from repro.hdc.hypervector import bundle
+
+        models = random_hypervectors(
+            num_classes * self.models_per_class, dimension, seed=self.rng
+        ).reshape(num_classes, self.models_per_class, dimension)
+        for class_index in range(num_classes):
+            member_indices = np.flatnonzero(labels == class_index)
+            if member_indices.size == 0:
+                continue
+            subset_size = max(1, member_indices.size // 2)
+            for model_index in range(self.models_per_class):
+                chosen = self.rng.choice(member_indices, size=subset_size, replace=True)
+                models[class_index, model_index] = bundle(
+                    hypervectors[chosen], rng=self.rng
+                )
+        return models
+
+    def _flip_toward(self, model: np.ndarray, sample: np.ndarray) -> None:
+        disagree = np.flatnonzero(model != sample)
+        if disagree.size == 0:
+            return
+        count = max(1, int(round(self.flip_fraction * disagree.size)))
+        chosen = self.rng.choice(disagree, size=count, replace=False)
+        model[chosen] = sample[chosen]
+
+    def _flip_away(self, model: np.ndarray, sample: np.ndarray) -> None:
+        agree = np.flatnonzero(model == sample)
+        if agree.size == 0:
+            return
+        count = max(1, int(round(self.flip_fraction * agree.size)))
+        chosen = self.rng.choice(agree, size=count, replace=False)
+        model[chosen] = -sample[chosen]
+
+    # ------------------------------------------------------------ inference
+    def decision_scores(self, hypervectors: np.ndarray) -> np.ndarray:
+        """Best sub-model similarity per class (max over the ensemble)."""
+        check_fitted(self, "model_hypervectors_")
+        hypervectors = check_matrix(
+            hypervectors,
+            "hypervectors",
+            n_columns=self.model_hypervectors_.shape[2],
+        )
+        num_classes, models_per_class, dimension = self.model_hypervectors_.shape
+        flat = self.model_hypervectors_.reshape(-1, dimension).astype(np.int64)
+        scores = hypervectors.astype(np.int64) @ flat.T
+        scores = scores.reshape(hypervectors.shape[0], num_classes, models_per_class)
+        return scores.max(axis=2)
+
+    @property
+    def storage_hypervectors(self) -> int:
+        """Total number of binary hypervectors the ensemble must store."""
+        check_fitted(self, "model_hypervectors_")
+        return int(self.model_hypervectors_.shape[0] * self.model_hypervectors_.shape[1])
+
+
+__all__ = ["MultiModelHDC"]

@@ -1,0 +1,86 @@
+"""End-to-end pipeline: encoder + HDC classifier on raw feature vectors.
+
+The classifiers in this package (and :class:`repro.core.LeHDCClassifier`)
+take *encoded* hypervectors so experiments can share one encoding pass across
+strategies.  :class:`HDCPipeline` is the user-facing composition: give it raw
+features and labels and it handles fitting the encoder, encoding, training,
+and prediction.  This is the object the quickstart example builds.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.classifiers.base import HDCClassifierBase
+from repro.hdc.encoders import Encoder
+from repro.utils.validation import check_labels, check_matrix
+
+
+class HDCPipeline:
+    """Couples an :class:`~repro.hdc.encoders.Encoder` with an HDC classifier.
+
+    Parameters
+    ----------
+    encoder:
+        An unfitted (or pre-fitted) encoder instance.
+    classifier:
+        Any classifier following the :class:`HDCClassifierBase` interface,
+        including :class:`repro.core.LeHDCClassifier`.
+    encode_batch_size:
+        Batch size forwarded to :meth:`Encoder.encode` to bound memory.
+    """
+
+    def __init__(
+        self,
+        encoder: Encoder,
+        classifier: HDCClassifierBase,
+        encode_batch_size: int = 256,
+    ):
+        self.encoder = encoder
+        self.classifier = classifier
+        self.encode_batch_size = int(encode_batch_size)
+        self._fitted = False
+
+    def fit(
+        self,
+        features: np.ndarray,
+        labels: np.ndarray,
+        **fit_kwargs,
+    ) -> "HDCPipeline":
+        """Fit encoder (if needed), encode *features*, and train the classifier.
+
+        Extra keyword arguments are forwarded to the classifier's ``fit``
+        (e.g. validation data for trajectory recording).
+        """
+        features = check_matrix(features, "features", dtype=np.float64)
+        labels = check_labels(labels, features.shape[0])
+        if self.encoder.num_features is None:
+            self.encoder.fit(features)
+        encoded = self.encoder.encode(features, batch_size=self.encode_batch_size)
+        self.classifier.fit(encoded, labels, **fit_kwargs)
+        self._fitted = True
+        return self
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        """Encode raw *features* and predict class labels."""
+        if not self._fitted:
+            raise RuntimeError("HDCPipeline is not fitted yet; call fit() first")
+        features = check_matrix(features, "features", dtype=np.float64)
+        encoded = self.encoder.encode(features, batch_size=self.encode_batch_size)
+        return self.classifier.predict(encoded)
+
+    def score(self, features: np.ndarray, labels: np.ndarray) -> float:
+        """Classification accuracy on raw feature vectors."""
+        features = check_matrix(features, "features", dtype=np.float64)
+        labels = check_labels(labels, features.shape[0])
+        return float(np.mean(self.predict(features) == labels))
+
+    @property
+    def class_hypervectors_(self) -> Optional[np.ndarray]:
+        """The trained ``(K, D)`` class hypervectors (``None`` before fit)."""
+        return self.classifier.class_hypervectors_
+
+
+__all__ = ["HDCPipeline"]

@@ -1,0 +1,234 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+The CLI wraps the experiment harness so the paper's headline results can be
+regenerated without writing any Python:
+
+* ``python -m repro list-datasets`` — show the registered benchmarks and
+  whether real data is available for them;
+* ``python -m repro train --dataset ucihar --strategy lehdc --save model.npz``
+  — train one strategy on one benchmark and optionally save the model;
+* ``python -m repro compare --dataset fashion_mnist`` — the Table-1 style
+  strategy comparison on one dataset;
+* ``python -m repro sweep --dataset isolet`` — the Fig.-6 dimension sweep;
+* ``python -m repro predict --model model.npz --dataset ucihar`` — load a
+  saved model and evaluate it on a dataset's test split.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.classifiers.adapthd import AdaptHDC
+from repro.classifiers.baseline import BaselineHDC
+from repro.classifiers.enhanced import EnhancedRetrainingHDC
+from repro.classifiers.multimodel import MultiModelHDC
+from repro.classifiers.pipeline import HDCPipeline
+from repro.classifiers.retraining import RetrainingHDC
+from repro.core.configs import get_paper_config
+from repro.core.lehdc import LeHDCClassifier
+from repro.core.nonbinary_lehdc import NonBinaryLeHDCClassifier
+from repro.datasets.loaders import try_load_real_dataset
+from repro.datasets.registry import get_dataset, list_datasets
+from repro.eval.sweep import run_dimension_sweep
+from repro.eval.tables import format_table
+from repro.hdc.encoders import NGramEncoder, RecordEncoder
+from repro.io import load_model, save_model
+
+STRATEGY_CHOICES = (
+    "baseline",
+    "multimodel",
+    "retraining",
+    "adapthd",
+    "enhanced",
+    "lehdc",
+    "lehdc-nonbinary",
+)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="LeHDC reproduction command-line interface",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("list-datasets", help="list registered benchmark datasets")
+
+    def add_common(sub):
+        sub.add_argument("--dataset", default="ucihar", help="registry dataset name")
+        sub.add_argument("--profile", default="tiny", choices=["tiny", "small", "full"])
+        sub.add_argument("--dimension", type=int, default=2000)
+        sub.add_argument("--num-levels", type=int, default=32)
+        sub.add_argument("--seed", type=int, default=0)
+        sub.add_argument(
+            "--encoder", default="record", choices=["record", "ngram"], help="encoder kind"
+        )
+
+    train = subparsers.add_parser("train", help="train one strategy on one dataset")
+    add_common(train)
+    train.add_argument("--strategy", default="lehdc", choices=STRATEGY_CHOICES)
+    train.add_argument("--epochs", type=int, default=30, help="LeHDC epochs")
+    train.add_argument("--iterations", type=int, default=25, help="retraining iterations")
+    train.add_argument("--save", default=None, help="path to save the trained model (.npz)")
+
+    compare = subparsers.add_parser("compare", help="compare all strategies on one dataset")
+    add_common(compare)
+    compare.add_argument("--epochs", type=int, default=30)
+    compare.add_argument("--iterations", type=int, default=25)
+
+    sweep = subparsers.add_parser("sweep", help="accuracy vs dimension sweep (Fig. 6)")
+    add_common(sweep)
+    sweep.add_argument(
+        "--dimensions", type=int, nargs="+", default=[1000, 2000, 4000], help="D values"
+    )
+    sweep.add_argument("--epochs", type=int, default=25)
+    sweep.add_argument("--iterations", type=int, default=20)
+
+    predict = subparsers.add_parser("predict", help="evaluate a saved model on a dataset")
+    predict.add_argument("--model", required=True, help="path of a model saved with --save")
+    predict.add_argument("--dataset", default="ucihar")
+    predict.add_argument("--profile", default="tiny", choices=["tiny", "small", "full"])
+    predict.add_argument("--seed", type=int, default=0)
+
+    return parser
+
+
+def _build_encoder(args) -> RecordEncoder:
+    encoder_cls = RecordEncoder if args.encoder == "record" else NGramEncoder
+    return encoder_cls(
+        dimension=args.dimension, num_levels=args.num_levels, seed=args.seed
+    )
+
+
+def _build_classifier(name: str, dataset: str, args):
+    lehdc_config = get_paper_config(dataset).with_overrides(
+        epochs=args.epochs, batch_size=64, learning_rate=0.01
+    )
+    factories = {
+        "baseline": lambda: BaselineHDC(seed=args.seed),
+        "multimodel": lambda: MultiModelHDC(models_per_class=8, iterations=2, seed=args.seed),
+        "retraining": lambda: RetrainingHDC(iterations=args.iterations, seed=args.seed),
+        "adapthd": lambda: AdaptHDC(iterations=args.iterations, seed=args.seed),
+        "enhanced": lambda: EnhancedRetrainingHDC(iterations=args.iterations, seed=args.seed),
+        "lehdc": lambda: LeHDCClassifier(config=lehdc_config, seed=args.seed),
+        "lehdc-nonbinary": lambda: NonBinaryLeHDCClassifier(config=lehdc_config, seed=args.seed),
+    }
+    return factories[name]()
+
+
+def command_list_datasets() -> int:
+    rows = []
+    for name in list_datasets():
+        real = try_load_real_dataset(name)
+        source = "real files found" if real is not None else "synthetic substitute"
+        rows.append([name, source])
+    print(format_table(["dataset", "data source"], rows, title="Registered benchmarks"))
+    return 0
+
+
+def command_train(args) -> int:
+    data = get_dataset(args.dataset, profile=args.profile, seed=args.seed)
+    print(f"Dataset: {data.describe()}")
+    pipeline = HDCPipeline(_build_encoder(args), _build_classifier(args.strategy, args.dataset, args))
+    pipeline.fit(data.train_features, data.train_labels)
+    train_accuracy = pipeline.score(data.train_features, data.train_labels)
+    test_accuracy = pipeline.score(data.test_features, data.test_labels)
+    print(f"{args.strategy}: train accuracy {train_accuracy:.4f}, test accuracy {test_accuracy:.4f}")
+    if args.save:
+        destination = save_model(args.save, pipeline, strategy_name=args.strategy)
+        print(f"Model saved to {destination}")
+    return 0
+
+
+def command_compare(args) -> int:
+    data = get_dataset(args.dataset, profile=args.profile, seed=args.seed)
+    print(f"Dataset: {data.describe()}")
+    encoder = _build_encoder(args)
+    encoder.fit(data.train_features)
+    train_encoded = encoder.encode(data.train_features)
+    test_encoded = encoder.encode(data.test_features)
+
+    rows = []
+    for strategy in ("baseline", "multimodel", "retraining", "lehdc"):
+        classifier = _build_classifier(strategy, args.dataset, args)
+        classifier.fit(train_encoded, data.train_labels)
+        rows.append(
+            [
+                strategy,
+                f"{classifier.score(train_encoded, data.train_labels):.4f}",
+                f"{classifier.score(test_encoded, data.test_labels):.4f}",
+            ]
+        )
+        print(f"  trained {strategy}")
+    print(
+        format_table(
+            ["strategy", "train acc", "test acc"],
+            rows,
+            title=f"Strategy comparison on {args.dataset} (D={args.dimension})",
+        )
+    )
+    return 0
+
+
+def command_sweep(args) -> int:
+    lehdc_config = get_paper_config(args.dataset).with_overrides(
+        epochs=args.epochs, batch_size=64, learning_rate=0.01
+    )
+    strategies = {
+        "baseline": lambda rng: BaselineHDC(seed=rng),
+        "retraining": lambda rng: RetrainingHDC(iterations=args.iterations, seed=rng),
+        "lehdc": lambda rng: LeHDCClassifier(config=lehdc_config, seed=rng),
+    }
+    result = run_dimension_sweep(
+        dataset_name=args.dataset,
+        dimensions=args.dimensions,
+        strategies=strategies,
+        num_levels=args.num_levels,
+        repetitions=1,
+        profile=args.profile,
+        seed=args.seed,
+    )
+    rows = [
+        [dimension]
+        + [f"{result.summary(name)[dimension].mean:.4f}" for name in strategies]
+        for dimension in result.dimensions
+    ]
+    print(
+        format_table(
+            ["D"] + list(strategies),
+            rows,
+            title=f"Accuracy vs dimension on {args.dataset}",
+        )
+    )
+    return 0
+
+
+def command_predict(args) -> int:
+    pipeline = load_model(args.model)
+    data = get_dataset(args.dataset, profile=args.profile, seed=args.seed)
+    accuracy = pipeline.score(data.test_features, data.test_labels)
+    print(f"Loaded model from {args.model}")
+    print(f"Test accuracy on {args.dataset} ({args.profile} profile): {accuracy:.4f}")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "list-datasets":
+        return command_list_datasets()
+    if args.command == "train":
+        return command_train(args)
+    if args.command == "compare":
+        return command_compare(args)
+    if args.command == "sweep":
+        return command_sweep(args)
+    if args.command == "predict":
+        return command_predict(args)
+    raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,35 @@
+"""LeHDC — the paper's primary contribution.
+
+LeHDC trains the class hypervectors of a binary HDC classifier by viewing the
+classifier as a wide single-layer binary neural network (Fig. 4) and
+optimising that BNN with softmax cross-entropy, weight decay, dropout, and
+Adam (Eq. 8-10).  After training, the binarised weights *are* the class
+hypervectors; inference is the standard HDC nearest-Hamming rule with zero
+additional cost.
+
+Public entry points:
+
+* :class:`LeHDCClassifier` - drop-in HDC classifier trained the LeHDC way
+  (operates on encoded hypervectors, like every classifier in
+  :mod:`repro.classifiers`);
+* :class:`LeHDCConfig` / :data:`PAPER_CONFIGS` - the Table 2 hyper-parameter
+  sets;
+* :class:`BNNTrainer` / :class:`TrainingHistory` - the underlying training
+  loop, exposed for ablation studies and the trajectory figures.
+"""
+
+from repro.core.configs import DEFAULT_CONFIG, PAPER_CONFIGS, LeHDCConfig
+from repro.core.bnn_model import BNNTrainer, SingleLayerBNN, TrainingHistory
+from repro.core.lehdc import LeHDCClassifier
+from repro.core.nonbinary_lehdc import NonBinaryLeHDCClassifier
+
+__all__ = [
+    "LeHDCConfig",
+    "PAPER_CONFIGS",
+    "DEFAULT_CONFIG",
+    "SingleLayerBNN",
+    "BNNTrainer",
+    "TrainingHistory",
+    "LeHDCClassifier",
+    "NonBinaryLeHDCClassifier",
+]

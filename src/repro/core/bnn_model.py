@@ -1,0 +1,251 @@
+"""The wide single-layer BNN of Fig. 4 and its training loop.
+
+The model is ``logits = BinaryLinear(Dropout(En(x)))`` with ``D`` inputs and
+``K`` outputs and *no* activation at the output (Sec. 4: the non-binary
+outputs feed the argmax directly).  The trainer implements the LeHDC recipe:
+
+* softmax cross-entropy loss with one-hot labels (Eq. 9);
+* L2 weight decay on the latent (non-binary) weights (Eq. 10);
+* dropout on the encoded hypervector;
+* Adam on the latent weights, which accumulate small gradients while the
+  forward pass always uses their binarisation (Eq. 8);
+* learning-rate decay when the training loss increases (Sec. 5.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.configs import LeHDCConfig
+from repro.nn.layers import BinaryLinear, Dropout
+from repro.nn.losses import cross_entropy_from_logits
+from repro.nn.module import Module
+from repro.nn.optim import SGD, Adam, Momentum, clip_gradient_norm
+from repro.nn.schedules import ConstantSchedule, ReduceOnLossIncrease
+from repro.utils.rng import SeedLike, ensure_rng
+from repro.utils.validation import check_labels, check_matrix, check_positive_int
+
+
+@dataclass
+class TrainingHistory:
+    """Per-epoch training record (drives the Fig. 5 trajectory benchmark)."""
+
+    train_loss: List[float] = field(default_factory=list)
+    train_accuracy: List[float] = field(default_factory=list)
+    validation_accuracy: List[float] = field(default_factory=list)
+    learning_rate: List[float] = field(default_factory=list)
+
+    @property
+    def epochs(self) -> int:
+        """Number of completed epochs."""
+        return len(self.train_loss)
+
+    def best_validation_epoch(self) -> Optional[int]:
+        """Index of the epoch with the highest validation accuracy, if tracked."""
+        if not self.validation_accuracy:
+            return None
+        return int(np.argmax(self.validation_accuracy))
+
+
+class SingleLayerBNN(Module):
+    """Dropout + binary linear layer: the BNN equivalent of a binary HDC classifier.
+
+    Parameters
+    ----------
+    dimension:
+        Input width ``D`` (the hypervector dimension).
+    num_classes:
+        Output width ``K``.
+    dropout_rate:
+        Dropout probability on the input hypervector (0 disables).
+    latent_clip, init_scale, seed:
+        Forwarded to :class:`~repro.nn.layers.BinaryLinear`.
+    """
+
+    def __init__(
+        self,
+        dimension: int,
+        num_classes: int,
+        dropout_rate: float = 0.5,
+        latent_clip: Optional[float] = 1.0,
+        init_scale: float = 0.01,
+        seed: SeedLike = None,
+    ):
+        super().__init__()
+        rng = ensure_rng(seed)
+        self.dimension = check_positive_int(dimension, "dimension")
+        self.num_classes = check_positive_int(num_classes, "num_classes")
+        self.dropout = Dropout(dropout_rate, seed=rng)
+        self.linear = BinaryLinear(
+            self.dimension,
+            self.num_classes,
+            latent_clip=latent_clip,
+            init_scale=init_scale,
+            seed=rng,
+        )
+
+    def forward(self, inputs: np.ndarray) -> np.ndarray:
+        return self.linear.forward(self.dropout.forward(inputs))
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        return self.dropout.backward(self.linear.backward(grad_output))
+
+    @property
+    def class_hypervectors(self) -> np.ndarray:
+        """Binary class hypervectors ``sgn(C_nb)`` with shape ``(K, D)`` (int8)."""
+        return self.linear.binary_weight.T.astype(np.int8)
+
+    @property
+    def latent_class_hypervectors(self) -> np.ndarray:
+        """Latent (non-binary) class hypervectors, shape ``(K, D)`` (float64)."""
+        return self.linear.weight.value.T.copy()
+
+
+class BNNTrainer:
+    """Mini-batch trainer implementing the LeHDC optimisation recipe.
+
+    Parameters
+    ----------
+    model:
+        The :class:`SingleLayerBNN` to train (modified in place).
+    config:
+        Hyper-parameters; see :class:`~repro.core.configs.LeHDCConfig`.
+    seed:
+        Seed or generator for mini-batch shuffling.
+    """
+
+    def __init__(
+        self, model: SingleLayerBNN, config: LeHDCConfig, seed: SeedLike = None
+    ):
+        self.model = model
+        self.config = config
+        self.rng = ensure_rng(seed)
+        self.optimizer = self._build_optimizer()
+        if config.lr_decay_factor < 1.0:
+            self.schedule = ReduceOnLossIncrease(
+                self.optimizer,
+                factor=config.lr_decay_factor,
+                patience=config.lr_decay_patience,
+            )
+        else:
+            self.schedule = ConstantSchedule(self.optimizer)
+        self.history = TrainingHistory()
+
+    def _build_optimizer(self):
+        config = self.config
+        parameters = self.model.parameters()
+        if config.optimizer == "adam":
+            return Adam(
+                parameters,
+                learning_rate=config.learning_rate,
+                weight_decay=config.weight_decay,
+                decoupled_weight_decay=config.decoupled_weight_decay,
+            )
+        if config.optimizer == "momentum":
+            return Momentum(
+                parameters,
+                learning_rate=config.learning_rate,
+                weight_decay=config.weight_decay,
+                decoupled_weight_decay=config.decoupled_weight_decay,
+            )
+        return SGD(
+            parameters,
+            learning_rate=config.learning_rate,
+            weight_decay=config.weight_decay,
+            decoupled_weight_decay=config.decoupled_weight_decay,
+        )
+
+    # ---------------------------------------------------------------- train
+    def train(
+        self,
+        hypervectors: np.ndarray,
+        labels: np.ndarray,
+        validation_hypervectors: Optional[np.ndarray] = None,
+        validation_labels: Optional[np.ndarray] = None,
+        epochs: Optional[int] = None,
+    ) -> TrainingHistory:
+        """Run the full training loop and return the per-epoch history.
+
+        Parameters
+        ----------
+        hypervectors, labels:
+            Encoded training samples (``(n, D)`` bipolar) and integer labels.
+        validation_hypervectors, validation_labels:
+            Optional held-out set whose accuracy is recorded each epoch.
+        epochs:
+            Override ``config.epochs`` (used by the trajectory benchmarks).
+        """
+        hypervectors = check_matrix(hypervectors, "hypervectors")
+        labels = check_labels(labels, hypervectors.shape[0], self.model.num_classes)
+        if (validation_hypervectors is None) != (validation_labels is None):
+            raise ValueError(
+                "validation_hypervectors and validation_labels must be given together"
+            )
+        if validation_hypervectors is not None:
+            validation_hypervectors = check_matrix(
+                validation_hypervectors,
+                "validation_hypervectors",
+                n_columns=hypervectors.shape[1],
+            )
+            validation_labels = check_labels(
+                validation_labels,
+                validation_hypervectors.shape[0],
+                self.model.num_classes,
+            )
+
+        total_epochs = self.config.epochs if epochs is None else int(epochs)
+        inputs = hypervectors.astype(np.float64)
+        num_samples = inputs.shape[0]
+        batch_size = min(self.config.batch_size, num_samples)
+
+        for _ in range(total_epochs):
+            self.model.train()
+            order = self.rng.permutation(num_samples)
+            epoch_loss = 0.0
+            correct = 0
+            for start in range(0, num_samples, batch_size):
+                batch_indices = order[start : start + batch_size]
+                batch_inputs = inputs[batch_indices]
+                batch_labels = labels[batch_indices]
+
+                logits = self.model.forward(batch_inputs)
+                loss, grad_logits = cross_entropy_from_logits(logits, batch_labels)
+                epoch_loss += loss * batch_indices.shape[0]
+                correct += int((np.argmax(logits, axis=1) == batch_labels).sum())
+
+                self.model.zero_grad()
+                self.model.backward(grad_logits)
+                if self.config.grad_clip_norm is not None:
+                    clip_gradient_norm(
+                        self.model.parameters(), self.config.grad_clip_norm
+                    )
+                self.optimizer.step()
+                self.model.linear.clip_latent()
+
+            epoch_loss /= num_samples
+            self.history.train_loss.append(epoch_loss)
+            self.history.train_accuracy.append(correct / num_samples)
+            self.history.learning_rate.append(self.optimizer.learning_rate)
+            if validation_hypervectors is not None:
+                self.history.validation_accuracy.append(
+                    self.evaluate(validation_hypervectors, validation_labels)
+                )
+            self.schedule.step(epoch_loss)
+
+        return self.history
+
+    # ------------------------------------------------------------- evaluate
+    def evaluate(self, hypervectors: np.ndarray, labels: np.ndarray) -> float:
+        """Accuracy of the current *binary* weights on a labelled set."""
+        self.model.eval()
+        logits = self.model.forward(np.asarray(hypervectors, dtype=np.float64))
+        predictions = np.argmax(logits, axis=1)
+        accuracy = float(np.mean(predictions == np.asarray(labels)))
+        self.model.train()
+        return accuracy
+
+
+__all__ = ["SingleLayerBNN", "BNNTrainer", "TrainingHistory"]

@@ -1,0 +1,38 @@
+"""Benchmark datasets.
+
+The paper evaluates on MNIST, Fashion-MNIST, CIFAR-10, UCIHAR, ISOLET and
+PAMAP2.  This environment has no network access, so the registry serves
+*synthetic substitutes* that preserve each dataset's shape (feature count,
+class count, relative difficulty) and exercise the identical code path
+(real-valued feature vectors -> quantisation -> record encoding -> HDC
+classification).  When the real files are available on disk (see
+:mod:`repro.datasets.loaders`), the registry transparently loads them instead.
+
+Entry points:
+
+* :func:`get_dataset(name, profile=..., seed=...) <repro.datasets.registry.get_dataset>`
+* :func:`list_datasets() <repro.datasets.registry.list_datasets>`
+* :class:`~repro.datasets.base.Dataset` - the container every loader returns.
+"""
+
+from repro.datasets.base import Dataset, train_test_split
+from repro.datasets.synthetic import (
+    make_gaussian_classes,
+    make_image_like_classes,
+    SyntheticSpec,
+)
+from repro.datasets.registry import DATASET_SPECS, get_dataset, list_datasets
+from repro.datasets.loaders import load_csv_dataset, load_idx_file
+
+__all__ = [
+    "Dataset",
+    "train_test_split",
+    "make_gaussian_classes",
+    "make_image_like_classes",
+    "SyntheticSpec",
+    "DATASET_SPECS",
+    "get_dataset",
+    "list_datasets",
+    "load_csv_dataset",
+    "load_idx_file",
+]

@@ -1,0 +1,144 @@
+"""Dataset container and split helpers shared by all loaders/generators."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.utils.rng import SeedLike, ensure_rng
+from repro.utils.validation import check_labels, check_matrix
+
+
+@dataclass
+class Dataset:
+    """A supervised classification dataset with a fixed train/test split.
+
+    Attributes
+    ----------
+    name:
+        Registry name (e.g. ``"fashion_mnist"``).
+    train_features, test_features:
+        ``(n, num_features)`` float64 matrices.
+    train_labels, test_labels:
+        ``(n,)`` int64 label vectors in ``[0, num_classes)``.
+    metadata:
+        Free-form provenance: whether the data is synthetic or loaded from
+        disk, the generator parameters, the paper dataset it substitutes for.
+    """
+
+    name: str
+    train_features: np.ndarray
+    train_labels: np.ndarray
+    test_features: np.ndarray
+    test_labels: np.ndarray
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self):
+        self.train_features = check_matrix(
+            self.train_features, "train_features", dtype=np.float64
+        )
+        self.test_features = check_matrix(
+            self.test_features,
+            "test_features",
+            dtype=np.float64,
+            n_columns=self.train_features.shape[1],
+        )
+        self.train_labels = check_labels(self.train_labels, self.train_features.shape[0])
+        self.test_labels = check_labels(self.test_labels, self.test_features.shape[0])
+
+    # -------------------------------------------------------------- queries
+    @property
+    def num_features(self) -> int:
+        """Number of raw features per sample."""
+        return int(self.train_features.shape[1])
+
+    @property
+    def num_classes(self) -> int:
+        """Number of classes (1 + the largest label across both splits)."""
+        return int(max(self.train_labels.max(), self.test_labels.max())) + 1
+
+    @property
+    def num_train(self) -> int:
+        """Number of training samples."""
+        return int(self.train_features.shape[0])
+
+    @property
+    def num_test(self) -> int:
+        """Number of test samples."""
+        return int(self.test_features.shape[0])
+
+    def describe(self) -> str:
+        """One-line human-readable summary used by examples and benchmarks."""
+        return (
+            f"{self.name}: {self.num_train} train / {self.num_test} test, "
+            f"{self.num_features} features, {self.num_classes} classes"
+        )
+
+    # ------------------------------------------------------------ transforms
+    def subsample(
+        self,
+        max_train: Optional[int] = None,
+        max_test: Optional[int] = None,
+        seed: SeedLike = None,
+    ) -> "Dataset":
+        """Return a copy restricted to at most the given number of samples.
+
+        Sampling is without replacement and label-stratified is not enforced;
+        with the class-balanced generators used here a uniform subsample stays
+        approximately balanced.
+        """
+        rng = ensure_rng(seed)
+        train_idx = _subsample_indices(self.num_train, max_train, rng)
+        test_idx = _subsample_indices(self.num_test, max_test, rng)
+        return Dataset(
+            name=self.name,
+            train_features=self.train_features[train_idx],
+            train_labels=self.train_labels[train_idx],
+            test_features=self.test_features[test_idx],
+            test_labels=self.test_labels[test_idx],
+            metadata={**self.metadata, "subsampled": True},
+        )
+
+
+def _subsample_indices(
+    total: int, maximum: Optional[int], rng: np.random.Generator
+) -> np.ndarray:
+    if maximum is None or maximum >= total:
+        return np.arange(total)
+    if maximum < 1:
+        raise ValueError(f"subsample size must be >= 1, got {maximum}")
+    return rng.choice(total, size=maximum, replace=False)
+
+
+def train_test_split(
+    features: np.ndarray,
+    labels: np.ndarray,
+    test_fraction: float = 0.2,
+    seed: SeedLike = None,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Shuffle and split a feature matrix / label vector pair.
+
+    Returns ``(train_features, train_labels, test_features, test_labels)``.
+    """
+    features = check_matrix(features, "features", dtype=np.float64)
+    labels = check_labels(labels, features.shape[0])
+    if not (0.0 < test_fraction < 1.0):
+        raise ValueError(f"test_fraction must be in (0, 1), got {test_fraction}")
+    rng = ensure_rng(seed)
+    order = rng.permutation(features.shape[0])
+    num_test = max(1, int(round(test_fraction * features.shape[0])))
+    test_idx = order[:num_test]
+    train_idx = order[num_test:]
+    if train_idx.size == 0:
+        raise ValueError("split left no training samples; lower test_fraction")
+    return (
+        features[train_idx],
+        labels[train_idx],
+        features[test_idx],
+        labels[test_idx],
+    )
+
+
+__all__ = ["Dataset", "train_test_split"]

@@ -1,0 +1,156 @@
+"""Loaders for real benchmark files, used when the data is present on disk.
+
+The reproduction defaults to synthetic substitutes (no network access), but if
+the user drops the original files under ``$REPRO_DATA_DIR`` the registry will
+pick them up:
+
+* MNIST / Fashion-MNIST in the original IDX format
+  (``train-images-idx3-ubyte`` etc.) under ``<data_dir>/<name>/``;
+* UCI-style datasets as a pair of CSV files ``train.csv`` / ``test.csv`` whose
+  last column is the integer label.
+
+Only stdlib + NumPy parsing is used; nothing here downloads anything.
+"""
+
+from __future__ import annotations
+
+import gzip
+import os
+import struct
+from pathlib import Path
+from typing import Optional
+
+import numpy as np
+
+from repro.datasets.base import Dataset
+
+#: Environment variable pointing at a directory of real benchmark files.
+DATA_DIR_ENV = "REPRO_DATA_DIR"
+
+_IDX_DTYPES = {
+    0x08: np.uint8,
+    0x09: np.int8,
+    0x0B: np.dtype(">i2"),
+    0x0C: np.dtype(">i4"),
+    0x0D: np.dtype(">f4"),
+    0x0E: np.dtype(">f8"),
+}
+
+
+def data_directory() -> Optional[Path]:
+    """The configured real-data directory, or ``None`` if unset/missing."""
+    configured = os.environ.get(DATA_DIR_ENV)
+    if not configured:
+        return None
+    path = Path(configured)
+    return path if path.is_dir() else None
+
+
+def load_idx_file(path: Path) -> np.ndarray:
+    """Parse a (possibly gzipped) IDX file into a NumPy array.
+
+    The IDX format is the container MNIST and Fashion-MNIST ship in: a magic
+    number encoding dtype and rank, followed by big-endian dimension sizes and
+    the raw data.
+    """
+    path = Path(path)
+    opener = gzip.open if path.suffix == ".gz" else open
+    with opener(path, "rb") as handle:
+        magic = handle.read(4)
+        if len(magic) != 4 or magic[0] != 0 or magic[1] != 0:
+            raise ValueError(f"{path} is not an IDX file (bad magic {magic!r})")
+        dtype_code, rank = magic[2], magic[3]
+        if dtype_code not in _IDX_DTYPES:
+            raise ValueError(f"{path}: unsupported IDX dtype code 0x{dtype_code:02x}")
+        shape = struct.unpack(f">{rank}I", handle.read(4 * rank))
+        data = np.frombuffer(handle.read(), dtype=_IDX_DTYPES[dtype_code])
+    expected = int(np.prod(shape))
+    if data.size != expected:
+        raise ValueError(
+            f"{path}: expected {expected} elements for shape {shape}, got {data.size}"
+        )
+    return data.reshape(shape)
+
+
+def load_idx_dataset(directory: Path, name: str) -> Dataset:
+    """Load an MNIST-layout dataset (four IDX files) from *directory*."""
+    directory = Path(directory)
+    files = {
+        "train_images": "train-images-idx3-ubyte",
+        "train_labels": "train-labels-idx1-ubyte",
+        "test_images": "t10k-images-idx3-ubyte",
+        "test_labels": "t10k-labels-idx1-ubyte",
+    }
+    arrays = {}
+    for key, stem in files.items():
+        candidates = [directory / stem, directory / f"{stem}.gz"]
+        found = next((c for c in candidates if c.exists()), None)
+        if found is None:
+            raise FileNotFoundError(f"{directory} is missing {stem}[.gz]")
+        arrays[key] = load_idx_file(found)
+    train_images = arrays["train_images"].reshape(arrays["train_images"].shape[0], -1)
+    test_images = arrays["test_images"].reshape(arrays["test_images"].shape[0], -1)
+    return Dataset(
+        name=name,
+        train_features=train_images.astype(np.float64) / 255.0,
+        train_labels=arrays["train_labels"].astype(np.int64),
+        test_features=test_images.astype(np.float64) / 255.0,
+        test_labels=arrays["test_labels"].astype(np.int64),
+        metadata={"source": "idx", "directory": str(directory)},
+    )
+
+
+def load_csv_dataset(directory: Path, name: str) -> Dataset:
+    """Load ``train.csv`` / ``test.csv`` (last column = integer label)."""
+    directory = Path(directory)
+    splits = {}
+    for split in ("train", "test"):
+        path = directory / f"{split}.csv"
+        if not path.exists():
+            raise FileNotFoundError(f"{directory} is missing {split}.csv")
+        table = np.loadtxt(path, delimiter=",", dtype=np.float64)
+        if table.ndim == 1:
+            table = table.reshape(1, -1)
+        splits[split] = (table[:, :-1], table[:, -1].astype(np.int64))
+    return Dataset(
+        name=name,
+        train_features=splits["train"][0],
+        train_labels=splits["train"][1],
+        test_features=splits["test"][0],
+        test_labels=splits["test"][1],
+        metadata={"source": "csv", "directory": str(directory)},
+    )
+
+
+def try_load_real_dataset(name: str) -> Optional[Dataset]:
+    """Load the real *name* dataset from ``$REPRO_DATA_DIR`` if available.
+
+    Returns ``None`` (caller falls back to the synthetic substitute) when the
+    directory or the expected files are absent.
+    """
+    base = data_directory()
+    if base is None:
+        return None
+    directory = base / name
+    if not directory.is_dir():
+        return None
+    try:
+        if (directory / "train-images-idx3-ubyte").exists() or (
+            directory / "train-images-idx3-ubyte.gz"
+        ).exists():
+            return load_idx_dataset(directory, name)
+        if (directory / "train.csv").exists():
+            return load_csv_dataset(directory, name)
+    except (OSError, ValueError):
+        return None
+    return None
+
+
+__all__ = [
+    "DATA_DIR_ENV",
+    "data_directory",
+    "load_idx_file",
+    "load_idx_dataset",
+    "load_csv_dataset",
+    "try_load_real_dataset",
+]

@@ -1,0 +1,101 @@
+"""Text rendering of accuracy trajectories and series ("figures").
+
+The paper's Figures 3, 5 and 6 are accuracy-versus-iteration (or -dimension)
+curves.  The benchmark harness records the underlying series and renders them
+as aligned text: a compact unicode sparkline per series plus the raw numbers,
+so the figure can be compared against the paper without a plotting library.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+_SPARK_CHARS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """Render a sequence of numbers as a unicode sparkline string."""
+    array = np.asarray(list(values), dtype=np.float64)
+    if array.size == 0:
+        raise ValueError("cannot render an empty series")
+    low, high = float(array.min()), float(array.max())
+    if high == low:
+        return _SPARK_CHARS[0] * array.size
+    normalised = (array - low) / (high - low)
+    indices = np.minimum(
+        (normalised * len(_SPARK_CHARS)).astype(int), len(_SPARK_CHARS) - 1
+    )
+    return "".join(_SPARK_CHARS[i] for i in indices)
+
+
+@dataclass
+class TrajectorySeries:
+    """A named series of values indexed by iteration/epoch/dimension."""
+
+    name: str
+    x_values: List[float]
+    y_values: List[float]
+
+    def __post_init__(self):
+        if len(self.x_values) != len(self.y_values):
+            raise ValueError(
+                f"series {self.name!r}: x has {len(self.x_values)} points, "
+                f"y has {len(self.y_values)}"
+            )
+        if not self.y_values:
+            raise ValueError(f"series {self.name!r} is empty")
+
+    @property
+    def final(self) -> float:
+        """Last y value (e.g. converged accuracy)."""
+        return float(self.y_values[-1])
+
+    @property
+    def best(self) -> float:
+        """Maximum y value reached."""
+        return float(max(self.y_values))
+
+    def oscillation(self) -> float:
+        """Mean absolute change between consecutive points over the last half.
+
+        The paper observes that basic retraining "starts to oscillate after the
+        initial convergence" while the enhanced strategy is stable; this scalar
+        quantifies that claim so tests and benches can assert it.
+        """
+        tail = np.asarray(self.y_values[len(self.y_values) // 2 :], dtype=np.float64)
+        if tail.size < 2:
+            return 0.0
+        return float(np.mean(np.abs(np.diff(tail))))
+
+
+def render_trajectories(
+    series: Sequence[TrajectorySeries],
+    title: str = "",
+    x_label: str = "iteration",
+    y_format: str = "{:.4f}",
+) -> str:
+    """Render a set of trajectory series as sparkline + summary lines."""
+    if not series:
+        raise ValueError("series must be non-empty")
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    name_width = max(len(entry.name) for entry in series)
+    for entry in series:
+        summary = (
+            f"start={y_format.format(entry.y_values[0])} "
+            f"final={y_format.format(entry.final)} "
+            f"best={y_format.format(entry.best)} "
+            f"oscillation={entry.oscillation():.4f}"
+        )
+        lines.append(
+            f"{entry.name.ljust(name_width)}  {sparkline(entry.y_values)}  {summary}"
+        )
+    lines.append(f"({len(series[0].y_values)} points per series, x = {x_label})")
+    return "\n".join(lines)
+
+
+__all__ = ["TrajectorySeries", "render_trajectories", "sparkline"]

@@ -1,0 +1,97 @@
+"""Classification metrics and mean±std aggregation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.utils.validation import check_labels
+
+
+def accuracy(predictions: np.ndarray, labels: np.ndarray) -> float:
+    """Fraction of predictions equal to the true labels."""
+    predictions = np.asarray(predictions)
+    labels = np.asarray(labels)
+    if predictions.shape != labels.shape:
+        raise ValueError(
+            f"predictions shape {predictions.shape} does not match labels {labels.shape}"
+        )
+    if predictions.size == 0:
+        raise ValueError("cannot compute accuracy of zero samples")
+    return float(np.mean(predictions == labels))
+
+
+def confusion_matrix(
+    predictions: np.ndarray, labels: np.ndarray, num_classes: int = None
+) -> np.ndarray:
+    """Confusion matrix ``M[i, j]`` = count of true class *i* predicted as *j*."""
+    labels = check_labels(np.asarray(labels), np.asarray(labels).shape[0])
+    predictions = check_labels(np.asarray(predictions), labels.shape[0])
+    if num_classes is None:
+        num_classes = int(max(labels.max(), predictions.max())) + 1
+    matrix = np.zeros((num_classes, num_classes), dtype=np.int64)
+    np.add.at(matrix, (labels, predictions), 1)
+    return matrix
+
+
+def per_class_accuracy(predictions: np.ndarray, labels: np.ndarray) -> np.ndarray:
+    """Recall of each class (diagonal of the row-normalised confusion matrix)."""
+    matrix = confusion_matrix(predictions, labels)
+    row_totals = matrix.sum(axis=1).astype(np.float64)
+    row_totals[row_totals == 0] = 1.0
+    return np.diag(matrix) / row_totals
+
+
+@dataclass(frozen=True)
+class MeanStd:
+    """A mean ± standard deviation pair, formatted the way Table 1 prints it."""
+
+    mean: float
+    std: float
+    count: int
+
+    def __str__(self) -> str:
+        return f"{self.mean:.2f}±{self.std:.2f}"
+
+    def as_percent(self) -> "MeanStd":
+        """Return the same statistic scaled by 100 (fraction -> percent)."""
+        return MeanStd(mean=self.mean * 100.0, std=self.std * 100.0, count=self.count)
+
+
+def aggregate_mean_std(values: Iterable[float]) -> MeanStd:
+    """Aggregate repeated measurements into a :class:`MeanStd`.
+
+    Uses the population standard deviation (``ddof=0``) so a single repetition
+    yields std 0 rather than NaN.
+    """
+    array = np.asarray(list(values), dtype=np.float64)
+    if array.size == 0:
+        raise ValueError("cannot aggregate an empty sequence")
+    return MeanStd(mean=float(array.mean()), std=float(array.std()), count=int(array.size))
+
+
+def average_increment(
+    strategy_means: Sequence[float], baseline_means: Sequence[float]
+) -> float:
+    """Average accuracy increment of a strategy over the baseline across datasets.
+
+    This is the "Avg Increment" column of Table 1: the mean, over datasets, of
+    (strategy accuracy - baseline accuracy).
+    """
+    strategy = np.asarray(strategy_means, dtype=np.float64)
+    baseline = np.asarray(baseline_means, dtype=np.float64)
+    if strategy.shape != baseline.shape or strategy.size == 0:
+        raise ValueError("strategy and baseline sequences must be equal-length and non-empty")
+    return float(np.mean(strategy - baseline))
+
+
+__all__ = [
+    "accuracy",
+    "confusion_matrix",
+    "per_class_accuracy",
+    "MeanStd",
+    "aggregate_mean_std",
+    "average_increment",
+]

@@ -1,0 +1,152 @@
+"""Per-class evaluation reports.
+
+Table 1 reports a single accuracy number per model, but when analysing *why*
+one training strategy beats another (e.g. LeHDC's gain on the multi-cluster
+PAMAP-style classes) a per-class breakdown is far more informative.  This
+module provides a scikit-learn-style classification report built only on the
+confusion matrix: precision, recall and F1 per class plus macro/weighted
+averages, rendered through :func:`repro.eval.tables.format_table`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.eval.metrics import confusion_matrix
+from repro.eval.tables import format_table
+
+
+@dataclass(frozen=True)
+class ClassReport:
+    """Precision / recall / F1 / support for one class."""
+
+    label: int
+    precision: float
+    recall: float
+    f1: float
+    support: int
+
+
+@dataclass(frozen=True)
+class ClassificationReport:
+    """Full per-class report plus aggregate rows."""
+
+    classes: List[ClassReport]
+    accuracy: float
+    macro_precision: float
+    macro_recall: float
+    macro_f1: float
+    weighted_f1: float
+
+    def to_text(self, class_names: Optional[Sequence[str]] = None) -> str:
+        """Render the report as an aligned text table."""
+        rows = []
+        for entry in self.classes:
+            name = (
+                class_names[entry.label]
+                if class_names is not None and entry.label < len(class_names)
+                else str(entry.label)
+            )
+            rows.append(
+                [
+                    name,
+                    f"{entry.precision:.4f}",
+                    f"{entry.recall:.4f}",
+                    f"{entry.f1:.4f}",
+                    entry.support,
+                ]
+            )
+        rows.append(["macro avg", f"{self.macro_precision:.4f}", f"{self.macro_recall:.4f}",
+                     f"{self.macro_f1:.4f}", sum(e.support for e in self.classes)])
+        rows.append(["accuracy", "-", "-", f"{self.accuracy:.4f}",
+                     sum(e.support for e in self.classes)])
+        return format_table(
+            ["class", "precision", "recall", "f1", "support"], rows
+        )
+
+
+def classification_report(
+    predictions: np.ndarray,
+    labels: np.ndarray,
+    num_classes: Optional[int] = None,
+) -> ClassificationReport:
+    """Compute per-class precision/recall/F1 and aggregate statistics.
+
+    Classes absent from both predictions and labels get zero support and zero
+    scores (they still appear in the report so table shapes stay stable across
+    repetitions).
+    """
+    matrix = confusion_matrix(predictions, labels, num_classes=num_classes)
+    num_classes = matrix.shape[0]
+    true_totals = matrix.sum(axis=1).astype(np.float64)
+    predicted_totals = matrix.sum(axis=0).astype(np.float64)
+    diagonal = np.diag(matrix).astype(np.float64)
+
+    classes: List[ClassReport] = []
+    for label in range(num_classes):
+        precision = diagonal[label] / predicted_totals[label] if predicted_totals[label] else 0.0
+        recall = diagonal[label] / true_totals[label] if true_totals[label] else 0.0
+        f1 = (
+            2.0 * precision * recall / (precision + recall)
+            if (precision + recall) > 0
+            else 0.0
+        )
+        classes.append(
+            ClassReport(
+                label=label,
+                precision=float(precision),
+                recall=float(recall),
+                f1=float(f1),
+                support=int(true_totals[label]),
+            )
+        )
+
+    total = float(matrix.sum())
+    accuracy = float(diagonal.sum() / total) if total else 0.0
+    macro_precision = float(np.mean([entry.precision for entry in classes]))
+    macro_recall = float(np.mean([entry.recall for entry in classes]))
+    macro_f1 = float(np.mean([entry.f1 for entry in classes]))
+    supports = np.array([entry.support for entry in classes], dtype=np.float64)
+    weighted_f1 = (
+        float(np.sum(supports * np.array([entry.f1 for entry in classes])) / supports.sum())
+        if supports.sum()
+        else 0.0
+    )
+    return ClassificationReport(
+        classes=classes,
+        accuracy=accuracy,
+        macro_precision=macro_precision,
+        macro_recall=macro_recall,
+        macro_f1=macro_f1,
+        weighted_f1=weighted_f1,
+    )
+
+
+def compare_per_class(
+    reports: Dict[str, ClassificationReport], metric: str = "recall"
+) -> str:
+    """Render a side-by-side per-class comparison of several models.
+
+    ``metric`` selects which per-class quantity to tabulate (``"precision"``,
+    ``"recall"`` or ``"f1"``).  Useful for showing *which* classes LeHDC
+    recovers relative to the baseline.
+    """
+    if metric not in ("precision", "recall", "f1"):
+        raise ValueError(f"metric must be precision, recall or f1, got {metric!r}")
+    if not reports:
+        raise ValueError("reports must be non-empty")
+    names = list(reports)
+    num_classes = len(next(iter(reports.values())).classes)
+    rows = []
+    for label in range(num_classes):
+        row = [label]
+        for name in names:
+            row.append(f"{getattr(reports[name].classes[label], metric):.4f}")
+        rows.append(row)
+    return format_table(["class"] + names, rows, title=f"per-class {metric}")
+
+
+__all__ = ["ClassReport", "ClassificationReport", "classification_report", "compare_per_class"]

@@ -1,0 +1,44 @@
+"""Plain-text table rendering for benchmark reports."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Render rows as an aligned, pipe-separated text table.
+
+    Every cell is converted with ``str``; floats should be pre-formatted by the
+    caller so the table controls its own precision.
+    """
+    if not headers:
+        raise ValueError("headers must be non-empty")
+    string_rows: List[List[str]] = [[str(cell) for cell in row] for row in rows]
+    for row in string_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row {row!r} has {len(row)} cells, expected {len(headers)}"
+            )
+    widths = [len(header) for header in headers]
+    for row in string_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def _line(cells: Sequence[str]) -> str:
+        return " | ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells))
+
+    separator = "-+-".join("-" * width for width in widths)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(_line(list(headers)))
+    lines.append(separator)
+    lines.extend(_line(row) for row in string_rows)
+    return "\n".join(lines)
+
+
+__all__ = ["format_table"]

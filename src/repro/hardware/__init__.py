@@ -1,0 +1,9 @@
+"""Hardware cost model for HDC inference (Sec. 5.1's resource discussion)."""
+
+from repro.hardware.cost_model import (
+    InferenceCostModel,
+    StrategyCost,
+    compare_strategies,
+)
+
+__all__ = ["InferenceCostModel", "StrategyCost", "compare_strategies"]

@@ -1,0 +1,120 @@
+"""Inference cost model: storage, operation counts and latency estimates.
+
+Sec. 5.1 argues that LeHDC "has the same time consumption and resource
+occupation as the baseline and retraining binary HDC" because it changes only
+training, "however, multi-model strategy costs more storage due to the
+multiple class hypervectors".  This module quantifies that claim with a simple
+but explicit cost model for the binary-HDC inference datapath:
+
+* class-hypervector storage: ``models_per_class * K * D`` bits;
+* similarity computation: an XOR + popcount per stored hypervector word plus
+  a ``K``-way (or ``K*N``-way) argmin;
+* latency: cycles on a word-parallel datapath of configurable width — a
+  first-order stand-in for the FPGA / in-memory accelerators the paper cites.
+
+These numbers are *model* outputs (no hardware is simulated cycle-accurately);
+they reproduce the relative comparison the paper makes, which is all Sec. 5.1
+reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.utils.validation import check_positive_int
+
+
+@dataclass(frozen=True)
+class StrategyCost:
+    """Inference-time cost of one trained HDC strategy."""
+
+    name: str
+    storage_bits: int
+    xor_popcount_ops: int
+    comparison_ops: int
+    latency_cycles: int
+
+    @property
+    def storage_kib(self) -> float:
+        """Class-hypervector storage in KiB."""
+        return self.storage_bits / 8.0 / 1024.0
+
+
+class InferenceCostModel:
+    """Cost model for the nearest-Hamming inference datapath.
+
+    Parameters
+    ----------
+    dimension:
+        Hypervector dimension ``D``.
+    num_classes:
+        Number of classes ``K``.
+    word_width:
+        Datapath word width in bits (64 models a CPU; an FPGA/IMC design would
+        use a much wider effective width, which scales latency down but leaves
+        every *relative* comparison unchanged).
+    """
+
+    def __init__(self, dimension: int, num_classes: int, word_width: int = 64):
+        self.dimension = check_positive_int(dimension, "dimension")
+        self.num_classes = check_positive_int(num_classes, "num_classes")
+        self.word_width = check_positive_int(word_width, "word_width")
+
+    @property
+    def words_per_hypervector(self) -> int:
+        """Number of datapath words holding one packed hypervector."""
+        return -(-self.dimension // self.word_width)  # ceil division
+
+    def cost(self, name: str, models_per_class: int = 1) -> StrategyCost:
+        """Cost of a strategy storing *models_per_class* hypervectors per class."""
+        check_positive_int(models_per_class, "models_per_class")
+        stored_hypervectors = self.num_classes * models_per_class
+        storage_bits = stored_hypervectors * self.dimension
+        # One XOR + popcount per stored word, then a tree of comparisons to
+        # find the minimum distance.
+        xor_popcount_ops = stored_hypervectors * self.words_per_hypervector
+        comparison_ops = stored_hypervectors - 1
+        latency_cycles = xor_popcount_ops + comparison_ops
+        return StrategyCost(
+            name=name,
+            storage_bits=storage_bits,
+            xor_popcount_ops=xor_popcount_ops,
+            comparison_ops=comparison_ops,
+            latency_cycles=latency_cycles,
+        )
+
+    def encoding_cost_ops(self, num_features: int) -> int:
+        """Bind-and-accumulate operations for one record-encoded query (Eq. 1).
+
+        Identical for every strategy (the encoder is shared), so it is reported
+        separately rather than folded into :meth:`cost`.
+        """
+        check_positive_int(num_features, "num_features")
+        return num_features * self.dimension
+
+
+def compare_strategies(
+    dimension: int,
+    num_classes: int,
+    multimodel_models_per_class: int = 64,
+    word_width: int = 64,
+) -> Dict[str, StrategyCost]:
+    """Costs of the four Table 1 strategies under one cost model.
+
+    Baseline, retraining and LeHDC all store exactly ``K`` class hypervectors
+    (they differ only in training), so their rows are identical; the
+    multi-model ensemble stores ``K * N`` and scales every cost by ``N``.
+    """
+    model = InferenceCostModel(dimension, num_classes, word_width=word_width)
+    return {
+        "baseline": model.cost("baseline"),
+        "retraining": model.cost("retraining"),
+        "lehdc": model.cost("lehdc"),
+        "multimodel": model.cost(
+            "multimodel", models_per_class=multimodel_models_per_class
+        ),
+    }
+
+
+__all__ = ["StrategyCost", "InferenceCostModel", "compare_strategies"]

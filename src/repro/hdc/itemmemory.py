@@ -1,0 +1,148 @@
+"""Item memories: the lookup tables mapping symbols to hypervectors.
+
+Two kinds are needed by the record-based encoder of Eq. 1:
+
+* :class:`RandomItemMemory` holds one independently drawn hypervector per
+  feature *position*; independence makes them quasi-orthogonal
+  (``Hamm(F_i, F_j) ~ 0.5``), which is what lets the encoder keep features
+  distinguishable after superposition.
+* :class:`LevelItemMemory` holds one hypervector per quantised feature
+  *value* such that the Hamming distance between two level hypervectors is
+  proportional to the difference between the values they represent
+  (``Hamm(V_i, V_j) ∝ |f_i - f_j| / (max - min)``).  It is built by the
+  standard progressive bit-flipping construction: start from a random vector
+  for the lowest level and flip a fresh disjoint slice of ``D/2 / (L-1)``
+  coordinates per step, so the first and last levels end up at distance 0.5.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.hdc.hypervector import BIPOLAR_DTYPE, random_hypervectors
+from repro.utils.rng import SeedLike, ensure_rng
+from repro.utils.validation import check_positive_int
+
+
+class RandomItemMemory:
+    """Orthogonal codebook of `num_items` random bipolar hypervectors.
+
+    Parameters
+    ----------
+    num_items:
+        Number of symbols (e.g. feature positions).
+    dimension:
+        Hypervector dimension ``D``.
+    seed:
+        Seed or generator for reproducibility.
+    """
+
+    def __init__(self, num_items: int, dimension: int, seed: SeedLike = None):
+        self.num_items = check_positive_int(num_items, "num_items")
+        self.dimension = check_positive_int(dimension, "dimension")
+        self._vectors = random_hypervectors(self.num_items, self.dimension, seed=seed)
+
+    @property
+    def vectors(self) -> np.ndarray:
+        """The full ``(num_items, dimension)`` int8 codebook."""
+        return self._vectors
+
+    def __len__(self) -> int:
+        return self.num_items
+
+    def __getitem__(self, index) -> np.ndarray:
+        """Look up hypervector(s) by integer index or array of indices."""
+        return self._vectors[index]
+
+    def lookup(self, indices: np.ndarray) -> np.ndarray:
+        """Vectorised lookup: returns an array of hypervectors for *indices*."""
+        indices = np.asarray(indices)
+        if np.any(indices < 0) or np.any(indices >= self.num_items):
+            raise IndexError(
+                f"indices must be in [0, {self.num_items}), got range "
+                f"[{indices.min()}, {indices.max()}]"
+            )
+        return self._vectors[indices]
+
+
+class LevelItemMemory:
+    """Correlated codebook for quantised feature values.
+
+    The construction flips a disjoint block of coordinates at each level so
+    that ``Hamm(level_i, level_j) = 0.5 * |i - j| / (num_levels - 1)`` exactly
+    (up to integer rounding of block boundaries), matching the linear
+    correlation structure the paper requires of value hypervectors.
+
+    Parameters
+    ----------
+    num_levels:
+        Number of quantisation levels ``L`` (must be >= 2 to carry any
+        information; a single level is permitted but degenerate).
+    dimension:
+        Hypervector dimension ``D``.
+    seed:
+        Seed or generator for reproducibility.
+    """
+
+    def __init__(self, num_levels: int, dimension: int, seed: SeedLike = None):
+        self.num_levels = check_positive_int(num_levels, "num_levels")
+        self.dimension = check_positive_int(dimension, "dimension")
+        rng = ensure_rng(seed)
+        self._vectors = self._build(rng)
+
+    def _build(self, rng: np.random.Generator) -> np.ndarray:
+        base = random_hypervectors(1, self.dimension, seed=rng)[0]
+        vectors = np.empty((self.num_levels, self.dimension), dtype=BIPOLAR_DTYPE)
+        vectors[0] = base
+        if self.num_levels == 1:
+            return vectors
+        # Flip half of the coordinates in total, spread evenly over the levels,
+        # using a random permutation so flipped blocks are disjoint.
+        flip_order = rng.permutation(self.dimension)
+        total_flips = self.dimension // 2
+        boundaries = np.linspace(0, total_flips, self.num_levels, dtype=np.int64)
+        current = base.copy()
+        for level in range(1, self.num_levels):
+            start, stop = boundaries[level - 1], boundaries[level]
+            flip_indices = flip_order[start:stop]
+            current = current.copy()
+            current[flip_indices] = -current[flip_indices]
+            vectors[level] = current
+        return vectors
+
+    @property
+    def vectors(self) -> np.ndarray:
+        """The full ``(num_levels, dimension)`` int8 codebook."""
+        return self._vectors
+
+    def __len__(self) -> int:
+        return self.num_levels
+
+    def __getitem__(self, index) -> np.ndarray:
+        """Look up level hypervector(s) by level index or array of indices."""
+        return self._vectors[index]
+
+    def lookup(self, levels: np.ndarray) -> np.ndarray:
+        """Vectorised lookup of level hypervectors for an array of level indices."""
+        levels = np.asarray(levels)
+        if np.any(levels < 0) or np.any(levels >= self.num_levels):
+            raise IndexError(
+                f"levels must be in [0, {self.num_levels}), got range "
+                f"[{levels.min()}, {levels.max()}]"
+            )
+        return self._vectors[levels]
+
+    def expected_distance(self, level_a: int, level_b: int) -> float:
+        """The distance the construction targets for a pair of levels.
+
+        Useful in tests and documentation: the realised Hamming distance of
+        the built codebook matches this value up to block-rounding error.
+        """
+        if self.num_levels == 1:
+            return 0.0
+        return 0.5 * abs(level_a - level_b) / (self.num_levels - 1)
+
+
+__all__ = ["RandomItemMemory", "LevelItemMemory"]

@@ -1,0 +1,189 @@
+"""Model persistence: save and load trained HDC pipelines.
+
+A deployed HDC classifier consists of three artefacts:
+
+* the encoder's item memories (position and level hypervectors) and its
+  quantiser state — needed to encode queries exactly as at training time;
+* the binary class hypervectors — the entire inference-time model;
+* metadata (dimension, class count, the training strategy that produced it).
+
+:func:`save_model` / :func:`load_model` store all three in a single ``.npz``
+file (NumPy's portable compressed container, no pickle involved), so a model
+trained with LeHDC on a workstation can be shipped to the device-side runtime
+— or simply reloaded later — without retraining.  Loading reconstructs an
+:class:`~repro.classifiers.pipeline.HDCPipeline` whose predictions match the
+saved one (exactly, when the encoder uses the deterministic ``"positive"``
+tie-break; up to the random resolution of ``sgn(0)`` ties otherwise).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.classifiers.baseline import BaselineHDC
+from repro.classifiers.pipeline import HDCPipeline
+from repro.hdc.encoders import Encoder, NGramEncoder, RecordEncoder
+from repro.hdc.quantize import QuantileQuantizer, UniformQuantizer
+
+FORMAT_VERSION = 1
+
+
+class _FrozenClassifier(BaselineHDC):
+    """Inference-only carrier for loaded class hypervectors.
+
+    It reuses :class:`BaselineHDC`'s inference path (which is shared by every
+    strategy) but refuses to be refitted, making it explicit that a loaded
+    model is an inference artefact.
+    """
+
+    def fit(self, hypervectors, labels):  # pragma: no cover - guard path
+        raise RuntimeError(
+            "this classifier was loaded from a file and is inference-only; "
+            "train a new classifier instead of refitting it"
+        )
+
+
+def save_model(
+    path: Union[str, Path],
+    pipeline: HDCPipeline,
+    strategy_name: str = "unknown",
+    extra_metadata: Optional[dict] = None,
+) -> Path:
+    """Serialise a fitted pipeline (encoder state + class hypervectors) to *path*.
+
+    Parameters
+    ----------
+    path:
+        Destination file; the ``.npz`` suffix is appended if missing.
+    pipeline:
+        A fitted :class:`HDCPipeline` (any classifier that exposes
+        ``class_hypervectors_``).
+    strategy_name:
+        Free-form label recording which training strategy produced the model.
+    extra_metadata:
+        Optional JSON-serialisable dictionary stored alongside the arrays.
+    """
+    encoder = pipeline.encoder
+    classifier = pipeline.classifier
+    if classifier.class_hypervectors_ is None or encoder.num_features is None:
+        raise ValueError("the pipeline must be fitted before it can be saved")
+
+    quantizer = encoder._quantizer
+    if isinstance(quantizer, UniformQuantizer):
+        quantizer_kind = "uniform"
+        quantizer_state = {
+            "minimums": quantizer._minimums,
+            "ranges": quantizer._ranges,
+        }
+    elif isinstance(quantizer, QuantileQuantizer):
+        quantizer_kind = "quantile"
+        quantizer_state = {"edges": quantizer._edges}
+    else:  # pragma: no cover - future quantisers
+        raise TypeError(f"unsupported quantizer type {type(quantizer).__name__}")
+
+    metadata = {
+        "format_version": FORMAT_VERSION,
+        "strategy": strategy_name,
+        "encoder_kind": "ngram" if isinstance(encoder, NGramEncoder) else "record",
+        "ngram": getattr(encoder, "ngram", None),
+        "dimension": encoder.dimension,
+        "num_levels": encoder.num_levels,
+        "num_features": encoder.num_features,
+        "quantizer_kind": quantizer_kind,
+        "tie_break": encoder.tie_break,
+        "num_classes": int(classifier.class_hypervectors_.shape[0]),
+        "extra": extra_metadata or {},
+    }
+
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(path.suffix + ".npz" if path.suffix else ".npz")
+    arrays = {
+        "class_hypervectors": classifier.class_hypervectors_,
+        "position_vectors": encoder.position_memory.vectors,
+        "level_vectors": encoder.level_memory.vectors,
+        "metadata_json": np.frombuffer(
+            json.dumps(metadata).encode("utf-8"), dtype=np.uint8
+        ),
+    }
+    for key, value in quantizer_state.items():
+        arrays[f"quantizer_{key}"] = value
+    np.savez_compressed(path, **arrays)
+    return path
+
+
+def load_model(path: Union[str, Path]) -> HDCPipeline:
+    """Load a pipeline saved by :func:`save_model`.
+
+    Returns an :class:`HDCPipeline` ready for ``predict``/``score`` on raw
+    feature vectors; its classifier is inference-only.
+    """
+    path = Path(path)
+    with np.load(path, allow_pickle=False) as archive:
+        metadata = json.loads(bytes(archive["metadata_json"].tobytes()).decode("utf-8"))
+        if metadata.get("format_version") != FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported model format version {metadata.get('format_version')!r}"
+            )
+        class_hypervectors = archive["class_hypervectors"]
+        position_vectors = archive["position_vectors"]
+        level_vectors = archive["level_vectors"]
+        quantizer_arrays = {
+            key[len("quantizer_") :]: archive[key]
+            for key in archive.files
+            if key.startswith("quantizer_")
+        }
+
+    encoder = _rebuild_encoder(metadata, position_vectors, level_vectors, quantizer_arrays)
+    classifier = _FrozenClassifier(tie_break=metadata["tie_break"])
+    classifier.class_hypervectors_ = class_hypervectors.astype(np.int8)
+    classifier.num_classes_ = metadata["num_classes"]
+
+    pipeline = HDCPipeline(encoder, classifier)
+    pipeline._fitted = True
+    return pipeline
+
+
+def _rebuild_encoder(metadata, position_vectors, level_vectors, quantizer_arrays) -> Encoder:
+    """Reconstruct an encoder object from its serialised state."""
+    common = dict(
+        dimension=metadata["dimension"],
+        num_levels=metadata["num_levels"],
+        quantizer=metadata["quantizer_kind"],
+        tie_break=metadata["tie_break"],
+        seed=0,
+    )
+    if metadata["encoder_kind"] == "ngram":
+        encoder: Encoder = NGramEncoder(ngram=metadata["ngram"], **common)
+    else:
+        encoder = RecordEncoder(**common)
+
+    encoder.num_features = metadata["num_features"]
+    # Overwrite the freshly constructed item memories with the saved codebooks.
+    from repro.hdc.itemmemory import LevelItemMemory, RandomItemMemory
+
+    position_memory = RandomItemMemory(
+        position_vectors.shape[0], metadata["dimension"], seed=0
+    )
+    position_memory._vectors = position_vectors.astype(np.int8)
+    level_memory = LevelItemMemory(level_vectors.shape[0], metadata["dimension"], seed=0)
+    level_memory._vectors = level_vectors.astype(np.int8)
+    encoder.position_memory = position_memory
+    encoder.level_memory = level_memory
+
+    if metadata["quantizer_kind"] == "uniform":
+        quantizer = UniformQuantizer(metadata["num_levels"])
+        quantizer._minimums = quantizer_arrays["minimums"]
+        quantizer._ranges = quantizer_arrays["ranges"]
+    else:
+        quantizer = QuantileQuantizer(metadata["num_levels"])
+        quantizer._edges = quantizer_arrays["edges"]
+    encoder._quantizer = quantizer
+    return encoder
+
+
+__all__ = ["save_model", "load_model", "FORMAT_VERSION"]

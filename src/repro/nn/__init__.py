@@ -1,0 +1,50 @@
+"""NumPy neural-network substrate.
+
+The paper trains its single-layer BNN with PyTorch; this package provides the
+equivalent machinery from scratch so the reproduction has no deep-learning
+dependency: parameterised layers (:class:`Linear`, :class:`BinaryLinear` with
+latent weights and a straight-through estimator, :class:`Dropout`), the
+softmax cross-entropy loss, first-order optimisers (:class:`SGD`,
+:class:`Momentum`, :class:`Adam`), learning-rate schedules, and weight
+initialisers.
+
+Only what the LeHDC model needs is implemented, but the pieces are generic:
+the tests use them to train small multi-class linear models end-to-end and
+check gradients numerically.
+"""
+
+from repro.nn.module import Module, Parameter
+from repro.nn.layers import BinaryLinear, Dropout, Linear, Sequential
+from repro.nn.losses import (
+    SoftmaxCrossEntropy,
+    cross_entropy_from_logits,
+    one_hot,
+    softmax,
+)
+from repro.nn.optim import SGD, Adam, Momentum, Optimizer, clip_gradient_norm
+from repro.nn.schedules import ConstantSchedule, ReduceOnLossIncrease, StepDecay
+from repro.nn.init import normal_init, scaled_uniform_init, sign_init
+
+__all__ = [
+    "Module",
+    "Parameter",
+    "Linear",
+    "BinaryLinear",
+    "Dropout",
+    "Sequential",
+    "softmax",
+    "one_hot",
+    "cross_entropy_from_logits",
+    "SoftmaxCrossEntropy",
+    "Optimizer",
+    "SGD",
+    "Momentum",
+    "Adam",
+    "clip_gradient_norm",
+    "ConstantSchedule",
+    "StepDecay",
+    "ReduceOnLossIncrease",
+    "normal_init",
+    "scaled_uniform_init",
+    "sign_init",
+]

@@ -1,0 +1,220 @@
+"""Layers: dense linear, binary linear with straight-through estimator, dropout.
+
+:class:`BinaryLinear` is the heart of the LeHDC reproduction.  Following
+Sec. 4 (and the BinaryConnect / Adam-for-BNN recipe the paper cites), it keeps
+a *latent* real-valued weight matrix ``C_nb`` that accumulates small
+gradients, while the forward pass uses its binarisation ``C = sgn(C_nb)``
+(Eq. 8).  The backward pass uses the straight-through estimator: gradients
+w.r.t. the binary weights are applied to the latent weights unchanged
+(optionally masked where ``|C_nb|`` exceeds a clip threshold).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.nn.init import scaled_uniform_init
+from repro.nn.module import Module, Parameter
+from repro.utils.rng import SeedLike, ensure_rng
+from repro.utils.validation import check_positive_int, check_probability
+
+
+class Linear(Module):
+    """Standard dense layer ``y = x W + b`` (bias optional).
+
+    Used by the non-binary HDC equivalence (the "perceptron view" of
+    Sec. 3.1) and by the numerical-gradient tests that validate the substrate.
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        bias: bool = True,
+        init_scale: float = 0.01,
+        seed: SeedLike = None,
+    ):
+        super().__init__()
+        self.in_features = check_positive_int(in_features, "in_features")
+        self.out_features = check_positive_int(out_features, "out_features")
+        self.weight = Parameter(
+            scaled_uniform_init(
+                (self.in_features, self.out_features), scale=init_scale, seed=seed
+            ),
+            name="linear.weight",
+        )
+        self.bias = (
+            Parameter(np.zeros(self.out_features), name="linear.bias") if bias else None
+        )
+        self._cached_input: Optional[np.ndarray] = None
+
+    def forward(self, inputs: np.ndarray) -> np.ndarray:
+        inputs = np.asarray(inputs, dtype=np.float64)
+        self._cached_input = inputs
+        outputs = inputs @ self.weight.value
+        if self.bias is not None:
+            outputs = outputs + self.bias.value
+        return outputs
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._cached_input is None:
+            raise RuntimeError("forward() must be called before backward()")
+        grad_output = np.asarray(grad_output, dtype=np.float64)
+        self.weight.add_grad(self._cached_input.T @ grad_output)
+        if self.bias is not None:
+            self.bias.add_grad(grad_output.sum(axis=0))
+        return grad_output @ self.weight.value.T
+
+
+class BinaryLinear(Module):
+    """Binary-weight dense layer with latent weights and an STE backward pass.
+
+    Parameters
+    ----------
+    in_features, out_features:
+        Layer shape; for LeHDC these are ``D`` and the number of classes ``K``.
+    latent_clip:
+        If not ``None``, latent weights are clipped to ``[-latent_clip,
+        +latent_clip]`` after every optimiser step (classic BinaryConnect
+        behaviour) and gradients are masked outside the clip range.  ``None``
+        disables clipping (the paper's formulation relies on weight decay to
+        bound the latent weights instead); both modes are exposed so the
+        ablation benchmark can compare them.
+    init_scale:
+        Magnitude of the random uniform latent-weight initialisation.
+    seed:
+        Seed or generator for the initialisation.
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        latent_clip: Optional[float] = 1.0,
+        init_scale: float = 0.01,
+        seed: SeedLike = None,
+    ):
+        super().__init__()
+        self.in_features = check_positive_int(in_features, "in_features")
+        self.out_features = check_positive_int(out_features, "out_features")
+        if latent_clip is not None and latent_clip <= 0:
+            raise ValueError(f"latent_clip must be positive or None, got {latent_clip}")
+        self.latent_clip = latent_clip
+        self.weight = Parameter(
+            scaled_uniform_init(
+                (self.in_features, self.out_features), scale=init_scale, seed=seed
+            ),
+            name="binary_linear.latent_weight",
+        )
+        self._cached_input: Optional[np.ndarray] = None
+        self._cached_binary: Optional[np.ndarray] = None
+
+    # ---------------------------------------------------------------- core
+    @property
+    def binary_weight(self) -> np.ndarray:
+        """The binarised weights ``sgn(C_nb)`` (Eq. 8); zeros map to +1."""
+        return np.where(self.weight.value < 0, -1.0, 1.0)
+
+    def set_latent_from_bipolar(self, bipolar: np.ndarray, magnitude: float = 0.01) -> None:
+        """Warm-start the latent weights from an existing bipolar matrix.
+
+        The matrix must have shape ``(in_features, out_features)``; its signs
+        become the initial binary weights.
+        """
+        bipolar = np.asarray(bipolar, dtype=np.float64)
+        if bipolar.shape != self.weight.value.shape:
+            raise ValueError(
+                f"bipolar shape {bipolar.shape} does not match weight shape "
+                f"{self.weight.value.shape}"
+            )
+        if not np.all(np.isin(bipolar, (-1.0, 1.0))):
+            raise ValueError("expected entries in {+1, -1}")
+        self.weight.value = bipolar * magnitude
+
+    def forward(self, inputs: np.ndarray) -> np.ndarray:
+        inputs = np.asarray(inputs, dtype=np.float64)
+        self._cached_input = inputs
+        self._cached_binary = self.binary_weight
+        return inputs @ self._cached_binary
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._cached_input is None:
+            raise RuntimeError("forward() must be called before backward()")
+        grad_output = np.asarray(grad_output, dtype=np.float64)
+        grad_weight = self._cached_input.T @ grad_output
+        if self.latent_clip is not None:
+            # Straight-through estimator with saturation: once a latent weight
+            # has left the clip range, further pushes in the same direction
+            # are ignored, which stabilises training.
+            inside = np.abs(self.weight.value) <= self.latent_clip
+            grad_weight = grad_weight * inside
+        self.weight.add_grad(grad_weight)
+        # Gradient w.r.t. the input flows through the *binary* weights, which
+        # is exactly what the chain rule gives for the forward computation.
+        return grad_output @ self._cached_binary.T
+
+    def clip_latent(self) -> None:
+        """Clip latent weights into ``[-latent_clip, +latent_clip]`` (no-op if disabled)."""
+        if self.latent_clip is not None:
+            np.clip(
+                self.weight.value,
+                -self.latent_clip,
+                self.latent_clip,
+                out=self.weight.value,
+            )
+
+
+class Dropout(Module):
+    """Inverted dropout on the layer input.
+
+    The paper applies dropout to the (very wide) encoded hypervector during
+    training to stop the class hypervectors from over-fitting (Sec. 4).  At
+    evaluation time this layer is the identity.
+    """
+
+    def __init__(self, rate: float, seed: SeedLike = None):
+        super().__init__()
+        self.rate = check_probability(rate, "rate", inclusive_one=False)
+        self._rng = ensure_rng(seed)
+        self._cached_mask: Optional[np.ndarray] = None
+
+    def forward(self, inputs: np.ndarray) -> np.ndarray:
+        inputs = np.asarray(inputs, dtype=np.float64)
+        if not self.training or self.rate == 0.0:
+            self._cached_mask = None
+            return inputs
+        keep_probability = 1.0 - self.rate
+        mask = self._rng.random(inputs.shape) < keep_probability
+        self._cached_mask = mask / keep_probability
+        return inputs * self._cached_mask
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        grad_output = np.asarray(grad_output, dtype=np.float64)
+        if self._cached_mask is None:
+            return grad_output
+        return grad_output * self._cached_mask
+
+
+class Sequential(Module):
+    """A simple container chaining modules in order."""
+
+    def __init__(self, *modules: Module):
+        super().__init__()
+        self.modules: List[Module] = list(modules)
+
+    def forward(self, inputs: np.ndarray) -> np.ndarray:
+        outputs = inputs
+        for module in self.modules:
+            outputs = module.forward(outputs)
+        return outputs
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        grad = grad_output
+        for module in reversed(self.modules):
+            grad = module.backward(grad)
+        return grad
+
+
+__all__ = ["Linear", "BinaryLinear", "Dropout", "Sequential"]

@@ -1,0 +1,98 @@
+"""Softmax, one-hot encoding, and the cross-entropy training loss (Eq. 9-10).
+
+The loss used by LeHDC is softmax cross-entropy over the BNN outputs
+``o = En(x) C`` with one-hot targets; the L2 weight-decay term of Eq. 10 is
+handled by the optimiser (decoupled) or by the trainer adding ``lambda * C_nb``
+to the gradient (coupled), so it does not appear here.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+
+def softmax(logits: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically stable softmax along *axis*."""
+    logits = np.asarray(logits, dtype=np.float64)
+    shifted = logits - logits.max(axis=axis, keepdims=True)
+    exponentials = np.exp(shifted)
+    return exponentials / exponentials.sum(axis=axis, keepdims=True)
+
+
+def one_hot(labels: np.ndarray, num_classes: int) -> np.ndarray:
+    """One-hot encode integer *labels* into an ``(n, num_classes)`` float matrix."""
+    labels = np.asarray(labels, dtype=np.int64)
+    if labels.ndim != 1:
+        raise ValueError(f"labels must be 1-D, got shape {labels.shape}")
+    if np.any(labels < 0) or np.any(labels >= num_classes):
+        raise ValueError(f"labels must be in [0, {num_classes})")
+    encoded = np.zeros((labels.shape[0], num_classes), dtype=np.float64)
+    encoded[np.arange(labels.shape[0]), labels] = 1.0
+    return encoded
+
+
+def cross_entropy_from_logits(
+    logits: np.ndarray, labels: np.ndarray
+) -> Tuple[float, np.ndarray]:
+    """Mean cross-entropy loss and its gradient w.r.t. the logits.
+
+    Parameters
+    ----------
+    logits:
+        ``(batch, classes)`` raw scores.
+    labels:
+        ``(batch,)`` integer class labels.
+
+    Returns
+    -------
+    loss:
+        Scalar mean cross-entropy.
+    grad:
+        ``(batch, classes)`` gradient of the mean loss w.r.t. the logits,
+        i.e. ``(softmax(logits) - onehot(labels)) / batch``.
+    """
+    logits = np.asarray(logits, dtype=np.float64)
+    if logits.ndim != 2:
+        raise ValueError(f"logits must be 2-D, got shape {logits.shape}")
+    labels = np.asarray(labels, dtype=np.int64)
+    if labels.shape[0] != logits.shape[0]:
+        raise ValueError(
+            f"labels length {labels.shape[0]} does not match batch {logits.shape[0]}"
+        )
+    batch, num_classes = logits.shape
+    probabilities = softmax(logits, axis=1)
+    # Clip to avoid log(0) on confidently wrong predictions.
+    clipped = np.clip(probabilities[np.arange(batch), labels], 1e-12, 1.0)
+    loss = float(-np.log(clipped).mean())
+    grad = (probabilities - one_hot(labels, num_classes)) / batch
+    return loss, grad
+
+
+class SoftmaxCrossEntropy:
+    """Object-style wrapper around :func:`cross_entropy_from_logits`.
+
+    Keeps the last forward's gradient so ``backward()`` can be called without
+    re-passing the inputs, mirroring the layer API used in the trainer loop.
+    """
+
+    def __init__(self) -> None:
+        self._cached_grad: np.ndarray = None
+
+    def forward(self, logits: np.ndarray, labels: np.ndarray) -> float:
+        """Compute the mean loss and cache its gradient."""
+        loss, grad = cross_entropy_from_logits(logits, labels)
+        self._cached_grad = grad
+        return loss
+
+    def backward(self) -> np.ndarray:
+        """Return the cached gradient of the last :meth:`forward` call."""
+        if self._cached_grad is None:
+            raise RuntimeError("forward() must be called before backward()")
+        return self._cached_grad
+
+    __call__ = forward
+
+
+__all__ = ["softmax", "one_hot", "cross_entropy_from_logits", "SoftmaxCrossEntropy"]

@@ -1,0 +1,136 @@
+"""Parameter container and module base class.
+
+A :class:`Parameter` couples a value array with its gradient accumulator.  A
+:class:`Module` is anything with parameters, a ``forward`` and a ``backward``;
+modules can be nested and expose all parameters of their children through
+:meth:`Module.parameters`, which is the list optimisers consume.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional
+
+import numpy as np
+
+
+class Parameter:
+    """A trainable array plus its gradient.
+
+    Attributes
+    ----------
+    value:
+        The current parameter value (float64).
+    grad:
+        The gradient accumulated by the most recent backward pass, or ``None``
+        if no backward pass has run since the last :meth:`zero_grad`.
+    name:
+        Optional human-readable name used in error messages and debugging.
+    """
+
+    def __init__(self, value: np.ndarray, name: str = "parameter"):
+        self.value = np.asarray(value, dtype=np.float64)
+        self.grad: Optional[np.ndarray] = None
+        self.name = name
+
+    @property
+    def shape(self):
+        """Shape of the underlying value array."""
+        return self.value.shape
+
+    def zero_grad(self) -> None:
+        """Forget the accumulated gradient."""
+        self.grad = None
+
+    def add_grad(self, grad: np.ndarray) -> None:
+        """Accumulate *grad* (summing if a gradient is already present)."""
+        grad = np.asarray(grad, dtype=np.float64)
+        if grad.shape != self.value.shape:
+            raise ValueError(
+                f"gradient shape {grad.shape} does not match parameter "
+                f"{self.name} shape {self.value.shape}"
+            )
+        if self.grad is None:
+            self.grad = grad.copy()
+        else:
+            self.grad += grad
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"Parameter(name={self.name!r}, shape={self.value.shape})"
+
+
+class Module:
+    """Base class for layers and models.
+
+    Subclasses register parameters as attributes of type :class:`Parameter`
+    (or register child modules as attributes of type :class:`Module`) and
+    implement :meth:`forward` and :meth:`backward`.  Training/eval mode is
+    tracked so layers like dropout can switch behaviour.
+    """
+
+    def __init__(self) -> None:
+        self.training = True
+
+    # -------------------------------------------------------------- params
+    def parameters(self) -> List[Parameter]:
+        """All parameters of this module and its children, depth-first."""
+        found: List[Parameter] = []
+        for attribute in vars(self).values():
+            if isinstance(attribute, Parameter):
+                found.append(attribute)
+            elif isinstance(attribute, Module):
+                found.extend(attribute.parameters())
+            elif isinstance(attribute, (list, tuple)):
+                for item in attribute:
+                    if isinstance(item, Module):
+                        found.extend(item.parameters())
+                    elif isinstance(item, Parameter):
+                        found.append(item)
+        return found
+
+    def named_parameters(self) -> Dict[str, Parameter]:
+        """Parameters keyed by their ``name`` attribute (for checkpoints/tests)."""
+        return {parameter.name: parameter for parameter in self.parameters()}
+
+    def zero_grad(self) -> None:
+        """Clear gradients on every parameter."""
+        for parameter in self.parameters():
+            parameter.zero_grad()
+
+    # ---------------------------------------------------------------- mode
+    def train(self) -> "Module":
+        """Switch this module and its children to training mode."""
+        self._set_mode(True)
+        return self
+
+    def eval(self) -> "Module":
+        """Switch this module and its children to evaluation mode."""
+        self._set_mode(False)
+        return self
+
+    def _set_mode(self, training: bool) -> None:
+        self.training = training
+        for attribute in vars(self).values():
+            if isinstance(attribute, Module):
+                attribute._set_mode(training)
+            elif isinstance(attribute, (list, tuple)):
+                for item in attribute:
+                    if isinstance(item, Module):
+                        item._set_mode(training)
+
+    # ------------------------------------------------------------- compute
+    def forward(self, inputs: np.ndarray) -> np.ndarray:
+        """Compute the module output for *inputs*."""
+        raise NotImplementedError
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        """Propagate *grad_output* back, accumulating parameter gradients.
+
+        Returns the gradient with respect to the module input.
+        """
+        raise NotImplementedError
+
+    def __call__(self, inputs: np.ndarray) -> np.ndarray:
+        return self.forward(inputs)
+
+
+__all__ = ["Parameter", "Module"]

@@ -1,0 +1,23 @@
+"""Shared utilities: seeded RNG management, argument validation, run logging."""
+
+from repro.utils.rng import RngMixin, ensure_rng, spawn_rngs
+from repro.utils.validation import (
+    check_fitted,
+    check_labels,
+    check_matrix,
+    check_positive_int,
+    check_probability,
+)
+from repro.utils.logging import RunLogger
+
+__all__ = [
+    "RngMixin",
+    "ensure_rng",
+    "spawn_rngs",
+    "check_fitted",
+    "check_labels",
+    "check_matrix",
+    "check_positive_int",
+    "check_probability",
+    "RunLogger",
+]

@@ -1,0 +1,69 @@
+"""Minimal run logger used by the benchmark harness and examples.
+
+Keeps a structured, in-memory record of key/value events and can render them
+as a plain-text report.  The benchmarks use it to emit the same rows the paper
+reports (Table 1 rows, Figure series) without pulling in a plotting stack.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, TextIO
+
+
+@dataclass
+class LogEvent:
+    """A single logged event: a message plus optional structured values."""
+
+    message: str
+    values: Dict[str, Any] = field(default_factory=dict)
+    timestamp: float = field(default_factory=time.time)
+
+
+class RunLogger:
+    """Collects events and optionally echoes them to a stream.
+
+    Parameters
+    ----------
+    name:
+        Label included in every echoed line.
+    stream:
+        Where echoed lines go; ``None`` silences echoing (events are still
+        recorded and available through :attr:`events`).
+    """
+
+    def __init__(self, name: str = "run", stream: Optional[TextIO] = sys.stdout):
+        self.name = name
+        self.stream = stream
+        self.events: List[LogEvent] = []
+
+    def log(self, message: str, **values: Any) -> LogEvent:
+        """Record *message* with structured *values* and echo it."""
+        event = LogEvent(message=message, values=dict(values))
+        self.events.append(event)
+        if self.stream is not None:
+            rendered = ", ".join(f"{k}={_fmt(v)}" for k, v in values.items())
+            suffix = f" [{rendered}]" if rendered else ""
+            print(f"[{self.name}] {message}{suffix}", file=self.stream)
+        return event
+
+    def section(self, title: str) -> None:
+        """Emit a visual section separator."""
+        self.log("=" * 8 + f" {title} " + "=" * 8)
+
+    def to_text(self) -> str:
+        """Render all recorded events as a plain-text report."""
+        lines = []
+        for event in self.events:
+            rendered = ", ".join(f"{k}={_fmt(v)}" for k, v in event.values.items())
+            suffix = f" [{rendered}]" if rendered else ""
+            lines.append(f"{event.message}{suffix}")
+        return "\n".join(lines)
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.4f}"
+    return str(value)

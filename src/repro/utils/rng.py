@@ -1,0 +1,73 @@
+"""Random-number-generator helpers.
+
+Everything in this library that involves randomness (random item memories,
+sign tie-breaking, dropout masks, weight initialisation, synthetic datasets)
+accepts either an integer seed, an existing :class:`numpy.random.Generator`,
+or ``None``.  :func:`ensure_rng` normalises those three cases so that results
+are reproducible whenever a seed is given and experiments can share a single
+generator when desired.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Union
+
+import numpy as np
+
+SeedLike = Union[None, int, np.random.Generator]
+
+
+def ensure_rng(seed: SeedLike = None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for *seed*.
+
+    Parameters
+    ----------
+    seed:
+        ``None`` for OS entropy, an ``int`` for a reproducible generator, or
+        an existing generator which is returned unchanged.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    if seed is None:
+        return np.random.default_rng()
+    if isinstance(seed, (int, np.integer)):
+        if seed < 0:
+            raise ValueError(f"seed must be non-negative, got {seed}")
+        return np.random.default_rng(int(seed))
+    raise TypeError(
+        f"seed must be None, an int, or a numpy Generator, got {type(seed).__name__}"
+    )
+
+
+def spawn_rngs(seed: SeedLike, count: int) -> Sequence[np.random.Generator]:
+    """Create *count* statistically independent generators derived from *seed*.
+
+    Used by the multi-seed experiment runner and the multi-model ensemble so
+    that each repetition/model gets its own stream while the whole experiment
+    remains reproducible from a single seed.
+    """
+    if count < 1:
+        raise ValueError(f"count must be >= 1, got {count}")
+    root = ensure_rng(seed)
+    seeds = root.integers(0, 2**63 - 1, size=count, dtype=np.int64)
+    return [np.random.default_rng(int(s)) for s in seeds]
+
+
+class RngMixin:
+    """Mixin giving a class a lazily constructed ``self.rng`` generator."""
+
+    def __init__(self, seed: SeedLike = None) -> None:
+        self._seed = seed
+        self._rng: Optional[np.random.Generator] = None
+
+    @property
+    def rng(self) -> np.random.Generator:
+        """The generator backing this object (created on first access)."""
+        if self._rng is None:
+            self._rng = ensure_rng(self._seed)
+        return self._rng
+
+    def reseed(self, seed: SeedLike) -> None:
+        """Replace the generator, e.g. between experiment repetitions."""
+        self._seed = seed
+        self._rng = ensure_rng(seed)

@@ -1,0 +1,92 @@
+"""Argument-validation helpers shared across the library.
+
+These raise early, descriptive errors instead of letting malformed arrays
+propagate into opaque NumPy broadcasting failures deep inside training loops.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Tuple
+
+import numpy as np
+
+
+def check_positive_int(value: Any, name: str, minimum: int = 1) -> int:
+    """Validate that *value* is an integer >= *minimum* and return it as int."""
+    if isinstance(value, bool) or not isinstance(value, (int, np.integer)):
+        raise TypeError(f"{name} must be an integer, got {type(value).__name__}")
+    value = int(value)
+    if value < minimum:
+        raise ValueError(f"{name} must be >= {minimum}, got {value}")
+    return value
+
+
+def check_probability(value: Any, name: str, inclusive_one: bool = True) -> float:
+    """Validate that *value* lies in [0, 1] (or [0, 1) when not inclusive)."""
+    if not isinstance(value, (int, float, np.integer, np.floating)):
+        raise TypeError(f"{name} must be a number, got {type(value).__name__}")
+    value = float(value)
+    upper_ok = value <= 1.0 if inclusive_one else value < 1.0
+    if not (0.0 <= value and upper_ok):
+        bound = "[0, 1]" if inclusive_one else "[0, 1)"
+        raise ValueError(f"{name} must be in {bound}, got {value}")
+    return value
+
+
+def check_matrix(
+    array: Any,
+    name: str,
+    dtype: Optional[np.dtype] = None,
+    n_columns: Optional[int] = None,
+) -> np.ndarray:
+    """Coerce *array* to a 2-D ndarray (a single row is promoted)."""
+    matrix = np.asarray(array, dtype=dtype)
+    if matrix.ndim == 1:
+        matrix = matrix.reshape(1, -1)
+    if matrix.ndim != 2:
+        raise ValueError(f"{name} must be 1-D or 2-D, got shape {matrix.shape}")
+    if matrix.shape[0] == 0 or matrix.shape[1] == 0:
+        raise ValueError(f"{name} must be non-empty, got shape {matrix.shape}")
+    if n_columns is not None and matrix.shape[1] != n_columns:
+        raise ValueError(
+            f"{name} must have {n_columns} columns, got {matrix.shape[1]}"
+        )
+    return matrix
+
+
+def check_labels(
+    labels: Any, n_samples: int, n_classes: Optional[int] = None
+) -> np.ndarray:
+    """Validate an integer label vector aligned with *n_samples* rows."""
+    labels = np.asarray(labels)
+    if labels.ndim != 1:
+        raise ValueError(f"labels must be 1-D, got shape {labels.shape}")
+    if labels.shape[0] != n_samples:
+        raise ValueError(
+            f"labels length {labels.shape[0]} does not match {n_samples} samples"
+        )
+    if not np.issubdtype(labels.dtype, np.integer):
+        if not np.all(labels == labels.astype(np.int64)):
+            raise ValueError("labels must be integers")
+    labels = labels.astype(np.int64)
+    if np.any(labels < 0):
+        raise ValueError("labels must be non-negative")
+    if n_classes is not None and np.any(labels >= n_classes):
+        raise ValueError(f"labels must be < n_classes={n_classes}")
+    return labels
+
+
+def check_fitted(obj: Any, attribute: str) -> None:
+    """Raise if *obj* has not been fitted (its *attribute* is still ``None``)."""
+    if getattr(obj, attribute, None) is None:
+        raise RuntimeError(
+            f"{type(obj).__name__} is not fitted yet; call fit() before predict()"
+        )
+
+
+def check_same_shape(a: np.ndarray, b: np.ndarray, names: Tuple[str, str]) -> None:
+    """Raise if two arrays differ in shape."""
+    if a.shape != b.shape:
+        raise ValueError(
+            f"{names[0]} shape {a.shape} does not match {names[1]} shape {b.shape}"
+        )

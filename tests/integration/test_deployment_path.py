@@ -1,0 +1,68 @@
+"""Integration test of the full deployment path: train -> save -> load -> packed inference.
+
+This mirrors the edge-deployment example: a LeHDC-trained pipeline is
+serialised, reloaded, and its class hypervectors are run through the
+bit-packed XOR+popcount backend.  Every stage must agree with the dense
+reference implementation, because the paper's zero-overhead claim rests on the
+trained model being a drop-in replacement for the baseline's inference state.
+"""
+
+import numpy as np
+import pytest
+
+from repro.classifiers.pipeline import HDCPipeline
+from repro.core.configs import LeHDCConfig
+from repro.core.lehdc import LeHDCClassifier
+from repro.hdc.encoders import RecordEncoder
+from repro.hdc.packing import pack_bipolar
+from repro.io import load_model, save_model
+
+
+@pytest.fixture(scope="module")
+def deployed_model(small_problem, tmp_path_factory):
+    encoder = RecordEncoder(dimension=1024, num_levels=16, tie_break="positive", seed=13)
+    classifier = LeHDCClassifier(
+        config=LeHDCConfig(epochs=10, batch_size=32, dropout_rate=0.2, weight_decay=0.02),
+        seed=13,
+    )
+    pipeline = HDCPipeline(encoder, classifier)
+    pipeline.fit(small_problem["train_features"], small_problem["train_labels"])
+    path = save_model(
+        tmp_path_factory.mktemp("models") / "deployed.npz", pipeline, strategy_name="lehdc"
+    )
+    return {"pipeline": pipeline, "path": path}
+
+
+class TestDeploymentPath:
+    def test_reloaded_model_matches_original(self, deployed_model, small_problem):
+        reloaded = load_model(deployed_model["path"])
+        original = deployed_model["pipeline"].predict(small_problem["test_features"])
+        restored = reloaded.predict(small_problem["test_features"])
+        np.testing.assert_array_equal(original, restored)
+
+    def test_packed_inference_matches_dense(self, deployed_model, small_problem):
+        pipeline = deployed_model["pipeline"]
+        queries = pipeline.encoder.encode(small_problem["test_features"])
+        packed_classes = pack_bipolar(pipeline.class_hypervectors_)
+        packed_queries = pack_bipolar(queries)
+        packed_predictions = np.argmin(
+            packed_queries.hamming_distance(packed_classes), axis=1
+        )
+        np.testing.assert_array_equal(
+            packed_predictions, pipeline.classifier.predict(queries)
+        )
+
+    def test_reloaded_accuracy_preserved(self, deployed_model, small_problem):
+        reloaded = load_model(deployed_model["path"])
+        original_accuracy = deployed_model["pipeline"].score(
+            small_problem["test_features"], small_problem["test_labels"]
+        )
+        reloaded_accuracy = reloaded.score(
+            small_problem["test_features"], small_problem["test_labels"]
+        )
+        assert reloaded_accuracy == pytest.approx(original_accuracy)
+
+    def test_saved_file_is_compact(self, deployed_model):
+        # 4 classes x 1024 bits plus item memories; the compressed archive
+        # should stay well under a megabyte — sanity check on the format.
+        assert deployed_model["path"].stat().st_size < 1_000_000

@@ -1,0 +1,72 @@
+"""Integration tests of the paper's central equivalence (Sec. 3.1).
+
+A binary HDC classifier and a single-layer BNN with the class hypervectors as
+weights make *identical* predictions: argmin Hamming == argmax dot product ==
+argmax of the BNN forward pass.  These tests exercise that equivalence on real
+encoded data and for every training strategy.
+"""
+
+import numpy as np
+import pytest
+
+from repro.classifiers.baseline import BaselineHDC
+from repro.classifiers.retraining import RetrainingHDC
+from repro.core.bnn_model import SingleLayerBNN
+from repro.core.configs import LeHDCConfig
+from repro.core.lehdc import LeHDCClassifier
+from repro.hdc.hypervector import hamming_distance
+
+
+def bnn_predictions_from_class_hypervectors(class_hypervectors, queries):
+    """Build a BNN whose weights are the given class hypervectors and run it."""
+    num_classes, dimension = class_hypervectors.shape
+    model = SingleLayerBNN(dimension, num_classes, dropout_rate=0.0, seed=0)
+    model.linear.set_latent_from_bipolar(
+        class_hypervectors.T.astype(np.float64), magnitude=1.0
+    )
+    model.eval()
+    logits = model.forward(queries.astype(np.float64))
+    return np.argmax(logits, axis=1)
+
+
+@pytest.mark.parametrize(
+    "strategy_factory",
+    [
+        lambda: BaselineHDC(seed=0),
+        lambda: RetrainingHDC(iterations=5, seed=0),
+        lambda: LeHDCClassifier(
+            config=LeHDCConfig(epochs=8, batch_size=32, dropout_rate=0.1, weight_decay=0.01),
+            seed=0,
+        ),
+    ],
+    ids=["baseline", "retraining", "lehdc"],
+)
+def test_hdc_inference_equals_bnn_forward(encoded_problem, strategy_factory):
+    model = strategy_factory()
+    model.fit(encoded_problem["train_hypervectors"], encoded_problem["train_labels"])
+    queries = encoded_problem["test_hypervectors"]
+
+    hdc_predictions = model.predict(queries)
+    bnn_predictions = bnn_predictions_from_class_hypervectors(
+        model.class_hypervectors_, queries
+    )
+    np.testing.assert_array_equal(hdc_predictions, bnn_predictions)
+
+
+def test_hamming_argmin_equals_dot_argmax_on_trained_model(encoded_problem):
+    model = BaselineHDC(seed=1)
+    model.fit(encoded_problem["train_hypervectors"], encoded_problem["train_labels"])
+    queries = encoded_problem["test_hypervectors"]
+    distances = hamming_distance(queries, model.class_hypervectors_)
+    scores = model.decision_scores(queries)
+    np.testing.assert_array_equal(np.argmin(distances, axis=1), np.argmax(scores, axis=1))
+
+
+def test_cosine_relation_holds_on_trained_class_hypervectors(encoded_problem):
+    model = BaselineHDC(seed=2)
+    model.fit(encoded_problem["train_hypervectors"], encoded_problem["train_labels"])
+    queries = encoded_problem["test_hypervectors"][:20]
+    distances = hamming_distance(queries, model.class_hypervectors_)
+    dots = model.decision_scores(queries)
+    dimension = encoded_problem["dimension"]
+    np.testing.assert_allclose(dots / dimension, 1.0 - 2.0 * distances, atol=1e-9)

@@ -1,0 +1,69 @@
+"""Integration test of the paper's headline claim at test scale.
+
+The abstract claims LeHDC improves inference accuracy by over 15% on average
+against the baseline binary HDC.  At test scale (tiny datasets, small D, few
+epochs) we do not require the full 15-point margin, but LeHDC must show a
+clear positive average increment over the baseline across several registry
+datasets, and the experiment harness must report it the way Table 1 does.
+"""
+
+import pytest
+
+from repro.classifiers.baseline import BaselineHDC
+from repro.core.configs import LeHDCConfig
+from repro.core.lehdc import LeHDCClassifier
+from repro.eval.experiment import run_strategy_comparison
+from repro.eval.metrics import average_increment
+
+FAST_LEHDC = LeHDCConfig(
+    epochs=20, batch_size=32, dropout_rate=0.3, weight_decay=0.03, learning_rate=0.01
+)
+
+STRATEGIES = {
+    "baseline": lambda rng: BaselineHDC(seed=rng),
+    "lehdc": lambda rng: LeHDCClassifier(config=FAST_LEHDC, seed=rng),
+}
+
+
+@pytest.mark.slow
+def test_average_increment_is_positive_across_datasets():
+    datasets = ["pamap", "ucihar", "isolet"]
+    baseline_means = []
+    lehdc_means = []
+    for name in datasets:
+        result = run_strategy_comparison(
+            dataset_name=name,
+            strategies=STRATEGIES,
+            dimension=2000,
+            num_levels=16,
+            repetitions=1,
+            profile="tiny",
+            seed=0,
+        )
+        summary = result.summary_percent()
+        baseline_means.append(summary["baseline"].mean)
+        lehdc_means.append(summary["lehdc"].mean)
+
+    increment = average_increment(lehdc_means, baseline_means)
+    assert increment > 2.0  # clear positive margin even at tiny scale
+
+
+@pytest.mark.slow
+def test_experiment_result_reports_table1_style_rows():
+    result = run_strategy_comparison(
+        dataset_name="pamap",
+        strategies=STRATEGIES,
+        dimension=2000,
+        num_levels=16,
+        repetitions=2,
+        profile="tiny",
+        seed=1,
+    )
+    summary = result.summary_percent()
+    for name in ("baseline", "lehdc"):
+        assert summary[name].count == 2
+        assert 0.0 <= summary[name].mean <= 100.0
+        assert "±" in str(summary[name])
+    assert result.increment_over("baseline", "lehdc") == pytest.approx(
+        summary["lehdc"].mean - summary["baseline"].mean
+    )

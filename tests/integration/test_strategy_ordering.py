@@ -1,0 +1,126 @@
+"""Integration tests asserting the paper's qualitative claims about strategy ordering.
+
+These are the repository's "shape of Table 1 / Fig. 3 / Fig. 6" checks at
+test scale (small D, few epochs): LeHDC >= retraining >= roughly baseline,
+enhanced retraining more stable than basic retraining, and LeHDC degrading
+gracefully as the dimension shrinks.
+"""
+
+import numpy as np
+import pytest
+
+from repro.classifiers.baseline import BaselineHDC
+from repro.classifiers.enhanced import EnhancedRetrainingHDC
+from repro.classifiers.retraining import RetrainingHDC
+from repro.core.configs import LeHDCConfig
+from repro.core.lehdc import LeHDCClassifier
+from repro.hdc.encoders import RecordEncoder
+
+
+@pytest.fixture(scope="module")
+def encoded_multimodal(multimodal_problem):
+    encoder = RecordEncoder(dimension=2048, num_levels=16, seed=31)
+    encoder.fit(multimodal_problem["train_features"])
+    return {
+        "train": encoder.encode(multimodal_problem["train_features"]),
+        "train_labels": multimodal_problem["train_labels"],
+        "test": encoder.encode(multimodal_problem["test_features"]),
+        "test_labels": multimodal_problem["test_labels"],
+    }
+
+
+LEHDC_CONFIG = LeHDCConfig(
+    epochs=30, batch_size=32, dropout_rate=0.2, weight_decay=0.02, learning_rate=0.01
+)
+
+
+class TestTable1Shape:
+    def test_lehdc_beats_baseline(self, encoded_multimodal):
+        baseline = BaselineHDC(seed=0).fit(
+            encoded_multimodal["train"], encoded_multimodal["train_labels"]
+        )
+        lehdc = LeHDCClassifier(config=LEHDC_CONFIG, seed=0).fit(
+            encoded_multimodal["train"], encoded_multimodal["train_labels"]
+        )
+        baseline_accuracy = baseline.score(
+            encoded_multimodal["test"], encoded_multimodal["test_labels"]
+        )
+        lehdc_accuracy = lehdc.score(
+            encoded_multimodal["test"], encoded_multimodal["test_labels"]
+        )
+        assert lehdc_accuracy > baseline_accuracy
+
+    def test_lehdc_at_least_matches_retraining(self, encoded_multimodal):
+        retraining = RetrainingHDC(iterations=20, seed=1).fit(
+            encoded_multimodal["train"], encoded_multimodal["train_labels"]
+        )
+        lehdc = LeHDCClassifier(config=LEHDC_CONFIG, seed=1).fit(
+            encoded_multimodal["train"], encoded_multimodal["train_labels"]
+        )
+        retraining_accuracy = retraining.score(
+            encoded_multimodal["test"], encoded_multimodal["test_labels"]
+        )
+        lehdc_accuracy = lehdc.score(
+            encoded_multimodal["test"], encoded_multimodal["test_labels"]
+        )
+        assert lehdc_accuracy >= retraining_accuracy - 0.03
+
+    def test_retraining_improves_training_fit_over_baseline(self, encoded_multimodal):
+        baseline = BaselineHDC(seed=2).fit(
+            encoded_multimodal["train"], encoded_multimodal["train_labels"]
+        )
+        retraining = RetrainingHDC(iterations=20, seed=2).fit(
+            encoded_multimodal["train"], encoded_multimodal["train_labels"]
+        )
+        assert retraining.score(
+            encoded_multimodal["train"], encoded_multimodal["train_labels"]
+        ) >= baseline.score(
+            encoded_multimodal["train"], encoded_multimodal["train_labels"]
+        )
+
+
+class TestFig3Shape:
+    def test_enhanced_retraining_is_no_less_stable(self, encoded_multimodal):
+        basic = RetrainingHDC(iterations=15, epsilon=0.0, seed=3)
+        basic.fit(
+            encoded_multimodal["train"],
+            encoded_multimodal["train_labels"],
+            validation_hypervectors=encoded_multimodal["test"],
+            validation_labels=encoded_multimodal["test_labels"],
+        )
+        enhanced = EnhancedRetrainingHDC(iterations=15, epsilon=0.0, seed=3)
+        enhanced.fit(
+            encoded_multimodal["train"],
+            encoded_multimodal["train_labels"],
+            validation_hypervectors=encoded_multimodal["test"],
+            validation_labels=encoded_multimodal["test_labels"],
+        )
+
+        def oscillation(history):
+            tail = np.asarray(history.train_accuracy[len(history.train_accuracy) // 2 :])
+            return float(np.mean(np.abs(np.diff(tail)))) if tail.size > 1 else 0.0
+
+        # The enhanced strategy's final accuracy should not be worse, and its
+        # oscillation should not be dramatically larger.
+        assert enhanced.history_.train_accuracy[-1] >= basic.history_.train_accuracy[-1] - 0.05
+        assert oscillation(enhanced.history_) <= oscillation(basic.history_) + 0.05
+
+
+class TestFig6Shape:
+    def test_lehdc_degrades_gracefully_with_dimension(self, multimodal_problem):
+        accuracies = {}
+        for dimension in (256, 2048):
+            encoder = RecordEncoder(dimension=dimension, num_levels=16, seed=41)
+            encoder.fit(multimodal_problem["train_features"])
+            train_encoded = encoder.encode(multimodal_problem["train_features"])
+            test_encoded = encoder.encode(multimodal_problem["test_features"])
+            model = LeHDCClassifier(config=LEHDC_CONFIG, seed=41).fit(
+                train_encoded, multimodal_problem["train_labels"]
+            )
+            accuracies[dimension] = model.score(
+                test_encoded, multimodal_problem["test_labels"]
+            )
+        # Larger dimension should not be (much) worse, and even the small
+        # dimension should stay well above chance — the Fig. 6 scalability story.
+        assert accuracies[2048] >= accuracies[256] - 0.05
+        assert accuracies[256] > 0.5

@@ -1,0 +1,101 @@
+"""Property-based tests for classifier invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.classifiers.baseline import BaselineHDC
+from repro.classifiers.multimodel import MultiModelHDC
+from repro.classifiers.retraining import RetrainingHDC
+from repro.eval.metrics import aggregate_mean_std, confusion_matrix
+from repro.hdc.hypervector import random_hypervectors
+
+
+def make_random_task(num_samples, dimension, num_classes, seed, flip_probability=0.2):
+    """Prototype-plus-noise bipolar classification task."""
+    rng = np.random.default_rng(seed)
+    prototypes = random_hypervectors(num_classes, dimension, seed=rng)
+    labels = np.arange(num_samples) % num_classes
+    rng.shuffle(labels)
+    samples = prototypes[labels].copy()
+    flips = rng.random(samples.shape) < flip_probability
+    samples[flips] *= -1
+    return samples.astype(np.int8), labels.astype(np.int64)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    st.integers(min_value=2, max_value=5),
+    st.integers(min_value=64, max_value=512),
+    st.integers(min_value=0, max_value=2**31 - 1),
+)
+def test_baseline_predictions_are_valid_labels(num_classes, dimension, seed):
+    samples, labels = make_random_task(10 * num_classes, dimension, num_classes, seed)
+    model = BaselineHDC(seed=seed).fit(samples, labels)
+    predictions = model.predict(samples)
+    assert predictions.shape == labels.shape
+    assert predictions.min() >= 0
+    assert predictions.max() < num_classes
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    st.integers(min_value=2, max_value=4),
+    st.integers(min_value=0, max_value=2**31 - 1),
+)
+def test_baseline_learns_prototype_task_well(num_classes, seed):
+    # With low noise and enough dimensions the centroid classifier must
+    # recover the prototypes and classify the training set almost perfectly.
+    samples, labels = make_random_task(
+        20 * num_classes, 1024, num_classes, seed, flip_probability=0.05
+    )
+    model = BaselineHDC(seed=seed).fit(samples, labels)
+    assert model.score(samples, labels) > 0.95
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(min_value=0, max_value=2**31 - 1))
+def test_retraining_never_below_chance_on_training_data(seed):
+    samples, labels = make_random_task(60, 256, 3, seed, flip_probability=0.3)
+    model = RetrainingHDC(iterations=3, seed=seed).fit(samples, labels)
+    assert model.score(samples, labels) > 1.0 / 3.0
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    st.integers(min_value=1, max_value=5),
+    st.integers(min_value=0, max_value=2**31 - 1),
+)
+def test_multimodel_storage_accounting(models_per_class, seed):
+    samples, labels = make_random_task(40, 128, 2, seed)
+    model = MultiModelHDC(models_per_class=models_per_class, iterations=1, seed=seed)
+    model.fit(samples, labels)
+    assert model.storage_hypervectors == 2 * models_per_class
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.lists(st.floats(0.0, 1.0, allow_nan=False), min_size=1, max_size=20),
+)
+def test_mean_std_aggregation_bounds(values):
+    summary = aggregate_mean_std(values)
+    assert min(values) - 1e-12 <= summary.mean <= max(values) + 1e-12
+    assert summary.std >= 0.0
+    assert summary.count == len(values)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.integers(min_value=2, max_value=6),
+    st.integers(min_value=1, max_value=50),
+    st.integers(min_value=0, max_value=2**31 - 1),
+)
+def test_confusion_matrix_row_sums_equal_class_counts(num_classes, num_samples, seed):
+    rng = np.random.default_rng(seed)
+    labels = rng.integers(0, num_classes, size=num_samples)
+    predictions = rng.integers(0, num_classes, size=num_samples)
+    matrix = confusion_matrix(predictions, labels, num_classes=num_classes)
+    np.testing.assert_array_equal(
+        matrix.sum(axis=1), np.bincount(labels, minlength=num_classes)
+    )
+    assert matrix.sum() == num_samples

@@ -1,0 +1,42 @@
+"""Property-based tests for the bit-packed hypervector backend."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hdc.hypervector import hamming_distance, random_hypervectors
+from repro.hdc.packing import pack_bipolar, unpack_bipolar
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.integers(min_value=1, max_value=8),
+    st.integers(min_value=1, max_value=300),
+    st.integers(min_value=0, max_value=2**31 - 1),
+)
+def test_pack_unpack_roundtrip(rows, dimension, seed):
+    vectors = random_hypervectors(rows, dimension, seed=seed)
+    np.testing.assert_array_equal(unpack_bipolar(pack_bipolar(vectors)), vectors)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.integers(min_value=1, max_value=5),
+    st.integers(min_value=1, max_value=5),
+    st.integers(min_value=1, max_value=200),
+    st.integers(min_value=0, max_value=2**31 - 1),
+)
+def test_packed_hamming_matches_dense(rows_a, rows_b, dimension, seed):
+    a = random_hypervectors(rows_a, dimension, seed=seed)
+    b = random_hypervectors(rows_b, dimension, seed=seed + 1)
+    dense = np.atleast_2d(hamming_distance(a, b))
+    packed = pack_bipolar(a).hamming_distance(pack_bipolar(b))
+    np.testing.assert_allclose(packed, dense, atol=1e-12)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(min_value=1, max_value=400), st.integers(min_value=0, max_value=2**31 - 1))
+def test_storage_is_ceil_d_over_64_words(dimension, seed):
+    packed = pack_bipolar(random_hypervectors(1, dimension, seed=seed))
+    assert packed.words.shape[1] == -(-dimension // 64)
+    assert packed.storage_bytes == packed.words.shape[1] * 8

@@ -1,0 +1,121 @@
+"""Unit tests for the command-line interface (repro.cli)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_train_defaults(self):
+        args = build_parser().parse_args(["train"])
+        assert args.command == "train"
+        assert args.strategy == "lehdc"
+        assert args.profile == "tiny"
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["train", "--strategy", "svm"])
+
+
+class TestCommands:
+    def test_list_datasets(self, capsys):
+        assert main(["list-datasets"]) == 0
+        output = capsys.readouterr().out
+        assert "mnist" in output
+        assert "pamap" in output
+
+    def test_train_baseline_quick(self, capsys):
+        code = main(
+            [
+                "train",
+                "--dataset",
+                "pamap",
+                "--strategy",
+                "baseline",
+                "--dimension",
+                "512",
+                "--profile",
+                "tiny",
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "test accuracy" in output
+
+    def test_train_save_and_predict(self, tmp_path, capsys):
+        model_path = tmp_path / "cli_model.npz"
+        assert (
+            main(
+                [
+                    "train",
+                    "--dataset",
+                    "pamap",
+                    "--strategy",
+                    "baseline",
+                    "--dimension",
+                    "512",
+                    "--save",
+                    str(model_path),
+                ]
+            )
+            == 0
+        )
+        assert model_path.exists()
+        assert (
+            main(
+                [
+                    "predict",
+                    "--model",
+                    str(model_path),
+                    "--dataset",
+                    "pamap",
+                    "--profile",
+                    "tiny",
+                ]
+            )
+            == 0
+        )
+        output = capsys.readouterr().out
+        assert "Test accuracy" in output
+
+    def test_compare_quick(self, capsys):
+        code = main(
+            [
+                "compare",
+                "--dataset",
+                "pamap",
+                "--dimension",
+                "512",
+                "--epochs",
+                "5",
+                "--iterations",
+                "3",
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "lehdc" in output
+        assert "baseline" in output
+
+    def test_sweep_quick(self, capsys):
+        code = main(
+            [
+                "sweep",
+                "--dataset",
+                "pamap",
+                "--dimensions",
+                "256",
+                "512",
+                "--epochs",
+                "5",
+                "--iterations",
+                "3",
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "256" in output and "512" in output

@@ -1,0 +1,58 @@
+"""Unit tests for repro.hardware.cost_model."""
+
+import pytest
+
+from repro.hardware.cost_model import InferenceCostModel, compare_strategies
+
+
+class TestInferenceCostModel:
+    def test_words_per_hypervector(self):
+        model = InferenceCostModel(dimension=10_000, num_classes=10)
+        assert model.words_per_hypervector == 157  # ceil(10000 / 64)
+
+    def test_single_model_cost(self):
+        model = InferenceCostModel(dimension=1024, num_classes=4)
+        cost = model.cost("baseline")
+        assert cost.storage_bits == 4 * 1024
+        assert cost.xor_popcount_ops == 4 * 16
+        assert cost.comparison_ops == 3
+
+    def test_storage_kib(self):
+        model = InferenceCostModel(dimension=8192, num_classes=1)
+        assert model.cost("x").storage_kib == pytest.approx(1.0)
+
+    def test_multimodel_scales_linearly(self):
+        model = InferenceCostModel(dimension=2048, num_classes=5)
+        single = model.cost("single")
+        ensemble = model.cost("ensemble", models_per_class=8)
+        assert ensemble.storage_bits == 8 * single.storage_bits
+        assert ensemble.xor_popcount_ops == 8 * single.xor_popcount_ops
+
+    def test_encoding_cost_identical_concept(self):
+        model = InferenceCostModel(dimension=1000, num_classes=3)
+        assert model.encoding_cost_ops(50) == 50 * 1000
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            InferenceCostModel(dimension=0, num_classes=2)
+        model = InferenceCostModel(dimension=10, num_classes=2)
+        with pytest.raises(ValueError):
+            model.cost("x", models_per_class=0)
+
+
+class TestCompareStrategies:
+    def test_lehdc_matches_baseline_and_retraining(self):
+        costs = compare_strategies(dimension=10_000, num_classes=10)
+        assert costs["lehdc"].storage_bits == costs["baseline"].storage_bits
+        assert costs["lehdc"].latency_cycles == costs["retraining"].latency_cycles
+        assert costs["lehdc"].xor_popcount_ops == costs["baseline"].xor_popcount_ops
+
+    def test_multimodel_is_64x_storage_by_default(self):
+        costs = compare_strategies(dimension=10_000, num_classes=10)
+        assert costs["multimodel"].storage_bits == 64 * costs["baseline"].storage_bits
+
+    def test_custom_ensemble_size(self):
+        costs = compare_strategies(
+            dimension=4096, num_classes=6, multimodel_models_per_class=8
+        )
+        assert costs["multimodel"].storage_bits == 8 * costs["baseline"].storage_bits

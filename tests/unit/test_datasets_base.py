@@ -1,0 +1,103 @@
+"""Unit tests for repro.datasets.base."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.base import Dataset, train_test_split
+
+
+def make_dataset(num_train=40, num_test=20, num_features=6, num_classes=3):
+    rng = np.random.default_rng(0)
+    return Dataset(
+        name="toy",
+        train_features=rng.normal(size=(num_train, num_features)),
+        train_labels=rng.integers(0, num_classes, size=num_train),
+        test_features=rng.normal(size=(num_test, num_features)),
+        test_labels=rng.integers(0, num_classes, size=num_test),
+        metadata={"source": "test"},
+    )
+
+
+class TestDataset:
+    def test_properties(self):
+        data = make_dataset()
+        assert data.num_train == 40
+        assert data.num_test == 20
+        assert data.num_features == 6
+        assert data.num_classes >= 1
+        assert "toy" in data.describe()
+
+    def test_feature_column_mismatch_rejected(self):
+        rng = np.random.default_rng(1)
+        with pytest.raises(ValueError):
+            Dataset(
+                name="bad",
+                train_features=rng.normal(size=(5, 4)),
+                train_labels=np.zeros(5, dtype=int),
+                test_features=rng.normal(size=(3, 6)),
+                test_labels=np.zeros(3, dtype=int),
+            )
+
+    def test_label_length_mismatch_rejected(self):
+        rng = np.random.default_rng(2)
+        with pytest.raises(ValueError):
+            Dataset(
+                name="bad",
+                train_features=rng.normal(size=(5, 4)),
+                train_labels=np.zeros(4, dtype=int),
+                test_features=rng.normal(size=(3, 4)),
+                test_labels=np.zeros(3, dtype=int),
+            )
+
+    def test_subsample(self):
+        data = make_dataset()
+        small = data.subsample(max_train=10, max_test=5, seed=0)
+        assert small.num_train == 10
+        assert small.num_test == 5
+        assert small.metadata["subsampled"] is True
+
+    def test_subsample_noop_when_larger_than_data(self):
+        data = make_dataset()
+        same = data.subsample(max_train=1000, seed=0)
+        assert same.num_train == data.num_train
+
+    def test_subsample_invalid(self):
+        with pytest.raises(ValueError):
+            make_dataset().subsample(max_train=0, seed=0)
+
+
+class TestTrainTestSplit:
+    def test_sizes(self):
+        rng = np.random.default_rng(3)
+        features = rng.normal(size=(100, 5))
+        labels = rng.integers(0, 3, size=100)
+        train_x, train_y, test_x, test_y = train_test_split(
+            features, labels, test_fraction=0.25, seed=0
+        )
+        assert test_x.shape[0] == 25
+        assert train_x.shape[0] == 75
+        assert train_y.shape[0] == 75
+        assert test_y.shape[0] == 25
+
+    def test_no_overlap_and_full_coverage(self):
+        features = np.arange(20, dtype=np.float64).reshape(-1, 1)
+        labels = np.zeros(20, dtype=int)
+        train_x, _, test_x, _ = train_test_split(features, labels, 0.3, seed=1)
+        combined = np.sort(np.concatenate([train_x.ravel(), test_x.ravel()]))
+        np.testing.assert_array_equal(combined, np.arange(20))
+
+    def test_reproducible(self):
+        rng = np.random.default_rng(4)
+        features = rng.normal(size=(30, 2))
+        labels = rng.integers(0, 2, size=30)
+        a = train_test_split(features, labels, 0.2, seed=9)
+        b = train_test_split(features, labels, 0.2, seed=9)
+        np.testing.assert_array_equal(a[0], b[0])
+
+    def test_invalid_fraction(self):
+        features = np.zeros((10, 2))
+        labels = np.zeros(10, dtype=int)
+        with pytest.raises(ValueError):
+            train_test_split(features, labels, test_fraction=0.0)
+        with pytest.raises(ValueError):
+            train_test_split(features, labels, test_fraction=1.0)

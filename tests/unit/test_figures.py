@@ -1,0 +1,60 @@
+"""Unit tests for repro.eval.figures."""
+
+import pytest
+
+from repro.eval.figures import TrajectorySeries, render_trajectories, sparkline
+
+
+class TestSparkline:
+    def test_length_matches_input(self):
+        assert len(sparkline([1, 2, 3, 4])) == 4
+
+    def test_constant_series(self):
+        assert sparkline([2.0, 2.0, 2.0]) == "▁▁▁"
+
+    def test_monotone_series_uses_full_range(self):
+        line = sparkline([0, 1, 2, 3, 4, 5, 6, 7])
+        assert line[0] == "▁"
+        assert line[-1] == "█"
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            sparkline([])
+
+
+class TestTrajectorySeries:
+    def test_properties(self):
+        series = TrajectorySeries("acc", [1, 2, 3], [0.5, 0.8, 0.7])
+        assert series.final == 0.7
+        assert series.best == 0.8
+
+    def test_oscillation_detects_noise(self):
+        smooth = TrajectorySeries("smooth", list(range(10)), [0.1 * i for i in range(10)])
+        noisy = TrajectorySeries(
+            "noisy", list(range(10)), [0.5 + 0.3 * ((-1) ** i) for i in range(10)]
+        )
+        assert noisy.oscillation() > smooth.oscillation()
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            TrajectorySeries("bad", [1, 2], [0.1])
+
+    def test_empty(self):
+        with pytest.raises(ValueError):
+            TrajectorySeries("empty", [], [])
+
+
+class TestRenderTrajectories:
+    def test_contains_names_and_summaries(self):
+        series = [
+            TrajectorySeries("basic", [1, 2, 3], [0.5, 0.6, 0.55]),
+            TrajectorySeries("enhanced", [1, 2, 3], [0.6, 0.7, 0.72]),
+        ]
+        text = render_trajectories(series, title="Fig 3", x_label="iteration")
+        assert "Fig 3" in text
+        assert "basic" in text and "enhanced" in text
+        assert "final=" in text and "oscillation=" in text
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            render_trajectories([])

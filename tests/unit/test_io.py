@@ -1,0 +1,115 @@
+"""Unit tests for repro.io (model persistence)."""
+
+import numpy as np
+import pytest
+
+from repro.classifiers.baseline import BaselineHDC
+from repro.classifiers.pipeline import HDCPipeline
+from repro.core.configs import LeHDCConfig
+from repro.core.lehdc import LeHDCClassifier
+from repro.hdc.encoders import NGramEncoder, RecordEncoder
+from repro.io import load_model, save_model
+
+
+def make_fitted_pipeline(small_problem, classifier=None, encoder=None):
+    encoder = encoder or RecordEncoder(
+        dimension=512, num_levels=8, tie_break="positive", seed=0
+    )
+    classifier = classifier or BaselineHDC(seed=0)
+    pipeline = HDCPipeline(encoder, classifier)
+    pipeline.fit(small_problem["train_features"], small_problem["train_labels"])
+    return pipeline
+
+
+class TestSaveLoadRoundtrip:
+    def test_predictions_identical_after_reload(self, small_problem, tmp_path):
+        pipeline = make_fitted_pipeline(small_problem)
+        path = save_model(tmp_path / "model.npz", pipeline, strategy_name="baseline")
+        reloaded = load_model(path)
+        original = pipeline.predict(small_problem["test_features"])
+        restored = reloaded.predict(small_problem["test_features"])
+        np.testing.assert_array_equal(original, restored)
+
+    def test_lehdc_model_roundtrip(self, small_problem, tmp_path):
+        classifier = LeHDCClassifier(
+            config=LeHDCConfig(epochs=5, batch_size=32, dropout_rate=0.1, weight_decay=0.01),
+            seed=1,
+        )
+        encoder = RecordEncoder(dimension=256, num_levels=8, tie_break="positive", seed=1)
+        pipeline = make_fitted_pipeline(small_problem, classifier=classifier, encoder=encoder)
+        path = save_model(tmp_path / "lehdc", pipeline, strategy_name="lehdc")
+        assert str(path).endswith(".npz")
+        reloaded = load_model(path)
+        np.testing.assert_array_equal(
+            reloaded.class_hypervectors_, pipeline.class_hypervectors_
+        )
+
+    def test_ngram_encoder_roundtrip(self, small_problem, tmp_path):
+        encoder = NGramEncoder(
+            dimension=256, num_levels=8, ngram=3, tie_break="positive", seed=2
+        )
+        pipeline = make_fitted_pipeline(small_problem, encoder=encoder)
+        path = save_model(tmp_path / "ngram.npz", pipeline)
+        reloaded = load_model(path)
+        np.testing.assert_array_equal(
+            reloaded.predict(small_problem["test_features"]),
+            pipeline.predict(small_problem["test_features"]),
+        )
+
+    def test_quantile_quantizer_roundtrip(self, small_problem, tmp_path):
+        encoder = RecordEncoder(
+            dimension=256, num_levels=8, quantizer="quantile", tie_break="positive", seed=3
+        )
+        pipeline = make_fitted_pipeline(small_problem, encoder=encoder)
+        path = save_model(tmp_path / "quantile.npz", pipeline)
+        reloaded = load_model(path)
+        np.testing.assert_array_equal(
+            reloaded.predict(small_problem["test_features"]),
+            pipeline.predict(small_problem["test_features"]),
+        )
+
+    def test_metadata_recorded(self, small_problem, tmp_path):
+        pipeline = make_fitted_pipeline(small_problem)
+        path = save_model(
+            tmp_path / "meta.npz",
+            pipeline,
+            strategy_name="baseline",
+            extra_metadata={"note": "unit-test"},
+        )
+        # The loaded pipeline reuses the stored dimension / class count.
+        reloaded = load_model(path)
+        assert reloaded.encoder.dimension == 512
+        assert reloaded.classifier.num_classes_ == small_problem["num_classes"]
+
+
+class TestSaveLoadErrors:
+    def test_save_unfitted_rejected(self, tmp_path):
+        pipeline = HDCPipeline(RecordEncoder(dimension=128, seed=0), BaselineHDC(seed=0))
+        with pytest.raises(ValueError):
+            save_model(tmp_path / "x.npz", pipeline)
+
+    def test_loaded_model_is_inference_only(self, small_problem, tmp_path):
+        pipeline = make_fitted_pipeline(small_problem)
+        path = save_model(tmp_path / "frozen.npz", pipeline)
+        reloaded = load_model(path)
+        with pytest.raises(RuntimeError):
+            reloaded.classifier.fit(
+                np.ones((4, 512), dtype=np.int8), np.array([0, 1, 2, 3])
+            )
+
+    def test_bad_format_version(self, small_problem, tmp_path):
+        import json
+
+        pipeline = make_fitted_pipeline(small_problem)
+        path = save_model(tmp_path / "versioned.npz", pipeline)
+        with np.load(path) as archive:
+            arrays = {key: archive[key] for key in archive.files}
+        metadata = json.loads(bytes(arrays["metadata_json"].tobytes()).decode("utf-8"))
+        metadata["format_version"] = 999
+        arrays["metadata_json"] = np.frombuffer(
+            json.dumps(metadata).encode("utf-8"), dtype=np.uint8
+        )
+        bad_path = tmp_path / "bad.npz"
+        np.savez_compressed(bad_path, **arrays)
+        with pytest.raises(ValueError):
+            load_model(bad_path)

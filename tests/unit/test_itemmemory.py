@@ -1,0 +1,85 @@
+"""Unit tests for repro.hdc.itemmemory."""
+
+import numpy as np
+import pytest
+
+from repro.hdc.hypervector import hamming_distance
+from repro.hdc.itemmemory import LevelItemMemory, RandomItemMemory
+
+
+class TestRandomItemMemory:
+    def test_shape_and_len(self):
+        memory = RandomItemMemory(12, 256, seed=0)
+        assert len(memory) == 12
+        assert memory.vectors.shape == (12, 256)
+
+    def test_getitem_and_lookup(self):
+        memory = RandomItemMemory(5, 64, seed=1)
+        np.testing.assert_array_equal(memory[2], memory.vectors[2])
+        looked_up = memory.lookup(np.array([0, 2, 4]))
+        assert looked_up.shape == (3, 64)
+
+    def test_lookup_bounds(self):
+        memory = RandomItemMemory(5, 64, seed=2)
+        with pytest.raises(IndexError):
+            memory.lookup(np.array([5]))
+        with pytest.raises(IndexError):
+            memory.lookup(np.array([-1]))
+
+    def test_orthogonality_of_positions(self):
+        memory = RandomItemMemory(10, 10_000, seed=3)
+        for i in range(0, 10, 3):
+            for j in range(1, 10, 3):
+                if i != j:
+                    assert 0.45 < hamming_distance(memory[i], memory[j]) < 0.55
+
+    def test_reproducible(self):
+        np.testing.assert_array_equal(
+            RandomItemMemory(4, 128, seed=9).vectors,
+            RandomItemMemory(4, 128, seed=9).vectors,
+        )
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            RandomItemMemory(0, 10)
+
+
+class TestLevelItemMemory:
+    def test_shape(self):
+        memory = LevelItemMemory(8, 512, seed=0)
+        assert len(memory) == 8
+        assert memory.vectors.shape == (8, 512)
+
+    def test_adjacent_levels_are_similar(self):
+        memory = LevelItemMemory(16, 8192, seed=1)
+        adjacent = hamming_distance(memory[0], memory[1])
+        distant = hamming_distance(memory[0], memory[15])
+        assert adjacent < distant
+
+    def test_extreme_levels_half_distance(self):
+        memory = LevelItemMemory(16, 8192, seed=2)
+        distance = hamming_distance(memory[0], memory[15])
+        assert 0.45 < distance <= 0.5
+
+    def test_distance_proportional_to_level_gap(self):
+        memory = LevelItemMemory(11, 10_000, seed=3)
+        for level in range(1, 11):
+            expected = memory.expected_distance(0, level)
+            measured = hamming_distance(memory[0], memory[level])
+            assert measured == pytest.approx(expected, abs=0.02)
+
+    def test_single_level_degenerate(self):
+        memory = LevelItemMemory(1, 128, seed=4)
+        assert memory.expected_distance(0, 0) == 0.0
+        assert memory.vectors.shape == (1, 128)
+
+    def test_lookup_bounds(self):
+        memory = LevelItemMemory(4, 64, seed=5)
+        with pytest.raises(IndexError):
+            memory.lookup(np.array([4]))
+
+    def test_reproducible(self):
+        np.testing.assert_array_equal(
+            LevelItemMemory(6, 256, seed=7).vectors,
+            LevelItemMemory(6, 256, seed=7).vectors,
+        )

@@ -1,0 +1,118 @@
+"""Unit tests for repro.datasets.loaders (IDX/CSV parsing, real-data fallback)."""
+
+import gzip
+import struct
+
+import numpy as np
+import pytest
+
+from repro.datasets.loaders import (
+    DATA_DIR_ENV,
+    data_directory,
+    load_csv_dataset,
+    load_idx_dataset,
+    load_idx_file,
+    try_load_real_dataset,
+)
+
+
+def write_idx(path, array):
+    """Write *array* (uint8) in IDX format to *path*."""
+    array = np.asarray(array, dtype=np.uint8)
+    with open(path, "wb") as handle:
+        handle.write(bytes([0, 0, 0x08, array.ndim]))
+        handle.write(struct.pack(f">{array.ndim}I", *array.shape))
+        handle.write(array.tobytes())
+
+
+class TestLoadIdxFile:
+    def test_roundtrip(self, tmp_path):
+        array = np.arange(24, dtype=np.uint8).reshape(2, 3, 4)
+        path = tmp_path / "data-idx3-ubyte"
+        write_idx(path, array)
+        np.testing.assert_array_equal(load_idx_file(path), array)
+
+    def test_gzipped(self, tmp_path):
+        array = np.arange(12, dtype=np.uint8).reshape(3, 4)
+        raw_path = tmp_path / "plain"
+        write_idx(raw_path, array)
+        gz_path = tmp_path / "data.gz"
+        gz_path.write_bytes(gzip.compress(raw_path.read_bytes()))
+        np.testing.assert_array_equal(load_idx_file(gz_path), array)
+
+    def test_bad_magic(self, tmp_path):
+        path = tmp_path / "bad"
+        path.write_bytes(b"\x01\x02\x03\x04" + b"\x00" * 16)
+        with pytest.raises(ValueError):
+            load_idx_file(path)
+
+    def test_truncated_data(self, tmp_path):
+        path = tmp_path / "short"
+        with open(path, "wb") as handle:
+            handle.write(bytes([0, 0, 0x08, 1]))
+            handle.write(struct.pack(">I", 10))
+            handle.write(bytes(3))  # only 3 of 10 declared bytes
+        with pytest.raises(ValueError):
+            load_idx_file(path)
+
+
+class TestLoadIdxDataset:
+    def test_full_layout(self, tmp_path):
+        rng = np.random.default_rng(0)
+        write_idx(tmp_path / "train-images-idx3-ubyte", rng.integers(0, 256, (10, 4, 4)))
+        write_idx(tmp_path / "train-labels-idx1-ubyte", rng.integers(0, 3, 10))
+        write_idx(tmp_path / "t10k-images-idx3-ubyte", rng.integers(0, 256, (5, 4, 4)))
+        write_idx(tmp_path / "t10k-labels-idx1-ubyte", rng.integers(0, 3, 5))
+        data = load_idx_dataset(tmp_path, "mini")
+        assert data.num_train == 10
+        assert data.num_test == 5
+        assert data.num_features == 16
+        assert data.train_features.max() <= 1.0
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_idx_dataset(tmp_path, "missing")
+
+
+class TestLoadCsvDataset:
+    def test_roundtrip(self, tmp_path):
+        rng = np.random.default_rng(1)
+        for split, rows in (("train", 12), ("test", 6)):
+            features = rng.normal(size=(rows, 3))
+            labels = rng.integers(0, 2, size=(rows, 1))
+            np.savetxt(tmp_path / f"{split}.csv", np.hstack([features, labels]), delimiter=",")
+        data = load_csv_dataset(tmp_path, "csvset")
+        assert data.num_train == 12
+        assert data.num_test == 6
+        assert data.num_features == 3
+
+    def test_missing_split(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_csv_dataset(tmp_path, "empty")
+
+
+class TestRealDataDiscovery:
+    def test_data_directory_unset(self, monkeypatch):
+        monkeypatch.delenv(DATA_DIR_ENV, raising=False)
+        assert data_directory() is None
+
+    def test_data_directory_missing_path(self, monkeypatch, tmp_path):
+        monkeypatch.setenv(DATA_DIR_ENV, str(tmp_path / "nope"))
+        assert data_directory() is None
+
+    def test_try_load_returns_none_without_files(self, monkeypatch, tmp_path):
+        monkeypatch.setenv(DATA_DIR_ENV, str(tmp_path))
+        assert try_load_real_dataset("mnist") is None
+
+    def test_try_load_csv(self, monkeypatch, tmp_path):
+        dataset_dir = tmp_path / "ucihar"
+        dataset_dir.mkdir()
+        rng = np.random.default_rng(2)
+        for split, rows in (("train", 8), ("test", 4)):
+            features = rng.normal(size=(rows, 3))
+            labels = rng.integers(0, 2, size=(rows, 1))
+            np.savetxt(dataset_dir / f"{split}.csv", np.hstack([features, labels]), delimiter=",")
+        monkeypatch.setenv(DATA_DIR_ENV, str(tmp_path))
+        data = try_load_real_dataset("ucihar")
+        assert data is not None
+        assert data.metadata["source"] == "csv"

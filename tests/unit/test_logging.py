@@ -1,0 +1,35 @@
+"""Unit tests for repro.utils.logging."""
+
+import io
+
+from repro.utils.logging import RunLogger
+
+
+class TestRunLogger:
+    def test_records_events(self):
+        logger = RunLogger(stream=None)
+        logger.log("hello", value=1)
+        logger.log("world")
+        assert len(logger.events) == 2
+        assert logger.events[0].values == {"value": 1}
+
+    def test_echoes_to_stream(self):
+        stream = io.StringIO()
+        logger = RunLogger(name="test", stream=stream)
+        logger.log("message", accuracy=0.5)
+        output = stream.getvalue()
+        assert "message" in output
+        assert "accuracy=0.5000" in output
+
+    def test_to_text(self):
+        logger = RunLogger(stream=None)
+        logger.section("part one")
+        logger.log("done", count=3)
+        text = logger.to_text()
+        assert "part one" in text
+        assert "count=3" in text
+
+    def test_silent_when_no_stream(self):
+        logger = RunLogger(stream=None)
+        event = logger.log("quiet")
+        assert event.message == "quiet"

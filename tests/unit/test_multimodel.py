@@ -1,0 +1,76 @@
+"""Unit tests for repro.classifiers.multimodel."""
+
+import numpy as np
+import pytest
+
+from repro.classifiers.multimodel import MultiModelHDC
+
+
+class TestMultiModelHDC:
+    def test_fit_produces_ensemble(self, encoded_problem):
+        model = MultiModelHDC(models_per_class=4, iterations=2, seed=0)
+        model.fit(encoded_problem["train_hypervectors"], encoded_problem["train_labels"])
+        assert model.model_hypervectors_.shape == (
+            encoded_problem["num_classes"],
+            4,
+            encoded_problem["dimension"],
+        )
+        assert set(np.unique(model.model_hypervectors_)) <= {-1, 1}
+
+    def test_accuracy_beats_chance(self, encoded_problem):
+        model = MultiModelHDC(models_per_class=4, iterations=2, seed=1)
+        model.fit(encoded_problem["train_hypervectors"], encoded_problem["train_labels"])
+        accuracy = model.score(
+            encoded_problem["test_hypervectors"], encoded_problem["test_labels"]
+        )
+        assert accuracy > 0.5
+
+    def test_decision_scores_shape(self, encoded_problem):
+        model = MultiModelHDC(models_per_class=3, iterations=1, seed=2)
+        model.fit(encoded_problem["train_hypervectors"], encoded_problem["train_labels"])
+        scores = model.decision_scores(encoded_problem["test_hypervectors"][:5])
+        assert scores.shape == (5, encoded_problem["num_classes"])
+
+    def test_storage_grows_with_ensemble_size(self, encoded_problem):
+        small = MultiModelHDC(models_per_class=2, iterations=1, seed=3)
+        small.fit(encoded_problem["train_hypervectors"], encoded_problem["train_labels"])
+        large = MultiModelHDC(models_per_class=6, iterations=1, seed=3)
+        large.fit(encoded_problem["train_hypervectors"], encoded_problem["train_labels"])
+        assert large.storage_hypervectors == 3 * small.storage_hypervectors
+
+    def test_predict_before_fit_raises(self, encoded_problem):
+        with pytest.raises(RuntimeError):
+            MultiModelHDC().decision_scores(encoded_problem["test_hypervectors"])
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            MultiModelHDC(models_per_class=0)
+        with pytest.raises(ValueError):
+            MultiModelHDC(iterations=0)
+        with pytest.raises(ValueError):
+            MultiModelHDC(flip_fraction=0.0)
+        with pytest.raises(ValueError):
+            MultiModelHDC(flip_fraction=1.5)
+
+    def test_push_away_option(self, encoded_problem):
+        # Both update rules must train; the default (pull-only) is used by the
+        # benchmarks, the push-away variant matches the literal SearcHD update.
+        for push_away in (False, True):
+            model = MultiModelHDC(
+                models_per_class=3, iterations=1, push_away=push_away, seed=5
+            )
+            model.fit(
+                encoded_problem["train_hypervectors"], encoded_problem["train_labels"]
+            )
+            accuracy = model.score(
+                encoded_problem["test_hypervectors"], encoded_problem["test_labels"]
+            )
+            assert accuracy > 0.4
+
+    def test_majority_class_hypervectors_exposed(self, encoded_problem):
+        model = MultiModelHDC(models_per_class=3, iterations=1, seed=4)
+        model.fit(encoded_problem["train_hypervectors"], encoded_problem["train_labels"])
+        assert model.class_hypervectors_.shape == (
+            encoded_problem["num_classes"],
+            encoded_problem["dimension"],
+        )

@@ -1,0 +1,47 @@
+"""Unit tests for repro.classifiers.nearest_centroid."""
+
+import numpy as np
+import pytest
+
+from repro.classifiers.nearest_centroid import NearestCentroidClassifier
+
+
+class TestNearestCentroidClassifier:
+    def test_euclidean_fit_predict(self, small_problem):
+        model = NearestCentroidClassifier(metric="euclidean")
+        model.fit(small_problem["train_features"], small_problem["train_labels"])
+        accuracy = model.score(small_problem["test_features"], small_problem["test_labels"])
+        assert accuracy > 0.7
+
+    def test_cosine_fit_predict(self, small_problem):
+        model = NearestCentroidClassifier(metric="cosine")
+        model.fit(small_problem["train_features"], small_problem["train_labels"])
+        accuracy = model.score(small_problem["test_features"], small_problem["test_labels"])
+        assert accuracy > 0.5
+
+    def test_centroids_are_class_means(self):
+        features = np.array([[0.0, 0.0], [2.0, 2.0], [10.0, 10.0], [12.0, 12.0]])
+        labels = np.array([0, 0, 1, 1])
+        model = NearestCentroidClassifier().fit(features, labels)
+        np.testing.assert_allclose(model.centroids_[0], [1.0, 1.0])
+        np.testing.assert_allclose(model.centroids_[1], [11.0, 11.0])
+
+    def test_trivially_separable(self):
+        features = np.vstack([np.zeros((5, 3)), np.ones((5, 3)) * 10])
+        labels = np.array([0] * 5 + [1] * 5)
+        model = NearestCentroidClassifier().fit(features, labels)
+        predictions = model.predict(np.array([[0.1, 0.1, 0.1], [9.9, 9.9, 9.9]]))
+        np.testing.assert_array_equal(predictions, [0, 1])
+
+    def test_missing_class_rejected(self):
+        features = np.random.default_rng(0).normal(size=(4, 2))
+        with pytest.raises(ValueError):
+            NearestCentroidClassifier().fit(features, np.array([0, 0, 2, 2]))
+
+    def test_predict_before_fit(self):
+        with pytest.raises(RuntimeError):
+            NearestCentroidClassifier().predict(np.zeros((1, 2)))
+
+    def test_invalid_metric(self):
+        with pytest.raises(ValueError):
+            NearestCentroidClassifier(metric="manhattan")

@@ -1,0 +1,175 @@
+"""Unit tests for repro.nn.layers, including numerical gradient checks."""
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import BinaryLinear, Dropout, Linear, Sequential
+from repro.nn.losses import cross_entropy_from_logits
+
+
+def numerical_gradient(function, value, epsilon=1e-6):
+    """Central-difference gradient of a scalar function of an array."""
+    gradient = np.zeros_like(value)
+    flat_value = value.ravel()
+    flat_gradient = gradient.ravel()
+    for index in range(flat_value.size):
+        original = flat_value[index]
+        flat_value[index] = original + epsilon
+        upper = function()
+        flat_value[index] = original - epsilon
+        lower = function()
+        flat_value[index] = original
+        flat_gradient[index] = (upper - lower) / (2 * epsilon)
+    return gradient
+
+
+class TestLinear:
+    def test_forward_shape(self):
+        layer = Linear(5, 3, seed=0)
+        outputs = layer.forward(np.random.default_rng(0).normal(size=(7, 5)))
+        assert outputs.shape == (7, 3)
+
+    def test_gradient_check(self):
+        rng = np.random.default_rng(1)
+        layer = Linear(4, 3, seed=2)
+        inputs = rng.normal(size=(6, 4))
+        labels = rng.integers(0, 3, size=6)
+
+        def loss_value():
+            logits = inputs @ layer.weight.value + layer.bias.value
+            loss, _ = cross_entropy_from_logits(logits, labels)
+            return loss
+
+        logits = layer.forward(inputs)
+        _, grad_logits = cross_entropy_from_logits(logits, labels)
+        layer.zero_grad()
+        layer.backward(grad_logits)
+
+        numeric_weight = numerical_gradient(loss_value, layer.weight.value)
+        numeric_bias = numerical_gradient(loss_value, layer.bias.value)
+        np.testing.assert_allclose(layer.weight.grad, numeric_weight, atol=1e-6)
+        np.testing.assert_allclose(layer.bias.grad, numeric_bias, atol=1e-6)
+
+    def test_input_gradient(self):
+        layer = Linear(3, 2, bias=False, seed=3)
+        inputs = np.ones((2, 3))
+        layer.forward(inputs)
+        grad_inputs = layer.backward(np.ones((2, 2)))
+        np.testing.assert_allclose(grad_inputs, np.ones((2, 2)) @ layer.weight.value.T)
+
+    def test_backward_before_forward(self):
+        with pytest.raises(RuntimeError):
+            Linear(2, 2, seed=0).backward(np.ones((1, 2)))
+
+
+class TestBinaryLinear:
+    def test_binary_weight_values(self):
+        layer = BinaryLinear(10, 4, seed=0)
+        assert set(np.unique(layer.binary_weight)) <= {-1.0, 1.0}
+
+    def test_forward_uses_binary_weights(self):
+        layer = BinaryLinear(6, 2, seed=1)
+        inputs = np.ones((1, 6))
+        outputs = layer.forward(inputs)
+        np.testing.assert_allclose(outputs, inputs @ layer.binary_weight)
+
+    def test_ste_gradient_matches_input_outer_product(self):
+        layer = BinaryLinear(4, 3, latent_clip=None, seed=2)
+        inputs = np.random.default_rng(3).normal(size=(5, 4))
+        grad_output = np.random.default_rng(4).normal(size=(5, 3))
+        layer.forward(inputs)
+        layer.zero_grad()
+        layer.backward(grad_output)
+        np.testing.assert_allclose(layer.weight.grad, inputs.T @ grad_output)
+
+    def test_clip_masks_gradient(self):
+        layer = BinaryLinear(2, 1, latent_clip=1.0, seed=5)
+        layer.weight.value[:] = np.array([[2.0], [0.5]])  # first weight saturated
+        layer.forward(np.ones((1, 2)))
+        layer.zero_grad()
+        layer.backward(np.ones((1, 1)))
+        assert layer.weight.grad[0, 0] == 0.0
+        assert layer.weight.grad[1, 0] != 0.0
+
+    def test_clip_latent(self):
+        layer = BinaryLinear(3, 2, latent_clip=0.5, seed=6)
+        layer.weight.value[:] = 10.0
+        layer.clip_latent()
+        assert np.all(layer.weight.value <= 0.5)
+
+    def test_clip_latent_noop_when_disabled(self):
+        layer = BinaryLinear(3, 2, latent_clip=None, seed=7)
+        layer.weight.value[:] = 10.0
+        layer.clip_latent()
+        assert np.all(layer.weight.value == 10.0)
+
+    def test_set_latent_from_bipolar(self):
+        layer = BinaryLinear(3, 2, seed=8)
+        bipolar = np.array([[1, -1], [-1, 1], [1, 1]], dtype=np.float64)
+        layer.set_latent_from_bipolar(bipolar, magnitude=0.1)
+        np.testing.assert_array_equal(layer.binary_weight, bipolar)
+
+    def test_set_latent_validation(self):
+        layer = BinaryLinear(3, 2, seed=9)
+        with pytest.raises(ValueError):
+            layer.set_latent_from_bipolar(np.zeros((3, 2)))
+        with pytest.raises(ValueError):
+            layer.set_latent_from_bipolar(np.ones((2, 2)))
+
+    def test_zero_latent_binarises_to_plus_one(self):
+        layer = BinaryLinear(2, 2, seed=10)
+        layer.weight.value[:] = 0.0
+        assert np.all(layer.binary_weight == 1.0)
+
+    def test_invalid_clip(self):
+        with pytest.raises(ValueError):
+            BinaryLinear(2, 2, latent_clip=0.0)
+
+
+class TestDropout:
+    def test_eval_mode_is_identity(self):
+        layer = Dropout(0.5, seed=0)
+        layer.eval()
+        inputs = np.random.default_rng(1).normal(size=(4, 10))
+        np.testing.assert_array_equal(layer.forward(inputs), inputs)
+
+    def test_training_mode_zeroes_some_inputs(self):
+        layer = Dropout(0.5, seed=2)
+        inputs = np.ones((10, 100))
+        outputs = layer.forward(inputs)
+        zero_fraction = float(np.mean(outputs == 0.0))
+        assert 0.35 < zero_fraction < 0.65
+
+    def test_inverted_scaling_preserves_expectation(self):
+        layer = Dropout(0.3, seed=3)
+        inputs = np.ones((200, 200))
+        outputs = layer.forward(inputs)
+        assert np.mean(outputs) == pytest.approx(1.0, abs=0.05)
+
+    def test_backward_applies_same_mask(self):
+        layer = Dropout(0.5, seed=4)
+        inputs = np.ones((5, 20))
+        outputs = layer.forward(inputs)
+        grads = layer.backward(np.ones((5, 20)))
+        np.testing.assert_array_equal(grads == 0.0, outputs == 0.0)
+
+    def test_zero_rate_is_identity(self):
+        layer = Dropout(0.0, seed=5)
+        inputs = np.random.default_rng(6).normal(size=(3, 4))
+        np.testing.assert_array_equal(layer.forward(inputs), inputs)
+
+    def test_rate_validation(self):
+        with pytest.raises(ValueError):
+            Dropout(1.0)
+        with pytest.raises(ValueError):
+            Dropout(-0.1)
+
+
+class TestSequential:
+    def test_forward_backward_chain(self):
+        model = Sequential(Linear(4, 8, seed=0), Linear(8, 2, seed=1))
+        inputs = np.random.default_rng(2).normal(size=(3, 4))
+        outputs = model.forward(inputs)
+        assert outputs.shape == (3, 2)
+        grads = model.backward(np.ones((3, 2)))
+        assert grads.shape == (3, 4)

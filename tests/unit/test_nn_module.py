@@ -1,0 +1,64 @@
+"""Unit tests for repro.nn.module."""
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import Dropout, Linear, Sequential
+from repro.nn.module import Module, Parameter
+
+
+class TestParameter:
+    def test_value_cast_to_float64(self):
+        parameter = Parameter(np.array([1, 2, 3]))
+        assert parameter.value.dtype == np.float64
+
+    def test_add_grad_accumulates(self):
+        parameter = Parameter(np.zeros(3))
+        parameter.add_grad(np.ones(3))
+        parameter.add_grad(np.ones(3))
+        np.testing.assert_array_equal(parameter.grad, [2, 2, 2])
+
+    def test_add_grad_shape_check(self):
+        parameter = Parameter(np.zeros(3), name="w")
+        with pytest.raises(ValueError):
+            parameter.add_grad(np.ones(4))
+
+    def test_zero_grad(self):
+        parameter = Parameter(np.zeros(2))
+        parameter.add_grad(np.ones(2))
+        parameter.zero_grad()
+        assert parameter.grad is None
+
+
+class TestModule:
+    def test_parameters_collects_children(self):
+        model = Sequential(Linear(4, 3, seed=0), Dropout(0.5, seed=0), Linear(3, 2, seed=1))
+        names = [p.name for p in model.parameters()]
+        assert len(names) == 4  # two weights + two biases
+
+    def test_named_parameters(self):
+        layer = Linear(2, 2, seed=0)
+        named = layer.named_parameters()
+        assert "linear.weight" in named
+        assert "linear.bias" in named
+
+    def test_train_eval_propagates(self):
+        model = Sequential(Dropout(0.5, seed=0), Linear(2, 2, seed=0))
+        model.eval()
+        assert not model.modules[0].training
+        model.train()
+        assert model.modules[0].training
+
+    def test_zero_grad_clears_all(self):
+        layer = Linear(3, 2, seed=0)
+        layer.forward(np.ones((1, 3)))
+        layer.backward(np.ones((1, 2)))
+        assert layer.weight.grad is not None
+        layer.zero_grad()
+        assert layer.weight.grad is None
+
+    def test_base_forward_not_implemented(self):
+        with pytest.raises(NotImplementedError):
+            Module().forward(np.zeros(1))
+        with pytest.raises(NotImplementedError):
+            Module().backward(np.zeros(1))

@@ -1,0 +1,135 @@
+"""Unit tests for repro.nn.optim."""
+
+import numpy as np
+import pytest
+
+from repro.nn.module import Parameter
+from repro.nn.optim import SGD, Adam, Momentum, clip_gradient_norm
+
+
+def make_parameter(value):
+    parameter = Parameter(np.array(value, dtype=np.float64))
+    return parameter
+
+
+class TestSGD:
+    def test_single_step(self):
+        parameter = make_parameter([1.0, 2.0])
+        parameter.add_grad(np.array([0.5, -0.5]))
+        SGD([parameter], learning_rate=0.1).step()
+        np.testing.assert_allclose(parameter.value, [0.95, 2.05])
+
+    def test_skips_parameters_without_grad(self):
+        parameter = make_parameter([1.0])
+        SGD([parameter], learning_rate=0.1).step()
+        np.testing.assert_allclose(parameter.value, [1.0])
+
+    def test_coupled_weight_decay_adds_to_gradient(self):
+        parameter = make_parameter([1.0])
+        parameter.add_grad(np.array([0.0]))
+        SGD(
+            [parameter], learning_rate=0.1, weight_decay=0.5, decoupled_weight_decay=False
+        ).step()
+        np.testing.assert_allclose(parameter.value, [1.0 - 0.1 * 0.5 * 1.0])
+
+    def test_decoupled_weight_decay_shrinks_value(self):
+        parameter = make_parameter([1.0])
+        parameter.add_grad(np.array([0.0]))
+        SGD(
+            [parameter], learning_rate=0.1, weight_decay=0.5, decoupled_weight_decay=True
+        ).step()
+        np.testing.assert_allclose(parameter.value, [1.0 * (1.0 - 0.1 * 0.5)])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SGD([], learning_rate=0.1)
+        with pytest.raises(ValueError):
+            SGD([make_parameter([1.0])], learning_rate=0.0)
+        with pytest.raises(ValueError):
+            SGD([make_parameter([1.0])], learning_rate=0.1, weight_decay=-1.0)
+
+
+class TestMomentum:
+    def test_velocity_accumulates(self):
+        parameter = make_parameter([0.0])
+        optimizer = Momentum([parameter], learning_rate=1.0, momentum=0.9)
+        for _ in range(2):
+            parameter.zero_grad()
+            parameter.add_grad(np.array([1.0]))
+            optimizer.step()
+        # First step moves by 1, second by 1 + 0.9 = 1.9; total 2.9.
+        np.testing.assert_allclose(parameter.value, [-2.9])
+
+    def test_momentum_validation(self):
+        with pytest.raises(ValueError):
+            Momentum([make_parameter([1.0])], learning_rate=0.1, momentum=1.0)
+
+
+class TestAdam:
+    def test_first_step_size_is_learning_rate(self):
+        parameter = make_parameter([0.0])
+        optimizer = Adam([parameter], learning_rate=0.01)
+        parameter.add_grad(np.array([5.0]))
+        optimizer.step()
+        # With bias correction the first Adam step has magnitude ~= learning rate.
+        assert abs(parameter.value[0] + 0.01) < 1e-6
+
+    def test_converges_on_quadratic(self):
+        parameter = make_parameter([5.0])
+        optimizer = Adam([parameter], learning_rate=0.1)
+        for _ in range(500):
+            parameter.zero_grad()
+            parameter.add_grad(2.0 * parameter.value)  # d/dx of x^2
+            optimizer.step()
+        assert abs(parameter.value[0]) < 0.05
+
+    def test_per_parameter_state_is_independent(self):
+        a = make_parameter([0.0])
+        b = make_parameter([0.0])
+        optimizer = Adam([a, b], learning_rate=0.1)
+        a.add_grad(np.array([1.0]))
+        optimizer.step()
+        # b received no gradient and must not move.
+        np.testing.assert_allclose(b.value, [0.0])
+
+    def test_hyperparameter_validation(self):
+        with pytest.raises(ValueError):
+            Adam([make_parameter([1.0])], beta1=1.0)
+        with pytest.raises(ValueError):
+            Adam([make_parameter([1.0])], beta2=-0.1)
+        with pytest.raises(ValueError):
+            Adam([make_parameter([1.0])], epsilon=0.0)
+
+    def test_set_learning_rate(self):
+        optimizer = Adam([make_parameter([1.0])], learning_rate=0.1)
+        optimizer.set_learning_rate(0.01)
+        assert optimizer.learning_rate == 0.01
+        with pytest.raises(ValueError):
+            optimizer.set_learning_rate(0.0)
+
+    def test_zero_grad(self):
+        parameter = make_parameter([1.0])
+        optimizer = Adam([parameter], learning_rate=0.1)
+        parameter.add_grad(np.array([1.0]))
+        optimizer.zero_grad()
+        assert parameter.grad is None
+
+
+class TestClipGradientNorm:
+    def test_no_clip_below_threshold(self):
+        parameter = make_parameter([1.0, 1.0])
+        parameter.add_grad(np.array([0.3, 0.4]))
+        norm = clip_gradient_norm([parameter], max_norm=1.0)
+        assert norm == pytest.approx(0.5)
+        np.testing.assert_allclose(parameter.grad, [0.3, 0.4])
+
+    def test_clips_above_threshold(self):
+        parameter = make_parameter([1.0, 1.0])
+        parameter.add_grad(np.array([3.0, 4.0]))
+        clip_gradient_norm([parameter], max_norm=1.0)
+        assert np.linalg.norm(parameter.grad) == pytest.approx(1.0, rel=1e-6)
+
+    def test_empty_and_validation(self):
+        assert clip_gradient_norm([], max_norm=1.0) == 0.0
+        with pytest.raises(ValueError):
+            clip_gradient_norm([], max_norm=0.0)

@@ -1,0 +1,90 @@
+"""Unit tests for repro.core.nonbinary_lehdc (the footnote-1 variant)."""
+
+import numpy as np
+import pytest
+
+from repro.classifiers.nonbinary import NonBinaryHDC
+from repro.core.configs import LeHDCConfig
+from repro.core.nonbinary_lehdc import NonBinaryLeHDCClassifier
+
+
+@pytest.fixture(scope="module")
+def fast_config():
+    return LeHDCConfig(
+        epochs=15, batch_size=32, dropout_rate=0.1, weight_decay=0.01, learning_rate=0.01
+    )
+
+
+class TestNonBinaryLeHDC:
+    def test_fit_produces_real_valued_class_hypervectors(self, encoded_problem, fast_config):
+        model = NonBinaryLeHDCClassifier(config=fast_config, seed=0)
+        model.fit(encoded_problem["train_hypervectors"], encoded_problem["train_labels"])
+        assert model.nonbinary_class_hypervectors_.shape == (
+            encoded_problem["num_classes"],
+            encoded_problem["dimension"],
+        )
+        assert model.nonbinary_class_hypervectors_.dtype == np.float64
+        assert set(np.unique(model.class_hypervectors_)) <= {-1, 1}
+
+    def test_beats_plain_nonbinary_centroids(self, encoded_problem, fast_config):
+        centroids = NonBinaryHDC(seed=1).fit(
+            encoded_problem["train_hypervectors"], encoded_problem["train_labels"]
+        )
+        learned = NonBinaryLeHDCClassifier(config=fast_config, seed=1).fit(
+            encoded_problem["train_hypervectors"], encoded_problem["train_labels"]
+        )
+        centroid_accuracy = centroids.score(
+            encoded_problem["test_hypervectors"], encoded_problem["test_labels"]
+        )
+        learned_accuracy = learned.score(
+            encoded_problem["test_hypervectors"], encoded_problem["test_labels"]
+        )
+        assert learned_accuracy >= centroid_accuracy - 0.03
+
+    def test_scores_are_cosine_bounded(self, encoded_problem, fast_config):
+        model = NonBinaryLeHDCClassifier(config=fast_config, seed=2)
+        model.fit(encoded_problem["train_hypervectors"], encoded_problem["train_labels"])
+        scores = model.decision_scores(encoded_problem["test_hypervectors"][:10])
+        assert np.all(scores <= 1.0 + 1e-9)
+        assert np.all(scores >= -1.0 - 1e-9)
+
+    def test_to_binary_matches_exposed_class_hypervectors(self, encoded_problem, fast_config):
+        model = NonBinaryLeHDCClassifier(config=fast_config, seed=3)
+        model.fit(encoded_problem["train_hypervectors"], encoded_problem["train_labels"])
+        np.testing.assert_array_equal(model.to_binary(), model.class_hypervectors_)
+
+    def test_history_and_validation_tracking(self, encoded_problem, fast_config):
+        model = NonBinaryLeHDCClassifier(config=fast_config, seed=4)
+        model.fit(
+            encoded_problem["train_hypervectors"],
+            encoded_problem["train_labels"],
+            validation_hypervectors=encoded_problem["test_hypervectors"],
+            validation_labels=encoded_problem["test_labels"],
+            epochs=4,
+        )
+        assert model.history_.epochs == 4
+        assert len(model.history_.validation_accuracy) == 4
+
+    def test_validation_args_must_come_together(self, encoded_problem, fast_config):
+        model = NonBinaryLeHDCClassifier(config=fast_config, seed=5)
+        with pytest.raises(ValueError):
+            model.fit(
+                encoded_problem["train_hypervectors"],
+                encoded_problem["train_labels"],
+                validation_hypervectors=encoded_problem["test_hypervectors"],
+            )
+
+    def test_sgd_optimizer_variant(self, encoded_problem):
+        config = LeHDCConfig(
+            epochs=8, batch_size=32, dropout_rate=0.0, weight_decay=0.0,
+            optimizer="sgd", learning_rate=0.05,
+        )
+        model = NonBinaryLeHDCClassifier(config=config, seed=6)
+        model.fit(encoded_problem["train_hypervectors"], encoded_problem["train_labels"])
+        assert model.score(
+            encoded_problem["train_hypervectors"], encoded_problem["train_labels"]
+        ) > 0.5
+
+    def test_predict_before_fit(self, encoded_problem):
+        with pytest.raises(RuntimeError):
+            NonBinaryLeHDCClassifier(seed=7).predict(encoded_problem["test_hypervectors"])

@@ -1,0 +1,66 @@
+"""Unit tests for repro.hdc.packing."""
+
+import numpy as np
+import pytest
+
+from repro.hdc.hypervector import hamming_distance, random_hypervectors
+from repro.hdc.packing import PackedHypervectors, pack_bipolar, unpack_bipolar
+
+
+class TestPackUnpack:
+    def test_roundtrip_multiple_of_64(self):
+        vectors = random_hypervectors(4, 256, seed=0)
+        np.testing.assert_array_equal(unpack_bipolar(pack_bipolar(vectors)), vectors)
+
+    def test_roundtrip_non_multiple_of_64(self):
+        vectors = random_hypervectors(3, 100, seed=1)
+        np.testing.assert_array_equal(unpack_bipolar(pack_bipolar(vectors)), vectors)
+
+    def test_word_count(self):
+        packed = pack_bipolar(random_hypervectors(2, 130, seed=2))
+        assert packed.words.shape == (2, 3)
+        assert packed.dimension == 130
+
+    def test_rejects_non_bipolar(self):
+        with pytest.raises(ValueError):
+            pack_bipolar(np.zeros((2, 64)))
+
+    def test_single_vector_promoted(self):
+        packed = pack_bipolar(random_hypervectors(1, 64, seed=3)[0])
+        assert len(packed) == 1
+
+
+class TestPackedHamming:
+    def test_matches_dense_hamming(self):
+        queries = random_hypervectors(5, 333, seed=4)
+        classes = random_hypervectors(3, 333, seed=5)
+        dense = hamming_distance(queries, classes)
+        packed = pack_bipolar(queries).hamming_distance(pack_bipolar(classes))
+        np.testing.assert_allclose(packed, dense, atol=1e-12)
+
+    def test_zero_distance_to_self(self):
+        vectors = random_hypervectors(2, 128, seed=6)
+        packed = pack_bipolar(vectors)
+        distances = packed.hamming_distance(packed)
+        assert distances[0, 0] == 0.0
+        assert distances[1, 1] == 0.0
+
+    def test_dimension_mismatch(self):
+        a = pack_bipolar(random_hypervectors(1, 64, seed=7))
+        b = pack_bipolar(random_hypervectors(1, 128, seed=8))
+        with pytest.raises(ValueError):
+            a.hamming_distance(b)
+
+    def test_storage_bytes(self):
+        packed = pack_bipolar(random_hypervectors(4, 256, seed=9))
+        assert packed.storage_bytes == 4 * 4 * 8  # 4 rows x 4 words x 8 bytes
+
+
+class TestPackedConstruction:
+    def test_bad_word_shape(self):
+        with pytest.raises(ValueError):
+            PackedHypervectors(words=np.zeros((2, 3), dtype=np.uint64), dimension=64)
+
+    def test_bad_rank(self):
+        with pytest.raises(ValueError):
+            PackedHypervectors(words=np.zeros(3, dtype=np.uint64), dimension=64)

@@ -1,0 +1,77 @@
+"""Unit tests for repro.classifiers.pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.classifiers.baseline import BaselineHDC
+from repro.classifiers.pipeline import HDCPipeline
+from repro.core.configs import LeHDCConfig
+from repro.core.lehdc import LeHDCClassifier
+from repro.hdc.encoders import RecordEncoder
+
+
+class TestHDCPipeline:
+    def test_fit_predict_with_baseline(self, small_problem):
+        pipeline = HDCPipeline(
+            RecordEncoder(dimension=1024, num_levels=16, seed=0), BaselineHDC(seed=0)
+        )
+        pipeline.fit(small_problem["train_features"], small_problem["train_labels"])
+        accuracy = pipeline.score(
+            small_problem["test_features"], small_problem["test_labels"]
+        )
+        assert accuracy > 0.5
+
+    def test_fit_predict_with_lehdc(self, small_problem):
+        config = LeHDCConfig(epochs=10, batch_size=32, dropout_rate=0.2, weight_decay=0.01)
+        pipeline = HDCPipeline(
+            RecordEncoder(dimension=512, num_levels=16, seed=1),
+            LeHDCClassifier(config=config, seed=1),
+        )
+        pipeline.fit(small_problem["train_features"], small_problem["train_labels"])
+        accuracy = pipeline.score(
+            small_problem["test_features"], small_problem["test_labels"]
+        )
+        assert accuracy > 0.5
+
+    def test_predict_before_fit_raises(self, small_problem):
+        pipeline = HDCPipeline(
+            RecordEncoder(dimension=256, seed=2), BaselineHDC(seed=2)
+        )
+        with pytest.raises(RuntimeError):
+            pipeline.predict(small_problem["test_features"])
+
+    def test_exposes_class_hypervectors(self, small_problem):
+        pipeline = HDCPipeline(
+            RecordEncoder(dimension=256, num_levels=8, seed=3), BaselineHDC(seed=3)
+        )
+        assert pipeline.class_hypervectors_ is None
+        pipeline.fit(small_problem["train_features"], small_problem["train_labels"])
+        assert pipeline.class_hypervectors_.shape == (
+            small_problem["num_classes"],
+            256,
+        )
+
+    def test_reuses_prefitted_encoder(self, small_problem):
+        encoder = RecordEncoder(dimension=256, num_levels=8, seed=4)
+        encoder.fit(small_problem["train_features"])
+        position_vectors_before = encoder.position_memory.vectors.copy()
+        pipeline = HDCPipeline(encoder, BaselineHDC(seed=4))
+        pipeline.fit(small_problem["train_features"], small_problem["train_labels"])
+        np.testing.assert_array_equal(
+            encoder.position_memory.vectors, position_vectors_before
+        )
+
+    def test_forwards_fit_kwargs(self, small_problem):
+        from repro.classifiers.retraining import RetrainingHDC
+
+        encoder = RecordEncoder(dimension=256, num_levels=8, seed=5)
+        encoder.fit(small_problem["train_features"])
+        test_encoded = encoder.encode(small_problem["test_features"])
+        pipeline = HDCPipeline(encoder, RetrainingHDC(iterations=3, epsilon=0.0, seed=5))
+        pipeline.fit(
+            small_problem["train_features"],
+            small_problem["train_labels"],
+            validation_hypervectors=test_encoded,
+            validation_labels=small_problem["test_labels"],
+        )
+        assert len(pipeline.classifier.history_.test_accuracy) == 3

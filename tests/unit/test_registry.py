@@ -1,0 +1,79 @@
+"""Unit tests for repro.datasets.registry."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.registry import (
+    DATASET_SPECS,
+    PAPER_TABLE1,
+    get_dataset,
+    list_datasets,
+)
+
+
+class TestRegistryContents:
+    def test_all_six_paper_benchmarks_present(self):
+        assert list_datasets() == [
+            "mnist",
+            "fashion_mnist",
+            "cifar10",
+            "ucihar",
+            "isolet",
+            "pamap",
+        ]
+
+    def test_paper_rows_attached(self):
+        for name, spec in DATASET_SPECS.items():
+            assert spec.paper_rows == PAPER_TABLE1[name]
+
+    def test_class_counts_match_real_datasets(self):
+        assert DATASET_SPECS["mnist"].num_classes == 10
+        assert DATASET_SPECS["fashion_mnist"].num_classes == 10
+        assert DATASET_SPECS["cifar10"].num_classes == 10
+        assert DATASET_SPECS["ucihar"].num_classes == 6
+        assert DATASET_SPECS["isolet"].num_classes == 26
+        assert DATASET_SPECS["pamap"].num_classes == 12
+
+
+class TestGetDataset:
+    def test_tiny_profile_shapes(self):
+        data = get_dataset("mnist", profile="tiny", seed=0, prefer_real=False)
+        assert data.num_features == 196
+        assert data.num_classes == 10
+        assert data.num_train < 500
+
+    def test_small_profile_matches_spec(self):
+        data = get_dataset("ucihar", profile="small", seed=0, prefer_real=False)
+        assert data.num_train == DATASET_SPECS["ucihar"].train_size
+        assert data.num_test == DATASET_SPECS["ucihar"].test_size
+
+    def test_cifar_has_three_channels_worth_of_features(self):
+        data = get_dataset("cifar10", profile="tiny", seed=0, prefer_real=False)
+        assert data.num_features == 192
+
+    def test_name_normalisation(self):
+        data = get_dataset("Fashion-MNIST", profile="tiny", seed=0, prefer_real=False)
+        assert data.name == "fashion_mnist"
+
+    def test_reproducible_for_same_seed(self):
+        a = get_dataset("pamap", profile="tiny", seed=3, prefer_real=False)
+        b = get_dataset("pamap", profile="tiny", seed=3, prefer_real=False)
+        np.testing.assert_array_equal(a.train_features, b.train_features)
+
+    def test_different_seed_changes_data(self):
+        a = get_dataset("pamap", profile="tiny", seed=3, prefer_real=False)
+        b = get_dataset("pamap", profile="tiny", seed=4, prefer_real=False)
+        assert not np.array_equal(a.train_features, b.train_features)
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            get_dataset("imagenet")
+
+    def test_unknown_profile(self):
+        with pytest.raises(ValueError):
+            get_dataset("mnist", profile="huge")
+
+    def test_metadata_records_substitution(self):
+        data = get_dataset("isolet", profile="tiny", seed=0, prefer_real=False)
+        assert data.metadata["source"] == "synthetic"
+        assert "ISOLET" in data.metadata["substitutes_for"]

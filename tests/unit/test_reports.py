@@ -1,0 +1,75 @@
+"""Unit tests for repro.eval.reports."""
+
+import numpy as np
+import pytest
+
+from repro.eval.reports import classification_report, compare_per_class
+
+
+class TestClassificationReport:
+    def test_perfect_predictions(self):
+        labels = np.array([0, 0, 1, 1, 2, 2])
+        report = classification_report(labels, labels)
+        assert report.accuracy == 1.0
+        assert report.macro_f1 == 1.0
+        for entry in report.classes:
+            assert entry.precision == 1.0
+            assert entry.recall == 1.0
+            assert entry.support == 2
+
+    def test_known_confusion(self):
+        # Class 0: 2 correct of 3 -> recall 2/3; predictions of 0: 2 of 2 -> precision 1.
+        labels = np.array([0, 0, 0, 1, 1, 1])
+        predictions = np.array([0, 0, 1, 1, 1, 1])
+        report = classification_report(predictions, labels)
+        class0 = report.classes[0]
+        class1 = report.classes[1]
+        assert class0.recall == pytest.approx(2 / 3)
+        assert class0.precision == pytest.approx(1.0)
+        assert class1.recall == pytest.approx(1.0)
+        assert class1.precision == pytest.approx(3 / 4)
+        assert report.accuracy == pytest.approx(5 / 6)
+
+    def test_absent_class_has_zero_scores(self):
+        labels = np.array([0, 0, 1, 1])
+        predictions = np.array([0, 0, 1, 1])
+        report = classification_report(predictions, labels, num_classes=3)
+        assert report.classes[2].support == 0
+        assert report.classes[2].f1 == 0.0
+
+    def test_weighted_f1_respects_support(self):
+        # A majority class classified perfectly and a minority class missed
+        # entirely: weighted F1 must sit close to the majority's score.
+        labels = np.array([0] * 9 + [1])
+        predictions = np.array([0] * 10)
+        report = classification_report(predictions, labels)
+        assert report.weighted_f1 > 0.8
+        assert report.macro_f1 < 0.6
+
+    def test_to_text_contains_rows(self):
+        labels = np.array([0, 1, 1, 0])
+        report = classification_report(labels, labels)
+        text = report.to_text(class_names=["walking", "sitting"])
+        assert "walking" in text
+        assert "macro avg" in text
+        assert "accuracy" in text
+
+
+class TestComparePerClass:
+    def test_side_by_side(self):
+        labels = np.array([0, 0, 1, 1])
+        good = classification_report(labels, labels)
+        bad = classification_report(np.array([1, 1, 0, 0]), labels)
+        text = compare_per_class({"good": good, "bad": bad}, metric="recall")
+        assert "good" in text and "bad" in text
+        assert "1.0000" in text and "0.0000" in text
+
+    def test_invalid_metric(self):
+        labels = np.array([0, 1])
+        report = classification_report(labels, labels)
+        with pytest.raises(ValueError):
+            compare_per_class({"a": report}, metric="auc")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            compare_per_class({})

@@ -1,0 +1,81 @@
+"""Unit tests for repro.classifiers.retraining."""
+
+import numpy as np
+import pytest
+
+from repro.classifiers.baseline import BaselineHDC
+from repro.classifiers.retraining import RetrainingHDC, RetrainingHistory
+
+
+class TestRetrainingHDC:
+    def test_improves_or_matches_baseline_train_accuracy(self, encoded_problem):
+        baseline = BaselineHDC(seed=0).fit(
+            encoded_problem["train_hypervectors"], encoded_problem["train_labels"]
+        )
+        retrained = RetrainingHDC(iterations=10, seed=0).fit(
+            encoded_problem["train_hypervectors"], encoded_problem["train_labels"]
+        )
+        baseline_train = baseline.score(
+            encoded_problem["train_hypervectors"], encoded_problem["train_labels"]
+        )
+        retrained_train = retrained.score(
+            encoded_problem["train_hypervectors"], encoded_problem["train_labels"]
+        )
+        assert retrained_train >= baseline_train - 0.02
+
+    def test_history_recorded(self, encoded_problem):
+        model = RetrainingHDC(iterations=5, seed=1)
+        model.fit(encoded_problem["train_hypervectors"], encoded_problem["train_labels"])
+        assert isinstance(model.history_, RetrainingHistory)
+        assert 1 <= model.history_.iterations <= 5
+        assert len(model.history_.update_fraction) == model.history_.iterations
+
+    def test_validation_trajectory_recorded(self, encoded_problem):
+        model = RetrainingHDC(iterations=4, epsilon=0.0, seed=2)
+        model.fit(
+            encoded_problem["train_hypervectors"],
+            encoded_problem["train_labels"],
+            validation_hypervectors=encoded_problem["test_hypervectors"],
+            validation_labels=encoded_problem["test_labels"],
+        )
+        assert len(model.history_.test_accuracy) == model.history_.iterations
+
+    def test_early_stop_on_convergence(self, encoded_problem):
+        # A very large epsilon forces the convergence criterion to trigger
+        # immediately after the second iteration.
+        model = RetrainingHDC(iterations=50, epsilon=1.0, seed=3)
+        model.fit(encoded_problem["train_hypervectors"], encoded_problem["train_labels"])
+        assert model.history_.iterations <= 2
+
+    def test_validation_args_must_come_together(self, encoded_problem):
+        model = RetrainingHDC(iterations=2, seed=4)
+        with pytest.raises(ValueError):
+            model.fit(
+                encoded_problem["train_hypervectors"],
+                encoded_problem["train_labels"],
+                validation_hypervectors=encoded_problem["test_hypervectors"],
+            )
+
+    def test_nonbinary_state_exposed(self, encoded_problem):
+        model = RetrainingHDC(iterations=3, seed=5)
+        model.fit(encoded_problem["train_hypervectors"], encoded_problem["train_labels"])
+        assert model.nonbinary_class_hypervectors_.shape == model.class_hypervectors_.shape
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            RetrainingHDC(iterations=0)
+        with pytest.raises(ValueError):
+            RetrainingHDC(learning_rate=0.0)
+        with pytest.raises(ValueError):
+            RetrainingHDC(first_iteration_learning_rate=-1.0)
+        with pytest.raises(ValueError):
+            RetrainingHDC(epsilon=-0.5)
+
+    def test_no_shuffle_is_deterministic(self, encoded_problem):
+        a = RetrainingHDC(iterations=3, shuffle=False, tie_break="positive", seed=6).fit(
+            encoded_problem["train_hypervectors"], encoded_problem["train_labels"]
+        )
+        b = RetrainingHDC(iterations=3, shuffle=False, tie_break="positive", seed=7).fit(
+            encoded_problem["train_hypervectors"], encoded_problem["train_labels"]
+        )
+        np.testing.assert_array_equal(a.class_hypervectors_, b.class_hypervectors_)

@@ -1,0 +1,72 @@
+"""Unit tests for repro.utils.rng."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import RngMixin, ensure_rng, spawn_rngs
+
+
+class TestEnsureRng:
+    def test_none_returns_generator(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)
+
+    def test_int_seed_is_reproducible(self):
+        a = ensure_rng(42).integers(0, 1000, size=10)
+        b = ensure_rng(42).integers(0, 1000, size=10)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = ensure_rng(1).integers(0, 1_000_000, size=20)
+        b = ensure_rng(2).integers(0, 1_000_000, size=20)
+        assert not np.array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        generator = np.random.default_rng(0)
+        assert ensure_rng(generator) is generator
+
+    def test_negative_seed_rejected(self):
+        with pytest.raises(ValueError):
+            ensure_rng(-1)
+
+    def test_bad_type_rejected(self):
+        with pytest.raises(TypeError):
+            ensure_rng("seed")
+
+
+class TestSpawnRngs:
+    def test_count_and_independence(self):
+        generators = spawn_rngs(0, 3)
+        assert len(generators) == 3
+        draws = [g.integers(0, 1_000_000, size=5) for g in generators]
+        assert not np.array_equal(draws[0], draws[1])
+        assert not np.array_equal(draws[1], draws[2])
+
+    def test_reproducible_from_seed(self):
+        first = [g.integers(0, 100, size=3) for g in spawn_rngs(9, 2)]
+        second = [g.integers(0, 100, size=3) for g in spawn_rngs(9, 2)]
+        for a, b in zip(first, second):
+            np.testing.assert_array_equal(a, b)
+
+    def test_invalid_count(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, 0)
+
+
+class TestRngMixin:
+    def test_lazy_construction_and_reseed(self):
+        class Thing(RngMixin):
+            pass
+
+        thing = Thing(seed=5)
+        first = thing.rng.integers(0, 100, size=4)
+        thing.reseed(5)
+        second = thing.rng.integers(0, 100, size=4)
+        np.testing.assert_array_equal(first, second)
+
+    def test_shared_generator(self):
+        class Thing(RngMixin):
+            pass
+
+        generator = np.random.default_rng(3)
+        thing = Thing(seed=generator)
+        assert thing.rng is generator

@@ -1,0 +1,37 @@
+"""Unit tests for repro.eval.tables."""
+
+import pytest
+
+from repro.eval.tables import format_table
+
+
+class TestFormatTable:
+    def test_alignment_and_contents(self):
+        text = format_table(
+            headers=["Dataset", "Accuracy"],
+            rows=[["mnist", "94.74"], ["cifar10", "46.10"]],
+            title="Table 1",
+        )
+        lines = text.splitlines()
+        assert lines[0] == "Table 1"
+        assert "Dataset" in lines[1]
+        assert "mnist" in text
+        assert "46.10" in text
+        # Header separator present
+        assert set(lines[2]) <= {"-", "+"}
+
+    def test_no_title(self):
+        text = format_table(["a"], [["1"]])
+        assert text.splitlines()[0].startswith("a")
+
+    def test_row_width_mismatch(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [["only one"]])
+
+    def test_empty_headers(self):
+        with pytest.raises(ValueError):
+            format_table([], [])
+
+    def test_non_string_cells_converted(self):
+        text = format_table(["x", "y"], [[1, 2.5]])
+        assert "1" in text and "2.5" in text

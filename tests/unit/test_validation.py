@@ -1,0 +1,120 @@
+"""Unit tests for repro.utils.validation."""
+
+import numpy as np
+import pytest
+
+from repro.utils.validation import (
+    check_fitted,
+    check_labels,
+    check_matrix,
+    check_positive_int,
+    check_probability,
+    check_same_shape,
+)
+
+
+class TestCheckPositiveInt:
+    def test_accepts_int(self):
+        assert check_positive_int(5, "x") == 5
+
+    def test_accepts_numpy_int(self):
+        assert check_positive_int(np.int64(7), "x") == 7
+
+    def test_rejects_zero_by_default(self):
+        with pytest.raises(ValueError):
+            check_positive_int(0, "x")
+
+    def test_minimum_override(self):
+        assert check_positive_int(0, "x", minimum=0) == 0
+
+    def test_rejects_bool(self):
+        with pytest.raises(TypeError):
+            check_positive_int(True, "x")
+
+    def test_rejects_float(self):
+        with pytest.raises(TypeError):
+            check_positive_int(3.5, "x")
+
+
+class TestCheckProbability:
+    def test_bounds(self):
+        assert check_probability(0.0, "p") == 0.0
+        assert check_probability(1.0, "p") == 1.0
+
+    def test_exclusive_one(self):
+        with pytest.raises(ValueError):
+            check_probability(1.0, "p", inclusive_one=False)
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            check_probability(1.5, "p")
+        with pytest.raises(ValueError):
+            check_probability(-0.1, "p")
+
+    def test_type(self):
+        with pytest.raises(TypeError):
+            check_probability("0.5", "p")
+
+
+class TestCheckMatrix:
+    def test_promotes_1d(self):
+        matrix = check_matrix([1.0, 2.0, 3.0], "m")
+        assert matrix.shape == (1, 3)
+
+    def test_rejects_3d(self):
+        with pytest.raises(ValueError):
+            check_matrix(np.zeros((2, 2, 2)), "m")
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            check_matrix(np.zeros((0, 3)), "m")
+
+    def test_column_check(self):
+        with pytest.raises(ValueError):
+            check_matrix(np.zeros((2, 3)), "m", n_columns=4)
+
+
+class TestCheckLabels:
+    def test_basic(self):
+        labels = check_labels([0, 1, 2], 3)
+        assert labels.dtype == np.int64
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            check_labels([0, 1], 3)
+
+    def test_negative(self):
+        with pytest.raises(ValueError):
+            check_labels([0, -1, 2], 3)
+
+    def test_float_labels_that_are_integral(self):
+        labels = check_labels(np.array([0.0, 1.0]), 2)
+        assert labels.tolist() == [0, 1]
+
+    def test_non_integral_floats_rejected(self):
+        with pytest.raises(ValueError):
+            check_labels(np.array([0.5, 1.0]), 2)
+
+    def test_num_classes_bound(self):
+        with pytest.raises(ValueError):
+            check_labels([0, 3], 2, n_classes=3)
+
+
+class TestCheckFittedAndShape:
+    def test_check_fitted(self):
+        class Model:
+            attribute = None
+
+        with pytest.raises(RuntimeError):
+            check_fitted(Model(), "attribute")
+
+    def test_check_fitted_passes(self):
+        class Model:
+            attribute = 3
+
+        check_fitted(Model(), "attribute")
+
+    def test_same_shape(self):
+        check_same_shape(np.zeros(3), np.ones(3), ("a", "b"))
+        with pytest.raises(ValueError):
+            check_same_shape(np.zeros(3), np.ones(4), ("a", "b"))
