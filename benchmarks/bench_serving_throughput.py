@@ -1,0 +1,74 @@
+"""Serving throughput: single-sample vs micro-batched, dense vs packed.
+
+The serving subsystem exists because the paper's packed XOR+popcount path only
+pays off when requests are batched — per-request Python/NumPy dispatch
+otherwise dominates.  This benchmark measures the four corners of that design
+space plus the concurrent micro-batching scheduler (the path the HTTP server
+runs), and asserts the acceptance criterion: micro-batched packed inference
+must be at least 5x faster than naive single-sample dense serving at D=4000.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import print_report
+from repro.eval.tables import format_table
+from repro.serve.bench import format_benchmark_rows, run_serving_benchmark
+
+#: The acceptance threshold: batched-packed vs single-sample-dense throughput.
+MIN_BATCHED_PACKED_SPEEDUP = 5.0
+
+
+@pytest.fixture(scope="module")
+def serving_result():
+    return run_serving_benchmark(
+        dimension=4000,
+        num_features=64,
+        num_classes=10,
+        num_samples=256,
+        batch_size=64,
+        concurrency=8,
+        seed=0,
+    )
+
+
+def test_serving_throughput_report(serving_result):
+    """Print the throughput table and the scheduler's batch-size distribution."""
+    config = serving_result["config"]
+    body = format_table(
+        ["mode", "samples/s", "vs single-dense"],
+        format_benchmark_rows(serving_result),
+    )
+    distribution = serving_result["batch_size_distribution"]
+    if distribution:
+        body += f"\nscheduler batch sizes: {distribution}"
+    print_report(
+        (
+            f"Serving throughput (D={config['dimension']}, "
+            f"batch={config['batch_size']}, K={config['num_classes']})"
+        ),
+        body,
+    )
+
+
+def test_batched_packed_speedup(serving_result):
+    """Micro-batched packed inference >= 5x single-sample dense throughput."""
+    speedup = serving_result["speedups"]["batched-packed"]
+    assert speedup >= MIN_BATCHED_PACKED_SPEEDUP, (
+        f"batched-packed speedup {speedup:.1f}x is below the "
+        f"{MIN_BATCHED_PACKED_SPEEDUP:.0f}x acceptance threshold"
+    )
+
+
+def test_packed_beats_dense_batched(serving_result):
+    """At equal batch size the packed engine must not lose to the dense path."""
+    rates = serving_result["rates"]
+    assert rates["batched-packed"] >= rates["batched-dense"]
+
+
+def test_scheduler_actually_coalesces(serving_result):
+    """Under concurrent load the scheduler must form multi-sample batches."""
+    distribution = serving_result["batch_size_distribution"]
+    assert distribution, "scheduler recorded no batches"
+    assert max(distribution) > 1, f"no coalescing observed: {distribution}"

@@ -15,7 +15,9 @@ The package is organised as:
 * :mod:`repro.eval` — multi-seed experiments, dimension sweeps, tables and
   text figures;
 * :mod:`repro.hardware` — the inference cost model behind the paper's
-  zero-overhead claim.
+  zero-overhead claim;
+* :mod:`repro.serve` — the packed-inference serving stack: engine,
+  micro-batching, model registry and a stdlib JSON/HTTP front-end.
 
 Quickstart::
 
@@ -50,7 +52,8 @@ from repro.core.configs import get_paper_config
 from repro.datasets import Dataset, get_dataset, list_datasets
 from repro.eval import run_dimension_sweep, run_strategy_comparison
 from repro.hdc import NGramEncoder, RecordEncoder
-from repro.io import load_model, save_model
+from repro.io import load_model, read_model_metadata, save_model
+from repro.serve import BatchScheduler, ModelRegistry, PackedInferenceEngine
 
 __version__ = "1.0.0"
 
@@ -87,4 +90,9 @@ __all__ = [
     # persistence
     "save_model",
     "load_model",
+    "read_model_metadata",
+    # serving
+    "PackedInferenceEngine",
+    "BatchScheduler",
+    "ModelRegistry",
 ]

@@ -19,6 +19,22 @@ from repro.utils.rng import RngMixin, SeedLike
 from repro.utils.validation import check_fitted, check_labels, check_matrix
 
 
+def top_k_from_scores(scores: np.ndarray, k: int):
+    """Select the ``k`` best classes per row of a ``(n, K)`` score matrix.
+
+    Returns ``(labels, scores)``, both ``(n, k)``, best first; ``k`` is
+    clipped to the number of classes.  Shared by
+    :meth:`~repro.classifiers.pipeline.HDCPipeline.top_k` and the serving
+    engine so tie-ordering and clipping can never diverge between the dense
+    and packed paths.
+    """
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    k = min(int(k), scores.shape[1])
+    order = np.argsort(-scores, axis=1, kind="stable")[:, :k]
+    return order, np.take_along_axis(scores, order, axis=1)
+
+
 class HDCClassifierBase(RngMixin, abc.ABC):
     """Abstract binary-HDC classifier operating on encoded hypervectors.
 
@@ -92,5 +108,17 @@ class HDCClassifierBase(RngMixin, abc.ABC):
         check_fitted(self, "class_hypervectors_")
         return int(self.class_hypervectors_.shape[1])
 
+    def packed_class_hypervectors(self):
+        """Export the fitted class hypervectors in bit-packed form.
 
-__all__ = ["HDCClassifierBase"]
+        Returns a :class:`~repro.hdc.packing.PackedHypervectors` holding the
+        ``(K, ceil(D/64))`` uint64 words an accelerator (or the serving
+        engine) keeps resident — the entire inference-time model.
+        """
+        check_fitted(self, "class_hypervectors_")
+        from repro.hdc.packing import pack_bipolar
+
+        return pack_bipolar(self.class_hypervectors_)
+
+
+__all__ = ["HDCClassifierBase", "top_k_from_scores"]

@@ -13,7 +13,7 @@ from typing import Optional
 
 import numpy as np
 
-from repro.classifiers.base import HDCClassifierBase
+from repro.classifiers.base import HDCClassifierBase, top_k_from_scores
 from repro.hdc.encoders import Encoder
 from repro.utils.validation import check_labels, check_matrix
 
@@ -70,6 +70,35 @@ class HDCPipeline:
         features = check_matrix(features, "features", dtype=np.float64)
         encoded = self.encoder.encode(features, batch_size=self.encode_batch_size)
         return self.classifier.predict(encoded)
+
+    def _decision_scores(self, features: np.ndarray) -> np.ndarray:
+        """Encode raw *features* and return the ``(n, K)`` decision scores."""
+        if not self._fitted:
+            raise RuntimeError("HDCPipeline is not fitted yet; call fit() first")
+        features = check_matrix(features, "features", dtype=np.float64)
+        encoded = self.encoder.encode(features, batch_size=self.encode_batch_size)
+        return self.classifier.decision_scores(encoded)
+
+    def predict_batch(self, features: np.ndarray):
+        """Predict labels and winning-class scores for a batch of raw features.
+
+        Returns ``(labels, scores)`` where ``labels`` is the ``(n,)`` argmax
+        prediction and ``scores`` the corresponding decision score (the
+        integer dot similarity for binary classifiers).  This is the batched
+        label+score surface the serving layer builds on; callers get both
+        outputs from a single encode + similarity pass.
+        """
+        scores = self._decision_scores(features)
+        labels = np.argmax(scores, axis=1)
+        return labels, scores[np.arange(scores.shape[0]), labels]
+
+    def top_k(self, features: np.ndarray, k: int = 5):
+        """The ``k`` most similar classes per sample, best first.
+
+        Returns ``(labels, scores)``, both of shape ``(n, k)``; ``k`` is
+        clipped to the number of classes.
+        """
+        return top_k_from_scores(self._decision_scores(features), k)
 
     def score(self, features: np.ndarray, labels: np.ndarray) -> float:
         """Classification accuracy on raw feature vectors."""

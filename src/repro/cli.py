@@ -11,7 +11,11 @@ regenerated without writing any Python:
   strategy comparison on one dataset;
 * ``python -m repro sweep --dataset isolet`` — the Fig.-6 dimension sweep;
 * ``python -m repro predict --model model.npz --dataset ucihar`` — load a
-  saved model and evaluate it on a dataset's test split.
+  saved model and evaluate it on a dataset's test split;
+* ``python -m repro serve --model model.npz --port 8080`` — serve saved
+  models over JSON/HTTP with micro-batched packed inference;
+* ``python -m repro bench-serve`` — the serving throughput comparison
+  (single-sample vs micro-batched, dense vs packed).
 """
 
 from __future__ import annotations
@@ -91,6 +95,35 @@ def build_parser() -> argparse.ArgumentParser:
     predict.add_argument("--dataset", default="ucihar")
     predict.add_argument("--profile", default="tiny", choices=["tiny", "small", "full"])
     predict.add_argument("--seed", type=int, default=0)
+
+    serve = subparsers.add_parser("serve", help="serve saved models over JSON/HTTP")
+    serve.add_argument(
+        "--model",
+        action="append",
+        required=True,
+        metavar="[NAME=]PATH",
+        help="saved .npz model to serve; repeatable; NAME defaults to the file stem",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8080)
+    serve.add_argument("--max-batch-size", type=int, default=64)
+    serve.add_argument("--max-wait-ms", type=float, default=2.0)
+    serve.add_argument("--workers", type=int, default=1, help="inference worker threads")
+    serve.add_argument(
+        "--max-resident", type=int, default=4, help="LRU cap on in-memory engines"
+    )
+    serve.add_argument("--verbose", action="store_true", help="log HTTP requests")
+
+    bench_serve = subparsers.add_parser(
+        "bench-serve", help="serving throughput: single vs batched, dense vs packed"
+    )
+    bench_serve.add_argument("--dimension", type=int, default=4000)
+    bench_serve.add_argument("--features", type=int, default=64)
+    bench_serve.add_argument("--classes", type=int, default=10)
+    bench_serve.add_argument("--samples", type=int, default=256)
+    bench_serve.add_argument("--batch-size", type=int, default=64)
+    bench_serve.add_argument("--concurrency", type=int, default=8)
+    bench_serve.add_argument("--seed", type=int, default=0)
 
     return parser
 
@@ -214,6 +247,60 @@ def command_predict(args) -> int:
     return 0
 
 
+def command_serve(args) -> int:  # pragma: no cover - blocking server loop
+    from repro.serve import ModelRegistry, ServeApp
+    from repro.serve.server import run_server
+
+    from pathlib import Path
+
+    registry = ModelRegistry(max_resident=args.max_resident)
+    for spec in args.model:
+        # NAME=PATH syntax; a bare PATH takes the file stem as its name.
+        name, _, path = spec.rpartition("=")
+        path = path or spec
+        try:
+            registry.register(name or Path(path).stem, path)
+        except (OSError, ValueError) as error:
+            print(f"error: cannot load model {path!r}: {error}", file=sys.stderr)
+            return 1
+    app = ServeApp(
+        registry,
+        max_batch_size=args.max_batch_size,
+        max_wait_ms=args.max_wait_ms,
+        num_workers=args.workers,
+    )
+    run_server(app, host=args.host, port=args.port, verbose=args.verbose)
+    return 0
+
+
+def command_bench_serve(args) -> int:
+    from repro.serve.bench import format_benchmark_rows, run_serving_benchmark
+
+    result = run_serving_benchmark(
+        dimension=args.dimension,
+        num_features=args.features,
+        num_classes=args.classes,
+        num_samples=args.samples,
+        batch_size=args.batch_size,
+        concurrency=args.concurrency,
+        seed=args.seed,
+    )
+    config = result["config"]
+    print(
+        format_table(
+            ["mode", "samples/s", "vs single-dense"],
+            format_benchmark_rows(result),
+            title=(
+                f"Serving throughput (D={config['dimension']}, "
+                f"batch={config['batch_size']}, K={config['num_classes']})"
+            ),
+        )
+    )
+    if result["batch_size_distribution"]:
+        print(f"scheduler batch sizes: {result['batch_size_distribution']}")
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
@@ -227,6 +314,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return command_sweep(args)
     if args.command == "predict":
         return command_predict(args)
+    if args.command == "serve":
+        return command_serve(args)
+    if args.command == "bench-serve":
+        return command_bench_serve(args)
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
 
 

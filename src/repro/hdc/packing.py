@@ -10,6 +10,7 @@ distance agrees with the dense implementation.  Packing maps ``+1 -> 1`` and
 
 from __future__ import annotations
 
+import sys
 from typing import Optional
 
 import numpy as np
@@ -19,9 +20,47 @@ from repro.hdc.hypervector import BIPOLAR_DTYPE
 _WORD_BITS = 64
 
 # Popcount lookup table for 16-bit chunks; uint64 words are split into four.
+# Only used when NumPy lacks the native ``bitwise_count`` ufunc (added in 2.0).
 _POPCOUNT_16 = np.array(
     [bin(value).count("1") for value in range(1 << 16)], dtype=np.uint8
 )
+
+_HAS_BITWISE_COUNT = hasattr(np, "bitwise_count")
+
+#: Upper bound (bytes) on the XOR scratch buffer allocated per block of the
+#: pairwise distance computation; rows of ``self`` are chunked to stay under it.
+_DISTANCE_BLOCK_BYTES = 1 << 25  # 32 MiB
+
+
+def pack_bits(bits: np.ndarray, dimension: Optional[int] = None) -> "PackedHypervectors":
+    """Pack a ``(rows, D)`` 0/1 bit matrix into uint64 words.
+
+    This is the raw packing kernel behind :func:`pack_bipolar` (bit 1 means
+    ``+1``); callers that already hold bits — e.g. the serving engine, which
+    derives them straight from the encoder's pre-sign accumulation — use it to
+    skip the dense int8 intermediate.  Entries are not validated; anything
+    non-zero counts as a set bit.
+    """
+    bits = np.atleast_2d(np.asarray(bits))
+    if dimension is None:
+        dimension = bits.shape[1]
+    if bits.dtype != np.bool_:
+        bits = bits != 0  # uint8 astype would truncate e.g. 256 or 0.5 to 0
+    padded_width = ((dimension + _WORD_BITS - 1) // _WORD_BITS) * _WORD_BITS
+    if padded_width != dimension:
+        padding = np.zeros((bits.shape[0], padded_width - dimension), dtype=bits.dtype)
+        bits = np.concatenate([bits, padding], axis=1)
+    if sys.byteorder == "little":
+        # np.packbits with little bit order followed by a native uint64 view
+        # is the C-speed path; byte k of a word holds bits 8k..8k+7, which on
+        # a little-endian host is exactly the arithmetic packing below.
+        packed_bytes = np.packbits(bits, axis=1, bitorder="little")
+        words = np.ascontiguousarray(packed_bytes).view(np.uint64)
+    else:  # pragma: no cover - big-endian hosts
+        reshaped = bits.reshape(bits.shape[0], -1, _WORD_BITS)
+        weights = (1 << np.arange(_WORD_BITS, dtype=np.uint64)).astype(np.uint64)
+        words = (reshaped.astype(np.uint64) * weights).sum(axis=2, dtype=np.uint64)
+    return PackedHypervectors(words=words, dimension=dimension)
 
 
 def pack_bipolar(hypervectors: np.ndarray) -> "PackedHypervectors":
@@ -29,19 +68,7 @@ def pack_bipolar(hypervectors: np.ndarray) -> "PackedHypervectors":
     hypervectors = np.atleast_2d(np.asarray(hypervectors))
     if not np.all(np.isin(hypervectors, (-1, 1))):
         raise ValueError("pack_bipolar expects entries in {+1, -1}")
-    dimension = hypervectors.shape[1]
-    bits = (hypervectors > 0).astype(np.uint8)
-    padded_width = ((dimension + _WORD_BITS - 1) // _WORD_BITS) * _WORD_BITS
-    if padded_width != dimension:
-        padding = np.zeros(
-            (hypervectors.shape[0], padded_width - dimension), dtype=np.uint8
-        )
-        bits = np.concatenate([bits, padding], axis=1)
-    # Pack bits little-endian within each 64-bit word.
-    reshaped = bits.reshape(hypervectors.shape[0], -1, _WORD_BITS)
-    weights = (1 << np.arange(_WORD_BITS, dtype=np.uint64)).astype(np.uint64)
-    words = (reshaped.astype(np.uint64) * weights).sum(axis=2, dtype=np.uint64)
-    return PackedHypervectors(words=words, dimension=dimension)
+    return pack_bits(hypervectors > 0, hypervectors.shape[1])
 
 
 def unpack_bipolar(packed: "PackedHypervectors") -> np.ndarray:
@@ -54,7 +81,7 @@ def unpack_bipolar(packed: "PackedHypervectors") -> np.ndarray:
     return (2 * dense - 1).astype(BIPOLAR_DTYPE)
 
 
-def _popcount(words: np.ndarray) -> np.ndarray:
+def _popcount_table(words: np.ndarray) -> np.ndarray:
     """Population count of each uint64 element via four 16-bit table lookups."""
     counts = np.zeros(words.shape, dtype=np.uint32)
     remaining = words.copy()
@@ -62,6 +89,18 @@ def _popcount(words: np.ndarray) -> np.ndarray:
         counts += _POPCOUNT_16[(remaining & np.uint64(0xFFFF)).astype(np.uint32)]
         remaining >>= np.uint64(16)
     return counts
+
+
+def _popcount(words: np.ndarray) -> np.ndarray:
+    """Population count of each uint64 element.
+
+    Uses the native ``np.bitwise_count`` ufunc when available (NumPy >= 2.0),
+    falling back to 16-bit table lookups otherwise.  Both paths return the
+    exact same integer counts.
+    """
+    if _HAS_BITWISE_COUNT:
+        return np.bitwise_count(words)
+    return _popcount_table(words)
 
 
 class PackedHypervectors:
@@ -107,11 +146,31 @@ class PackedHypervectors:
             raise ValueError(
                 f"dimension mismatch: {self.dimension} vs {other.dimension}"
             )
-        distances = np.empty((len(self), len(other)), dtype=np.float64)
-        for row_index in range(len(self)):
-            xor = np.bitwise_xor(self.words[row_index][None, :], other.words)
-            distances[row_index] = _popcount(xor).sum(axis=1)
-        return distances / float(self.dimension)
+        return self.bit_differences(other) / float(self.dimension)
+
+    def bit_differences(self, other: "PackedHypervectors") -> np.ndarray:
+        """Pairwise *raw* differing-bit counts, shape ``(len(self), len(other))``.
+
+        The whole pairwise XOR is evaluated as one broadcasted ufunc call per
+        row block (blocks bound the scratch buffer to ``_DISTANCE_BLOCK_BYTES``)
+        rather than a Python-level loop over rows, which is what makes the
+        packed path faster than the dense dot product instead of merely
+        smaller.  ``int64`` counts are returned so callers can derive the dot
+        similarity ``D - 2 * diff`` without overflow or rounding.
+        """
+        if other.dimension != self.dimension:
+            raise ValueError(
+                f"dimension mismatch: {self.dimension} vs {other.dimension}"
+            )
+        num_words = self.words.shape[1]
+        counts = np.empty((len(self), len(other)), dtype=np.int64)
+        bytes_per_row = max(1, len(other) * num_words * 8)
+        block_rows = max(1, _DISTANCE_BLOCK_BYTES // bytes_per_row)
+        for start in range(0, len(self), block_rows):
+            stop = min(start + block_rows, len(self))
+            xor = self.words[start:stop, None, :] ^ other.words[None, :, :]
+            counts[start:stop] = _popcount(xor).sum(axis=2, dtype=np.int64)
+        return counts
 
 
-__all__ = ["PackedHypervectors", "pack_bipolar", "unpack_bipolar"]
+__all__ = ["PackedHypervectors", "pack_bipolar", "pack_bits", "unpack_bipolar"]

@@ -31,6 +31,44 @@ from repro.hdc.quantize import QuantileQuantizer, UniformQuantizer
 
 FORMAT_VERSION = 1
 
+_ENCODER_KINDS = ("record", "ngram")
+
+
+def _package_version() -> str:
+    from repro import __version__
+
+    return __version__
+
+
+def _verify_metadata(metadata: dict, path: Path) -> None:
+    """Validate a loaded metadata block, raising descriptive errors.
+
+    Earlier revisions of this module silently accepted archives written by any
+    package version and deferred encoder-kind mistakes to an opaque
+    ``KeyError`` deep in reconstruction; both are now checked up front.
+    """
+    if metadata.get("format_version") != FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported model format version {metadata.get('format_version')!r} "
+            f"in {path} (this build reads format {FORMAT_VERSION})"
+        )
+    saved_version = metadata.get("package_version")
+    if saved_version is not None:
+        saved_major = str(saved_version).split(".")[0]
+        current = _package_version()
+        if saved_major != current.split(".")[0]:
+            raise ValueError(
+                f"model {path} was saved by repro {saved_version}, which is "
+                f"incompatible with the installed repro {current} "
+                "(major versions differ); re-train or convert the model"
+            )
+    encoder_kind = metadata.get("encoder_kind")
+    if encoder_kind not in _ENCODER_KINDS:
+        raise ValueError(
+            f"model {path} records unknown encoder kind {encoder_kind!r}; "
+            f"expected one of {_ENCODER_KINDS}"
+        )
+
 
 class _FrozenClassifier(BaselineHDC):
     """Inference-only carrier for loaded class hypervectors.
@@ -87,6 +125,7 @@ def save_model(
 
     metadata = {
         "format_version": FORMAT_VERSION,
+        "package_version": _package_version(),
         "strategy": strategy_name,
         "encoder_kind": "ngram" if isinstance(encoder, NGramEncoder) else "record",
         "ngram": getattr(encoder, "ngram", None),
@@ -125,10 +164,7 @@ def load_model(path: Union[str, Path]) -> HDCPipeline:
     path = Path(path)
     with np.load(path, allow_pickle=False) as archive:
         metadata = json.loads(bytes(archive["metadata_json"].tobytes()).decode("utf-8"))
-        if metadata.get("format_version") != FORMAT_VERSION:
-            raise ValueError(
-                f"unsupported model format version {metadata.get('format_version')!r}"
-            )
+        _verify_metadata(metadata, path)
         class_hypervectors = archive["class_hypervectors"]
         position_vectors = archive["position_vectors"]
         level_vectors = archive["level_vectors"]
@@ -146,6 +182,19 @@ def load_model(path: Union[str, Path]) -> HDCPipeline:
     pipeline = HDCPipeline(encoder, classifier)
     pipeline._fitted = True
     return pipeline
+
+
+def read_model_metadata(path: Union[str, Path]) -> dict:
+    """Read and verify the metadata block of a saved model without loading it.
+
+    Cheap (no array decompression beyond the metadata entry), used by the
+    serving registry to list models and by tooling that inspects artefacts.
+    """
+    path = Path(path)
+    with np.load(path, allow_pickle=False) as archive:
+        metadata = json.loads(bytes(archive["metadata_json"].tobytes()).decode("utf-8"))
+    _verify_metadata(metadata, path)
+    return metadata
 
 
 def _rebuild_encoder(metadata, position_vectors, level_vectors, quantizer_arrays) -> Encoder:
@@ -186,4 +235,4 @@ def _rebuild_encoder(metadata, position_vectors, level_vectors, quantizer_arrays
     return encoder
 
 
-__all__ = ["save_model", "load_model", "FORMAT_VERSION"]
+__all__ = ["save_model", "load_model", "read_model_metadata", "FORMAT_VERSION"]

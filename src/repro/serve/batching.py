@@ -1,0 +1,204 @@
+"""Micro-batching: coalesce single-sample requests into NumPy batches.
+
+A packed engine answers a 64-sample batch in barely more time than a single
+sample — the per-call cost is dominated by Python/NumPy dispatch, not by the
+XOR+popcount arithmetic.  :class:`BatchScheduler` exploits that: concurrent
+callers submit one sample each, a collector thread gathers whatever arrives
+within ``max_wait_ms`` (up to ``max_batch_size``), and a worker pool runs the
+engine once per coalesced batch.
+
+The design is deliberately simple and stdlib-only:
+
+* ``submit`` enqueues a request and returns a ``concurrent.futures.Future``;
+* ``predict`` / ``top_k`` are the synchronous conveniences (submit + wait);
+* one collector thread owns the queue; ``num_workers`` pool threads execute
+  engine calls, so collection never blocks behind a slow batch.
+
+The engine may be passed directly or as a zero-argument callable resolved per
+batch — the latter is how the server stays correct across registry hot-swaps.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from concurrent.futures import Future, ThreadPoolExecutor
+from typing import Callable, List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.serve.engine import PackedInferenceEngine
+from repro.serve.metrics import ModelMetrics
+
+EngineSource = Union[PackedInferenceEngine, Callable[[], PackedInferenceEngine]]
+
+
+class _Request:
+    __slots__ = ("features", "top_k", "future")
+
+    def __init__(self, features: np.ndarray, top_k: int, future: Future):
+        self.features = features
+        self.top_k = top_k
+        self.future = future
+
+
+class BatchScheduler:
+    """Queue single-sample requests and run them as coalesced batches.
+
+    Parameters
+    ----------
+    engine:
+        A :class:`PackedInferenceEngine`, or a zero-argument callable
+        returning one (resolved once per batch; enables hot-swapping).
+    max_batch_size:
+        Upper bound on samples per coalesced batch.
+    max_wait_ms:
+        How long the collector waits for more requests after the first one
+        before flushing a partial batch.
+    num_workers:
+        Pool threads executing engine calls.
+    metrics:
+        Optional :class:`ModelMetrics` receiving batch sizes and latencies.
+    """
+
+    def __init__(
+        self,
+        engine: EngineSource,
+        max_batch_size: int = 64,
+        max_wait_ms: float = 2.0,
+        num_workers: int = 1,
+        metrics: Optional[ModelMetrics] = None,
+    ):
+        if max_batch_size < 1:
+            raise ValueError(f"max_batch_size must be >= 1, got {max_batch_size}")
+        if max_wait_ms < 0:
+            raise ValueError(f"max_wait_ms must be >= 0, got {max_wait_ms}")
+        if num_workers < 1:
+            raise ValueError(f"num_workers must be >= 1, got {num_workers}")
+        self._resolve_engine = engine if callable(engine) else (lambda: engine)
+        self.max_batch_size = int(max_batch_size)
+        self.max_wait_seconds = float(max_wait_ms) / 1e3
+        self._queue: "queue.Queue[Optional[_Request]]" = queue.Queue()
+        self._executor = ThreadPoolExecutor(
+            max_workers=num_workers, thread_name_prefix="serve-batch"
+        )
+        self._metrics = metrics
+        self._closed = False
+        self._collector = threading.Thread(
+            target=self._collect_loop, name="serve-collector", daemon=True
+        )
+        self._collector.start()
+
+    # ----------------------------------------------------------------- public
+    def submit(self, features: np.ndarray, top_k: int = 1) -> Future:
+        """Enqueue one sample; the future resolves to ``(labels, scores)``.
+
+        ``labels`` and ``scores`` are 1-D arrays of length ``top_k`` (best
+        class first).  Raises ``RuntimeError`` after :meth:`stop`.
+        """
+        if self._closed:
+            raise RuntimeError("BatchScheduler is stopped")
+        features = np.asarray(features, dtype=np.float64)
+        if features.ndim != 1:
+            raise ValueError(
+                f"submit takes a single 1-D feature vector, got shape {features.shape}"
+            )
+        if top_k < 1:
+            raise ValueError(f"top_k must be >= 1, got {top_k}")
+        future: Future = Future()
+        self._queue.put(_Request(features, int(top_k), future))
+        return future
+
+    def predict(self, features: np.ndarray, timeout: Optional[float] = None) -> int:
+        """Synchronous single-sample prediction through the micro-batcher."""
+        labels, _ = self.submit(features, top_k=1).result(timeout=timeout)
+        return int(labels[0])
+
+    def top_k(
+        self, features: np.ndarray, k: int = 5, timeout: Optional[float] = None
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Synchronous single-sample top-k through the micro-batcher."""
+        return self.submit(features, top_k=k).result(timeout=timeout)
+
+    def stop(self, timeout: float = 5.0) -> None:
+        """Drain the queue, stop the collector, and shut the worker pool.
+
+        Requests already collected are executed; anything still queued when
+        the collector exits (including requests racing a concurrent
+        ``submit``) has its future failed rather than left hanging.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        self._queue.put(None)
+        self._collector.join(timeout=timeout)
+        while True:
+            try:
+                leftover = self._queue.get_nowait()
+            except queue.Empty:
+                break
+            if leftover is not None:
+                leftover.future.set_exception(
+                    RuntimeError("BatchScheduler stopped before the request ran")
+                )
+        self._executor.shutdown(wait=True)
+
+    def __enter__(self) -> "BatchScheduler":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # --------------------------------------------------------------- internals
+    def _collect_loop(self) -> None:
+        while True:
+            request = self._queue.get()
+            if request is None:
+                return
+            batch = [request]
+            deadline = time.monotonic() + self.max_wait_seconds
+            while len(batch) < self.max_batch_size:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    break
+                try:
+                    item = self._queue.get(timeout=remaining)
+                except queue.Empty:
+                    break
+                if item is None:
+                    # Shutdown requested: run what we have, then exit.
+                    self._executor.submit(self._run_batch, batch)
+                    return
+                batch.append(item)
+            self._executor.submit(self._run_batch, batch)
+
+    def _run_batch(self, batch: List[_Request]) -> None:
+        started = time.perf_counter()
+        try:
+            engine = self._resolve_engine()
+            features = np.stack([request.features for request in batch])
+            k = max(request.top_k for request in batch)
+            labels, scores = engine.top_k(features, k=k)
+        except BaseException as error:
+            # One malformed request (e.g. wrong feature width) must not poison
+            # the whole coalesced batch: re-run each request individually so
+            # only the offending callers see the error.
+            if len(batch) > 1:
+                for request in batch:
+                    self._run_batch([request])
+                return
+            if self._metrics is not None:
+                self._metrics.record_error()
+            batch[0].future.set_exception(error)
+            return
+        elapsed = time.perf_counter() - started
+        if self._metrics is not None:
+            self._metrics.record_batch(len(batch))
+            self._metrics.record_request(len(batch), elapsed)
+        for row, request in enumerate(batch):
+            k_i = min(request.top_k, labels.shape[1])
+            request.future.set_result((labels[row, :k_i], scores[row, :k_i]))
+
+
+__all__ = ["BatchScheduler"]

@@ -1,0 +1,354 @@
+"""The packed inference engine: a fitted pipeline compiled for serving.
+
+Training produces an :class:`~repro.classifiers.pipeline.HDCPipeline`; serving
+wants something flatter.  :class:`PackedInferenceEngine` does the one-time
+compilation at load time:
+
+* the classifier's ``(K, D)`` bipolar class hypervectors are bit-packed into
+  ``(K, ceil(D/64))`` uint64 words (:mod:`repro.hdc.packing`), so each query
+  is answered with XOR + popcount — the zero-overhead path the paper claims;
+* the encoder's position/level item memories are fused into a bound lookup
+  table (record encoder) or pre-permuted level codebooks (n-gram encoder), so
+  encoding a request is pure gather + accumulate with no per-request binds;
+* classifiers whose scoring is *not* the shared Hamming/dot rule (non-binary
+  centroids, the multi-model ensemble) transparently fall back to a dense
+  path that defers to the classifier's own ``decision_scores``.
+
+The engine is safe to share across threads — which is exactly how the
+batching scheduler and HTTP server use it.  The only mutable state it touches
+is the encoder's RNG (consumed for ``sgn(0)`` tie-breaks when the encoder was
+configured with ``tie_break="random"``); those draws are serialised behind an
+internal lock because ``np.random.Generator`` is not thread-safe.
+"""
+
+from __future__ import annotations
+
+import threading
+from pathlib import Path
+from typing import Optional, Tuple, Union
+
+import numpy as np
+
+from repro.classifiers.base import HDCClassifierBase, top_k_from_scores
+from repro.classifiers.pipeline import HDCPipeline
+from repro.hdc.encoders import NGramEncoder, RecordEncoder
+from repro.hdc.hypervector import BIPOLAR_DTYPE, sign_with_ties
+from repro.hdc.packing import PackedHypervectors, pack_bipolar, pack_bits
+from repro.utils.validation import check_matrix
+
+#: Largest bound-LUT the record-encoder path will materialise, in bytes
+#: (``num_features * num_levels * D`` int8 entries).  Above this the engine
+#: keeps the factored item memories and binds on the fly.
+DEFAULT_LUT_BUDGET_BYTES = 128 * 1024 * 1024
+
+
+def _uses_shared_scoring(classifier: HDCClassifierBase) -> bool:
+    """True when *classifier* scores with the base dot-similarity rule.
+
+    Strategies that override ``decision_scores`` (non-binary centroids with
+    cosine scoring, the multi-model ensemble) cannot be reproduced by XOR +
+    popcount over the majority-vote class hypervectors, so they take the
+    dense fallback.
+    """
+    return type(classifier).decision_scores is HDCClassifierBase.decision_scores
+
+
+class _RecordAccumulator:
+    """Pre-sign accumulation for :class:`RecordEncoder` with a fused LUT.
+
+    ``lut[i, l] = position[i] * level[l]`` collapses the bind into a gather:
+    a batch accumulates as one fancy-indexed gather over the flattened
+    ``(N * L, D)`` table followed by a single C-level reduction, chunked over
+    features so the int8 scratch stays within ``_SCRATCH_BYTES`` and the
+    per-chunk partial sums fit int16 (a chunk contributes at most ±chunk per
+    dimension).  When the LUT itself would exceed the byte budget the
+    factored form is kept (one gather + one multiply per feature), with the
+    int32 casts hoisted out of the request path.
+    """
+
+    _SCRATCH_BYTES = 32 * 1024 * 1024
+
+    def __init__(self, encoder: RecordEncoder, lut_budget_bytes: int):
+        positions = encoder.position_memory.vectors
+        levels = encoder.level_memory.vectors
+        num_features, dimension = positions.shape
+        num_levels = levels.shape[0]
+        lut_bytes = num_features * num_levels * dimension
+        if lut_bytes <= lut_budget_bytes:
+            lut = positions[:, None, :].astype(np.int8) * levels[None, :, :]
+            self._flat_lut = lut.reshape(num_features * num_levels, dimension)
+            self._row_offsets = (
+                np.arange(num_features, dtype=np.int64) * num_levels
+            )
+            self._positions = None
+            self._levels = None
+            self.table_bytes = self._flat_lut.nbytes
+        else:
+            self._flat_lut = None
+            self._row_offsets = None
+            self._positions = positions.astype(np.int32)
+            self._levels = levels.astype(np.int32)
+            self.table_bytes = self._positions.nbytes + self._levels.nbytes
+        self._dimension = dimension
+
+    def __call__(self, level_indices: np.ndarray) -> np.ndarray:
+        batch, num_features = level_indices.shape
+        accumulated = np.zeros((batch, self._dimension), dtype=np.int32)
+        if self._flat_lut is not None:
+            chunk = max(1, self._SCRATCH_BYTES // max(1, batch * self._dimension))
+            chunk = min(chunk, 32767)  # int16 partial-sum headroom
+            rows = level_indices + self._row_offsets
+            for start in range(0, num_features, chunk):
+                gathered = self._flat_lut[rows[:, start : start + chunk]]
+                accumulated += gathered.sum(axis=1, dtype=np.int16)
+            return accumulated
+        for feature_index in range(num_features):
+            accumulated += (
+                self._positions[feature_index]
+                * self._levels[level_indices[:, feature_index]]
+            )
+        return accumulated
+
+
+class _NGramAccumulator:
+    """Pre-sign accumulation for :class:`NGramEncoder` with hoisted codebooks.
+
+    The encoder re-permutes the level codebook on every ``encode`` call; here
+    the ``ngram`` permuted copies are built once at engine-load time.
+    """
+
+    def __init__(self, encoder: NGramEncoder):
+        level_vectors = encoder.level_memory.vectors.astype(np.int32)
+        self._ngram = encoder.ngram
+        self._codebooks = [
+            np.roll(level_vectors, offset, axis=1) for offset in range(self._ngram)
+        ]
+        self._dimension = level_vectors.shape[1]
+        self.table_bytes = sum(book.nbytes for book in self._codebooks)
+
+    def __call__(self, level_indices: np.ndarray) -> np.ndarray:
+        batch, num_features = level_indices.shape
+        accumulated = np.zeros((batch, self._dimension), dtype=np.int32)
+        for start in range(num_features - self._ngram + 1):
+            gram = self._codebooks[0][level_indices[:, start]].copy()
+            for offset in range(1, self._ngram):
+                gram *= self._codebooks[offset][level_indices[:, start + offset]]
+            accumulated += gram
+        return accumulated
+
+
+class PackedInferenceEngine:
+    """A fitted :class:`HDCPipeline` compiled for high-throughput inference.
+
+    Parameters
+    ----------
+    pipeline:
+        A fitted pipeline (trained in-process or loaded via
+        :func:`repro.io.load_model`).
+    name:
+        Display name used in registry listings and metrics.
+    mode:
+        ``"auto"`` (default) picks the packed XOR+popcount path whenever the
+        classifier uses the shared dot-similarity scoring and the dense
+        fallback otherwise; ``"packed"`` / ``"dense"`` force a path
+        (forcing ``"packed"`` on an incompatible classifier raises).
+    metadata:
+        Optional JSON-serialisable dictionary carried through to
+        :meth:`info` (the registry stores the saved-model metadata here).
+    lut_budget_bytes:
+        Byte cap for the record encoder's fused bind LUT.
+    """
+
+    def __init__(
+        self,
+        pipeline: HDCPipeline,
+        name: str = "model",
+        mode: str = "auto",
+        metadata: Optional[dict] = None,
+        lut_budget_bytes: int = DEFAULT_LUT_BUDGET_BYTES,
+    ):
+        if mode not in ("auto", "packed", "dense"):
+            raise ValueError(f"mode must be 'auto', 'packed' or 'dense', got {mode!r}")
+        if not getattr(pipeline, "_fitted", False):
+            raise ValueError("the pipeline must be fitted before it can be served")
+        classifier = pipeline.classifier
+        if classifier.class_hypervectors_ is None:
+            raise ValueError("the pipeline's classifier has no class hypervectors")
+
+        self.name = str(name)
+        self.pipeline = pipeline
+        self.encoder = pipeline.encoder
+        self.classifier = classifier
+        self.metadata = dict(metadata or {})
+        self.dimension = int(classifier.class_hypervectors_.shape[1])
+        self.num_classes = int(classifier.class_hypervectors_.shape[0])
+
+        shared_scoring = _uses_shared_scoring(classifier)
+        if mode == "auto":
+            mode = "packed" if shared_scoring else "dense"
+        elif mode == "packed" and not shared_scoring:
+            raise ValueError(
+                f"classifier {type(classifier).__name__} overrides decision_scores; "
+                "its scoring cannot be reproduced by the packed path "
+                "(use mode='auto' or mode='dense')"
+            )
+        self.mode = mode
+
+        self._packed_classes: Optional[PackedHypervectors] = None
+        if mode == "packed":
+            self._packed_classes = pack_bipolar(classifier.class_hypervectors_)
+        # np.random.Generator is not thread-safe; tie-break draws (the only
+        # RNG consumption on the request path) are serialised behind this.
+        self._rng_lock = threading.Lock()
+
+        if isinstance(self.encoder, NGramEncoder):
+            self._accumulate = _NGramAccumulator(self.encoder)
+        elif isinstance(self.encoder, RecordEncoder):
+            self._accumulate = _RecordAccumulator(self.encoder, lut_budget_bytes)
+        else:  # pragma: no cover - future encoders fall back to encoder.encode
+            self._accumulate = None
+
+    # ------------------------------------------------------------ constructors
+    @classmethod
+    def from_file(
+        cls, path: Union[str, Path], name: Optional[str] = None, **kwargs
+    ) -> "PackedInferenceEngine":
+        """Load a model saved with :func:`repro.io.save_model` and compile it."""
+        from repro.io import load_model, read_model_metadata
+
+        path = Path(path)
+        metadata = read_model_metadata(path)
+        pipeline = load_model(path)
+        return cls(
+            pipeline,
+            name=name or path.stem,
+            metadata=metadata,
+            **kwargs,
+        )
+
+    # ---------------------------------------------------------------- encoding
+    def _raw_accumulation(self, features: np.ndarray) -> np.ndarray:
+        """The encoder's pre-sign integer accumulation via the fused tables."""
+        level_indices = self.encoder._quantizer.transform(features)
+        return self._accumulate(level_indices)
+
+    def encode(self, features: np.ndarray) -> np.ndarray:
+        """Encode raw features to bipolar hypervectors via the fused tables.
+
+        Bit-identical to ``self.encoder.encode`` (the pre-sign accumulation is
+        always identical; the ``sgn(0)`` tie-break follows the encoder's
+        configuration, so deterministic — ``tie_break="positive"`` — encoders
+        match exactly).
+        """
+        features = check_matrix(
+            features, "features", dtype=np.float64, n_columns=self.encoder.num_features
+        )
+        if self._accumulate is None:  # pragma: no cover - future encoders
+            with self._rng_lock:
+                return self.encoder.encode(features)
+        raw = self._raw_accumulation(features)
+        with self._rng_lock:
+            return sign_with_ties(
+                raw, rng=self.encoder.rng, tie_break=self.encoder.tie_break
+            ).astype(BIPOLAR_DTYPE)
+
+    def _encode_packed(self, features: np.ndarray) -> PackedHypervectors:
+        """Encode straight to packed words, skipping the dense intermediate.
+
+        The sign of the raw accumulation *is* the packed bit, so the int8
+        hypervector matrix never needs to exist: bits are derived from the
+        int32 accumulation and packed with the C-speed ``np.packbits`` kernel.
+        Tie bits replicate :func:`sign_with_ties` (same RNG draws, same
+        mapping), keeping this path bit-identical to ``pack(encode(x))``.
+        """
+        features = check_matrix(
+            features, "features", dtype=np.float64, n_columns=self.encoder.num_features
+        )
+        if self._accumulate is None:  # pragma: no cover - future encoders
+            with self._rng_lock:
+                return pack_bipolar(self.encoder.encode(features))
+        raw = self._raw_accumulation(features)
+        bits = raw > 0
+        zeros = raw == 0
+        if np.any(zeros):
+            if self.encoder.tie_break == "positive":
+                bits |= zeros
+            else:
+                with self._rng_lock:
+                    draws = self.encoder.rng.integers(
+                        0, 2, size=int(zeros.sum()), dtype=np.int8
+                    )
+                bits[zeros] = draws == 1
+        return pack_bits(bits, self.dimension)
+
+    # --------------------------------------------------------------- inference
+    def decision_scores(self, features: np.ndarray) -> np.ndarray:
+        """``(n, K)`` class scores; higher is more similar.
+
+        Packed mode returns the integer dot similarity ``D - 2 * hamming_bits``
+        computed entirely over packed words; dense mode defers to the
+        classifier's own scoring rule.
+        """
+        if self.mode == "packed":
+            packed_queries = self._encode_packed(features)
+            differences = packed_queries.bit_differences(self._packed_classes)
+            return (self.dimension - 2 * differences).astype(np.int64)
+        return self.classifier.decision_scores(self.encode(features))
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        """Predict integer class labels for a batch of raw feature rows."""
+        return np.argmax(self.decision_scores(features), axis=1)
+
+    def predict_proba(self, features: np.ndarray) -> np.ndarray:
+        """Softmax class probabilities over cosine-normalised scores.
+
+        Packed scores are divided by ``D`` (mapping the integer dot similarity
+        onto cosine similarity in ``[-1, 1]``) so binary and dense models
+        yield comparable distributions; the softmax temperature of 0.1 keeps
+        the output informative rather than saturated.
+        """
+        scores = np.asarray(self.decision_scores(features), dtype=np.float64)
+        if self.mode == "packed":
+            scores = scores / float(self.dimension)
+        scaled = scores / 0.1
+        scaled -= scaled.max(axis=1, keepdims=True)
+        exponentials = np.exp(scaled)
+        return exponentials / exponentials.sum(axis=1, keepdims=True)
+
+    def top_k(self, features: np.ndarray, k: int = 5) -> Tuple[np.ndarray, np.ndarray]:
+        """The ``k`` best classes per sample, best first.
+
+        Returns ``(labels, scores)``, both ``(n, k)``; ``k`` is clipped to the
+        number of classes.
+        """
+        return top_k_from_scores(self.decision_scores(features), k)
+
+    # ------------------------------------------------------------------- misc
+    def warmup(self) -> None:
+        """Run one dummy prediction so first-request latency excludes JIT-ish
+        costs (NumPy buffer allocation, LUT page-in)."""
+        dummy = np.zeros((1, self.encoder.num_features), dtype=np.float64)
+        self.predict(dummy)
+
+    @property
+    def packed_storage_bytes(self) -> int:
+        """Bytes of packed class-hypervector storage (0 in dense mode)."""
+        return self._packed_classes.storage_bytes if self._packed_classes else 0
+
+    def info(self) -> dict:
+        """JSON-ready description used by ``GET /v1/models``."""
+        return {
+            "name": self.name,
+            "mode": self.mode,
+            "dimension": self.dimension,
+            "num_classes": self.num_classes,
+            "num_features": self.encoder.num_features,
+            "encoder": type(self.encoder).__name__,
+            "classifier": type(self.classifier).__name__,
+            "packed_storage_bytes": self.packed_storage_bytes,
+            "table_bytes": getattr(self._accumulate, "table_bytes", 0),
+            "metadata": self.metadata,
+        }
+
+
+__all__ = ["PackedInferenceEngine", "DEFAULT_LUT_BUDGET_BYTES"]

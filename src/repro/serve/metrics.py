@@ -1,0 +1,185 @@
+"""Serving metrics: per-model counters, latency histograms, batch-size stats.
+
+Everything here is pure stdlib + NumPy-free on the hot path (recording a
+latency is two dict updates under a lock), so the metrics layer never competes
+with the inference kernels it is measuring.  Snapshots are plain dictionaries
+ready for ``json.dumps`` — that is what ``GET /v1/metrics`` returns — and the
+same objects are reused by the serving benchmark to report percentiles.
+"""
+
+from __future__ import annotations
+
+import bisect
+import threading
+from typing import Dict, List, Optional, Sequence
+
+#: Default latency bucket upper bounds in seconds: log-spaced from 50 µs to
+#: 20 s, which brackets everything from a packed single-sample lookup to a
+#: cold full-batch encode on a slow machine.
+_DEFAULT_BOUNDS = tuple(
+    round(base * scale, 9)
+    for scale in (1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0)
+    for base in (5.0, 10.0, 20.0)
+)
+
+
+class LatencyHistogram:
+    """A fixed-bucket histogram with approximate percentile queries.
+
+    Parameters
+    ----------
+    bounds:
+        Increasing bucket upper bounds in seconds.  Observations above the
+        last bound land in an overflow bucket whose reported value is the
+        largest observation seen.
+    """
+
+    def __init__(self, bounds: Sequence[float] = _DEFAULT_BOUNDS):
+        bounds = tuple(float(b) for b in bounds)
+        if list(bounds) != sorted(set(bounds)):
+            raise ValueError("bounds must be strictly increasing")
+        if not bounds:
+            raise ValueError("at least one bucket bound is required")
+        self._bounds = bounds
+        self._counts = [0] * (len(bounds) + 1)
+        self._count = 0
+        self._total = 0.0
+        self._max = 0.0
+        self._lock = threading.Lock()
+
+    def record(self, seconds: float) -> None:
+        """Record one observation (in seconds)."""
+        seconds = float(seconds)
+        index = bisect.bisect_left(self._bounds, seconds)
+        with self._lock:
+            self._counts[index] += 1
+            self._count += 1
+            self._total += seconds
+            if seconds > self._max:
+                self._max = seconds
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def mean(self) -> float:
+        """Mean observed latency in seconds (0.0 when empty)."""
+        with self._lock:
+            return self._total / self._count if self._count else 0.0
+
+    def percentile(self, p: float) -> float:
+        """Approximate *p*-th percentile in seconds (bucket upper bound).
+
+        The estimate is the upper bound of the bucket containing the
+        percentile rank; the overflow bucket reports the maximum observation.
+        Returns 0.0 when nothing has been recorded.
+        """
+        if not 0.0 <= p <= 100.0:
+            raise ValueError(f"p must be in [0, 100], got {p}")
+        with self._lock:
+            if self._count == 0:
+                return 0.0
+            rank = p / 100.0 * self._count
+            cumulative = 0
+            for index, bucket_count in enumerate(self._counts):
+                cumulative += bucket_count
+                if cumulative >= rank and bucket_count:
+                    if index < len(self._bounds):
+                        return self._bounds[index]
+                    return self._max
+            return self._max
+
+    def snapshot(self) -> Dict[str, float]:
+        """Summary dictionary with millisecond-denominated statistics."""
+        return {
+            "count": self._count,
+            "mean_ms": self.mean * 1e3,
+            "p50_ms": self.percentile(50) * 1e3,
+            "p95_ms": self.percentile(95) * 1e3,
+            "p99_ms": self.percentile(99) * 1e3,
+            "max_ms": self._max * 1e3,
+        }
+
+
+class ModelMetrics:
+    """Counters and histograms for one served model."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.requests = 0
+        self.samples = 0
+        self.errors = 0
+        self.latency = LatencyHistogram()
+        self._batch_sizes: Dict[int, int] = {}
+
+    def record_request(self, num_samples: int, seconds: float) -> None:
+        """Record one successful inference call over *num_samples* samples."""
+        self.latency.record(seconds)
+        with self._lock:
+            self.requests += 1
+            self.samples += int(num_samples)
+
+    def record_batch(self, batch_size: int) -> None:
+        """Record the size of one coalesced micro-batch."""
+        batch_size = int(batch_size)
+        with self._lock:
+            self._batch_sizes[batch_size] = self._batch_sizes.get(batch_size, 0) + 1
+
+    def record_error(self) -> None:
+        with self._lock:
+            self.errors += 1
+
+    @property
+    def batch_size_distribution(self) -> Dict[int, int]:
+        with self._lock:
+            return dict(sorted(self._batch_sizes.items()))
+
+    def snapshot(self) -> Dict[str, object]:
+        batches = self.batch_size_distribution
+        total_batches = sum(batches.values())
+        batched_samples = sum(size * count for size, count in batches.items())
+        return {
+            "requests": self.requests,
+            "samples": self.samples,
+            "errors": self.errors,
+            "latency": self.latency.snapshot(),
+            "batches": total_batches,
+            "mean_batch_size": (
+                batched_samples / total_batches if total_batches else 0.0
+            ),
+            "batch_size_distribution": {
+                str(size): count for size, count in batches.items()
+            },
+        }
+
+
+class MetricsRegistry:
+    """Thread-safe name → :class:`ModelMetrics` map for the whole server."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._models: Dict[str, ModelMetrics] = {}
+
+    def for_model(self, name: str) -> ModelMetrics:
+        """Return (creating on first use) the metrics of model *name*."""
+        with self._lock:
+            metrics = self._models.get(name)
+            if metrics is None:
+                metrics = self._models[name] = ModelMetrics()
+            return metrics
+
+    def model_names(self) -> List[str]:
+        with self._lock:
+            return sorted(self._models)
+
+    def snapshot(self) -> Dict[str, object]:
+        """JSON-ready snapshot of every model's metrics."""
+        with self._lock:
+            models = dict(self._models)
+        return {
+            "models": {name: metrics.snapshot() for name, metrics in models.items()}
+        }
+
+
+__all__ = ["LatencyHistogram", "ModelMetrics", "MetricsRegistry"]

@@ -1,0 +1,278 @@
+"""Stdlib-only JSON-over-HTTP serving front-end.
+
+No web framework: ``http.server.ThreadingHTTPServer`` gives one thread per
+connection, which is all the concurrency the micro-batcher needs — concurrent
+``POST /v1/predict`` requests each block in their handler thread while the
+:class:`~repro.serve.batching.BatchScheduler` coalesces their samples into one
+engine call.
+
+Routes
+------
+``GET  /v1/healthz``  liveness + model count;
+``GET  /v1/models``   registry listing (every registered version);
+``GET  /v1/metrics``  per-model counters and latency percentiles;
+``POST /v1/predict``  body ``{"model": name?, "features": [...], "top_k": k?}``
+                      — a 1-D ``features`` list is one sample and goes through
+                      the micro-batcher; a 2-D list is a client-side batch and
+                      runs directly on the engine.
+
+Example::
+
+    curl -s localhost:8080/v1/predict \\
+      -d '{"features": [0.1, 0.2, 0.3, 0.4]}'
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.serve.batching import BatchScheduler
+from repro.serve.metrics import MetricsRegistry
+from repro.serve.registry import ModelRegistry
+
+
+class RequestError(Exception):
+    """A client error carrying an HTTP status code."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(message)
+        self.status = status
+
+
+class ServeApp:
+    """The serving application: registry + metrics + per-model schedulers.
+
+    Parameters
+    ----------
+    registry:
+        The :class:`ModelRegistry` to resolve model names against.
+    metrics:
+        Optional shared :class:`MetricsRegistry` (created when omitted).
+    max_batch_size / max_wait_ms / num_workers:
+        Micro-batching configuration applied to every model's scheduler.
+    """
+
+    def __init__(
+        self,
+        registry: ModelRegistry,
+        metrics: Optional[MetricsRegistry] = None,
+        max_batch_size: int = 64,
+        max_wait_ms: float = 2.0,
+        num_workers: int = 1,
+    ):
+        self.registry = registry
+        self.metrics = metrics or MetricsRegistry()
+        self._batch_config = dict(
+            max_batch_size=max_batch_size,
+            max_wait_ms=max_wait_ms,
+            num_workers=num_workers,
+        )
+        self._schedulers: Dict[str, BatchScheduler] = {}
+        self._lock = threading.Lock()
+
+    # ----------------------------------------------------------------- routes
+    def healthz(self) -> dict:
+        return {"status": "ok", "models": len(self.registry.names())}
+
+    def models(self) -> dict:
+        return {"models": self.registry.list_models()}
+
+    def metrics_snapshot(self) -> dict:
+        return self.metrics.snapshot()
+
+    def predict(self, payload: dict) -> dict:
+        """Handle one ``POST /v1/predict`` payload."""
+        if not isinstance(payload, dict):
+            raise RequestError(400, "request body must be a JSON object")
+        name = payload.get("model")
+        if name is None:
+            names = self.registry.names()
+            if len(names) != 1:
+                raise RequestError(
+                    400,
+                    "the 'model' field is required when "
+                    f"{len(names)} models are registered",
+                )
+            name = names[0]
+        if name not in self.registry:
+            raise RequestError(404, f"unknown model {name!r}")
+        top_k = payload.get("top_k", 1)
+        if not isinstance(top_k, int) or isinstance(top_k, bool) or top_k < 1:
+            raise RequestError(400, "'top_k' must be a positive integer")
+        try:
+            features = np.asarray(payload["features"], dtype=np.float64)
+        except KeyError:
+            raise RequestError(400, "the 'features' field is required")
+        except (TypeError, ValueError):
+            raise RequestError(400, "'features' must be a numeric array")
+
+        started = time.perf_counter()
+        model_metrics = self.metrics.for_model(name)
+        try:
+            if features.ndim == 1:
+                labels, scores = self.scheduler_for(name).top_k(features, k=top_k)
+                labels, scores = labels[None, :], scores[None, :]
+                batched = True
+            elif features.ndim == 2:
+                engine = self.registry.get(name)
+                labels, scores = engine.top_k(features, k=top_k)
+                batched = False
+            else:
+                raise RequestError(
+                    400, f"'features' must be 1-D or 2-D, got {features.ndim}-D"
+                )
+        except RequestError:
+            model_metrics.record_error()
+            raise
+        except ValueError as error:
+            model_metrics.record_error()
+            raise RequestError(400, str(error))
+        elapsed = time.perf_counter() - started
+        # Scheduler batches already record engine latency; the request-level
+        # numbers below include queueing, which is what callers experience.
+        if not batched:
+            model_metrics.record_request(features.shape[0], elapsed)
+
+        response = {
+            "model": name,
+            "labels": [int(row[0]) for row in labels],
+            "latency_ms": elapsed * 1e3,
+        }
+        if top_k > 1:
+            response["top_k_labels"] = labels.astype(int).tolist()
+            response["top_k_scores"] = scores.astype(float).tolist()
+        else:
+            response["scores"] = [float(row[0]) for row in scores]
+        return response
+
+    # ------------------------------------------------------------- schedulers
+    def scheduler_for(self, name: str) -> BatchScheduler:
+        """The (lazily created) micro-batch scheduler for model *name*."""
+        with self._lock:
+            scheduler = self._schedulers.get(name)
+            if scheduler is None:
+                scheduler = BatchScheduler(
+                    self.registry.resolver(name),
+                    metrics=self.metrics.for_model(name),
+                    **self._batch_config,
+                )
+                self._schedulers[name] = scheduler
+            return scheduler
+
+    def close(self) -> None:
+        """Stop every scheduler (flushes pending requests)."""
+        with self._lock:
+            schedulers, self._schedulers = list(self._schedulers.values()), {}
+        for scheduler in schedulers:
+            scheduler.stop()
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Routes HTTP requests to the :class:`ServeApp` on ``self.server.app``."""
+
+    protocol_version = "HTTP/1.1"
+    #: Maximum accepted request body (guards against unbounded reads).
+    max_body_bytes = 64 * 1024 * 1024
+
+    @property
+    def app(self) -> ServeApp:
+        return self.server.app  # type: ignore[attr-defined]
+
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        if getattr(self.server, "verbose", False):  # pragma: no cover
+            super().log_message(format, *args)
+
+    # ------------------------------------------------------------------ verbs
+    def do_GET(self) -> None:  # noqa: N802 - stdlib naming
+        try:
+            if self.path == "/v1/healthz":
+                self._send_json(200, self.app.healthz())
+            elif self.path == "/v1/models":
+                self._send_json(200, self.app.models())
+            elif self.path == "/v1/metrics":
+                self._send_json(200, self.app.metrics_snapshot())
+            else:
+                self._send_json(404, {"error": f"no route {self.path!r}"})
+        except Exception as error:  # pragma: no cover - defensive
+            self._send_json(500, {"error": str(error)})
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib naming
+        try:
+            if self.path != "/v1/predict":
+                raise RequestError(404, f"no route {self.path!r}")
+            payload = self._read_json()
+            self._send_json(200, self.app.predict(payload))
+        except RequestError as error:
+            self._send_json(error.status, {"error": str(error)})
+        except Exception as error:  # pragma: no cover - defensive
+            self._send_json(500, {"error": str(error)})
+
+    # ---------------------------------------------------------------- helpers
+    def _read_json(self) -> dict:
+        length = int(self.headers.get("Content-Length", 0))
+        if length <= 0:
+            raise RequestError(400, "a JSON request body is required")
+        if length > self.max_body_bytes:
+            raise RequestError(413, "request body too large")
+        body = self.rfile.read(length)
+        try:
+            return json.loads(body)
+        except json.JSONDecodeError as error:
+            raise RequestError(400, f"invalid JSON body: {error}")
+
+    def _send_json(self, status: int, payload: dict) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        if status >= 400:
+            # The request body may not have been (fully) read on error paths;
+            # on a keep-alive connection the leftover bytes would be parsed as
+            # the next request line, so drop the connection instead.
+            self.send_header("Connection", "close")
+            self.close_connection = True
+        self.end_headers()
+        self.wfile.write(body)
+
+
+def create_server(
+    app: ServeApp, host: str = "127.0.0.1", port: int = 8080, verbose: bool = False
+) -> ThreadingHTTPServer:
+    """Build (but do not start) the HTTP server bound to ``host:port``.
+
+    Pass ``port=0`` to bind an ephemeral port (``server.server_address[1]``
+    reports the one chosen) — the integration tests rely on this.
+    """
+    server = ThreadingHTTPServer((host, port), _Handler)
+    server.app = app  # type: ignore[attr-defined]
+    server.verbose = verbose  # type: ignore[attr-defined]
+    server.daemon_threads = True
+    return server
+
+
+def run_server(
+    app: ServeApp, host: str = "127.0.0.1", port: int = 8080, verbose: bool = False
+) -> None:  # pragma: no cover - blocking loop, exercised manually / by CLI
+    """Run the server until interrupted, then flush schedulers."""
+    server = create_server(app, host=host, port=port, verbose=verbose)
+    bound_host, bound_port = server.server_address[:2]
+    print(f"repro.serve listening on http://{bound_host}:{bound_port}")
+    for row in app.registry.list_models():
+        marker = "*" if row["default"] else " "
+        print(f"  {marker} {row['name']} v{row['version']} ({row['strategy']})")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+        app.close()
+
+
+__all__ = ["ServeApp", "RequestError", "create_server", "run_server"]

@@ -1,0 +1,186 @@
+"""Integration test: the HTTP serving front-end round-trips real requests.
+
+Starts the stdlib server on an ephemeral port, registers a model trained and
+saved through the normal pipeline/io path, and checks every route — in
+particular that ``POST /v1/predict`` returns the same labels as the offline
+``pipeline.predict`` for the same model.
+"""
+
+import json
+import threading
+import urllib.error
+import urllib.request
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+import pytest
+
+from repro.classifiers.baseline import BaselineHDC
+from repro.classifiers.pipeline import HDCPipeline
+from repro.hdc.encoders import RecordEncoder
+from repro.io import save_model
+from repro.serve import ModelRegistry, ServeApp, create_server
+
+
+@pytest.fixture(scope="module")
+def served(small_problem, tmp_path_factory):
+    """A running server (ephemeral port) fronting one saved model."""
+    encoder = RecordEncoder(dimension=512, num_levels=8, tie_break="positive", seed=0)
+    pipeline = HDCPipeline(encoder, BaselineHDC(seed=0))
+    pipeline.fit(small_problem["train_features"], small_problem["train_labels"])
+    path = save_model(
+        tmp_path_factory.mktemp("serve") / "har.npz", pipeline, strategy_name="baseline"
+    )
+
+    registry = ModelRegistry()
+    registry.register("har", path)
+    app = ServeApp(registry, max_batch_size=16, max_wait_ms=2.0)
+    server = create_server(app, port=0)
+    port = server.server_address[1]
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    yield {"port": port, "pipeline": pipeline}
+    server.shutdown()
+    server.server_close()
+    app.close()
+
+
+def _get(port, route):
+    with urllib.request.urlopen(f"http://127.0.0.1:{port}{route}", timeout=10) as response:
+        return response.status, json.loads(response.read())
+
+
+def _post(port, route, payload):
+    request = urllib.request.Request(
+        f"http://127.0.0.1:{port}{route}",
+        data=json.dumps(payload).encode("utf-8"),
+        headers={"Content-Type": "application/json"},
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=10) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read())
+
+
+class TestRoutes:
+    def test_healthz(self, served):
+        status, body = _get(served["port"], "/v1/healthz")
+        assert status == 200
+        assert body == {"status": "ok", "models": 1}
+
+    def test_models_listing(self, served):
+        status, body = _get(served["port"], "/v1/models")
+        assert status == 200
+        (row,) = body["models"]
+        assert row["name"] == "har"
+        assert row["strategy"] == "baseline"
+
+    def test_unknown_route_404(self, served):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _get(served["port"], "/v1/nonsense")
+        assert excinfo.value.code == 404
+
+
+class TestPredict:
+    def test_single_sample_matches_offline_pipeline(self, served, small_problem):
+        row = small_problem["test_features"][0]
+        status, body = _post(served["port"], "/v1/predict", {"features": row.tolist()})
+        assert status == 200
+        expected = int(served["pipeline"].predict(row)[0])
+        assert body["labels"] == [expected]
+        assert body["model"] == "har"
+        assert body["latency_ms"] > 0
+
+    def test_client_batch_matches_offline_pipeline(self, served, small_problem):
+        batch = small_problem["test_features"][:10]
+        status, body = _post(
+            served["port"], "/v1/predict", {"model": "har", "features": batch.tolist()}
+        )
+        assert status == 200
+        np.testing.assert_array_equal(
+            body["labels"], served["pipeline"].predict(batch)
+        )
+
+    def test_top_k_payload(self, served, small_problem):
+        row = small_problem["test_features"][0]
+        status, body = _post(
+            served["port"], "/v1/predict", {"features": row.tolist(), "top_k": 3}
+        )
+        assert status == 200
+        assert len(body["top_k_labels"][0]) == 3
+        assert len(body["top_k_scores"][0]) == 3
+        assert body["top_k_labels"][0][0] == body["labels"][0]
+
+    def test_concurrent_requests_all_correct(self, served, small_problem):
+        queries = small_problem["test_features"][:24]
+        expected = served["pipeline"].predict(queries)
+
+        def call(row):
+            _, body = _post(served["port"], "/v1/predict", {"features": row.tolist()})
+            return body["labels"][0]
+
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            got = list(pool.map(call, queries))
+        np.testing.assert_array_equal(got, expected)
+
+    def test_metrics_populated_after_traffic(self, served):
+        status, body = _get(served["port"], "/v1/metrics")
+        assert status == 200
+        model = body["models"]["har"]
+        assert model["requests"] > 0
+        assert model["latency"]["count"] > 0
+
+
+class TestPredictErrors:
+    def test_missing_features_400(self, served):
+        status, body = _post(served["port"], "/v1/predict", {"model": "har"})
+        assert status == 400
+        assert "features" in body["error"]
+
+    def test_unknown_model_404(self, served, small_problem):
+        row = small_problem["test_features"][0]
+        status, body = _post(
+            served["port"], "/v1/predict", {"model": "nope", "features": row.tolist()}
+        )
+        assert status == 404
+
+    def test_wrong_feature_width_400(self, served):
+        status, body = _post(served["port"], "/v1/predict", {"features": [1.0, 2.0]})
+        assert status == 400
+
+    def test_bad_top_k_400(self, served, small_problem):
+        row = small_problem["test_features"][0]
+        status, _ = _post(
+            served["port"], "/v1/predict", {"features": row.tolist(), "top_k": 0}
+        )
+        assert status == 400
+
+    def test_error_responses_close_keepalive_connection(self, served):
+        # Error paths may leave an unread body on a persistent connection;
+        # the server must signal Connection: close so the client cannot
+        # misparse the leftover bytes as the next request.
+        import http.client
+
+        connection = http.client.HTTPConnection("127.0.0.1", served["port"], timeout=10)
+        try:
+            connection.request(
+                "POST", "/v1/predict", body=b"not json",
+                headers={"Content-Type": "application/json"},
+            )
+            response = connection.getresponse()
+            assert response.status == 400
+            assert response.getheader("Connection") == "close"
+            response.read()
+        finally:
+            connection.close()
+
+    def test_invalid_json_400(self, served):
+        request = urllib.request.Request(
+            f"http://127.0.0.1:{served['port']}/v1/predict",
+            data=b"not json",
+            headers={"Content-Type": "application/json"},
+        )
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request, timeout=10)
+        assert excinfo.value.code == 400

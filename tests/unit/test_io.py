@@ -8,7 +8,7 @@ from repro.classifiers.pipeline import HDCPipeline
 from repro.core.configs import LeHDCConfig
 from repro.core.lehdc import LeHDCClassifier
 from repro.hdc.encoders import NGramEncoder, RecordEncoder
-from repro.io import load_model, save_model
+from repro.io import load_model, read_model_metadata, save_model
 
 
 def make_fitted_pipeline(small_problem, classifier=None, encoder=None):
@@ -80,6 +80,76 @@ class TestSaveLoadRoundtrip:
         reloaded = load_model(path)
         assert reloaded.encoder.dimension == 512
         assert reloaded.classifier.num_classes_ == small_problem["num_classes"]
+
+
+def _rewrite_metadata(path, destination, **updates):
+    """Copy a saved model, mutating its metadata block."""
+    import json
+
+    with np.load(path) as archive:
+        arrays = {key: archive[key] for key in archive.files}
+    metadata = json.loads(bytes(arrays["metadata_json"].tobytes()).decode("utf-8"))
+    metadata.update(updates)
+    arrays["metadata_json"] = np.frombuffer(
+        json.dumps(metadata).encode("utf-8"), dtype=np.uint8
+    )
+    np.savez_compressed(destination, **arrays)
+    return destination
+
+
+class TestMetadataVerification:
+    def test_package_version_recorded(self, small_problem, tmp_path):
+        from repro import __version__
+
+        pipeline = make_fitted_pipeline(small_problem)
+        path = save_model(tmp_path / "m.npz", pipeline)
+        assert read_model_metadata(path)["package_version"] == __version__
+
+    def test_read_model_metadata_cheap_fields(self, small_problem, tmp_path):
+        pipeline = make_fitted_pipeline(small_problem)
+        path = save_model(tmp_path / "m.npz", pipeline, strategy_name="baseline")
+        metadata = read_model_metadata(path)
+        assert metadata["strategy"] == "baseline"
+        assert metadata["dimension"] == 512
+        assert metadata["encoder_kind"] == "record"
+
+    def test_incompatible_package_version_rejected(self, small_problem, tmp_path):
+        pipeline = make_fitted_pipeline(small_problem)
+        path = save_model(tmp_path / "m.npz", pipeline)
+        bad = _rewrite_metadata(path, tmp_path / "bad.npz", package_version="99.0.0")
+        with pytest.raises(ValueError, match="99.0.0"):
+            load_model(bad)
+        with pytest.raises(ValueError, match="99.0.0"):
+            read_model_metadata(bad)
+
+    def test_legacy_archive_without_package_version_loads(
+        self, small_problem, tmp_path
+    ):
+        import json
+
+        pipeline = make_fitted_pipeline(small_problem)
+        path = save_model(tmp_path / "m.npz", pipeline)
+        with np.load(path) as archive:
+            arrays = {key: archive[key] for key in archive.files}
+        metadata = json.loads(bytes(arrays["metadata_json"].tobytes()).decode("utf-8"))
+        del metadata["package_version"]
+        arrays["metadata_json"] = np.frombuffer(
+            json.dumps(metadata).encode("utf-8"), dtype=np.uint8
+        )
+        legacy = tmp_path / "legacy.npz"
+        np.savez_compressed(legacy, **arrays)
+        reloaded = load_model(legacy)
+        np.testing.assert_array_equal(
+            reloaded.predict(small_problem["test_features"]),
+            pipeline.predict(small_problem["test_features"]),
+        )
+
+    def test_unknown_encoder_kind_rejected(self, small_problem, tmp_path):
+        pipeline = make_fitted_pipeline(small_problem)
+        path = save_model(tmp_path / "m.npz", pipeline)
+        bad = _rewrite_metadata(path, tmp_path / "bad_enc.npz", encoder_kind="fourier")
+        with pytest.raises(ValueError, match="fourier"):
+            load_model(bad)
 
 
 class TestSaveLoadErrors:

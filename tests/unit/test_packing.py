@@ -4,7 +4,14 @@ import numpy as np
 import pytest
 
 from repro.hdc.hypervector import hamming_distance, random_hypervectors
-from repro.hdc.packing import PackedHypervectors, pack_bipolar, unpack_bipolar
+from repro.hdc.packing import (
+    PackedHypervectors,
+    _popcount,
+    _popcount_table,
+    pack_bipolar,
+    pack_bits,
+    unpack_bipolar,
+)
 
 
 class TestPackUnpack:
@@ -54,6 +61,65 @@ class TestPackedHamming:
     def test_storage_bytes(self):
         packed = pack_bipolar(random_hypervectors(4, 256, seed=9))
         assert packed.storage_bytes == 4 * 4 * 8  # 4 rows x 4 words x 8 bytes
+
+
+class TestBitDifferences:
+    def test_counts_are_raw_bit_differences(self):
+        queries = random_hypervectors(6, 200, seed=10)
+        classes = random_hypervectors(4, 200, seed=11)
+        counts = pack_bipolar(queries).bit_differences(pack_bipolar(classes))
+        assert counts.dtype == np.int64
+        expected = (queries[:, None, :] != classes[None, :, :]).sum(axis=2)
+        np.testing.assert_array_equal(counts, expected)
+
+    def test_blocked_path_matches_single_block(self):
+        # Enough rows that the block loop takes more than one iteration even
+        # with a tiny block budget forced via a large "other" side.
+        queries = random_hypervectors(300, 256, seed=12)
+        classes = random_hypervectors(50, 256, seed=13)
+        packed_queries = pack_bipolar(queries)
+        packed_classes = pack_bipolar(classes)
+        counts = packed_queries.bit_differences(packed_classes)
+        dense = hamming_distance(queries, classes) * 256
+        np.testing.assert_allclose(counts, dense, atol=1e-9)
+
+    def test_dimension_mismatch(self):
+        a = pack_bipolar(random_hypervectors(1, 64, seed=14))
+        b = pack_bipolar(random_hypervectors(1, 128, seed=15))
+        with pytest.raises(ValueError):
+            a.bit_differences(b)
+
+
+class TestPopcountParity:
+    def test_table_matches_native(self):
+        words = pack_bipolar(random_hypervectors(8, 1000, seed=16)).words
+        np.testing.assert_array_equal(
+            np.asarray(_popcount(words), dtype=np.uint32), _popcount_table(words)
+        )
+
+
+class TestPackBits:
+    def test_matches_pack_bipolar(self):
+        vectors = random_hypervectors(5, 333, seed=17)
+        np.testing.assert_array_equal(
+            pack_bits(vectors > 0, 333).words, pack_bipolar(vectors).words
+        )
+
+    def test_accepts_uint8_bits(self):
+        bits = (random_hypervectors(3, 100, seed=18) > 0).astype(np.uint8)
+        packed = pack_bits(bits)
+        assert packed.dimension == 100
+        np.testing.assert_array_equal(
+            unpack_bipolar(packed), np.where(bits, 1, -1).astype(np.int8)
+        )
+
+    def test_any_nonzero_counts_as_set(self):
+        # Values that a uint8 cast would truncate to zero must still set bits.
+        bits = np.array([[256, 0.5, 2, 0, -1]], dtype=object).astype(np.float64)
+        packed = pack_bits(bits)
+        np.testing.assert_array_equal(
+            unpack_bipolar(packed)[0], np.array([1, 1, 1, -1, 1], dtype=np.int8)
+        )
 
 
 class TestPackedConstruction:

@@ -1,0 +1,185 @@
+"""Unit tests for repro.serve.batching (the micro-batching scheduler)."""
+
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+import pytest
+
+from repro.classifiers.baseline import BaselineHDC
+from repro.classifiers.pipeline import HDCPipeline
+from repro.hdc.encoders import RecordEncoder
+from repro.serve.batching import BatchScheduler
+from repro.serve.engine import PackedInferenceEngine
+from repro.serve.metrics import ModelMetrics
+
+
+@pytest.fixture(scope="module")
+def engine(small_problem):
+    encoder = RecordEncoder(dimension=512, num_levels=8, tie_break="positive", seed=0)
+    pipeline = HDCPipeline(encoder, BaselineHDC(seed=0))
+    pipeline.fit(small_problem["train_features"], small_problem["train_labels"])
+    return PackedInferenceEngine(pipeline, name="batch-test")
+
+
+class _CountingEngine:
+    """Wraps an engine, recording the batch size of every top_k call."""
+
+    def __init__(self, engine):
+        self._engine = engine
+        self.batch_sizes = []
+        self._lock = threading.Lock()
+
+    def top_k(self, features, k):
+        with self._lock:
+            self.batch_sizes.append(features.shape[0])
+        return self._engine.top_k(features, k=k)
+
+
+class TestCorrectness:
+    def test_scheduled_predictions_match_engine(self, engine, small_problem):
+        queries = small_problem["test_features"][:20]
+        expected = engine.predict(queries)
+        with BatchScheduler(engine, max_batch_size=8, max_wait_ms=1.0) as scheduler:
+            got = [scheduler.predict(row) for row in queries]
+        np.testing.assert_array_equal(got, expected)
+
+    def test_top_k_future_payload(self, engine, small_problem):
+        row = small_problem["test_features"][0]
+        with BatchScheduler(engine, max_batch_size=4, max_wait_ms=1.0) as scheduler:
+            labels, scores = scheduler.top_k(row, k=3)
+        expected_labels, expected_scores = engine.top_k(row[None, :], k=3)
+        np.testing.assert_array_equal(labels, expected_labels[0])
+        np.testing.assert_array_equal(scores, expected_scores[0])
+
+    def test_mixed_top_k_in_one_batch(self, engine, small_problem):
+        queries = small_problem["test_features"][:6]
+        with BatchScheduler(engine, max_batch_size=8, max_wait_ms=50.0) as scheduler:
+            futures = [
+                scheduler.submit(row, top_k=k)
+                for row, k in zip(queries, [1, 2, 3, 1, 4, 2])
+            ]
+            results = [future.result(timeout=10) for future in futures]
+        for (labels, scores), k in zip(results, [1, 2, 3, 1, 4, 2]):
+            assert labels.shape == (k,)
+            assert scores.shape == (k,)
+
+
+class TestCoalescing:
+    def test_concurrent_submits_coalesce(self, engine, small_problem):
+        counting = _CountingEngine(engine)
+        queries = small_problem["test_features"][:32]
+        with BatchScheduler(counting, max_batch_size=16, max_wait_ms=50.0) as scheduler:
+            futures = [scheduler.submit(row) for row in queries]
+            for future in futures:
+                future.result(timeout=10)
+        assert max(counting.batch_sizes) > 1
+        assert sum(counting.batch_sizes) == 32
+
+    def test_max_batch_size_respected(self, engine, small_problem):
+        counting = _CountingEngine(engine)
+        queries = small_problem["test_features"][:20]
+        with BatchScheduler(counting, max_batch_size=4, max_wait_ms=50.0) as scheduler:
+            futures = [scheduler.submit(row) for row in queries]
+            for future in futures:
+                future.result(timeout=10)
+        assert max(counting.batch_sizes) <= 4
+
+    def test_max_wait_flushes_partial_batch(self, engine, small_problem):
+        # One lone request must not wait for a full batch: with a large
+        # max_batch_size and a short max_wait the result arrives promptly.
+        with BatchScheduler(engine, max_batch_size=1024, max_wait_ms=5.0) as scheduler:
+            started = time.monotonic()
+            scheduler.predict(small_problem["test_features"][0], timeout=10)
+            elapsed = time.monotonic() - started
+        assert elapsed < 5.0  # far below any full-batch wait
+
+    def test_concurrent_callers_under_thread_pool(self, engine, small_problem):
+        queries = small_problem["test_features"][:40]
+        expected = engine.predict(queries)
+        metrics = ModelMetrics()
+        with BatchScheduler(
+            engine, max_batch_size=8, max_wait_ms=20.0, num_workers=2, metrics=metrics
+        ) as scheduler:
+            with ThreadPoolExecutor(max_workers=8) as pool:
+                got = list(pool.map(scheduler.predict, queries))
+        np.testing.assert_array_equal(got, expected)
+        distribution = metrics.batch_size_distribution
+        assert sum(size * count for size, count in distribution.items()) == 40
+        assert max(distribution) > 1
+
+
+class TestLifecycleAndErrors:
+    def test_submit_after_stop_raises(self, engine, small_problem):
+        scheduler = BatchScheduler(engine, max_batch_size=4, max_wait_ms=1.0)
+        scheduler.stop()
+        with pytest.raises(RuntimeError):
+            scheduler.submit(small_problem["test_features"][0])
+
+    def test_stop_is_idempotent(self, engine):
+        scheduler = BatchScheduler(engine, max_batch_size=4, max_wait_ms=1.0)
+        scheduler.stop()
+        scheduler.stop()
+
+    def test_engine_error_propagates_to_futures(self, small_problem):
+        class Broken:
+            def top_k(self, features, k):
+                raise RuntimeError("engine exploded")
+
+        metrics = ModelMetrics()
+        scheduler = BatchScheduler(
+            Broken(), max_batch_size=4, max_wait_ms=1.0, metrics=metrics
+        )
+        try:
+            future = scheduler.submit(small_problem["test_features"][0])
+            with pytest.raises(RuntimeError, match="engine exploded"):
+                future.result(timeout=10)
+            assert metrics.errors == 1
+        finally:
+            scheduler.stop()
+
+    def test_malformed_request_does_not_poison_batch(self, engine, small_problem):
+        # A wrong-width sample coalesced with valid ones must fail alone;
+        # the valid requests in the same batch still get answers.
+        good_rows = small_problem["test_features"][:3]
+        bad_row = np.zeros(5)  # model expects 24 features
+        with BatchScheduler(engine, max_batch_size=8, max_wait_ms=100.0) as scheduler:
+            futures = [scheduler.submit(row) for row in good_rows]
+            bad_future = scheduler.submit(bad_row)
+            results = [future.result(timeout=10) for future in futures]
+            with pytest.raises(ValueError):
+                bad_future.result(timeout=10)
+        got = [labels[0] for labels, _ in results]
+        np.testing.assert_array_equal(got, engine.predict(good_rows))
+
+    def test_stop_never_leaves_hanging_futures(self, engine, small_problem):
+        # Requests queued behind an in-flight batch when stop() lands either
+        # run or fail — none may hang forever.
+        class Slow:
+            def top_k(self, features, k):
+                time.sleep(0.05)
+                return engine.top_k(features, k=k)
+
+        scheduler = BatchScheduler(Slow(), max_batch_size=1, max_wait_ms=0.0)
+        futures = [
+            scheduler.submit(row) for row in small_problem["test_features"][:10]
+        ]
+        scheduler.stop()
+        for future in futures:
+            try:
+                labels, _ = future.result(timeout=10)
+                assert labels.shape == (1,)
+            except RuntimeError as error:
+                assert "stopped" in str(error)
+
+    def test_rejects_bad_arguments(self, engine, small_problem):
+        with pytest.raises(ValueError):
+            BatchScheduler(engine, max_batch_size=0)
+        with pytest.raises(ValueError):
+            BatchScheduler(engine, max_wait_ms=-1)
+        with BatchScheduler(engine, max_batch_size=2, max_wait_ms=1.0) as scheduler:
+            with pytest.raises(ValueError):
+                scheduler.submit(small_problem["test_features"][:2])  # 2-D
+            with pytest.raises(ValueError):
+                scheduler.submit(small_problem["test_features"][0], top_k=0)

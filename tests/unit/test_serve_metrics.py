@@ -1,0 +1,98 @@
+"""Unit tests for repro.serve.metrics."""
+
+import threading
+
+import pytest
+
+from repro.serve.metrics import LatencyHistogram, MetricsRegistry, ModelMetrics
+
+
+class TestLatencyHistogram:
+    def test_empty_histogram(self):
+        histogram = LatencyHistogram()
+        assert histogram.count == 0
+        assert histogram.mean == 0.0
+        assert histogram.percentile(50) == 0.0
+
+    def test_percentiles_bracket_observations(self):
+        histogram = LatencyHistogram()
+        for _ in range(99):
+            histogram.record(0.001)  # 1 ms
+        histogram.record(1.0)  # one outlier
+        assert histogram.count == 100
+        # p50 lands in the bucket containing 1 ms; p99+ sees the outlier's bucket.
+        assert histogram.percentile(50) <= 0.002
+        assert histogram.percentile(99.5) >= 0.5
+        assert histogram.snapshot()["max_ms"] == pytest.approx(1000.0)
+
+    def test_mean_is_exact(self):
+        histogram = LatencyHistogram()
+        histogram.record(0.010)
+        histogram.record(0.030)
+        assert histogram.mean == pytest.approx(0.020)
+
+    def test_overflow_bucket_reports_max(self):
+        histogram = LatencyHistogram(bounds=[0.001])
+        histogram.record(5.0)
+        assert histogram.percentile(99) == pytest.approx(5.0)
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ValueError):
+            LatencyHistogram(bounds=[])
+        with pytest.raises(ValueError):
+            LatencyHistogram(bounds=[2.0, 1.0])
+        with pytest.raises(ValueError):
+            LatencyHistogram().percentile(123)
+
+    def test_concurrent_recording(self):
+        histogram = LatencyHistogram()
+
+        def record_many():
+            for _ in range(500):
+                histogram.record(0.001)
+
+        threads = [threading.Thread(target=record_many) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert histogram.count == 2000
+
+
+class TestModelMetrics:
+    def test_request_accounting(self):
+        metrics = ModelMetrics()
+        metrics.record_request(4, 0.002)
+        metrics.record_request(1, 0.001)
+        metrics.record_error()
+        snapshot = metrics.snapshot()
+        assert snapshot["requests"] == 2
+        assert snapshot["samples"] == 5
+        assert snapshot["errors"] == 1
+        assert snapshot["latency"]["count"] == 2
+
+    def test_batch_size_distribution(self):
+        metrics = ModelMetrics()
+        for size in (1, 8, 8, 16):
+            metrics.record_batch(size)
+        snapshot = metrics.snapshot()
+        assert snapshot["batches"] == 4
+        assert snapshot["batch_size_distribution"] == {"1": 1, "8": 2, "16": 1}
+        assert snapshot["mean_batch_size"] == pytest.approx((1 + 8 + 8 + 16) / 4)
+
+
+class TestMetricsRegistry:
+    def test_for_model_is_stable(self):
+        registry = MetricsRegistry()
+        assert registry.for_model("a") is registry.for_model("a")
+        assert registry.for_model("a") is not registry.for_model("b")
+
+    def test_snapshot_is_json_ready(self):
+        import json
+
+        registry = MetricsRegistry()
+        registry.for_model("m").record_request(1, 0.001)
+        registry.for_model("m").record_batch(1)
+        payload = json.dumps(registry.snapshot())
+        assert '"m"' in payload
+        assert registry.model_names() == ["m"]
