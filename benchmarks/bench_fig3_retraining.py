@@ -14,7 +14,6 @@ sparklines plus summary statistics (start / final / best / oscillation).
 
 from __future__ import annotations
 
-import pytest
 
 from benchmarks.conftest import BENCH_DIMENSION, BENCH_PROFILE, print_report
 from repro.classifiers.enhanced import EnhancedRetrainingHDC

@@ -10,7 +10,6 @@ layer), and this benchmark checks that ordering at scaled-down size.
 
 from __future__ import annotations
 
-import pytest
 
 from benchmarks.conftest import (
     BENCH_DIMENSION,

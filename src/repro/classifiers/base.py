@@ -15,6 +15,7 @@ from typing import Optional
 import numpy as np
 
 from repro.hdc.hypervector import dot_similarity, hamming_distance
+from repro.kernels.packed import PackedHypervectors, pack_bipolar, packed_dot_scores
 from repro.utils.rng import RngMixin, SeedLike
 from repro.utils.validation import check_fitted, check_labels, check_matrix
 
@@ -56,6 +57,9 @@ class HDCClassifierBase(RngMixin, abc.ABC):
         super().__init__(seed=seed)
         self.class_hypervectors_: Optional[np.ndarray] = None
         self.num_classes_: Optional[int] = None
+        #: (source array, packed form) — holding the source keeps the cache
+        #: validity check a simple identity comparison.
+        self._packed_classes_cache = None
 
     # ------------------------------------------------------------------ fit
     @abc.abstractmethod
@@ -95,6 +99,42 @@ class HDCClassifierBase(RngMixin, abc.ABC):
         """Predict integer class labels for encoded samples (Eq. 4)."""
         return np.argmax(self.decision_scores(hypervectors), axis=1)
 
+    # ------------------------------------------------------ packed inference
+    def supports_packed_scoring(self) -> bool:
+        """True when this classifier scores with the shared dot-similarity rule.
+
+        Strategies that override :meth:`decision_scores` (non-binary centroids
+        with cosine scoring, the multi-model ensemble) cannot be reproduced by
+        XOR + popcount over the majority-vote class hypervectors, so the
+        packed paths (serving engine, :meth:`decision_scores_packed`) fall
+        back to dense scoring for them.
+        """
+        return type(self).decision_scores is HDCClassifierBase.decision_scores
+
+    def decision_scores_packed(self, packed_queries: PackedHypervectors) -> np.ndarray:
+        """``(n, K)`` integer dot scores computed entirely over packed words.
+
+        Bit-for-bit equal to :meth:`decision_scores` on the corresponding
+        dense bipolar queries (``dot = D - 2 * differing_bits``); only valid
+        when :meth:`supports_packed_scoring` is true.
+        """
+        if not self.supports_packed_scoring():
+            raise ValueError(
+                f"{type(self).__name__} overrides decision_scores; its scoring "
+                "cannot be reproduced by the packed kernel (use decision_scores)"
+            )
+        check_fitted(self, "class_hypervectors_")
+        if packed_queries.dimension != self.class_hypervectors_.shape[1]:
+            raise ValueError(
+                f"dimension mismatch: {packed_queries.dimension} vs "
+                f"{self.class_hypervectors_.shape[1]}"
+            )
+        return packed_dot_scores(packed_queries, self.packed_class_hypervectors())
+
+    def predict_packed(self, packed_queries: PackedHypervectors) -> np.ndarray:
+        """Predict labels from bit-packed queries (Eq. 4 via XOR + popcount)."""
+        return np.argmax(self.decision_scores_packed(packed_queries), axis=1)
+
     def score(self, hypervectors: np.ndarray, labels: np.ndarray) -> float:
         """Classification accuracy on encoded samples."""
         hypervectors = check_matrix(hypervectors, "hypervectors")
@@ -108,17 +148,21 @@ class HDCClassifierBase(RngMixin, abc.ABC):
         check_fitted(self, "class_hypervectors_")
         return int(self.class_hypervectors_.shape[1])
 
-    def packed_class_hypervectors(self):
+    def packed_class_hypervectors(self) -> PackedHypervectors:
         """Export the fitted class hypervectors in bit-packed form.
 
-        Returns a :class:`~repro.hdc.packing.PackedHypervectors` holding the
-        ``(K, ceil(D/64))`` uint64 words an accelerator (or the serving
-        engine) keeps resident — the entire inference-time model.
+        Returns a :class:`~repro.kernels.packed.PackedHypervectors` holding
+        the ``(K, ceil(D/64))`` uint64 words an accelerator (or the serving
+        engine) keeps resident — the entire inference-time model.  The packed
+        form is cached and invalidated when ``class_hypervectors_`` is
+        replaced (every ``fit`` assigns a fresh array).
         """
         check_fitted(self, "class_hypervectors_")
-        from repro.hdc.packing import pack_bipolar
-
-        return pack_bipolar(self.class_hypervectors_)
+        cache = self._packed_classes_cache
+        if cache is None or cache[0] is not self.class_hypervectors_:
+            cache = (self.class_hypervectors_, pack_bipolar(self.class_hypervectors_))
+            self._packed_classes_cache = cache
+        return cache[1]
 
 
 __all__ = ["HDCClassifierBase", "top_k_from_scores"]

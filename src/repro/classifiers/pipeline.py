@@ -5,6 +5,15 @@ take *encoded* hypervectors so experiments can share one encoding pass across
 strategies.  :class:`HDCPipeline` is the user-facing composition: give it raw
 features and labels and it handles fitting the encoder, encoding, training,
 and prediction.  This is the object the quickstart example builds.
+
+Prediction is *packed-native*: when the classifier scores with the shared
+dot-similarity rule, queries are encoded straight to bit-packed words
+(:meth:`~repro.hdc.encoders.Encoder.encode_packed` — the dense int8 matrix
+never exists) and scored with the XOR+popcount kernel, with no
+unpack→repack round-trips anywhere.  The packed scores equal the dense ones
+exactly (``dot = D - 2 * differing_bits``), so predictions are bit-for-bit
+identical to the dense path; classifiers with bespoke scoring fall back to
+dense transparently.
 """
 
 from __future__ import annotations
@@ -30,6 +39,11 @@ class HDCPipeline:
         including :class:`repro.core.LeHDCClassifier`.
     encode_batch_size:
         Batch size forwarded to :meth:`Encoder.encode` to bound memory.
+    prefer_packed:
+        When true (default), prediction rides the packed XOR+popcount
+        kernels whenever the classifier supports the shared scoring rule;
+        set false to force the dense path (useful for A/B benchmarking —
+        results are identical either way).
     """
 
     def __init__(
@@ -37,10 +51,12 @@ class HDCPipeline:
         encoder: Encoder,
         classifier: HDCClassifierBase,
         encode_batch_size: int = 256,
+        prefer_packed: bool = True,
     ):
         self.encoder = encoder
         self.classifier = classifier
         self.encode_batch_size = int(encode_batch_size)
+        self.prefer_packed = bool(prefer_packed)
         self._fitted = False
 
     def fit(
@@ -63,21 +79,31 @@ class HDCPipeline:
         self._fitted = True
         return self
 
-    def predict(self, features: np.ndarray) -> np.ndarray:
-        """Encode raw *features* and predict class labels."""
-        if not self._fitted:
-            raise RuntimeError("HDCPipeline is not fitted yet; call fit() first")
-        features = check_matrix(features, "features", dtype=np.float64)
-        encoded = self.encoder.encode(features, batch_size=self.encode_batch_size)
-        return self.classifier.predict(encoded)
+    # ------------------------------------------------------------- inference
+    def _uses_packed_path(self) -> bool:
+        """Whether prediction can ride the packed kernels for this classifier."""
+        supports = getattr(self.classifier, "supports_packed_scoring", None)
+        return self.prefer_packed and supports is not None and supports()
 
     def _decision_scores(self, features: np.ndarray) -> np.ndarray:
-        """Encode raw *features* and return the ``(n, K)`` decision scores."""
+        """Encode raw *features* and return the ``(n, K)`` decision scores.
+
+        Packed and dense paths return the exact same integer dot scores.
+        """
         if not self._fitted:
             raise RuntimeError("HDCPipeline is not fitted yet; call fit() first")
         features = check_matrix(features, "features", dtype=np.float64)
+        if self._uses_packed_path():
+            packed = self.encoder.encode_packed(
+                features, batch_size=self.encode_batch_size
+            )
+            return self.classifier.decision_scores_packed(packed)
         encoded = self.encoder.encode(features, batch_size=self.encode_batch_size)
         return self.classifier.decision_scores(encoded)
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        """Encode raw *features* and predict class labels."""
+        return np.argmax(self._decision_scores(features), axis=1)
 
     def predict_batch(self, features: np.ndarray):
         """Predict labels and winning-class scores for a batch of raw features.
@@ -85,8 +111,8 @@ class HDCPipeline:
         Returns ``(labels, scores)`` where ``labels`` is the ``(n,)`` argmax
         prediction and ``scores`` the corresponding decision score (the
         integer dot similarity for binary classifiers).  This is the batched
-        label+score surface the serving layer builds on; callers get both
-        outputs from a single encode + similarity pass.
+        label+score surface the serving and evaluation layers build on;
+        callers get both outputs from a single encode + similarity pass.
         """
         scores = self._decision_scores(features)
         labels = np.argmax(scores, axis=1)

@@ -15,7 +15,10 @@ regenerated without writing any Python:
 * ``python -m repro serve --model model.npz --port 8080`` — serve saved
   models over JSON/HTTP with micro-batched packed inference;
 * ``python -m repro bench-serve`` — the serving throughput comparison
-  (single-sample vs micro-batched, dense vs packed).
+  (single-sample vs micro-batched, dense vs packed);
+* ``python -m repro bench-kernels`` — the kernel-layer benchmark (fused
+  encode vs the seed loop, packed XOR+popcount predict vs dense dot,
+  float32-policy training vs forced float64); ``--quick`` for CI smoke.
 """
 
 from __future__ import annotations
@@ -124,6 +127,23 @@ def build_parser() -> argparse.ArgumentParser:
     bench_serve.add_argument("--batch-size", type=int, default=64)
     bench_serve.add_argument("--concurrency", type=int, default=8)
     bench_serve.add_argument("--seed", type=int, default=0)
+
+    bench_kernels = subparsers.add_parser(
+        "bench-kernels",
+        help="kernel-layer benchmark: fused encode, packed predict, dtype policy",
+    )
+    bench_kernels.add_argument("--dimension", type=int, default=4000)
+    bench_kernels.add_argument("--features", type=int, default=64)
+    bench_kernels.add_argument("--num-levels", type=int, default=32)
+    bench_kernels.add_argument("--classes", type=int, default=10)
+    bench_kernels.add_argument("--samples", type=int, default=512)
+    bench_kernels.add_argument("--seed", type=int, default=0)
+    bench_kernels.add_argument(
+        "--quick", action="store_true", help="shrink sizes for a CI smoke run"
+    )
+    bench_kernels.add_argument(
+        "--json", default=None, metavar="PATH", help="also write the results as JSON"
+    )
 
     return parser
 
@@ -301,6 +321,28 @@ def command_bench_serve(args) -> int:
     return 0
 
 
+def command_bench_kernels(args) -> int:
+    import json
+
+    from repro.kernels.bench import format_report, run_kernel_benchmark
+
+    results = run_kernel_benchmark(
+        dimension=args.dimension,
+        num_features=args.features,
+        num_levels=args.num_levels,
+        num_classes=args.classes,
+        num_samples=args.samples,
+        seed=args.seed,
+        quick=args.quick,
+    )
+    print(format_report(results))
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(results, handle, indent=2)
+        print(f"results written to {args.json}")
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
@@ -318,6 +360,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return command_serve(args)
     if args.command == "bench-serve":
         return command_bench_serve(args)
+    if args.command == "bench-kernels":
+        return command_bench_kernels(args)
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
 
 

@@ -15,11 +15,12 @@ outputs feed the argmax directly).  The trainer implements the LeHDC recipe:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import List, Optional
 
 import numpy as np
 
 from repro.core.configs import LeHDCConfig
+from repro.kernels.linear import as_float
 from repro.nn.layers import BinaryLinear, Dropout
 from repro.nn.losses import cross_entropy_from_logits
 from repro.nn.module import Module
@@ -100,7 +101,7 @@ class SingleLayerBNN(Module):
 
     @property
     def latent_class_hypervectors(self) -> np.ndarray:
-        """Latent (non-binary) class hypervectors, shape ``(K, D)`` (float64)."""
+        """Latent (non-binary) class hypervectors, shape ``(K, D)`` (policy dtype)."""
         return self.linear.weight.value.T.copy()
 
 
@@ -197,7 +198,11 @@ class BNNTrainer:
             )
 
         total_epochs = self.config.epochs if epochs is None else int(epochs)
-        inputs = hypervectors.astype(np.float64)
+        # Policy-dtype cast (float32 by default): the ±1 hypervectors and the
+        # integer dot products they produce are exactly representable, and the
+        # latent weights are in the same dtype, so the whole epoch stays in
+        # one precision with no per-batch up-casts.
+        inputs = as_float(hypervectors)
         num_samples = inputs.shape[0]
         batch_size = min(self.config.batch_size, num_samples)
 
@@ -241,7 +246,7 @@ class BNNTrainer:
     def evaluate(self, hypervectors: np.ndarray, labels: np.ndarray) -> float:
         """Accuracy of the current *binary* weights on a labelled set."""
         self.model.eval()
-        logits = self.model.forward(np.asarray(hypervectors, dtype=np.float64))
+        logits = self.model.forward(as_float(hypervectors))
         predictions = np.argmax(logits, axis=1)
         accuracy = float(np.mean(predictions == np.asarray(labels)))
         self.model.train()

@@ -9,7 +9,7 @@ loss increase, latent-weight handling) with defaults matching the paper.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Dict, Optional
 
 from repro.utils.validation import check_positive_int, check_probability

@@ -20,9 +20,11 @@ from repro.eval.experiment import (
     StrategyFactory,
     _stable_offset,
     default_strategy_factories,
+    strategy_accuracy,
 )
 from repro.eval.metrics import MeanStd, aggregate_mean_std
 from repro.hdc.encoders import RecordEncoder
+from repro.kernels.packed import pack_bipolar
 from repro.utils.rng import SeedLike, ensure_rng
 from repro.utils.validation import check_positive_int
 
@@ -110,6 +112,9 @@ def run_dimension_sweep(
             encoder.fit(data.train_features)
             train_encoded = encoder.encode(data.train_features)
             test_encoded = encoder.encode(data.test_features)
+            # One packed copy of the test split per (dimension, repetition),
+            # scored through the XOR+popcount kernel for every strategy.
+            test_packed = pack_bipolar(test_encoded)
             for strategy_name, factory in strategies.items():
                 strategy_rng = np.random.default_rng(
                     repetition_seed + _stable_offset(strategy_name)
@@ -117,7 +122,9 @@ def run_dimension_sweep(
                 classifier = factory(strategy_rng)
                 classifier.fit(train_encoded, data.train_labels)
                 result.accuracies[strategy_name][dimension].append(
-                    classifier.score(test_encoded, data.test_labels)
+                    strategy_accuracy(
+                        classifier, test_encoded, data.test_labels, packed=test_packed
+                    )
                 )
     return result
 

@@ -19,7 +19,7 @@ from repro.hdc.hypervector import (
 from repro.hdc.itemmemory import LevelItemMemory, RandomItemMemory
 from repro.hdc.quantize import QuantileQuantizer, UniformQuantizer
 from repro.hdc.encoders import Encoder, NGramEncoder, RecordEncoder
-from repro.hdc.packing import PackedHypervectors, pack_bipolar, unpack_bipolar
+from repro.kernels.packed import PackedHypervectors, pack_bipolar, unpack_bipolar
 
 __all__ = [
     "bind",

@@ -15,7 +15,11 @@ demonstrate that the training strategies plug into either encoder unchanged.
 
 Both encoders share the :class:`Encoder` interface: ``fit`` learns the
 quantiser (and builds the item memories), ``encode`` maps a feature matrix to
-a ``(samples, D)`` int8 hypervector matrix.
+a ``(samples, D)`` int8 hypervector matrix, and ``encode_packed`` goes
+straight to bit-packed words without the dense intermediate.  The pre-sign
+accumulation itself runs on the fused kernels in :mod:`repro.kernels.encode`
+— the *same* kernels the serving engine compiles against, so training,
+evaluation and serving cannot drift apart.
 """
 
 from __future__ import annotations
@@ -25,9 +29,11 @@ from typing import Optional
 
 import numpy as np
 
-from repro.hdc.hypervector import BIPOLAR_DTYPE, bind, permute, sign_with_ties
+from repro.hdc.hypervector import BIPOLAR_DTYPE, sign_with_ties
 from repro.hdc.itemmemory import LevelItemMemory, RandomItemMemory
 from repro.hdc.quantize import QuantileQuantizer, UniformQuantizer
+from repro.kernels.encode import DEFAULT_LUT_BUDGET_BYTES, build_accumulator
+from repro.kernels.packed import PackedHypervectors, pack_bits, sign_fuse_bits
 from repro.utils.rng import RngMixin, SeedLike
 from repro.utils.validation import check_fitted, check_matrix, check_positive_int
 
@@ -70,10 +76,13 @@ class Encoder(RngMixin, abc.ABC):
             )
         self.quantizer_kind = quantizer
         self.tie_break = tie_break
+        self.lut_budget_bytes = DEFAULT_LUT_BUDGET_BYTES
         self.num_features: Optional[int] = None
         self.position_memory: Optional[RandomItemMemory] = None
         self.level_memory: Optional[LevelItemMemory] = None
         self._quantizer = None
+        self._accumulator = None
+        self._accumulator_budget: Optional[int] = None
 
     # ------------------------------------------------------------------ fit
     def fit(self, features: np.ndarray) -> "Encoder":
@@ -91,9 +100,39 @@ class Encoder(RngMixin, abc.ABC):
         self.level_memory = LevelItemMemory(
             self.num_levels, self.dimension, seed=self.rng
         )
+        self._accumulator = None  # item memories changed; recompile lazily
         return self
 
     # --------------------------------------------------------------- encode
+    def _get_accumulator(self):
+        """The compiled fused accumulator (built lazily, rebuilt on budget change)."""
+        if self._accumulator is None or self._accumulator_budget != self.lut_budget_bytes:
+            accumulator = build_accumulator(self, lut_budget_bytes=self.lut_budget_bytes)
+            if accumulator is None:  # pragma: no cover - future encoders
+                raise NotImplementedError(
+                    f"no fused kernel for {type(self).__name__}; override _accumulate"
+                )
+            self._accumulator = accumulator
+            self._accumulator_budget = self.lut_budget_bytes
+        return self._accumulator
+
+    def _accumulate(self, levels: np.ndarray) -> np.ndarray:
+        """The *pre-sign* integer accumulation for a batch of level rows."""
+        return self._get_accumulator()(levels)
+
+    def accumulate(self, features: np.ndarray) -> np.ndarray:
+        """Pre-sign integer accumulation for raw *features* (``(n, D)`` int32).
+
+        This is the thread-safe half of encoding — it touches only immutable
+        compiled tables, no RNG — which is why the serving engine calls it
+        outside its tie-break lock.
+        """
+        check_fitted(self, "_quantizer")
+        features = check_matrix(
+            features, "features", dtype=np.float64, n_columns=self.num_features
+        )
+        return self._accumulate(self._quantizer.transform(features))
+
     def encode(self, features: np.ndarray, batch_size: int = 256) -> np.ndarray:
         """Encode a ``(samples, features)`` matrix to ``(samples, D)`` int8."""
         check_fitted(self, "_quantizer")
@@ -110,6 +149,31 @@ class Encoder(RngMixin, abc.ABC):
             )
         return outputs
 
+    def encode_packed(
+        self, features: np.ndarray, batch_size: int = 256
+    ) -> PackedHypervectors:
+        """Encode straight to bit-packed words, skipping the dense intermediate.
+
+        The sign of the raw accumulation *is* the packed bit
+        (:func:`repro.kernels.packed.sign_fuse_bits`), so the int8
+        hypervector matrix never exists.  RNG draws for ``sgn(0)`` tie-breaks
+        mirror :meth:`encode` exactly, keeping this path bit-identical to
+        ``pack_bipolar(self.encode(features))``.
+        """
+        check_fitted(self, "_quantizer")
+        features = check_matrix(
+            features, "features", dtype=np.float64, n_columns=self.num_features
+        )
+        levels = self._quantizer.transform(features)
+        num_words = (self.dimension + 63) // 64
+        words = np.empty((features.shape[0], num_words), dtype=np.uint64)
+        for start in range(0, features.shape[0], batch_size):
+            stop = min(start + batch_size, features.shape[0])
+            raw = self._accumulate(levels[start:stop])
+            bits = sign_fuse_bits(raw, tie_break=self.tie_break, rng=self.rng)
+            words[start:stop] = pack_bits(bits, self.dimension).words
+        return PackedHypervectors(words=words, dimension=self.dimension)
+
     def fit_encode(self, features: np.ndarray, batch_size: int = 256) -> np.ndarray:
         """Convenience: :meth:`fit` then :meth:`encode` on the same data."""
         return self.fit(features).encode(features, batch_size=batch_size)
@@ -118,31 +182,15 @@ class Encoder(RngMixin, abc.ABC):
         """Encode a single sample; returns a 1-D hypervector of length ``D``."""
         return self.encode(np.atleast_2d(feature_vector))[0]
 
-    @abc.abstractmethod
-    def _accumulate(self, levels: np.ndarray) -> np.ndarray:
-        """Return the *pre-sign* integer accumulation for a batch of level rows."""
-
 
 class RecordEncoder(Encoder):
     """Record-based encoder of Eq. 1 (position-value binding + bundling).
 
     Each feature contributes ``F_i ∘ V_{level(x_i)}``; contributions are summed
     over features and binarised.  This is the encoder used for every
-    experiment in the paper's evaluation.
+    experiment in the paper's evaluation.  The bind+bundle runs on the fused
+    position×level LUT kernel (:class:`repro.kernels.encode.RecordAccumulator`).
     """
-
-    def _accumulate(self, levels: np.ndarray) -> np.ndarray:
-        positions = self.position_memory.vectors.astype(np.int32)
-        level_vectors = self.level_memory.vectors.astype(np.int32)
-        batch, num_features = levels.shape
-        accumulated = np.zeros((batch, self.dimension), dtype=np.int32)
-        # Loop over features rather than samples: each step is a vectorised
-        # (batch, D) gather + multiply, so the Python-level loop length is N,
-        # independent of batch size.
-        for feature_index in range(num_features):
-            value_vectors = level_vectors[levels[:, feature_index]]
-            accumulated += positions[feature_index] * value_vectors
-        return accumulated
 
 
 class NGramEncoder(Encoder):
@@ -153,7 +201,8 @@ class NGramEncoder(Encoder):
     (``ρ`` is the cyclic permutation); n-grams are then bundled.  Feature
     positions are implicit in the permutation depth, so no position memory is
     consumed at encode time (it is still built by ``fit`` for interface
-    uniformity).
+    uniformity).  The window binding runs on the vectorised rolled-gather
+    kernel (:class:`repro.kernels.encode.NGramAccumulator`).
     """
 
     def __init__(
@@ -182,21 +231,6 @@ class NGramEncoder(Encoder):
             )
         super().fit(features)
         return self
-
-    def _accumulate(self, levels: np.ndarray) -> np.ndarray:
-        level_vectors = self.level_memory.vectors.astype(np.int32)
-        batch, num_features = levels.shape
-        # Pre-permute the level codebook once per n-gram slot.
-        permuted_codebooks = [
-            np.roll(level_vectors, offset, axis=1) for offset in range(self.ngram)
-        ]
-        accumulated = np.zeros((batch, self.dimension), dtype=np.int32)
-        for start in range(num_features - self.ngram + 1):
-            gram = permuted_codebooks[0][levels[:, start]].copy()
-            for offset in range(1, self.ngram):
-                gram *= permuted_codebooks[offset][levels[:, start + offset]]
-            accumulated += gram
-        return accumulated
 
 
 __all__ = ["Encoder", "RecordEncoder", "NGramEncoder"]

@@ -17,7 +17,6 @@ Two kinds are needed by the record-based encoder of Eq. 1:
 
 from __future__ import annotations
 
-from typing import Optional
 
 import numpy as np
 

@@ -1,176 +1,47 @@
-"""Bit-packed hypervector backend.
+"""Deprecated shim over :mod:`repro.kernels.packed`.
 
-Binary HDC is attractive on hardware because a bipolar hypervector can be
-stored as ``D`` bits and the Hamming distance computed with XOR + popcount.
-This module provides that packed representation in NumPy (uint64 words), used
-by the hardware cost model and by tests that check the packed Hamming
-distance agrees with the dense implementation.  Packing maps ``+1 -> 1`` and
-``-1 -> 0``.
+The bit-packed backend moved into the shared kernel layer so serving,
+classifiers, and the hardware cost model all ride one implementation.  This
+module keeps the historical ``repro.hdc.packing`` import path working: every
+public name resolves to the identical object in :mod:`repro.kernels.packed`
+(``PackedHypervectors`` here *is* the kernel-layer class, so ``isinstance``
+checks keep working across old and new imports).
+
+New code should import from :mod:`repro.kernels` directly; attribute access
+through this module emits a :class:`DeprecationWarning`.
 """
 
 from __future__ import annotations
 
-import sys
-from typing import Optional
+import warnings
 
-import numpy as np
-
-from repro.hdc.hypervector import BIPOLAR_DTYPE
-
-_WORD_BITS = 64
-
-# Popcount lookup table for 16-bit chunks; uint64 words are split into four.
-# Only used when NumPy lacks the native ``bitwise_count`` ufunc (added in 2.0).
-_POPCOUNT_16 = np.array(
-    [bin(value).count("1") for value in range(1 << 16)], dtype=np.uint8
-)
-
-_HAS_BITWISE_COUNT = hasattr(np, "bitwise_count")
-
-#: Upper bound (bytes) on the XOR scratch buffer allocated per block of the
-#: pairwise distance computation; rows of ``self`` are chunked to stay under it.
-_DISTANCE_BLOCK_BYTES = 1 << 25  # 32 MiB
-
-
-def pack_bits(bits: np.ndarray, dimension: Optional[int] = None) -> "PackedHypervectors":
-    """Pack a ``(rows, D)`` 0/1 bit matrix into uint64 words.
-
-    This is the raw packing kernel behind :func:`pack_bipolar` (bit 1 means
-    ``+1``); callers that already hold bits — e.g. the serving engine, which
-    derives them straight from the encoder's pre-sign accumulation — use it to
-    skip the dense int8 intermediate.  Entries are not validated; anything
-    non-zero counts as a set bit.
-    """
-    bits = np.atleast_2d(np.asarray(bits))
-    if dimension is None:
-        dimension = bits.shape[1]
-    if bits.dtype != np.bool_:
-        bits = bits != 0  # uint8 astype would truncate e.g. 256 or 0.5 to 0
-    padded_width = ((dimension + _WORD_BITS - 1) // _WORD_BITS) * _WORD_BITS
-    if padded_width != dimension:
-        padding = np.zeros((bits.shape[0], padded_width - dimension), dtype=bits.dtype)
-        bits = np.concatenate([bits, padding], axis=1)
-    if sys.byteorder == "little":
-        # np.packbits with little bit order followed by a native uint64 view
-        # is the C-speed path; byte k of a word holds bits 8k..8k+7, which on
-        # a little-endian host is exactly the arithmetic packing below.
-        packed_bytes = np.packbits(bits, axis=1, bitorder="little")
-        words = np.ascontiguousarray(packed_bytes).view(np.uint64)
-    else:  # pragma: no cover - big-endian hosts
-        reshaped = bits.reshape(bits.shape[0], -1, _WORD_BITS)
-        weights = (1 << np.arange(_WORD_BITS, dtype=np.uint64)).astype(np.uint64)
-        words = (reshaped.astype(np.uint64) * weights).sum(axis=2, dtype=np.uint64)
-    return PackedHypervectors(words=words, dimension=dimension)
-
-
-def pack_bipolar(hypervectors: np.ndarray) -> "PackedHypervectors":
-    """Pack a ``(rows, D)`` bipolar int8 matrix into uint64 words."""
-    hypervectors = np.atleast_2d(np.asarray(hypervectors))
-    if not np.all(np.isin(hypervectors, (-1, 1))):
-        raise ValueError("pack_bipolar expects entries in {+1, -1}")
-    return pack_bits(hypervectors > 0, hypervectors.shape[1])
-
-
-def unpack_bipolar(packed: "PackedHypervectors") -> np.ndarray:
-    """Reverse :func:`pack_bipolar`, returning the dense ``{+1, -1}`` matrix."""
-    words = packed.words
-    rows, num_words = words.shape
-    shifts = np.arange(_WORD_BITS, dtype=np.uint64)
-    bits = ((words[:, :, None] >> shifts) & np.uint64(1)).astype(np.int8)
-    dense = bits.reshape(rows, num_words * _WORD_BITS)[:, : packed.dimension]
-    return (2 * dense - 1).astype(BIPOLAR_DTYPE)
-
-
-def _popcount_table(words: np.ndarray) -> np.ndarray:
-    """Population count of each uint64 element via four 16-bit table lookups."""
-    counts = np.zeros(words.shape, dtype=np.uint32)
-    remaining = words.copy()
-    for _ in range(4):
-        counts += _POPCOUNT_16[(remaining & np.uint64(0xFFFF)).astype(np.uint32)]
-        remaining >>= np.uint64(16)
-    return counts
-
-
-def _popcount(words: np.ndarray) -> np.ndarray:
-    """Population count of each uint64 element.
-
-    Uses the native ``np.bitwise_count`` ufunc when available (NumPy >= 2.0),
-    falling back to 16-bit table lookups otherwise.  Both paths return the
-    exact same integer counts.
-    """
-    if _HAS_BITWISE_COUNT:
-        return np.bitwise_count(words)
-    return _popcount_table(words)
-
-
-class PackedHypervectors:
-    """A batch of bit-packed hypervectors.
-
-    Attributes
-    ----------
-    words:
-        ``(rows, ceil(D / 64))`` uint64 array holding the packed bits.
-    dimension:
-        The original hypervector dimension ``D`` (needed because the last
-        word may be partially used).
-    """
-
-    def __init__(self, words: np.ndarray, dimension: int):
-        words = np.asarray(words, dtype=np.uint64)
-        if words.ndim != 2:
-            raise ValueError(f"words must be 2-D, got shape {words.shape}")
-        expected_words = (dimension + _WORD_BITS - 1) // _WORD_BITS
-        if words.shape[1] != expected_words:
-            raise ValueError(
-                f"words has {words.shape[1]} columns, expected {expected_words} "
-                f"for dimension {dimension}"
-            )
-        self.words = words
-        self.dimension = dimension
-
-    def __len__(self) -> int:
-        return self.words.shape[0]
-
-    @property
-    def storage_bytes(self) -> int:
-        """Bytes needed to store this batch (what an accelerator would keep)."""
-        return self.words.nbytes
-
-    def hamming_distance(self, other: "PackedHypervectors") -> np.ndarray:
-        """Pairwise normalised Hamming distances, shape ``(len(self), len(other))``.
-
-        Computed as popcount(XOR) over packed words, exactly how a hardware
-        implementation would evaluate Eq. 4.
-        """
-        if other.dimension != self.dimension:
-            raise ValueError(
-                f"dimension mismatch: {self.dimension} vs {other.dimension}"
-            )
-        return self.bit_differences(other) / float(self.dimension)
-
-    def bit_differences(self, other: "PackedHypervectors") -> np.ndarray:
-        """Pairwise *raw* differing-bit counts, shape ``(len(self), len(other))``.
-
-        The whole pairwise XOR is evaluated as one broadcasted ufunc call per
-        row block (blocks bound the scratch buffer to ``_DISTANCE_BLOCK_BYTES``)
-        rather than a Python-level loop over rows, which is what makes the
-        packed path faster than the dense dot product instead of merely
-        smaller.  ``int64`` counts are returned so callers can derive the dot
-        similarity ``D - 2 * diff`` without overflow or rounding.
-        """
-        if other.dimension != self.dimension:
-            raise ValueError(
-                f"dimension mismatch: {self.dimension} vs {other.dimension}"
-            )
-        num_words = self.words.shape[1]
-        counts = np.empty((len(self), len(other)), dtype=np.int64)
-        bytes_per_row = max(1, len(other) * num_words * 8)
-        block_rows = max(1, _DISTANCE_BLOCK_BYTES // bytes_per_row)
-        for start in range(0, len(self), block_rows):
-            stop = min(start + block_rows, len(self))
-            xor = self.words[start:stop, None, :] ^ other.words[None, :, :]
-            counts[start:stop] = _popcount(xor).sum(axis=2, dtype=np.int64)
-        return counts
-
+from repro.kernels import packed as _packed
 
 __all__ = ["PackedHypervectors", "pack_bipolar", "pack_bits", "unpack_bipolar"]
+
+#: Historical private helpers, mapped to their kernel-layer spellings.
+_PRIVATE_ALIASES = {
+    "_popcount": "popcount",
+    "_popcount_table": "_popcount_table",
+    "_POPCOUNT_16": "_POPCOUNT_16",
+    "_HAS_BITWISE_COUNT": "_HAS_BITWISE_COUNT",
+    "_WORD_BITS": "_WORD_BITS",
+    "_DISTANCE_BLOCK_BYTES": "_DISTANCE_BLOCK_BYTES",
+}
+
+
+def __getattr__(name: str):
+    if name in _PRIVATE_ALIASES:
+        return getattr(_packed, _PRIVATE_ALIASES[name])
+    if not name.startswith("_") and hasattr(_packed, name):
+        warnings.warn(
+            f"repro.hdc.packing.{name} is deprecated; import it from repro.kernels",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return getattr(_packed, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def __dir__():
+    return sorted(set(__all__) | set(dir(_packed)))

@@ -1,0 +1,73 @@
+"""Shared hot-path compute kernels.
+
+``repro.kernels`` is the single home for the computations every layer of the
+system competes on: bit-packed XOR+popcount scoring (:mod:`.packed`), fused
+encoder accumulation (:mod:`.encode`), and the float matmul/dtype policy
+behind the NN substrate (:mod:`.linear`).  Implementations are published in a
+named registry with swappable backends (:mod:`.dispatch`), selected via
+``REPRO_KERNEL_BACKEND`` or :func:`~repro.kernels.dispatch.set_backend`.
+
+Layering: :mod:`repro.hdc`, :mod:`repro.classifiers`, :mod:`repro.nn`,
+:mod:`repro.core`, :mod:`repro.eval` and :mod:`repro.serve` all call *down*
+into this package; nothing here imports back up (the only exception is the
+lazy encoder-type dispatch inside :func:`~repro.kernels.encode.build_accumulator`).
+See ``docs/architecture.md`` for the full data-flow.
+"""
+
+from repro.kernels.dispatch import (
+    active_backend,
+    available_backends,
+    float_dtype,
+    get_kernel,
+    list_kernels,
+    register_kernel,
+    set_backend,
+    set_float_dtype,
+    use_backend,
+    use_float_dtype,
+)
+from repro.kernels.encode import (
+    DEFAULT_LUT_BUDGET_BYTES,
+    NGramAccumulator,
+    RecordAccumulator,
+    build_accumulator,
+)
+from repro.kernels.linear import as_float, matmul, sign_bipolar
+from repro.kernels.packed import (
+    PackedHypervectors,
+    bit_differences_words,
+    pack_bipolar,
+    pack_bits,
+    packed_dot_scores,
+    popcount,
+    sign_fuse_bits,
+    unpack_bipolar,
+)
+
+__all__ = [
+    "DEFAULT_LUT_BUDGET_BYTES",
+    "NGramAccumulator",
+    "PackedHypervectors",
+    "RecordAccumulator",
+    "active_backend",
+    "as_float",
+    "available_backends",
+    "bit_differences_words",
+    "build_accumulator",
+    "float_dtype",
+    "get_kernel",
+    "list_kernels",
+    "matmul",
+    "pack_bipolar",
+    "pack_bits",
+    "packed_dot_scores",
+    "popcount",
+    "register_kernel",
+    "set_backend",
+    "set_float_dtype",
+    "sign_bipolar",
+    "sign_fuse_bits",
+    "unpack_bipolar",
+    "use_backend",
+    "use_float_dtype",
+]

@@ -7,6 +7,14 @@ gradients, while the forward pass uses its binarisation ``C = sgn(C_nb)``
 (Eq. 8).  The backward pass uses the straight-through estimator: gradients
 w.r.t. the binary weights are applied to the latent weights unchanged
 (optionally masked where ``|C_nb|`` exceeds a clip threshold).
+
+Dtype policy: all float compute goes through :mod:`repro.kernels.linear`.
+Parameters are initialised in the policy dtype (``float32`` by default — the
+latent weights of a BNN need nowhere near 53 bits of mantissa) and integer
+inputs are cast to it once; arrays that are already floating point are never
+silently up-cast, so a ``float32`` training step stays ``float32`` end to
+end.  Pass ``dtype=np.float64`` to a layer (or set the policy) when full
+precision is required, e.g. for finite-difference gradient checks.
 """
 
 from __future__ import annotations
@@ -15,6 +23,7 @@ from typing import List, Optional
 
 import numpy as np
 
+from repro.kernels.linear import as_float, matmul, sign_bipolar
 from repro.nn.init import scaled_uniform_init
 from repro.nn.module import Module, Parameter
 from repro.utils.rng import SeedLike, ensure_rng
@@ -35,25 +44,34 @@ class Linear(Module):
         bias: bool = True,
         init_scale: float = 0.01,
         seed: SeedLike = None,
+        dtype=None,
     ):
         super().__init__()
         self.in_features = check_positive_int(in_features, "in_features")
         self.out_features = check_positive_int(out_features, "out_features")
         self.weight = Parameter(
             scaled_uniform_init(
-                (self.in_features, self.out_features), scale=init_scale, seed=seed
+                (self.in_features, self.out_features),
+                scale=init_scale,
+                seed=seed,
+                dtype=dtype,
             ),
             name="linear.weight",
         )
         self.bias = (
-            Parameter(np.zeros(self.out_features), name="linear.bias") if bias else None
+            Parameter(
+                np.zeros(self.out_features, dtype=self.weight.value.dtype),
+                name="linear.bias",
+            )
+            if bias
+            else None
         )
         self._cached_input: Optional[np.ndarray] = None
 
     def forward(self, inputs: np.ndarray) -> np.ndarray:
-        inputs = np.asarray(inputs, dtype=np.float64)
+        inputs = as_float(inputs)
         self._cached_input = inputs
-        outputs = inputs @ self.weight.value
+        outputs = matmul(inputs, self.weight.value)
         if self.bias is not None:
             outputs = outputs + self.bias.value
         return outputs
@@ -61,11 +79,11 @@ class Linear(Module):
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
         if self._cached_input is None:
             raise RuntimeError("forward() must be called before backward()")
-        grad_output = np.asarray(grad_output, dtype=np.float64)
-        self.weight.add_grad(self._cached_input.T @ grad_output)
+        grad_output = as_float(grad_output)
+        self.weight.add_grad(matmul(self._cached_input.T, grad_output))
         if self.bias is not None:
             self.bias.add_grad(grad_output.sum(axis=0))
-        return grad_output @ self.weight.value.T
+        return matmul(grad_output, self.weight.value.T)
 
 
 class BinaryLinear(Module):
@@ -86,6 +104,8 @@ class BinaryLinear(Module):
         Magnitude of the random uniform latent-weight initialisation.
     seed:
         Seed or generator for the initialisation.
+    dtype:
+        Latent-weight dtype; defaults to the kernel layer's policy dtype.
     """
 
     def __init__(
@@ -95,6 +115,7 @@ class BinaryLinear(Module):
         latent_clip: Optional[float] = 1.0,
         init_scale: float = 0.01,
         seed: SeedLike = None,
+        dtype=None,
     ):
         super().__init__()
         self.in_features = check_positive_int(in_features, "in_features")
@@ -104,7 +125,10 @@ class BinaryLinear(Module):
         self.latent_clip = latent_clip
         self.weight = Parameter(
             scaled_uniform_init(
-                (self.in_features, self.out_features), scale=init_scale, seed=seed
+                (self.in_features, self.out_features),
+                scale=init_scale,
+                seed=seed,
+                dtype=dtype,
             ),
             name="binary_linear.latent_weight",
         )
@@ -115,15 +139,15 @@ class BinaryLinear(Module):
     @property
     def binary_weight(self) -> np.ndarray:
         """The binarised weights ``sgn(C_nb)`` (Eq. 8); zeros map to +1."""
-        return np.where(self.weight.value < 0, -1.0, 1.0)
+        return sign_bipolar(self.weight.value)
 
     def set_latent_from_bipolar(self, bipolar: np.ndarray, magnitude: float = 0.01) -> None:
         """Warm-start the latent weights from an existing bipolar matrix.
 
         The matrix must have shape ``(in_features, out_features)``; its signs
-        become the initial binary weights.
+        become the initial binary weights.  The latent dtype is preserved.
         """
-        bipolar = np.asarray(bipolar, dtype=np.float64)
+        bipolar = np.asarray(bipolar)
         if bipolar.shape != self.weight.value.shape:
             raise ValueError(
                 f"bipolar shape {bipolar.shape} does not match weight shape "
@@ -131,19 +155,20 @@ class BinaryLinear(Module):
             )
         if not np.all(np.isin(bipolar, (-1.0, 1.0))):
             raise ValueError("expected entries in {+1, -1}")
-        self.weight.value = bipolar * magnitude
+        dtype = self.weight.value.dtype
+        self.weight.value = bipolar.astype(dtype) * dtype.type(magnitude)
 
     def forward(self, inputs: np.ndarray) -> np.ndarray:
-        inputs = np.asarray(inputs, dtype=np.float64)
+        inputs = as_float(inputs)
         self._cached_input = inputs
         self._cached_binary = self.binary_weight
-        return inputs @ self._cached_binary
+        return matmul(inputs, self._cached_binary)
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
         if self._cached_input is None:
             raise RuntimeError("forward() must be called before backward()")
-        grad_output = np.asarray(grad_output, dtype=np.float64)
-        grad_weight = self._cached_input.T @ grad_output
+        grad_output = as_float(grad_output)
+        grad_weight = matmul(self._cached_input.T, grad_output)
         if self.latent_clip is not None:
             # Straight-through estimator with saturation: once a latent weight
             # has left the clip range, further pushes in the same direction
@@ -153,7 +178,7 @@ class BinaryLinear(Module):
         self.weight.add_grad(grad_weight)
         # Gradient w.r.t. the input flows through the *binary* weights, which
         # is exactly what the chain rule gives for the forward computation.
-        return grad_output @ self._cached_binary.T
+        return matmul(grad_output, self._cached_binary.T)
 
     def clip_latent(self) -> None:
         """Clip latent weights into ``[-latent_clip, +latent_clip]`` (no-op if disabled)."""
@@ -171,7 +196,8 @@ class Dropout(Module):
 
     The paper applies dropout to the (very wide) encoded hypervector during
     training to stop the class hypervectors from over-fitting (Sec. 4).  At
-    evaluation time this layer is the identity.
+    evaluation time this layer is the identity.  The mask is materialised in
+    the input's dtype so a float32 forward stays float32.
     """
 
     def __init__(self, rate: float, seed: SeedLike = None):
@@ -181,17 +207,19 @@ class Dropout(Module):
         self._cached_mask: Optional[np.ndarray] = None
 
     def forward(self, inputs: np.ndarray) -> np.ndarray:
-        inputs = np.asarray(inputs, dtype=np.float64)
+        inputs = as_float(inputs)
         if not self.training or self.rate == 0.0:
             self._cached_mask = None
             return inputs
         keep_probability = 1.0 - self.rate
         mask = self._rng.random(inputs.shape) < keep_probability
-        self._cached_mask = mask / keep_probability
+        self._cached_mask = mask.astype(inputs.dtype) / inputs.dtype.type(
+            keep_probability
+        )
         return inputs * self._cached_mask
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
-        grad_output = np.asarray(grad_output, dtype=np.float64)
+        grad_output = as_float(grad_output)
         if self._cached_mask is None:
             return grad_output
         return grad_output * self._cached_mask

@@ -12,23 +12,32 @@ from typing import Tuple
 
 import numpy as np
 
+from repro.kernels.linear import as_float
+
 
 def softmax(logits: np.ndarray, axis: int = -1) -> np.ndarray:
-    """Numerically stable softmax along *axis*."""
-    logits = np.asarray(logits, dtype=np.float64)
+    """Numerically stable softmax along *axis* (dtype-preserving for floats)."""
+    logits = as_float(logits)
     shifted = logits - logits.max(axis=axis, keepdims=True)
     exponentials = np.exp(shifted)
     return exponentials / exponentials.sum(axis=axis, keepdims=True)
 
 
-def one_hot(labels: np.ndarray, num_classes: int) -> np.ndarray:
-    """One-hot encode integer *labels* into an ``(n, num_classes)`` float matrix."""
+def one_hot(labels: np.ndarray, num_classes: int, dtype=None) -> np.ndarray:
+    """One-hot encode integer *labels* into an ``(n, num_classes)`` float matrix.
+
+    *dtype* defaults to the kernel layer's float policy dtype.
+    """
     labels = np.asarray(labels, dtype=np.int64)
     if labels.ndim != 1:
         raise ValueError(f"labels must be 1-D, got shape {labels.shape}")
     if np.any(labels < 0) or np.any(labels >= num_classes):
         raise ValueError(f"labels must be in [0, {num_classes})")
-    encoded = np.zeros((labels.shape[0], num_classes), dtype=np.float64)
+    if dtype is None:
+        from repro.kernels.dispatch import float_dtype
+
+        dtype = float_dtype()
+    encoded = np.zeros((labels.shape[0], num_classes), dtype=dtype)
     encoded[np.arange(labels.shape[0]), labels] = 1.0
     return encoded
 
@@ -53,7 +62,7 @@ def cross_entropy_from_logits(
         ``(batch, classes)`` gradient of the mean loss w.r.t. the logits,
         i.e. ``(softmax(logits) - onehot(labels)) / batch``.
     """
-    logits = np.asarray(logits, dtype=np.float64)
+    logits = as_float(logits)
     if logits.ndim != 2:
         raise ValueError(f"logits must be 2-D, got shape {logits.shape}")
     labels = np.asarray(labels, dtype=np.int64)
@@ -66,7 +75,9 @@ def cross_entropy_from_logits(
     # Clip to avoid log(0) on confidently wrong predictions.
     clipped = np.clip(probabilities[np.arange(batch), labels], 1e-12, 1.0)
     loss = float(-np.log(clipped).mean())
-    grad = (probabilities - one_hot(labels, num_classes)) / batch
+    # The one-hot targets follow the logits' dtype so the returned gradient
+    # does not up-cast the backward pass.
+    grad = (probabilities - one_hot(labels, num_classes, dtype=probabilities.dtype)) / batch
     return loss, grad
 
 

@@ -8,9 +8,11 @@ modules can be nested and expose all parameters of their children through
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Optional
+from typing import Dict, List, Optional
 
 import numpy as np
+
+from repro.kernels.linear import as_float
 
 
 class Parameter:
@@ -19,7 +21,9 @@ class Parameter:
     Attributes
     ----------
     value:
-        The current parameter value (float64).
+        The current parameter value.  Floating input keeps its dtype;
+        anything else is cast to the kernel layer's policy dtype
+        (:func:`repro.kernels.dispatch.float_dtype`, ``float32`` by default).
     grad:
         The gradient accumulated by the most recent backward pass, or ``None``
         if no backward pass has run since the last :meth:`zero_grad`.
@@ -28,7 +32,7 @@ class Parameter:
     """
 
     def __init__(self, value: np.ndarray, name: str = "parameter"):
-        self.value = np.asarray(value, dtype=np.float64)
+        self.value = as_float(value)
         self.grad: Optional[np.ndarray] = None
         self.name = name
 
@@ -42,8 +46,8 @@ class Parameter:
         self.grad = None
 
     def add_grad(self, grad: np.ndarray) -> None:
-        """Accumulate *grad* (summing if a gradient is already present)."""
-        grad = np.asarray(grad, dtype=np.float64)
+        """Accumulate *grad* in the parameter's dtype (summing if present)."""
+        grad = np.asarray(grad, dtype=self.value.dtype)
         if grad.shape != self.value.shape:
             raise ValueError(
                 f"gradient shape {grad.shape} does not match parameter "

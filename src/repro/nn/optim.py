@@ -11,7 +11,7 @@ code-bases apply it decoupled; the ablation bench compares the two.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional
+from typing import Dict, Iterable, List
 
 import numpy as np
 
@@ -38,7 +38,14 @@ def clip_gradient_norm(parameters: Iterable[Parameter], max_norm: float) -> floa
 
 
 class Optimizer:
-    """Base optimiser: holds the parameter list, learning rate, weight decay."""
+    """Base optimiser: holds the parameter list, learning rate, weight decay.
+
+    All optimiser state (momentum/Adam moments) is allocated with
+    ``np.zeros_like`` and every update mixes only Python scalars into the
+    arrays, so the step runs entirely in each parameter's own dtype — a
+    ``float32`` parameter (the kernel layer's default policy) is never
+    silently up-cast to ``float64`` during training.
+    """
 
     def __init__(
         self,

@@ -5,20 +5,23 @@ wants something flatter.  :class:`PackedInferenceEngine` does the one-time
 compilation at load time:
 
 * the classifier's ``(K, D)`` bipolar class hypervectors are bit-packed into
-  ``(K, ceil(D/64))`` uint64 words (:mod:`repro.hdc.packing`), so each query
-  is answered with XOR + popcount — the zero-overhead path the paper claims;
-* the encoder's position/level item memories are fused into a bound lookup
-  table (record encoder) or pre-permuted level codebooks (n-gram encoder), so
-  encoding a request is pure gather + accumulate with no per-request binds;
+  ``(K, ceil(D/64))`` uint64 words, so each query is answered with XOR +
+  popcount — the zero-overhead path the paper claims;
+* the encoder's fused accumulator (bound position×level LUT for the record
+  encoder, pre-permuted codebooks for the n-gram encoder) is compiled once,
+  so encoding a request is pure gather + accumulate with no per-request binds;
 * classifiers whose scoring is *not* the shared Hamming/dot rule (non-binary
   centroids, the multi-model ensemble) transparently fall back to a dense
   path that defers to the classifier's own ``decision_scores``.
 
-The engine is safe to share across threads — which is exactly how the
-batching scheduler and HTTP server use it.  The only mutable state it touches
-is the encoder's RNG (consumed for ``sgn(0)`` tie-breaks when the encoder was
-configured with ``tie_break="random"``); those draws are serialised behind an
-internal lock because ``np.random.Generator`` is not thread-safe.
+All of the bit-level machinery lives in :mod:`repro.kernels` — this module
+owns only serving concerns: compilation policy (packed vs dense), metadata,
+and thread-safety.  The engine is safe to share across threads — which is
+exactly how the batching scheduler and HTTP server use it.  The only mutable
+state it touches is the encoder's RNG (consumed for ``sgn(0)`` tie-breaks
+when the encoder was configured with ``tie_break="random"``); those draws are
+serialised behind an internal lock because ``np.random.Generator`` is not
+thread-safe.
 """
 
 from __future__ import annotations
@@ -29,112 +32,18 @@ from typing import Optional, Tuple, Union
 
 import numpy as np
 
-from repro.classifiers.base import HDCClassifierBase, top_k_from_scores
+from repro.classifiers.base import top_k_from_scores
 from repro.classifiers.pipeline import HDCPipeline
-from repro.hdc.encoders import NGramEncoder, RecordEncoder
 from repro.hdc.hypervector import BIPOLAR_DTYPE, sign_with_ties
-from repro.hdc.packing import PackedHypervectors, pack_bipolar, pack_bits
+from repro.kernels.encode import DEFAULT_LUT_BUDGET_BYTES, build_accumulator
+from repro.kernels.packed import (
+    PackedHypervectors,
+    pack_bipolar,
+    pack_bits,
+    packed_dot_scores,
+    sign_fuse_bits,
+)
 from repro.utils.validation import check_matrix
-
-#: Largest bound-LUT the record-encoder path will materialise, in bytes
-#: (``num_features * num_levels * D`` int8 entries).  Above this the engine
-#: keeps the factored item memories and binds on the fly.
-DEFAULT_LUT_BUDGET_BYTES = 128 * 1024 * 1024
-
-
-def _uses_shared_scoring(classifier: HDCClassifierBase) -> bool:
-    """True when *classifier* scores with the base dot-similarity rule.
-
-    Strategies that override ``decision_scores`` (non-binary centroids with
-    cosine scoring, the multi-model ensemble) cannot be reproduced by XOR +
-    popcount over the majority-vote class hypervectors, so they take the
-    dense fallback.
-    """
-    return type(classifier).decision_scores is HDCClassifierBase.decision_scores
-
-
-class _RecordAccumulator:
-    """Pre-sign accumulation for :class:`RecordEncoder` with a fused LUT.
-
-    ``lut[i, l] = position[i] * level[l]`` collapses the bind into a gather:
-    a batch accumulates as one fancy-indexed gather over the flattened
-    ``(N * L, D)`` table followed by a single C-level reduction, chunked over
-    features so the int8 scratch stays within ``_SCRATCH_BYTES`` and the
-    per-chunk partial sums fit int16 (a chunk contributes at most ±chunk per
-    dimension).  When the LUT itself would exceed the byte budget the
-    factored form is kept (one gather + one multiply per feature), with the
-    int32 casts hoisted out of the request path.
-    """
-
-    _SCRATCH_BYTES = 32 * 1024 * 1024
-
-    def __init__(self, encoder: RecordEncoder, lut_budget_bytes: int):
-        positions = encoder.position_memory.vectors
-        levels = encoder.level_memory.vectors
-        num_features, dimension = positions.shape
-        num_levels = levels.shape[0]
-        lut_bytes = num_features * num_levels * dimension
-        if lut_bytes <= lut_budget_bytes:
-            lut = positions[:, None, :].astype(np.int8) * levels[None, :, :]
-            self._flat_lut = lut.reshape(num_features * num_levels, dimension)
-            self._row_offsets = (
-                np.arange(num_features, dtype=np.int64) * num_levels
-            )
-            self._positions = None
-            self._levels = None
-            self.table_bytes = self._flat_lut.nbytes
-        else:
-            self._flat_lut = None
-            self._row_offsets = None
-            self._positions = positions.astype(np.int32)
-            self._levels = levels.astype(np.int32)
-            self.table_bytes = self._positions.nbytes + self._levels.nbytes
-        self._dimension = dimension
-
-    def __call__(self, level_indices: np.ndarray) -> np.ndarray:
-        batch, num_features = level_indices.shape
-        accumulated = np.zeros((batch, self._dimension), dtype=np.int32)
-        if self._flat_lut is not None:
-            chunk = max(1, self._SCRATCH_BYTES // max(1, batch * self._dimension))
-            chunk = min(chunk, 32767)  # int16 partial-sum headroom
-            rows = level_indices + self._row_offsets
-            for start in range(0, num_features, chunk):
-                gathered = self._flat_lut[rows[:, start : start + chunk]]
-                accumulated += gathered.sum(axis=1, dtype=np.int16)
-            return accumulated
-        for feature_index in range(num_features):
-            accumulated += (
-                self._positions[feature_index]
-                * self._levels[level_indices[:, feature_index]]
-            )
-        return accumulated
-
-
-class _NGramAccumulator:
-    """Pre-sign accumulation for :class:`NGramEncoder` with hoisted codebooks.
-
-    The encoder re-permutes the level codebook on every ``encode`` call; here
-    the ``ngram`` permuted copies are built once at engine-load time.
-    """
-
-    def __init__(self, encoder: NGramEncoder):
-        level_vectors = encoder.level_memory.vectors.astype(np.int32)
-        self._ngram = encoder.ngram
-        self._codebooks = [
-            np.roll(level_vectors, offset, axis=1) for offset in range(self._ngram)
-        ]
-        self._dimension = level_vectors.shape[1]
-        self.table_bytes = sum(book.nbytes for book in self._codebooks)
-
-    def __call__(self, level_indices: np.ndarray) -> np.ndarray:
-        batch, num_features = level_indices.shape
-        accumulated = np.zeros((batch, self._dimension), dtype=np.int32)
-        for start in range(num_features - self._ngram + 1):
-            gram = self._codebooks[0][level_indices[:, start]].copy()
-            for offset in range(1, self._ngram):
-                gram *= self._codebooks[offset][level_indices[:, start + offset]]
-            accumulated += gram
-        return accumulated
 
 
 class PackedInferenceEngine:
@@ -183,7 +92,7 @@ class PackedInferenceEngine:
         self.dimension = int(classifier.class_hypervectors_.shape[1])
         self.num_classes = int(classifier.class_hypervectors_.shape[0])
 
-        shared_scoring = _uses_shared_scoring(classifier)
+        shared_scoring = classifier.supports_packed_scoring()
         if mode == "auto":
             mode = "packed" if shared_scoring else "dense"
         elif mode == "packed" and not shared_scoring:
@@ -201,12 +110,20 @@ class PackedInferenceEngine:
         # RNG consumption on the request path) are serialised behind this.
         self._rng_lock = threading.Lock()
 
-        if isinstance(self.encoder, NGramEncoder):
-            self._accumulate = _NGramAccumulator(self.encoder)
-        elif isinstance(self.encoder, RecordEncoder):
-            self._accumulate = _RecordAccumulator(self.encoder, lut_budget_bytes)
-        else:  # pragma: no cover - future encoders fall back to encoder.encode
-            self._accumulate = None
+        # Compile the fused accumulator now so first-request latency excludes
+        # the LUT bind and concurrent first requests cannot race compilation.
+        # A non-default budget builds an engine-local accumulator: the shared
+        # encoder's own budget/tables are never mutated (the training-side
+        # owner of the pipeline keeps its fused path and memory profile).
+        if lut_budget_bytes == self.encoder.lut_budget_bytes:
+            try:
+                self._accumulator = self.encoder._get_accumulator()
+            except NotImplementedError:  # pragma: no cover - future encoders
+                self._accumulator = None
+        else:
+            self._accumulator = build_accumulator(
+                self.encoder, lut_budget_bytes=lut_budget_bytes
+            )
 
     # ------------------------------------------------------------ constructors
     @classmethod
@@ -227,23 +144,32 @@ class PackedInferenceEngine:
         )
 
     # ---------------------------------------------------------------- encoding
+    def _validate(self, features: np.ndarray) -> np.ndarray:
+        """Request validation, done exactly once per public entry point."""
+        return check_matrix(
+            features, "features", dtype=np.float64, n_columns=self.encoder.num_features
+        )
+
     def _raw_accumulation(self, features: np.ndarray) -> np.ndarray:
-        """The encoder's pre-sign integer accumulation via the fused tables."""
-        level_indices = self.encoder._quantizer.transform(features)
-        return self._accumulate(level_indices)
+        """Pre-sign accumulation over the engine's compiled tables.
+
+        *features* must already be validated.  Thread-safe: touches only the
+        immutable quantiser and accumulator tables, no RNG.
+        """
+        return self._accumulator(self.encoder._quantizer.transform(features))
 
     def encode(self, features: np.ndarray) -> np.ndarray:
-        """Encode raw features to bipolar hypervectors via the fused tables.
+        """Encode raw features to bipolar hypervectors via the fused kernels.
 
         Bit-identical to ``self.encoder.encode`` (the pre-sign accumulation is
         always identical; the ``sgn(0)`` tie-break follows the encoder's
         configuration, so deterministic — ``tie_break="positive"`` — encoders
         match exactly).
         """
-        features = check_matrix(
-            features, "features", dtype=np.float64, n_columns=self.encoder.num_features
-        )
-        if self._accumulate is None:  # pragma: no cover - future encoders
+        return self._encode_validated(self._validate(features))
+
+    def _encode_validated(self, features: np.ndarray) -> np.ndarray:
+        if self._accumulator is None:  # pragma: no cover - future encoders
             with self._rng_lock:
                 return self.encoder.encode(features)
         raw = self._raw_accumulation(features)
@@ -255,30 +181,21 @@ class PackedInferenceEngine:
     def _encode_packed(self, features: np.ndarray) -> PackedHypervectors:
         """Encode straight to packed words, skipping the dense intermediate.
 
-        The sign of the raw accumulation *is* the packed bit, so the int8
-        hypervector matrix never needs to exist: bits are derived from the
-        int32 accumulation and packed with the C-speed ``np.packbits`` kernel.
-        Tie bits replicate :func:`sign_with_ties` (same RNG draws, same
-        mapping), keeping this path bit-identical to ``pack(encode(x))``.
+        *features* must already be validated.  The accumulation half is
+        lock-free (immutable compiled tables); for ``tie_break="random"``
+        encoders the sign fusion runs under the RNG lock so the ``sgn(0)``
+        draw stream stays well-ordered across threads, while deterministic
+        encoders never touch the lock at all.
         """
-        features = check_matrix(
-            features, "features", dtype=np.float64, n_columns=self.encoder.num_features
-        )
-        if self._accumulate is None:  # pragma: no cover - future encoders
+        if self._accumulator is None:  # pragma: no cover - future encoders
             with self._rng_lock:
                 return pack_bipolar(self.encoder.encode(features))
         raw = self._raw_accumulation(features)
-        bits = raw > 0
-        zeros = raw == 0
-        if np.any(zeros):
-            if self.encoder.tie_break == "positive":
-                bits |= zeros
-            else:
-                with self._rng_lock:
-                    draws = self.encoder.rng.integers(
-                        0, 2, size=int(zeros.sum()), dtype=np.int8
-                    )
-                bits[zeros] = draws == 1
+        if self.encoder.tie_break == "random":
+            with self._rng_lock:
+                bits = sign_fuse_bits(raw, tie_break="random", rng=self.encoder.rng)
+        else:
+            bits = sign_fuse_bits(raw, tie_break="positive")
         return pack_bits(bits, self.dimension)
 
     # --------------------------------------------------------------- inference
@@ -289,11 +206,11 @@ class PackedInferenceEngine:
         computed entirely over packed words; dense mode defers to the
         classifier's own scoring rule.
         """
+        features = self._validate(features)
         if self.mode == "packed":
             packed_queries = self._encode_packed(features)
-            differences = packed_queries.bit_differences(self._packed_classes)
-            return (self.dimension - 2 * differences).astype(np.int64)
-        return self.classifier.decision_scores(self.encode(features))
+            return packed_dot_scores(packed_queries, self._packed_classes)
+        return self.classifier.decision_scores(self._encode_validated(features))
 
     def predict(self, features: np.ndarray) -> np.ndarray:
         """Predict integer class labels for a batch of raw feature rows."""
@@ -346,7 +263,7 @@ class PackedInferenceEngine:
             "encoder": type(self.encoder).__name__,
             "classifier": type(self.classifier).__name__,
             "packed_storage_bytes": self.packed_storage_bytes,
-            "table_bytes": getattr(self._accumulate, "table_bytes", 0),
+            "table_bytes": getattr(self._accumulator, "table_bytes", 0),
             "metadata": self.metadata,
         }
 

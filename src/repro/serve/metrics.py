@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import bisect
 import threading
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Sequence
 
 #: Default latency bucket upper bounds in seconds: log-spaced from 50 µs to
 #: 20 s, which brackets everything from a packed single-sample lookup to a

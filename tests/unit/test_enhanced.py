@@ -1,7 +1,6 @@
 """Unit tests for repro.classifiers.enhanced."""
 
 import numpy as np
-import pytest
 
 from repro.classifiers.enhanced import EnhancedRetrainingHDC
 from repro.classifiers.retraining import RetrainingHDC

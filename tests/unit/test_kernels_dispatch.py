@@ -1,0 +1,108 @@
+"""Unit tests for the kernel registry, backend selection, and dtype policy."""
+
+import numpy as np
+import pytest
+
+from repro.kernels import dispatch
+
+
+class TestRegistry:
+    def test_get_known_kernel(self):
+        assert callable(dispatch.get_kernel("packed.bit_differences"))
+        assert callable(dispatch.get_kernel("encode.lut_accumulate"))
+        assert callable(dispatch.get_kernel("linear.matmul"))
+
+    def test_unknown_kernel_raises(self):
+        with pytest.raises(KeyError, match="no kernel registered"):
+            dispatch.get_kernel("no.such.kernel")
+
+    def test_unknown_backend_falls_back_to_numpy(self):
+        numpy_impl = dispatch.get_kernel("linear.matmul", backend="numpy")
+
+        @dispatch.register_kernel("test.only_numpy")
+        def only_numpy():
+            return "numpy"
+
+        assert dispatch.get_kernel("test.only_numpy", backend="threaded") is only_numpy
+        assert dispatch.get_kernel("linear.matmul", backend="numpy") is numpy_impl
+
+    def test_register_rejects_unknown_backend(self):
+        with pytest.raises(ValueError, match="unknown backend"):
+            dispatch.register_kernel("test.bad", backend="cuda")
+
+    def test_list_kernels_names_backends(self):
+        listing = dispatch.list_kernels()
+        assert "numpy" in listing["packed.bit_differences"]
+        assert "threaded" in listing["packed.bit_differences"]
+
+
+class TestBackendSelection:
+    def test_default_backend(self, monkeypatch):
+        monkeypatch.delenv("REPRO_KERNEL_BACKEND", raising=False)
+        dispatch.set_backend(None)
+        assert dispatch.active_backend() == "numpy"
+
+    def test_environment_selects_backend(self, monkeypatch):
+        monkeypatch.setenv("REPRO_KERNEL_BACKEND", "threaded")
+        dispatch.set_backend(None)
+        assert dispatch.active_backend() == "threaded"
+        monkeypatch.delenv("REPRO_KERNEL_BACKEND")
+
+    def test_use_backend_context(self):
+        with dispatch.use_backend("threaded"):
+            assert dispatch.active_backend() == "threaded"
+        assert dispatch.active_backend() == "numpy"
+
+    def test_set_backend_validates(self):
+        with pytest.raises(ValueError, match="unknown backend"):
+            dispatch.set_backend("gpu")
+
+    def test_num_threads_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_KERNEL_THREADS", "3")
+        assert dispatch.num_threads() == 3
+        monkeypatch.delenv("REPRO_KERNEL_THREADS")
+        assert dispatch.num_threads() >= 1
+
+
+class TestFloatDtypePolicy:
+    def test_default_is_float32(self, monkeypatch):
+        monkeypatch.delenv("REPRO_FLOAT_DTYPE", raising=False)
+        dispatch.set_float_dtype(None)
+        assert dispatch.float_dtype() == np.dtype(np.float32)
+
+    def test_environment_overrides(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FLOAT_DTYPE", "float64")
+        dispatch.set_float_dtype(None)
+        assert dispatch.float_dtype() == np.dtype(np.float64)
+        monkeypatch.delenv("REPRO_FLOAT_DTYPE")
+
+    def test_use_float_dtype_context(self):
+        with dispatch.use_float_dtype(np.float64):
+            assert dispatch.float_dtype() == np.dtype(np.float64)
+        assert dispatch.float_dtype() == np.dtype(np.float32)
+
+    def test_non_float_dtype_rejected(self):
+        with pytest.raises(ValueError, match="floating dtype"):
+            dispatch.set_float_dtype(np.int32)
+
+
+class TestEnvironmentValidation:
+    def test_unknown_env_backend_raises(self, monkeypatch):
+        monkeypatch.setenv("REPRO_KERNEL_BACKEND", "thread")  # typo of "threaded"
+        dispatch.set_backend(None)
+        with pytest.raises(ValueError, match="REPRO_KERNEL_BACKEND"):
+            dispatch.active_backend()
+        monkeypatch.delenv("REPRO_KERNEL_BACKEND")
+
+    def test_non_integer_thread_count_raises(self, monkeypatch):
+        monkeypatch.setenv("REPRO_KERNEL_THREADS", "four")
+        with pytest.raises(ValueError, match="REPRO_KERNEL_THREADS"):
+            dispatch.num_threads()
+        monkeypatch.delenv("REPRO_KERNEL_THREADS")
+
+    def test_run_sharded_matches_direct(self, monkeypatch):
+        monkeypatch.setenv("REPRO_KERNEL_THREADS", "3")
+        data = np.arange(20.0).reshape(10, 2)
+        result = dispatch.run_sharded(lambda start, stop: data[start:stop] * 2, 10)
+        np.testing.assert_array_equal(result, data * 2)
+        monkeypatch.delenv("REPRO_KERNEL_THREADS")

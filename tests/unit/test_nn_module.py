@@ -8,9 +8,15 @@ from repro.nn.module import Module, Parameter
 
 
 class TestParameter:
-    def test_value_cast_to_float64(self):
+    def test_integer_value_cast_to_policy_dtype(self):
+        from repro.kernels.dispatch import float_dtype
+
         parameter = Parameter(np.array([1, 2, 3]))
-        assert parameter.value.dtype == np.float64
+        assert parameter.value.dtype == float_dtype()
+
+    def test_float_value_dtype_preserved(self):
+        assert Parameter(np.zeros(3, dtype=np.float64)).value.dtype == np.float64
+        assert Parameter(np.zeros(3, dtype=np.float32)).value.dtype == np.float32
 
     def test_add_grad_accumulates(self):
         parameter = Parameter(np.zeros(3))

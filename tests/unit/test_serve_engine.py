@@ -195,3 +195,29 @@ class TestPackedExportOnClassifiers:
     def test_packed_export_requires_fit(self):
         with pytest.raises(RuntimeError):
             BaselineHDC(seed=0).packed_class_hypervectors()
+
+
+class TestEngineDoesNotMutateSharedEncoder:
+    def test_custom_lut_budget_is_engine_local(self, small_problem):
+        """A non-default engine budget must not change the shared encoder's
+        own budget or recompile its fused tables (the training-side owner of
+        the pipeline keeps its fast path)."""
+        pipeline = fit_pipeline(small_problem, BaselineHDC(seed=0))
+        encoder = pipeline.encoder
+        original_budget = encoder.lut_budget_bytes
+        encoder_accumulator = encoder._get_accumulator()
+
+        engine = PackedInferenceEngine(pipeline, lut_budget_bytes=1)
+        assert encoder.lut_budget_bytes == original_budget
+        assert encoder._get_accumulator() is encoder_accumulator
+        # The engine itself runs the factored form and still predicts the same.
+        assert engine._accumulator is not encoder_accumulator
+        np.testing.assert_array_equal(
+            engine.predict(small_problem["test_features"]),
+            pipeline.predict(small_problem["test_features"]),
+        )
+
+    def test_default_budget_shares_the_encoder_accumulator(self, small_problem):
+        pipeline = fit_pipeline(small_problem, BaselineHDC(seed=0))
+        engine = PackedInferenceEngine(pipeline)
+        assert engine._accumulator is pipeline.encoder._get_accumulator()
