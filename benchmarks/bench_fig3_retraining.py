@@ -10,6 +10,11 @@ oscillates after its initial convergence.
 This benchmark regenerates both trajectories (training and testing accuracy
 per iteration) on the Fashion-MNIST substitute and renders them as text
 sparklines plus summary statistics (start / final / best / oscillation).
+
+Both strategies ride the packed training path (epoch scoring + ordered
+scatter-add over packed words — bit-identical to the sequential loop), and
+the report includes the per-iteration wall time each variant recorded in
+``RetrainingHistory.iteration_seconds``.
 """
 
 from __future__ import annotations
@@ -72,6 +77,29 @@ def test_fig3_retraining_trajectories(benchmark):
         f"Figure 3(b) — testing trajectory on {FIG3_DATASET}",
         render_trajectories(test_series, x_label="retraining iteration"),
     )
+
+    timing_lines = [
+        f"{'variant':<22} {'total (s)':>10} {'mean/iter (s)':>14} {'max/iter (s)':>13}"
+    ]
+    for name, history in histories.items():
+        seconds = history.iteration_seconds
+        timing_lines.append(
+            f"{name:<22} {sum(seconds):>10.3f} "
+            f"{sum(seconds) / len(seconds):>14.5f} {max(seconds):>13.5f}"
+        )
+    timing_lines.append("")
+    timing_lines.append(
+        "packed training path (epoch scorer + ordered scatter-add); "
+        "bit-identical to the sequential loop"
+    )
+    print_report(
+        f"Figure 3 — per-iteration retraining wall time on {FIG3_DATASET} "
+        f"(D={BENCH_DIMENSION})",
+        "\n".join(timing_lines),
+    )
+
+    for history in histories.values():
+        assert len(history.iteration_seconds) == history.iterations
 
     basic_train = histories["basic retraining"].train_accuracy
     enhanced_train = histories["enhanced retraining"].train_accuracy

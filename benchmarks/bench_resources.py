@@ -28,7 +28,7 @@ from repro.datasets.registry import get_dataset
 from repro.eval.tables import format_table
 from repro.hardware.cost_model import compare_strategies
 from repro.hdc.encoders import RecordEncoder
-from repro.hdc.packing import pack_bipolar
+from repro.kernels import pack_bipolar
 
 NUM_QUERIES = 200
 

@@ -1,0 +1,77 @@
+"""Packed-training benchmark: retraining ``fit()`` on packed words vs the seed loop.
+
+The packed-training issue moved the retraining epoch onto the kernel layer:
+one blocked XOR+popcount scoring of the whole packed training set per pass,
+followed by an ordered scatter-add of the misclassified samples' updates.
+This benchmark measures every retraining strategy's full ``fit()`` against
+the seed's sequential per-sample loop (still available as
+``packed_epochs=False``), writes the raw numbers as JSON under
+``benchmarks/results/``, and asserts the acceptance criteria:
+
+* ``RetrainingHDC.fit()`` >= 5x the seed dense loop at D=4000, with a
+  bit-identical accuracy history (the benchmark runner verifies bit-identity
+  of histories, class hypervectors and accumulators before reporting);
+* AdaptHD / enhanced retraining and the packed baseline bundling must not
+  be slower than their dense counterparts.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from benchmarks.conftest import RESULTS_DIR, print_report
+from repro.kernels.bench_train import format_training_report, run_training_benchmark
+
+#: Acceptance threshold from the packed-training issue.
+MIN_RETRAINING_FIT_SPEEDUP = 5.0
+
+
+@pytest.fixture(scope="module")
+def training_result():
+    return run_training_benchmark(
+        dimension=4000,
+        num_features=64,
+        num_levels=32,
+        num_classes=10,
+        num_samples=2000,
+        iterations=20,
+        seed=0,
+    )
+
+
+def test_training_benchmark_report(training_result):
+    """Print the per-strategy speedup table and persist the JSON results."""
+    config = training_result["config"]
+    print_report(
+        f"Packed training benchmark (D={config['dimension']})",
+        format_training_report(training_result),
+    )
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, "bench_training.json")
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(training_result, handle, indent=2)
+
+
+def test_retraining_fit_speedup(training_result):
+    """Packed ``RetrainingHDC.fit()`` >= 5x the seed sequential loop at D=4000."""
+    speedup = training_result["retraining"]["speedup"]
+    assert speedup >= MIN_RETRAINING_FIT_SPEEDUP, (
+        f"packed retraining fit speedup {speedup:.1f}x is below the "
+        f"{MIN_RETRAINING_FIT_SPEEDUP:.0f}x acceptance threshold"
+    )
+
+
+def test_histories_bit_identical(training_result):
+    """The runner verifies bit-identity before timing; the flag must be set."""
+    for section in ("retraining", "adapthd", "enhanced"):
+        assert training_result[section]["bit_identical"] is True
+
+
+def test_variants_and_bundle_not_slower(training_result):
+    """AdaptHD, enhanced retraining and packed bundling must not regress."""
+    assert training_result["adapthd"]["speedup"] >= 1.0
+    assert training_result["enhanced"]["speedup"] >= 1.0
+    assert training_result["bundle"]["speedup"] >= 1.0

@@ -31,7 +31,7 @@ from repro import (
 )
 from repro.eval.tables import format_table
 from repro.hardware.cost_model import InferenceCostModel
-from repro.hdc.packing import pack_bipolar
+from repro.kernels import pack_bipolar
 
 DATASET = "ucihar"
 DIMENSION = 2000

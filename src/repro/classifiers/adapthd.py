@@ -47,6 +47,7 @@ class AdaptHDC(RetrainingHDC):
         mode: str = "data",
         epsilon: float = 1e-4,
         shuffle: bool = True,
+        packed_epochs: bool = True,
         tie_break: str = "random",
         seed: SeedLike = None,
     ):
@@ -58,6 +59,7 @@ class AdaptHDC(RetrainingHDC):
             first_iteration_learning_rate=max_learning_rate,
             epsilon=epsilon,
             shuffle=shuffle,
+            packed_epochs=packed_epochs,
             tie_break=tie_break,
             seed=seed,
         )
@@ -65,13 +67,21 @@ class AdaptHDC(RetrainingHDC):
         self.max_learning_rate = float(max_learning_rate)
         self._current_error_rate = 1.0
 
-    def fit(self, hypervectors, labels, validation_hypervectors=None, validation_labels=None):
+    def fit(
+        self,
+        hypervectors,
+        labels,
+        validation_hypervectors=None,
+        validation_labels=None,
+        packed_train=None,
+    ):
         self._current_error_rate = 1.0
         result = super().fit(
             hypervectors,
             labels,
             validation_hypervectors=validation_hypervectors,
             validation_labels=validation_labels,
+            packed_train=packed_train,
         )
         return result
 
@@ -97,6 +107,37 @@ class AdaptHDC(RetrainingHDC):
             rate = self.max_learning_rate * float(np.clip(gap * 2.0 + 0.1, 0.05, 1.0))
         nonbinary[true_label] += rate * sample
         nonbinary[predicted] -= rate * sample
+
+    def _epoch_updates(self, scores, labels, predicted, visit, alpha, dimension):
+        """Vectorised :meth:`_update`: per-sample adaptive rates for one pass.
+
+        Both rate rules are pass-constant or depend only on the (fixed)
+        epoch scores, so the per-sample rates vectorise exactly; the update
+        layout mirrors the base class (``+rate`` true, ``-rate`` predicted,
+        in visit order).
+        """
+        if self.mode == "iteration":
+            # The error estimate is frozen within a pass (the history only
+            # grows after it), so the per-sample rule collapses to one rate.
+            if self.history_ is not None and self.history_.train_accuracy:
+                self._current_error_rate = 1.0 - self.history_.train_accuracy[-1]
+            rates = np.full(
+                visit.size, self.max_learning_rate * max(self._current_error_rate, 0.05)
+            )
+        else:
+            gaps = (
+                scores[visit, predicted[visit]] - scores[visit, labels[visit]]
+            ) / (2.0 * dimension)
+            rates = self.max_learning_rate * np.clip(gaps * 2.0 + 0.1, 0.05, 1.0)
+        count = visit.size
+        class_indices = np.empty(2 * count, dtype=np.intp)
+        class_indices[0::2] = labels[visit]
+        class_indices[1::2] = predicted[visit]
+        coefficients = np.empty(2 * count, dtype=np.float64)
+        coefficients[0::2] = rates
+        coefficients[1::2] = -rates
+        sample_rows = np.repeat(visit, 2)
+        return class_indices, coefficients, sample_rows
 
 
 __all__ = ["AdaptHDC"]

@@ -66,6 +66,17 @@ class HDCClassifierBase(RngMixin, abc.ABC):
     def fit(self, hypervectors: np.ndarray, labels: np.ndarray) -> "HDCClassifierBase":
         """Train class hypervectors from encoded samples and integer labels."""
 
+    def supports_packed_training(self) -> bool:
+        """True when :meth:`fit` accepts a shared pre-packed training set.
+
+        Strategies riding the packed training kernels take an optional
+        ``packed_train=`` :class:`~repro.kernels.train.PackedTrainingSet`
+        in :meth:`fit`, letting experiment loops encode + pack each split
+        once and share it across strategies.  The default is ``False``;
+        the centroid/retraining family overrides it.
+        """
+        return False
+
     def _validate_fit_inputs(self, hypervectors, labels):
         hypervectors = check_matrix(hypervectors, "hypervectors")
         labels = check_labels(labels, hypervectors.shape[0])

@@ -4,6 +4,12 @@ Each class hypervector is the element-wise majority (sum + sign) of all
 training sample hypervectors belonging to that class.  This is the "Baseline
 Binary HDC" row of Table 1 and the initialisation every retraining strategy
 starts from.
+
+When a pre-packed copy of the training set is supplied (``fit(packed_train=…)``),
+the accumulation runs over packed words via
+:func:`repro.kernels.train.bundle_packed` — the same integer sums as the
+dense ``np.add.at`` rule, so the downstream ``sgn`` (and its tie-break RNG
+draws) are bit-identical.
 """
 
 from __future__ import annotations
@@ -14,6 +20,7 @@ import numpy as np
 
 from repro.classifiers.base import HDCClassifierBase
 from repro.hdc.hypervector import BIPOLAR_DTYPE, sign_with_ties
+from repro.kernels.train import PackedTrainingSet, bundle_packed
 from repro.utils.rng import SeedLike
 
 
@@ -38,16 +45,29 @@ class BaselineHDC(HDCClassifierBase):
         self.tie_break = tie_break
         self.accumulators_: Optional[np.ndarray] = None
 
-    def fit(self, hypervectors: np.ndarray, labels: np.ndarray) -> "BaselineHDC":
+    def supports_packed_training(self) -> bool:
+        """Accepts a shared :class:`PackedTrainingSet` via ``fit(packed_train=…)``."""
+        return True
+
+    def fit(
+        self,
+        hypervectors: np.ndarray,
+        labels: np.ndarray,
+        packed_train: Optional[PackedTrainingSet] = None,
+    ) -> "BaselineHDC":
         """Bundle the sample hypervectors of each class into its class hypervector."""
         hypervectors, labels, num_classes = self._validate_fit_inputs(
             hypervectors, labels
         )
         dimension = hypervectors.shape[1]
-        accumulators = np.zeros((num_classes, dimension), dtype=np.int64)
-        # np.add.at accumulates rows grouped by label without a Python loop
-        # over samples.
-        np.add.at(accumulators, labels, hypervectors.astype(np.int64))
+        if packed_train is not None:
+            packed_train.require_matches(hypervectors)
+            accumulators = bundle_packed(packed_train.packed, labels, num_classes)
+        else:
+            accumulators = np.zeros((num_classes, dimension), dtype=np.int64)
+            # np.add.at accumulates rows grouped by label without a Python loop
+            # over samples.
+            np.add.at(accumulators, labels, hypervectors.astype(np.int64))
         self.accumulators_ = accumulators
         self.class_hypervectors_ = sign_with_ties(
             accumulators, rng=self.rng, tie_break=self.tie_break

@@ -55,5 +55,44 @@ class EnhancedRetrainingHDC(RetrainingHDC):
                 continue
             nonbinary[wrong_label] -= alpha * shortfall * 2.0 * sample
 
+    def _epoch_updates(self, scores, labels, predicted, visit, alpha, dimension):
+        """Vectorised :meth:`_update`: multi-class pushes for one whole pass.
+
+        Per misclassified sample the sequential loop applies the true-class
+        pull first, then one push per closer-than-true wrong class in
+        ascending class order.  The flattened update list reproduces that
+        order exactly: per sample a slot for the pull followed by its pushes
+        (``np.nonzero`` on the per-sample mask is class-ascending already).
+        """
+        count = visit.size
+        true_labels = labels[visit]
+        distances = (dimension - scores[visit]) / (2.0 * dimension)
+        true_distance = distances[np.arange(count), true_labels]
+        shortfall = 0.5 - distances
+        push_mask = (distances <= true_distance[:, None]) & (shortfall > 0)
+        push_mask[np.arange(count), true_labels] = False
+        push_sample, push_class = np.nonzero(push_mask)
+
+        pushes_per_sample = push_mask.sum(axis=1)
+        slots = np.zeros(count + 1, dtype=np.intp)
+        np.cumsum(1 + pushes_per_sample, out=slots[1:])
+        total = int(slots[-1])
+        class_indices = np.empty(total, dtype=np.intp)
+        coefficients = np.empty(total, dtype=np.float64)
+        sample_rows = np.empty(total, dtype=np.intp)
+
+        pull_slots = slots[:-1]
+        class_indices[pull_slots] = true_labels
+        coefficients[pull_slots] = alpha * true_distance * 2.0
+        sample_rows[pull_slots] = visit
+
+        push_starts = np.cumsum(pushes_per_sample) - pushes_per_sample
+        rank_within_sample = np.arange(push_sample.size) - push_starts[push_sample]
+        push_slots = slots[push_sample] + 1 + rank_within_sample
+        class_indices[push_slots] = push_class
+        coefficients[push_slots] = -(alpha * shortfall[push_sample, push_class] * 2.0)
+        sample_rows[push_slots] = visit[push_sample]
+        return class_indices, coefficients, sample_rows
+
 
 __all__ = ["EnhancedRetrainingHDC"]

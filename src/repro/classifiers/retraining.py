@@ -11,18 +11,45 @@ is exhausted.
 The paper's evaluation uses ``alpha = 1.5`` on the first iteration and
 ``alpha = 0.05`` afterwards, with 150 iterations (Sec. 5); those are the
 defaults here.
+
+Training is *packed-native* by default: because the binary class
+hypervectors are fixed within a pass and the accumulator updates are
+additive, each epoch is one blocked XOR+popcount scoring of the whole packed
+training set (:func:`repro.kernels.train.score_epoch`) followed by an
+ordered scatter-add of the misclassified samples' updates
+(:func:`repro.kernels.train.apply_class_updates`).  The update order — and
+therefore every float rounding and every ``sgn(0)`` tie-break draw — matches
+the sequential loop exactly, so the packed path produces bit-identical
+models and :class:`RetrainingHistory` for *any* ``shuffle`` setting; the
+sequential loop is kept for non-bipolar inputs and for subclasses that
+override :meth:`RetrainingHDC._update` without providing the vectorised
+:meth:`RetrainingHDC._epoch_updates` counterpart.
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 import numpy as np
 
 from repro.classifiers.base import HDCClassifierBase
 from repro.classifiers.baseline import BaselineHDC
 from repro.hdc.hypervector import BIPOLAR_DTYPE, sign_with_ties
+from repro.kernels.packed import (
+    pack_bipolar,
+    pack_bits,
+    sign_fuse_bits,
+    try_pack_bipolar,
+    unpack_bipolar,
+)
+from repro.kernels.train import (
+    PackedTrainingSet,
+    apply_class_updates,
+    flip_fraction_packed,
+    score_epoch,
+)
 from repro.utils.rng import SeedLike
 from repro.utils.validation import check_matrix, check_labels, check_positive_int
 
@@ -34,6 +61,10 @@ class RetrainingHistory:
     train_accuracy: List[float] = field(default_factory=list)
     update_fraction: List[float] = field(default_factory=list)
     test_accuracy: List[float] = field(default_factory=list)
+    #: Wall-clock seconds per retraining iteration (scoring + updates +
+    #: re-sign + optional validation scoring); powers the timing columns of
+    #: ``benchmarks/bench_fig3_retraining.py`` and ``repro bench-train``.
+    iteration_seconds: List[float] = field(default_factory=list)
 
     @property
     def iterations(self) -> int:
@@ -58,6 +89,11 @@ class RetrainingHDC(HDCClassifierBase):
     shuffle:
         Whether to visit training samples in a fresh random order each pass
         (the update is sequential, so order matters).
+    packed_epochs:
+        Run each retraining pass on the packed kernels (default).  The packed
+        path is bit-identical to the sequential loop; disabling it forces the
+        seed's per-sample loop, which only remains useful for benchmarking
+        and for regression comparison.
     tie_break, seed:
         As in :class:`~repro.classifiers.baseline.BaselineHDC`.
     """
@@ -69,6 +105,7 @@ class RetrainingHDC(HDCClassifierBase):
         first_iteration_learning_rate: float = 1.5,
         epsilon: float = 1e-4,
         shuffle: bool = True,
+        packed_epochs: bool = True,
         tie_break: str = "random",
         seed: SeedLike = None,
     ):
@@ -82,9 +119,14 @@ class RetrainingHDC(HDCClassifierBase):
         self.first_iteration_learning_rate = float(first_iteration_learning_rate)
         self.epsilon = float(epsilon)
         self.shuffle = bool(shuffle)
+        self.packed_epochs = bool(packed_epochs)
         self.tie_break = tie_break
         self.history_: Optional[RetrainingHistory] = None
         self.nonbinary_class_hypervectors_: Optional[np.ndarray] = None
+
+    def supports_packed_training(self) -> bool:
+        """Accepts a shared :class:`PackedTrainingSet` via ``fit(packed_train=…)``."""
+        return True
 
     # ------------------------------------------------------------------ fit
     def fit(
@@ -93,12 +135,17 @@ class RetrainingHDC(HDCClassifierBase):
         labels: np.ndarray,
         validation_hypervectors: Optional[np.ndarray] = None,
         validation_labels: Optional[np.ndarray] = None,
+        packed_train: Optional[PackedTrainingSet] = None,
     ) -> "RetrainingHDC":
         """Retrain class hypervectors; optionally track held-out accuracy per pass.
 
         The optional validation arguments only add entries to
         ``history_.test_accuracy`` (for trajectory figures); they never
-        influence the training itself.
+        influence the training itself.  ``packed_train`` supplies a
+        pre-packed copy of ``hypervectors`` (see
+        :class:`~repro.kernels.train.PackedTrainingSet`) so experiment loops
+        can encode + pack once and share the result across strategies; when
+        omitted, the packed copy is built here.
         """
         hypervectors, labels, num_classes = self._validate_fit_inputs(
             hypervectors, labels
@@ -117,6 +164,158 @@ class RetrainingHDC(HDCClassifierBase):
                 validation_labels, validation_hypervectors.shape[0]
             )
 
+        train_set = self._resolve_training_set(hypervectors, packed_train)
+        if train_set is not None and self._has_vectorised_updates():
+            return self._fit_packed(
+                train_set,
+                hypervectors,
+                labels,
+                num_classes,
+                validation_hypervectors,
+                validation_labels,
+            )
+        return self._fit_sequential(
+            hypervectors, labels, num_classes, validation_hypervectors, validation_labels
+        )
+
+    # ----------------------------------------------------------- packed fit
+    def _fit_packed(
+        self,
+        train_set: PackedTrainingSet,
+        hypervectors: np.ndarray,
+        labels: np.ndarray,
+        num_classes: int,
+        validation_hypervectors: Optional[np.ndarray],
+        validation_labels: Optional[np.ndarray],
+    ) -> "RetrainingHDC":
+        """One blocked scoring + ordered scatter-add per pass over packed words.
+
+        Bit-identical to :meth:`_fit_sequential`: the epoch scores are the
+        same integers, the accumulator updates land in the same order, and
+        the re-sign consumes the RNG identically (``sign_fuse_bits`` mirrors
+        ``sign_with_ties`` draw for draw).
+        """
+        baseline = BaselineHDC(tie_break=self.tie_break, seed=self.rng)
+        baseline.fit(hypervectors, labels, packed_train=train_set)
+        nonbinary = baseline.accumulators_.astype(np.float64)
+        packed_classes = pack_bipolar(baseline.class_hypervectors_)
+        samples = train_set.samples
+        packed_samples = train_set.packed
+        num_samples = train_set.num_samples
+        dimension = train_set.dimension
+        # Pack-only (no dense int8 copy retained): scoring the validation
+        # split per pass needs just the words.
+        packed_validation = (
+            None
+            if validation_hypervectors is None
+            else try_pack_bipolar(validation_hypervectors)
+        )
+
+        history = RetrainingHistory()
+        # Expose the history while training so adaptive subclasses can read
+        # the running statistics of completed iterations.
+        self.history_ = history
+        for iteration in range(self.iterations):
+            started = time.perf_counter()
+            alpha = (
+                self.first_iteration_learning_rate
+                if iteration == 0
+                else self.learning_rate
+            )
+            order = self.rng.permutation(num_samples) if self.shuffle else None
+            scores, predicted = score_epoch(packed_samples, packed_classes)
+            misclassified = predicted != labels
+            correct = num_samples - int(np.count_nonzero(misclassified))
+            # The rows the sequential loop would update, in its visit order.
+            visit = (
+                np.flatnonzero(misclassified)
+                if order is None
+                else order[misclassified[order]]
+            )
+            if visit.size:
+                class_indices, coefficients, sample_rows = self._epoch_updates(
+                    scores, labels, predicted, visit, alpha, dimension
+                )
+                apply_class_updates(
+                    nonbinary, class_indices, coefficients, samples, sample_rows
+                )
+            new_bits = sign_fuse_bits(nonbinary, tie_break=self.tie_break, rng=self.rng)
+            new_packed = pack_bits(new_bits, dimension)
+            update_fraction = flip_fraction_packed(new_packed, packed_classes)
+            packed_classes = new_packed
+            history.train_accuracy.append(correct / num_samples)
+            history.update_fraction.append(update_fraction)
+            if validation_hypervectors is not None:
+                self._publish_classes(packed_classes, num_classes)
+                if packed_validation is not None:
+                    _, val_predicted = score_epoch(packed_validation, packed_classes)
+                    accuracy = float(np.mean(val_predicted == validation_labels))
+                else:
+                    accuracy = self.score(validation_hypervectors, validation_labels)
+                history.test_accuracy.append(accuracy)
+            history.iteration_seconds.append(time.perf_counter() - started)
+            if update_fraction < self.epsilon and iteration > 0:
+                break
+
+        self.nonbinary_class_hypervectors_ = nonbinary
+        self._publish_classes(packed_classes, num_classes)
+        self.history_ = history
+        return self
+
+    def _publish_classes(self, packed_classes, num_classes: int) -> None:
+        """Install the packed class HVs as the fitted model (dense + cache)."""
+        self.class_hypervectors_ = unpack_bipolar(packed_classes)
+        self.num_classes_ = num_classes
+        # Pre-seed the packed cache: inference right after fit() should not
+        # pay a re-pack of words we already hold.
+        self._packed_classes_cache = (self.class_hypervectors_, packed_classes)
+
+    def _resolve_training_set(
+        self,
+        hypervectors: np.ndarray,
+        packed_train: Optional[PackedTrainingSet],
+    ) -> Optional[PackedTrainingSet]:
+        """Validate a supplied packed copy, or build one for bipolar input.
+
+        ``packed_epochs=False`` wins over a supplied ``packed_train``: the
+        flag's contract is "run the sequential loop", even under experiment
+        loops that hand every strategy the shared packed set.
+        """
+        if packed_train is not None:
+            packed_train.require_matches(hypervectors)
+        if not self.packed_epochs:
+            return None
+        if packed_train is not None:
+            return packed_train
+        return PackedTrainingSet.try_from_dense(hypervectors)
+
+    def _has_vectorised_updates(self) -> bool:
+        """Whether this (sub)class's update rule has a vectorised counterpart.
+
+        Walks the MRO for the most-derived class that defines either
+        :meth:`_update` or :meth:`_epoch_updates`; the packed path is only
+        taken when the vectorised hook is at least as specific as the
+        per-sample one, so a subclass overriding ``_update`` alone keeps the
+        sequential loop (and stays correct) until it ships the vectorised
+        twin.
+        """
+        for klass in type(self).__mro__:
+            defines_update = "_update" in klass.__dict__
+            defines_epoch = "_epoch_updates" in klass.__dict__
+            if defines_update or defines_epoch:
+                return defines_epoch
+        return True  # pragma: no cover - both hooks always exist on the base
+
+    # ------------------------------------------------------- sequential fit
+    def _fit_sequential(
+        self,
+        hypervectors: np.ndarray,
+        labels: np.ndarray,
+        num_classes: int,
+        validation_hypervectors: Optional[np.ndarray],
+        validation_labels: Optional[np.ndarray],
+    ) -> "RetrainingHDC":
+        """The seed's per-sample loop: one dense cast + matvec per sample."""
         baseline = BaselineHDC(tie_break=self.tie_break, seed=self.rng)
         baseline.fit(hypervectors, labels)
         nonbinary = baseline.accumulators_.astype(np.float64)
@@ -128,6 +327,7 @@ class RetrainingHDC(HDCClassifierBase):
         # the running statistics of completed iterations.
         self.history_ = history
         for iteration in range(self.iterations):
+            started = time.perf_counter()
             alpha = (
                 self.first_iteration_learning_rate
                 if iteration == 0
@@ -161,6 +361,7 @@ class RetrainingHDC(HDCClassifierBase):
                 history.test_accuracy.append(
                     self.score(validation_hypervectors, validation_labels)
                 )
+            history.iteration_seconds.append(time.perf_counter() - started)
             if update_fraction < self.epsilon and iteration > 0:
                 break
 
@@ -183,6 +384,35 @@ class RetrainingHDC(HDCClassifierBase):
         """Eq. 3: push the true class toward the sample, the wrong class away."""
         nonbinary[true_label] += alpha * sample
         nonbinary[predicted] -= alpha * sample
+
+    def _epoch_updates(
+        self,
+        scores: np.ndarray,
+        labels: np.ndarray,
+        predicted: np.ndarray,
+        visit: np.ndarray,
+        alpha: float,
+        dimension: int,
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Vectorised :meth:`_update` for one epoch.
+
+        Returns ``(class_indices, coefficients, sample_rows)`` describing
+        every accumulator update of the pass *in the order the sequential
+        loop applies them*: for each misclassified sample (``visit`` order),
+        ``+alpha`` into the true class then ``-alpha`` into the predicted
+        one.  Subclasses that override :meth:`_update` must override this
+        hook too (or lose the packed path; see
+        :meth:`_has_vectorised_updates`).
+        """
+        count = visit.size
+        class_indices = np.empty(2 * count, dtype=np.intp)
+        class_indices[0::2] = labels[visit]
+        class_indices[1::2] = predicted[visit]
+        coefficients = np.empty(2 * count, dtype=np.float64)
+        coefficients[0::2] = alpha
+        coefficients[1::2] = -alpha
+        sample_rows = np.repeat(visit, 2)
+        return class_indices, coefficients, sample_rows
 
 
 __all__ = ["RetrainingHDC", "RetrainingHistory"]

@@ -18,7 +18,11 @@ regenerated without writing any Python:
   (single-sample vs micro-batched, dense vs packed);
 * ``python -m repro bench-kernels`` — the kernel-layer benchmark (fused
   encode vs the seed loop, packed XOR+popcount predict vs dense dot,
-  float32-policy training vs forced float64); ``--quick`` for CI smoke.
+  float32-policy training vs forced float64); ``--quick`` for CI smoke;
+* ``python -m repro bench-train`` — the packed-training benchmark
+  (retraining/AdaptHD/enhanced ``fit()`` on packed epochs vs the seed's
+  sequential loop, bundling over packed words vs dense ``np.add.at``);
+  ``--quick`` for CI smoke.
 """
 
 from __future__ import annotations
@@ -115,6 +119,15 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--max-resident", type=int, default=4, help="LRU cap on in-memory engines"
     )
+    serve.add_argument(
+        "--kernel-backend",
+        default=None,
+        choices=["numpy", "threaded"],
+        help=(
+            "kernel backend for the inference workers (overrides the "
+            "REPRO_KERNEL_BACKEND environment variable; default: env, then numpy)"
+        ),
+    )
     serve.add_argument("--verbose", action="store_true", help="log HTTP requests")
 
     bench_serve = subparsers.add_parser(
@@ -142,6 +155,24 @@ def build_parser() -> argparse.ArgumentParser:
         "--quick", action="store_true", help="shrink sizes for a CI smoke run"
     )
     bench_kernels.add_argument(
+        "--json", default=None, metavar="PATH", help="also write the results as JSON"
+    )
+
+    bench_train = subparsers.add_parser(
+        "bench-train",
+        help="packed-training benchmark: retraining fit() vs the seed sequential loop",
+    )
+    bench_train.add_argument("--dimension", type=int, default=4000)
+    bench_train.add_argument("--features", type=int, default=64)
+    bench_train.add_argument("--num-levels", type=int, default=32)
+    bench_train.add_argument("--classes", type=int, default=10)
+    bench_train.add_argument("--samples", type=int, default=2000)
+    bench_train.add_argument("--iterations", type=int, default=20)
+    bench_train.add_argument("--seed", type=int, default=0)
+    bench_train.add_argument(
+        "--quick", action="store_true", help="shrink sizes for a CI smoke run"
+    )
+    bench_train.add_argument(
         "--json", default=None, metavar="PATH", help="also write the results as JSON"
     )
 
@@ -268,11 +299,16 @@ def command_predict(args) -> int:
 
 
 def command_serve(args) -> int:  # pragma: no cover - blocking server loop
+    from repro.kernels.dispatch import set_backend
     from repro.serve import ModelRegistry, ServeApp
     from repro.serve.server import run_server
 
     from pathlib import Path
 
+    if args.kernel_backend is not None:
+        # Process-wide: the scheduler's inference worker threads all resolve
+        # kernels through the dispatch registry, so one call covers them.
+        set_backend(args.kernel_backend)
     registry = ModelRegistry(max_resident=args.max_resident)
     for spec in args.model:
         # NAME=PATH syntax; a bare PATH takes the file stem as its name.
@@ -343,6 +379,29 @@ def command_bench_kernels(args) -> int:
     return 0
 
 
+def command_bench_train(args) -> int:
+    import json
+
+    from repro.kernels.bench_train import format_training_report, run_training_benchmark
+
+    results = run_training_benchmark(
+        dimension=args.dimension,
+        num_features=args.features,
+        num_levels=args.num_levels,
+        num_classes=args.classes,
+        num_samples=args.samples,
+        iterations=args.iterations,
+        seed=args.seed,
+        quick=args.quick,
+    )
+    print(format_training_report(results))
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(results, handle, indent=2)
+        print(f"results written to {args.json}")
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
@@ -362,6 +421,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return command_bench_serve(args)
     if args.command == "bench-kernels":
         return command_bench_kernels(args)
+    if args.command == "bench-train":
+        return command_bench_train(args)
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
 
 

@@ -24,6 +24,7 @@ from repro.datasets.registry import get_dataset
 from repro.eval.metrics import MeanStd, aggregate_mean_std
 from repro.hdc.encoders import RecordEncoder
 from repro.kernels.packed import PackedHypervectors, pack_bipolar
+from repro.kernels.train import PackedTrainingSet
 from repro.utils.rng import SeedLike, ensure_rng
 from repro.utils.validation import check_positive_int
 
@@ -52,6 +53,24 @@ def strategy_accuracy(
     else:
         predictions = classifier.predict(encoded)
     return float(np.mean(predictions == np.asarray(labels)))
+
+
+def fit_strategy(classifier, encoded: np.ndarray, labels: np.ndarray, packed_train=None):
+    """Fit a classifier, sharing a pre-packed training set when it can ride it.
+
+    Strategies in the centroid/retraining family accept a
+    :class:`~repro.kernels.train.PackedTrainingSet` and train over packed
+    words (encode + pack once, reuse across every retraining iteration *and*
+    across strategies); everything else falls back to the plain ``fit``.
+    Both paths produce bit-identical models, so experiment results do not
+    depend on which one a strategy takes.
+    """
+    supports = getattr(classifier, "supports_packed_training", None)
+    if packed_train is not None and supports is not None and supports():
+        classifier.fit(encoded, labels, packed_train=packed_train)
+    else:
+        classifier.fit(encoded, labels)
+    return classifier
 
 
 @dataclass
@@ -176,9 +195,10 @@ def run_strategy_comparison(
         encoder.fit(data.train_features)
         train_encoded = encoder.encode(data.train_features)
         test_encoded = encoder.encode(data.test_features)
-        # One bit-packed copy of each split, shared by every strategy's
-        # packed-kernel scoring below.
-        train_packed = pack_bipolar(train_encoded)
+        # One packed copy of each split, shared by every strategy: the
+        # training set rides both packed *training* (fit_strategy) and the
+        # packed train-accuracy scoring; the test split rides packed scoring.
+        train_set = PackedTrainingSet.from_dense(train_encoded)
         test_packed = pack_bipolar(test_encoded)
 
         for strategy_name, factory in strategies.items():
@@ -186,7 +206,9 @@ def run_strategy_comparison(
                 repetition_seed + _stable_offset(strategy_name)
             )
             classifier = factory(strategy_rng)
-            classifier.fit(train_encoded, data.train_labels)
+            fit_strategy(
+                classifier, train_encoded, data.train_labels, packed_train=train_set
+            )
             result.strategies[strategy_name].test_accuracies.append(
                 strategy_accuracy(
                     classifier, test_encoded, data.test_labels, packed=test_packed
@@ -194,7 +216,7 @@ def run_strategy_comparison(
             )
             result.strategies[strategy_name].train_accuracies.append(
                 strategy_accuracy(
-                    classifier, train_encoded, data.train_labels, packed=train_packed
+                    classifier, train_encoded, data.train_labels, packed=train_set.packed
                 )
             )
 
@@ -219,6 +241,7 @@ __all__ = [
     "ExperimentResult",
     "StrategyFactory",
     "default_strategy_factories",
+    "fit_strategy",
     "run_strategy_comparison",
     "strategy_accuracy",
 ]

@@ -20,11 +20,13 @@ from repro.eval.experiment import (
     StrategyFactory,
     _stable_offset,
     default_strategy_factories,
+    fit_strategy,
     strategy_accuracy,
 )
 from repro.eval.metrics import MeanStd, aggregate_mean_std
 from repro.hdc.encoders import RecordEncoder
 from repro.kernels.packed import pack_bipolar
+from repro.kernels.train import PackedTrainingSet
 from repro.utils.rng import SeedLike, ensure_rng
 from repro.utils.validation import check_positive_int
 
@@ -112,15 +114,19 @@ def run_dimension_sweep(
             encoder.fit(data.train_features)
             train_encoded = encoder.encode(data.train_features)
             test_encoded = encoder.encode(data.test_features)
-            # One packed copy of the test split per (dimension, repetition),
-            # scored through the XOR+popcount kernel for every strategy.
+            # One packed copy of each split per (dimension, repetition):
+            # the training set feeds packed training for every strategy that
+            # rides it, the test split feeds packed XOR+popcount scoring.
+            train_set = PackedTrainingSet.from_dense(train_encoded)
             test_packed = pack_bipolar(test_encoded)
             for strategy_name, factory in strategies.items():
                 strategy_rng = np.random.default_rng(
                     repetition_seed + _stable_offset(strategy_name)
                 )
                 classifier = factory(strategy_rng)
-                classifier.fit(train_encoded, data.train_labels)
+                fit_strategy(
+                    classifier, train_encoded, data.train_labels, packed_train=train_set
+                )
                 result.accuracies[strategy_name][dimension].append(
                     strategy_accuracy(
                         classifier, test_encoded, data.test_labels, packed=test_packed

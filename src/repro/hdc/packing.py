@@ -7,8 +7,10 @@ public name resolves to the identical object in :mod:`repro.kernels.packed`
 (``PackedHypervectors`` here *is* the kernel-layer class, so ``isinstance``
 checks keep working across old and new imports).
 
-New code should import from :mod:`repro.kernels` directly; attribute access
-through this module emits a :class:`DeprecationWarning`.
+New code should import from :mod:`repro.kernels` directly.  A single
+:class:`DeprecationWarning` is emitted when this module is first imported;
+attribute access afterwards is warning-free (the old per-attribute warning
+fired once per call site per process, which buried real warnings in loops).
 """
 
 from __future__ import annotations
@@ -16,6 +18,22 @@ from __future__ import annotations
 import warnings
 
 from repro.kernels import packed as _packed
+from repro.kernels.packed import (  # noqa: F401 - re-exports
+    PackedHypervectors,
+    bit_differences_words,
+    pack_bipolar,
+    pack_bits,
+    packed_dot_scores,
+    popcount,
+    sign_fuse_bits,
+    unpack_bipolar,
+)
+
+warnings.warn(
+    "repro.hdc.packing is deprecated; import from repro.kernels instead",
+    DeprecationWarning,
+    stacklevel=2,
+)
 
 __all__ = ["PackedHypervectors", "pack_bipolar", "pack_bits", "unpack_bipolar"]
 
@@ -34,11 +52,6 @@ def __getattr__(name: str):
     if name in _PRIVATE_ALIASES:
         return getattr(_packed, _PRIVATE_ALIASES[name])
     if not name.startswith("_") and hasattr(_packed, name):
-        warnings.warn(
-            f"repro.hdc.packing.{name} is deprecated; import it from repro.kernels",
-            DeprecationWarning,
-            stacklevel=2,
-        )
         return getattr(_packed, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 

@@ -2,8 +2,10 @@
 
 ``repro.kernels`` is the single home for the computations every layer of the
 system competes on: bit-packed XOR+popcount scoring (:mod:`.packed`), fused
-encoder accumulation (:mod:`.encode`), and the float matmul/dtype policy
-behind the NN substrate (:mod:`.linear`).  Implementations are published in a
+encoder accumulation (:mod:`.encode`), packed training — centroid bundling,
+epoch scoring and ordered accumulator updates (:mod:`.train`) — and the
+float matmul/dtype policy behind the NN substrate (:mod:`.linear`).
+Implementations are published in a
 named registry with swappable backends (:mod:`.dispatch`), selected via
 ``REPRO_KERNEL_BACKEND`` or :func:`~repro.kernels.dispatch.set_backend`.
 
@@ -26,6 +28,13 @@ from repro.kernels.dispatch import (
     use_backend,
     use_float_dtype,
 )
+from repro.kernels.train import (
+    PackedTrainingSet,
+    apply_class_updates,
+    bundle_packed,
+    flip_fraction_packed,
+    score_epoch,
+)
 from repro.kernels.encode import (
     DEFAULT_LUT_BUDGET_BYTES,
     NGramAccumulator,
@@ -41,6 +50,7 @@ from repro.kernels.packed import (
     packed_dot_scores,
     popcount,
     sign_fuse_bits,
+    try_pack_bipolar,
     unpack_bipolar,
 )
 
@@ -48,12 +58,16 @@ __all__ = [
     "DEFAULT_LUT_BUDGET_BYTES",
     "NGramAccumulator",
     "PackedHypervectors",
+    "PackedTrainingSet",
     "RecordAccumulator",
     "active_backend",
+    "apply_class_updates",
     "as_float",
     "available_backends",
     "bit_differences_words",
     "build_accumulator",
+    "bundle_packed",
+    "flip_fraction_packed",
     "float_dtype",
     "get_kernel",
     "list_kernels",
@@ -63,10 +77,12 @@ __all__ = [
     "packed_dot_scores",
     "popcount",
     "register_kernel",
+    "score_epoch",
     "set_backend",
     "set_float_dtype",
     "sign_bipolar",
     "sign_fuse_bits",
+    "try_pack_bipolar",
     "unpack_bipolar",
     "use_backend",
     "use_float_dtype",

@@ -174,22 +174,52 @@ def _shared_executor():
     return _EXECUTOR
 
 
+def _sharded_futures(compute, num_rows: int):
+    """Submit ``compute`` over row shards, or ``None`` when it cannot pay off.
+
+    The shared partitioning behind :func:`run_sharded` and
+    :func:`run_sharded_sum`: one shard per worker over the cached executor
+    (no per-call pool construction), with a ``None`` fast path telling the
+    caller to run ``compute(0, num_rows)`` directly.
+    """
+    workers = num_threads()
+    if workers <= 1 or num_rows < 2 * workers:
+        return None
+    shard = (num_rows + workers - 1) // workers
+    bounds = [(start, min(start + shard, num_rows)) for start in range(0, num_rows, shard)]
+    executor = _shared_executor()
+    return [executor.submit(compute, start, stop) for start, stop in bounds]
+
+
 def run_sharded(compute, num_rows: int):
     """Run ``compute(start, stop)`` over row shards and concatenate in order.
 
     The shared helper behind every ``threaded`` backend: shards ``[0,
-    num_rows)`` across the cached executor (no per-call pool construction)
-    and falls back to one direct call when sharding cannot pay off.
-    ``compute`` must return the result rows for its half-open range.
+    num_rows)`` across the cached executor and falls back to one direct call
+    when sharding cannot pay off.  ``compute`` must return the result rows
+    for its half-open range.
     """
-    workers = num_threads()
-    if workers <= 1 or num_rows < 2 * workers:
+    futures = _sharded_futures(compute, num_rows)
+    if futures is None:
         return compute(0, num_rows)
-    shard = (num_rows + workers - 1) // workers
-    bounds = [(start, min(start + shard, num_rows)) for start in range(0, num_rows, shard)]
-    executor = _shared_executor()
-    futures = [executor.submit(compute, start, stop) for start, stop in bounds]
     return np.concatenate([future.result() for future in futures], axis=0)
+
+
+def run_sharded_sum(compute, num_rows: int):
+    """Shard ``compute(start, stop)`` over rows and *sum* the partial results.
+
+    The reduction twin of :func:`run_sharded`, for kernels whose shards
+    produce same-shaped partial aggregates instead of result rows (e.g. the
+    per-class bit counts of ``train.bundle_counts``).  Only exact for
+    associative accumulations — integer sums, not floats.
+    """
+    futures = _sharded_futures(compute, num_rows)
+    if futures is None:
+        return compute(0, num_rows)
+    total = futures[0].result()
+    for future in futures[1:]:
+        total = total + future.result()
+    return total
 
 
 # --------------------------------------------------------------- dtype policy
@@ -234,6 +264,7 @@ __all__ = [
     "num_threads",
     "register_kernel",
     "run_sharded",
+    "run_sharded_sum",
     "set_backend",
     "set_float_dtype",
     "use_backend",

@@ -77,9 +77,25 @@ def pack_bits(bits: np.ndarray, dimension: Optional[int] = None) -> "PackedHyper
 
 def pack_bipolar(hypervectors: np.ndarray) -> "PackedHypervectors":
     """Pack a ``(rows, D)`` bipolar int8 matrix into uint64 words."""
-    hypervectors = np.atleast_2d(np.asarray(hypervectors))
-    if not np.all(np.isin(hypervectors, (-1, 1))):
+    packed = try_pack_bipolar(hypervectors)
+    if packed is None:
         raise ValueError("pack_bipolar expects entries in {+1, -1}")
+    return packed
+
+
+def try_pack_bipolar(hypervectors: np.ndarray) -> Optional["PackedHypervectors"]:
+    """:func:`pack_bipolar`, but ``None`` instead of raising on non-bipolar input.
+
+    The bipolarity probe is a cheap elementwise compare (one read pass, no
+    ``np.isin`` sort machinery), so callers choosing between a packed and a
+    dense code path — the packed training path, validation-split scoring —
+    can test arbitrary input at streaming cost.
+    """
+    hypervectors = np.atleast_2d(np.asarray(hypervectors))
+    if hypervectors.ndim != 2 or hypervectors.size == 0:
+        return None
+    if not bool(np.all((hypervectors == 1) | (hypervectors == -1))):
+        return None
     return pack_bits(hypervectors > 0, hypervectors.shape[1])
 
 
@@ -267,5 +283,6 @@ __all__ = [
     "packed_dot_scores",
     "popcount",
     "sign_fuse_bits",
+    "try_pack_bipolar",
     "unpack_bipolar",
 ]

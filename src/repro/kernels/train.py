@@ -1,0 +1,302 @@
+"""Packed training kernels: centroid bundling, epoch scoring, ordered updates.
+
+PR 2 made *inference* packed-native; this module does the same for the
+retraining loop (QuantHD-style Eq. 3, AdaptHD, the enhanced variant).  The
+key structural fact it exploits: within one retraining pass the *binary*
+class hypervectors are fixed — they are re-signed only after the pass — and
+the ``± alpha · H`` accumulator updates are additive.  One epoch therefore
+decomposes into
+
+1. **epoch scoring** (:func:`score_epoch`) — one blocked XOR+popcount of the
+   whole packed training set against the packed class hypervectors (rides the
+   sharded ``packed.bit_differences`` kernel), instead of one dense
+   ``(K, D)`` cast + matvec per sample;
+2. **ordered scatter-add** (:func:`apply_class_updates`) — the misclassified
+   samples' updates applied to the float accumulators *in visit order*, so
+   the floating-point accumulation order — and hence every rounding and every
+   ``sgn(0)`` tie — is bit-for-bit the sequential loop's;
+3. **re-sign on packed words** — :func:`repro.kernels.packed.sign_fuse_bits`
+   + :func:`flip_fraction_packed` replace the dense re-sign and the dense
+   flip-count.
+
+:func:`bundle_packed` is the matching fast path for the baseline centroid
+bundling (Eq. 2) that seeds every retraining run: per-class bit counts over
+packed words instead of an unbuffered ``np.add.at`` over dense int64 rows.
+
+Everything here is exact: integer kernels produce the same integers, and the
+float scatter-add reproduces the sequential addition order, so classifiers
+riding these kernels emit bit-identical models and histories (see
+``tests/integration/test_training_parity.py``).
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.kernels.dispatch import get_kernel, register_kernel, run_sharded_sum
+from repro.kernels.packed import (
+    PackedHypervectors,
+    packed_dot_scores,
+    popcount,
+    try_pack_bipolar,
+)
+
+_WORD_BITS = 64
+
+
+# ------------------------------------------------------------ training set
+class PackedTrainingSet:
+    """Encode-once view of a training split: packed words + int8 samples.
+
+    Built once per training set and reused across every retraining iteration
+    *and* across strategies (the experiment loops share one instance), this
+    bundles the two representations the packed training path needs:
+
+    ``packed``
+        ``(n, ⌈D/64⌉)`` uint64 words for the epoch scorer.
+    ``samples``
+        The ``(n, D)`` bipolar samples as contiguous int8 — the accumulator
+        updates multiply these rows by a float coefficient, which yields the
+        exact same float64 values as the seed's ``astype(np.float64)`` copy
+        at an eighth of the memory.
+    """
+
+    def __init__(self, packed: PackedHypervectors, samples: np.ndarray):
+        samples = np.asarray(samples)
+        if samples.ndim != 2:
+            raise ValueError(f"samples must be 2-D, got shape {samples.shape}")
+        if samples.shape[0] != len(packed) or samples.shape[1] != packed.dimension:
+            raise ValueError(
+                f"samples shape {samples.shape} does not match packed "
+                f"({len(packed)}, {packed.dimension})"
+            )
+        self.packed = packed
+        self.samples = samples
+
+    @property
+    def num_samples(self) -> int:
+        return self.samples.shape[0]
+
+    @property
+    def dimension(self) -> int:
+        return self.packed.dimension
+
+    @classmethod
+    def from_dense(cls, hypervectors: np.ndarray) -> "PackedTrainingSet":
+        """Pack a dense bipolar ``(n, D)`` matrix (any ±1-valued dtype)."""
+        prepared = cls.try_from_dense(hypervectors)
+        if prepared is None:
+            raise ValueError("PackedTrainingSet expects entries in {+1, -1}")
+        return prepared
+
+    @classmethod
+    def try_from_dense(cls, hypervectors: np.ndarray) -> Optional["PackedTrainingSet"]:
+        """Like :meth:`from_dense` but returns ``None`` for non-bipolar input.
+
+        The bipolar probe (:func:`~repro.kernels.packed.try_pack_bipolar`)
+        is a cheap elementwise compare, so testing arbitrary input before
+        choosing the packed or dense training path costs one read pass.
+        """
+        hypervectors = np.atleast_2d(np.asarray(hypervectors))
+        packed = try_pack_bipolar(hypervectors)
+        if packed is None:
+            return None
+        samples = np.ascontiguousarray(hypervectors, dtype=np.int8)
+        return cls(packed=packed, samples=samples)
+
+    def require_matches(self, hypervectors: np.ndarray) -> "PackedTrainingSet":
+        """Validate that this packed copy describes *hypervectors*.
+
+        The shared guard behind every ``fit(packed_train=…)`` entry point;
+        returns ``self`` so call sites can chain.  Besides the shape, the
+        first row is spot-checked for equal content, which catches the
+        easy-to-make mistake of pairing the packed copy of one split with
+        the dense matrix of another (same ``(n, D)``, different data) at
+        O(D) cost; full-content verification stays the caller's bargain.
+        """
+        if (
+            self.num_samples != hypervectors.shape[0]
+            or self.dimension != hypervectors.shape[1]
+        ):
+            raise ValueError(
+                f"packed_train shape ({self.num_samples}, {self.dimension}) "
+                f"does not match hypervectors {hypervectors.shape}"
+            )
+        if not bool(np.all(self.samples[0] == hypervectors[0])):
+            raise ValueError(
+                "packed_train content does not match hypervectors "
+                "(first row differs); was it built from a different split?"
+            )
+        return self
+
+
+# ---------------------------------------------------------- epoch scoring
+def score_epoch(
+    packed_samples: PackedHypervectors, packed_classes: PackedHypervectors
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Score the whole training set against fixed packed class hypervectors.
+
+    Returns ``(scores, predicted)`` where ``scores`` is the ``(n, K)`` int64
+    dot similarity (equal to the dense ``binary @ sample`` values exactly)
+    and ``predicted`` its row argmax — the two quantities one retraining pass
+    consumes.  One call replaces the sequential loop's per-sample
+    ``(K, D)`` float cast + matvec and rides the (sharded, blocked)
+    ``packed.bit_differences`` kernel.
+    """
+    scores = packed_dot_scores(packed_samples, packed_classes)
+    return scores, np.argmax(scores, axis=1)
+
+
+# ------------------------------------------------------- centroid bundling
+@register_kernel("train.bundle_counts")
+def _bundle_counts_numpy(
+    words: np.ndarray, dimension: int, labels: np.ndarray, num_classes: int
+) -> np.ndarray:
+    """Per-class set-bit counts ``(K, D)`` from packed words.
+
+    Rows are unpacked in label-sorted order and segment-summed with one
+    ``np.add.reduceat`` call; classes absent from ``labels`` get a zero row
+    (``reduceat`` would otherwise repeat a neighbouring segment).
+    """
+    bits = _unpack_bits(words, dimension)
+    order = np.argsort(labels, kind="stable")
+    sorted_labels = labels[order]
+    segment_starts = np.flatnonzero(np.diff(sorted_labels)) + 1
+    starts = np.concatenate([[0], segment_starts])
+    present = sorted_labels[starts]
+    sums = np.add.reduceat(bits[order], starts, axis=0, dtype=np.int64)
+    counts = np.zeros((num_classes, dimension), dtype=np.int64)
+    counts[present] = sums
+    return counts
+
+
+@register_kernel("train.bundle_counts", backend="threaded")
+def _bundle_counts_threaded(
+    words: np.ndarray, dimension: int, labels: np.ndarray, num_classes: int
+) -> np.ndarray:
+    """Shard the sample rows; integer partial counts sum exactly."""
+    return run_sharded_sum(
+        lambda start, stop: _bundle_counts_numpy(
+            words[start:stop], dimension, labels[start:stop], num_classes
+        ),
+        words.shape[0],
+    )
+
+
+def _unpack_bits(words: np.ndarray, dimension: int) -> np.ndarray:
+    """Packed uint64 words -> ``(rows, dimension)`` 0/1 uint8 matrix."""
+    if sys.byteorder == "little":
+        bits = np.unpackbits(
+            np.ascontiguousarray(words).view(np.uint8), axis=1, bitorder="little"
+        )
+    else:  # pragma: no cover - big-endian hosts
+        shifts = np.arange(_WORD_BITS, dtype=np.uint64)
+        bits = ((words[:, :, None] >> shifts) & np.uint64(1)).astype(np.uint8)
+        bits = bits.reshape(words.shape[0], -1)
+    return bits[:, :dimension]
+
+
+def bundle_packed(
+    packed: PackedHypervectors, labels: np.ndarray, num_classes: int
+) -> np.ndarray:
+    """Class-wise centroid accumulators (Eq. 2) computed over packed words.
+
+    Returns the ``(num_classes, D)`` int64 sum of bipolar sample rows per
+    class — exactly what the dense rule ``np.add.at(acc, labels, samples)``
+    produces (``sum = 2 * set_bits - class_size``), including zero rows for
+    classes absent from ``labels``, so the downstream ``sgn`` sees identical
+    integers and draws identical tie-breaks.
+    """
+    labels = np.asarray(labels)
+    if labels.ndim != 1 or labels.shape[0] != len(packed):
+        raise ValueError(
+            f"labels shape {labels.shape} does not match {len(packed)} packed rows"
+        )
+    if num_classes < 1 or (labels.size and int(labels.max()) >= num_classes):
+        raise ValueError(f"labels must lie in [0, {num_classes})")
+    counts = get_kernel("train.bundle_counts")(
+        packed.words, packed.dimension, labels, num_classes
+    )
+    class_sizes = np.bincount(labels, minlength=num_classes).astype(np.int64)
+    return 2 * counts - class_sizes[:, None]
+
+
+# ------------------------------------------------------ accumulator updates
+@register_kernel("train.scatter_add")
+def _scatter_add_numpy(
+    accumulators: np.ndarray,
+    class_indices: np.ndarray,
+    coefficients: np.ndarray,
+    samples: np.ndarray,
+    sample_rows: np.ndarray,
+) -> None:
+    """Apply ``accumulators[c] += coeff * samples[row]`` updates *in order*.
+
+    Float addition is not associative, so the update order is part of the
+    contract: updates land left-to-right exactly like the sequential
+    retraining loop, which keeps every rounding — and therefore every
+    later ``sgn(0)`` tie — bit-identical.  This is also why the kernel has
+    no threaded override: sharding the update axis would reorder additions
+    into the same accumulator row.  (A batched ``np.add.at`` preserves order
+    too but routes through ufunc.at's generic inner loop, which measures ~10x
+    slower than this row loop at D=4000.)
+    """
+    for position in range(class_indices.shape[0]):
+        accumulators[class_indices[position]] += (
+            coefficients[position] * samples[sample_rows[position]]
+        )
+
+
+def apply_class_updates(
+    accumulators: np.ndarray,
+    class_indices: np.ndarray,
+    coefficients: np.ndarray,
+    samples: np.ndarray,
+    sample_rows: np.ndarray,
+) -> None:
+    """Ordered scatter-add of per-sample updates into the class accumulators.
+
+    ``class_indices``, ``coefficients`` and ``sample_rows`` are parallel
+    arrays describing one epoch's updates in the exact order the sequential
+    loop would apply them; ``samples`` is the bipolar training matrix the
+    rows index into.  Modifies ``accumulators`` in place.
+    """
+    if not (class_indices.shape[0] == coefficients.shape[0] == sample_rows.shape[0]):
+        raise ValueError(
+            "class_indices, coefficients and sample_rows must have equal length"
+        )
+    get_kernel("train.scatter_add")(
+        accumulators, class_indices, coefficients, samples, sample_rows
+    )
+
+
+# ------------------------------------------------------------ flip fraction
+def flip_fraction_packed(
+    new_packed: PackedHypervectors, old_packed: PackedHypervectors
+) -> float:
+    """Fraction of class-hypervector bits that flipped, on packed words.
+
+    Equals ``np.mean(new_dense != old_dense)`` exactly: both operands pad
+    the last word with zero bits, so the XOR+popcount counts only real
+    positions, and the single integer division matches the dense mean.
+    Drives the retraining convergence test (``update_fraction < epsilon``).
+    """
+    if new_packed.dimension != old_packed.dimension or len(new_packed) != len(old_packed):
+        raise ValueError(
+            f"packed shapes differ: ({len(new_packed)}, {new_packed.dimension}) vs "
+            f"({len(old_packed)}, {old_packed.dimension})"
+        )
+    differing = int(popcount(new_packed.words ^ old_packed.words).sum())
+    return differing / float(len(new_packed) * new_packed.dimension)
+
+
+__all__ = [
+    "PackedTrainingSet",
+    "apply_class_updates",
+    "bundle_packed",
+    "flip_fraction_packed",
+    "score_epoch",
+]

@@ -14,7 +14,7 @@ from repro.classifiers.pipeline import HDCPipeline
 from repro.core.configs import LeHDCConfig
 from repro.core.lehdc import LeHDCClassifier
 from repro.hdc.encoders import RecordEncoder
-from repro.hdc.packing import pack_bipolar
+from repro.kernels import pack_bipolar
 from repro.io import load_model, save_model
 
 

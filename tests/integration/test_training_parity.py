@@ -1,0 +1,237 @@
+"""Packed training must match the sequential retraining loop bit for bit.
+
+The packed training path (epoch scoring over packed words + ordered
+scatter-add, ``repro.kernels.train``) is a *re-implementation* of the seed's
+per-sample loop, not an approximation: with the same seed it must produce an
+identical :class:`~repro.classifiers.retraining.RetrainingHistory`, identical
+binary class hypervectors, and identical float accumulators — for every
+retraining classifier, with and without shuffling (the scatter-add replays
+the visit order, so even the shuffled trajectories coincide draw for draw).
+"""
+
+import numpy as np
+import pytest
+
+from repro.classifiers.adapthd import AdaptHDC
+from repro.classifiers.baseline import BaselineHDC
+from repro.classifiers.enhanced import EnhancedRetrainingHDC
+from repro.classifiers.retraining import RetrainingHDC
+from repro.kernels.train import PackedTrainingSet
+
+RETRAINING_FACTORIES = {
+    "retraining": lambda packed, shuffle: RetrainingHDC(
+        iterations=6, epsilon=0.0, shuffle=shuffle, packed_epochs=packed, seed=3
+    ),
+    "adapthd-data": lambda packed, shuffle: AdaptHDC(
+        iterations=5, mode="data", shuffle=shuffle, packed_epochs=packed, seed=4
+    ),
+    "adapthd-iteration": lambda packed, shuffle: AdaptHDC(
+        iterations=5, mode="iteration", shuffle=shuffle, packed_epochs=packed, seed=5
+    ),
+    "enhanced": lambda packed, shuffle: EnhancedRetrainingHDC(
+        iterations=5, epsilon=0.0, shuffle=shuffle, packed_epochs=packed, seed=6
+    ),
+}
+
+
+def assert_same_training(packed_model, sequential_model, expect_validation=False):
+    packed_history = packed_model.history_
+    sequential_history = sequential_model.history_
+    assert packed_history.train_accuracy == sequential_history.train_accuracy
+    assert packed_history.update_fraction == sequential_history.update_fraction
+    assert packed_history.test_accuracy == sequential_history.test_accuracy
+    if expect_validation:
+        assert packed_history.test_accuracy  # trajectories were recorded
+    np.testing.assert_array_equal(
+        packed_model.class_hypervectors_, sequential_model.class_hypervectors_
+    )
+    np.testing.assert_array_equal(
+        packed_model.nonbinary_class_hypervectors_,
+        sequential_model.nonbinary_class_hypervectors_,
+    )
+
+
+class TestRetrainingPackedParity:
+    @pytest.mark.parametrize("name", sorted(RETRAINING_FACTORIES))
+    @pytest.mark.parametrize("shuffle", [False, True])
+    def test_identical_history_and_model(self, encoded_problem, name, shuffle):
+        factory = RETRAINING_FACTORIES[name]
+        packed_model = factory(True, shuffle).fit(
+            encoded_problem["train_hypervectors"], encoded_problem["train_labels"]
+        )
+        sequential_model = factory(False, shuffle).fit(
+            encoded_problem["train_hypervectors"], encoded_problem["train_labels"]
+        )
+        assert_same_training(packed_model, sequential_model)
+
+    @pytest.mark.parametrize("name", sorted(RETRAINING_FACTORIES))
+    def test_identical_validation_trajectory(self, encoded_problem, name):
+        factory = RETRAINING_FACTORIES[name]
+        fit_kwargs = dict(
+            validation_hypervectors=encoded_problem["test_hypervectors"],
+            validation_labels=encoded_problem["test_labels"],
+        )
+        packed_model = factory(True, True).fit(
+            encoded_problem["train_hypervectors"],
+            encoded_problem["train_labels"],
+            **fit_kwargs,
+        )
+        sequential_model = factory(False, True).fit(
+            encoded_problem["train_hypervectors"],
+            encoded_problem["train_labels"],
+            **fit_kwargs,
+        )
+        assert_same_training(packed_model, sequential_model, expect_validation=True)
+
+    def test_early_stop_iteration_count_matches(self, encoded_problem):
+        for packed in (True, False):
+            model = RetrainingHDC(
+                iterations=50, epsilon=1.0, packed_epochs=packed, seed=8
+            ).fit(encoded_problem["train_hypervectors"], encoded_problem["train_labels"])
+            assert model.history_.iterations <= 2
+
+    def test_shuffled_runs_reach_statistical_parity(self, encoded_problem):
+        """Different visit orders (different seeds) agree within tolerance.
+
+        Bit-identity above covers same-seed runs; this documents that the
+        packed path's *statistical* behaviour under shuffling matches the
+        sequential loop across seeds, which is what sweep aggregates rely on.
+        """
+        packed_final = [
+            RetrainingHDC(iterations=5, epsilon=0.0, shuffle=True, seed=seed)
+            .fit(encoded_problem["train_hypervectors"], encoded_problem["train_labels"])
+            .history_.train_accuracy[-1]
+            for seed in range(3)
+        ]
+        sequential_final = [
+            RetrainingHDC(
+                iterations=5, epsilon=0.0, shuffle=True, packed_epochs=False, seed=seed + 100
+            )
+            .fit(encoded_problem["train_hypervectors"], encoded_problem["train_labels"])
+            .history_.train_accuracy[-1]
+            for seed in range(3)
+        ]
+        assert abs(np.mean(packed_final) - np.mean(sequential_final)) < 0.05
+
+    @pytest.mark.parametrize("name", sorted(RETRAINING_FACTORIES))
+    def test_shared_packed_train_is_equivalent(self, encoded_problem, name):
+        factory = RETRAINING_FACTORIES[name]
+        train_set = PackedTrainingSet.from_dense(encoded_problem["train_hypervectors"])
+        with_shared = factory(True, True).fit(
+            encoded_problem["train_hypervectors"],
+            encoded_problem["train_labels"],
+            packed_train=train_set,
+        )
+        without_shared = factory(True, True).fit(
+            encoded_problem["train_hypervectors"], encoded_problem["train_labels"]
+        )
+        assert_same_training(with_shared, without_shared)
+
+    def test_packed_epochs_false_wins_over_shared_packed_train(
+        self, encoded_problem, monkeypatch
+    ):
+        """The sequential-loop opt-out holds even under experiment loops."""
+        monkeypatch.setattr(
+            RetrainingHDC,
+            "_fit_packed",
+            lambda self, *args, **kwargs: pytest.fail(
+                "packed path taken despite packed_epochs=False"
+            ),
+        )
+        train_set = PackedTrainingSet.from_dense(encoded_problem["train_hypervectors"])
+        model = RetrainingHDC(iterations=2, packed_epochs=False, seed=9).fit(
+            encoded_problem["train_hypervectors"],
+            encoded_problem["train_labels"],
+            packed_train=train_set,
+        )
+        assert model.history_.iterations == 2
+
+    def test_packed_train_shape_mismatch_raises(self, encoded_problem):
+        train_set = PackedTrainingSet.from_dense(
+            encoded_problem["train_hypervectors"][:10]
+        )
+        with pytest.raises(ValueError, match="does not match"):
+            RetrainingHDC(iterations=2, seed=10).fit(
+                encoded_problem["train_hypervectors"],
+                encoded_problem["train_labels"],
+                packed_train=train_set,
+            )
+
+    def test_packed_train_content_mismatch_raises(self, encoded_problem):
+        """Same shape but different data (e.g. the wrong split) is caught."""
+        wrong_split = -encoded_problem["train_hypervectors"]
+        train_set = PackedTrainingSet.from_dense(wrong_split)
+        with pytest.raises(ValueError, match="content does not match"):
+            RetrainingHDC(iterations=2, seed=10).fit(
+                encoded_problem["train_hypervectors"],
+                encoded_problem["train_labels"],
+                packed_train=train_set,
+            )
+
+    def test_non_bipolar_input_falls_back_to_sequential(self):
+        rng = np.random.default_rng(0)
+        # Ternary "hypervectors" are outside the packed kernels' domain; the
+        # classifier must silently take the sequential loop and still fit.
+        hypervectors = rng.integers(-1, 2, size=(60, 128)).astype(np.int8)
+        labels = rng.integers(0, 3, size=60)
+        model = RetrainingHDC(iterations=2, seed=11).fit(hypervectors, labels)
+        assert model.history_.iterations == 2
+        assert model.class_hypervectors_.shape == (3, 128)
+
+    def test_custom_update_subclass_keeps_sequential_semantics(self, encoded_problem):
+        """Overriding ``_update`` alone must not silently change behaviour."""
+
+        class PullOnly(RetrainingHDC):
+            def _update(self, nonbinary, sample, true_label, predicted, alpha, scores):
+                nonbinary[true_label] += alpha * sample
+
+        model = PullOnly(iterations=3, epsilon=0.0, seed=12)
+        assert not model._has_vectorised_updates()
+        model.fit(encoded_problem["train_hypervectors"], encoded_problem["train_labels"])
+        assert model.history_.iterations == 3
+
+    def test_iteration_seconds_recorded_on_both_paths(self, encoded_problem):
+        for packed in (True, False):
+            model = RetrainingHDC(
+                iterations=3, epsilon=0.0, packed_epochs=packed, seed=13
+            ).fit(encoded_problem["train_hypervectors"], encoded_problem["train_labels"])
+            seconds = model.history_.iteration_seconds
+            assert len(seconds) == model.history_.iterations
+            assert all(value >= 0.0 for value in seconds)
+
+
+class TestBaselinePackedParity:
+    def test_bundle_packed_fit_matches_dense_fit(self, encoded_problem):
+        train_set = PackedTrainingSet.from_dense(encoded_problem["train_hypervectors"])
+        dense = BaselineHDC(seed=2).fit(
+            encoded_problem["train_hypervectors"], encoded_problem["train_labels"]
+        )
+        packed = BaselineHDC(seed=2).fit(
+            encoded_problem["train_hypervectors"],
+            encoded_problem["train_labels"],
+            packed_train=train_set,
+        )
+        np.testing.assert_array_equal(dense.accumulators_, packed.accumulators_)
+        np.testing.assert_array_equal(
+            dense.class_hypervectors_, packed.class_hypervectors_
+        )
+
+    def test_packed_train_shape_mismatch_raises(self, encoded_problem):
+        train_set = PackedTrainingSet.from_dense(
+            encoded_problem["train_hypervectors"][:10]
+        )
+        with pytest.raises(ValueError, match="does not match"):
+            BaselineHDC(seed=2).fit(
+                encoded_problem["train_hypervectors"],
+                encoded_problem["train_labels"],
+                packed_train=train_set,
+            )
+
+    def test_supports_packed_training_flags(self, encoded_problem):
+        from repro.classifiers.multimodel import MultiModelHDC
+
+        assert BaselineHDC().supports_packed_training()
+        assert RetrainingHDC().supports_packed_training()
+        assert AdaptHDC().supports_packed_training()
+        assert EnhancedRetrainingHDC().supports_packed_training()
+        assert not MultiModelHDC().supports_packed_training()

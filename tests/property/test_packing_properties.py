@@ -5,7 +5,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.hdc.hypervector import hamming_distance, random_hypervectors
-from repro.hdc.packing import pack_bipolar, unpack_bipolar
+from repro.kernels import pack_bipolar, unpack_bipolar
 
 
 @settings(max_examples=40, deadline=None)

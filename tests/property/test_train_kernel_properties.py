@@ -1,0 +1,110 @@
+"""Property-based tests for the packed training kernels."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hdc.hypervector import random_hypervectors
+from repro.kernels import pack_bipolar
+from repro.kernels.train import (
+    PackedTrainingSet,
+    bundle_packed,
+    flip_fraction_packed,
+    score_epoch,
+)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.integers(min_value=1, max_value=40),
+    st.integers(min_value=1, max_value=200),
+    st.integers(min_value=1, max_value=6),
+    st.integers(min_value=0, max_value=2**31 - 1),
+)
+def test_bundle_packed_matches_dense_accumulation(rows, dimension, num_classes, seed):
+    vectors = random_hypervectors(rows, dimension, seed=seed)
+    labels = np.random.default_rng(seed + 1).integers(0, num_classes, size=rows)
+    expected = np.zeros((num_classes, dimension), dtype=np.int64)
+    np.add.at(expected, labels, vectors.astype(np.int64))
+    result = bundle_packed(pack_bipolar(vectors), labels, num_classes)
+    np.testing.assert_array_equal(result, expected)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.integers(min_value=1, max_value=30),
+    st.integers(min_value=1, max_value=150),
+    st.integers(min_value=0, max_value=2**31 - 1),
+)
+def test_bundle_packed_single_class_equals_row_sum(rows, dimension, seed):
+    """With one class the bundle is exactly the column sum of all rows."""
+    vectors = random_hypervectors(rows, dimension, seed=seed)
+    labels = np.zeros(rows, dtype=np.int64)
+    result = bundle_packed(pack_bipolar(vectors), labels, 1)
+    np.testing.assert_array_equal(result[0], vectors.astype(np.int64).sum(axis=0))
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.integers(min_value=1, max_value=30),
+    st.integers(min_value=1, max_value=150),
+    st.integers(min_value=1, max_value=5),
+    st.integers(min_value=0, max_value=2**31 - 1),
+)
+def test_bundle_packed_entries_bounded_by_class_size(rows, dimension, num_classes, seed):
+    """|accumulator| <= class size, with matching parity (sums of ±1)."""
+    vectors = random_hypervectors(rows, dimension, seed=seed)
+    labels = np.random.default_rng(seed + 1).integers(0, num_classes, size=rows)
+    result = bundle_packed(pack_bipolar(vectors), labels, num_classes)
+    class_sizes = np.bincount(labels, minlength=num_classes)
+    assert np.all(np.abs(result) <= class_sizes[:, None])
+    # A sum of k values in {+1, -1} has the same parity as k.
+    assert np.all((result - class_sizes[:, None]) % 2 == 0)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.integers(min_value=1, max_value=15),
+    st.integers(min_value=2, max_value=6),
+    st.integers(min_value=1, max_value=150),
+    st.integers(min_value=0, max_value=2**31 - 1),
+)
+def test_score_epoch_consistent_with_hamming_ordering(rows, classes, dimension, seed):
+    samples = random_hypervectors(rows, dimension, seed=seed)
+    class_hvs = random_hypervectors(classes, dimension, seed=seed + 1)
+    packed_samples = pack_bipolar(samples)
+    packed_classes = pack_bipolar(class_hvs)
+    scores, predicted = score_epoch(packed_samples, packed_classes)
+    distances = packed_samples.bit_differences(packed_classes)
+    # dot = D - 2 * diff: argmax score == argmin raw bit differences.
+    np.testing.assert_array_equal(scores, dimension - 2 * distances)
+    np.testing.assert_array_equal(predicted, np.argmin(distances, axis=1))
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.integers(min_value=1, max_value=10),
+    st.integers(min_value=1, max_value=150),
+    st.integers(min_value=0, max_value=2**31 - 1),
+)
+def test_flip_fraction_is_a_normalised_hamming_mean(rows, dimension, seed):
+    a = random_hypervectors(rows, dimension, seed=seed)
+    b = random_hypervectors(rows, dimension, seed=seed + 1)
+    fraction = flip_fraction_packed(pack_bipolar(a), pack_bipolar(b))
+    assert 0.0 <= fraction <= 1.0
+    assert fraction == float(np.mean(a != b))
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.integers(min_value=1, max_value=20),
+    st.integers(min_value=1, max_value=200),
+    st.integers(min_value=0, max_value=2**31 - 1),
+)
+def test_training_set_roundtrip(rows, dimension, seed):
+    vectors = random_hypervectors(rows, dimension, seed=seed)
+    train_set = PackedTrainingSet.from_dense(vectors)
+    np.testing.assert_array_equal(train_set.samples, vectors)
+    np.testing.assert_array_equal(
+        train_set.packed.words, pack_bipolar(vectors).words
+    )

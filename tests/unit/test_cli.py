@@ -20,6 +20,28 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["train", "--strategy", "svm"])
 
+    def test_bench_train_defaults(self):
+        args = build_parser().parse_args(["bench-train"])
+        assert args.command == "bench-train"
+        assert args.dimension == 4000
+        assert args.quick is False
+        assert args.json is None
+
+    def test_serve_kernel_backend_choices(self):
+        args = build_parser().parse_args(
+            ["serve", "--model", "m.npz", "--kernel-backend", "threaded"]
+        )
+        assert args.kernel_backend == "threaded"
+        # Default defers to REPRO_KERNEL_BACKEND / numpy.
+        assert (
+            build_parser().parse_args(["serve", "--model", "m.npz"]).kernel_backend
+            is None
+        )
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["serve", "--model", "m.npz", "--kernel-backend", "cuda"]
+            )
+
 
 class TestCommands:
     def test_list_datasets(self, capsys):
@@ -119,3 +141,16 @@ class TestCommands:
         assert code == 0
         output = capsys.readouterr().out
         assert "256" in output and "512" in output
+
+    def test_bench_train_quick_writes_json(self, tmp_path, capsys):
+        json_path = tmp_path / "bench_train.json"
+        code = main(["bench-train", "--quick", "--json", str(json_path)])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "retraining" in output
+        assert "bit-identical" in output
+        import json
+
+        results = json.loads(json_path.read_text())
+        assert results["config"]["quick"] is True
+        assert results["retraining"]["bit_identical"] is True

@@ -13,7 +13,29 @@ from repro.kernels.packed import (
     pack_bipolar,
     packed_dot_scores,
     sign_fuse_bits,
+    try_pack_bipolar,
 )
+
+
+class TestTryPackBipolar:
+    def test_matches_pack_bipolar_on_bipolar_input(self):
+        vectors = random_hypervectors(5, 130, seed=40)
+        packed = try_pack_bipolar(vectors)
+        np.testing.assert_array_equal(packed.words, pack_bipolar(vectors).words)
+        assert packed.dimension == 130
+
+    def test_returns_none_instead_of_raising(self):
+        assert try_pack_bipolar(np.zeros((2, 8))) is None
+        assert try_pack_bipolar(np.full((2, 8), 3)) is None
+        with pytest.raises(ValueError):
+            pack_bipolar(np.zeros((2, 8)))
+
+    def test_accepts_float_bipolar(self):
+        vectors = random_hypervectors(2, 64, seed=41).astype(np.float32)
+        packed = try_pack_bipolar(vectors)
+        np.testing.assert_array_equal(
+            packed.words, pack_bipolar(vectors.astype(np.int8)).words
+        )
 
 
 class TestPackedDotScores:
@@ -76,22 +98,53 @@ class TestSignFuseBits:
 
 
 class TestPackingShim:
+    def test_shim_warns_once_at_import(self):
+        """Importing the shim emits exactly one module-level DeprecationWarning."""
+        import importlib
+        import sys
+
+        sys.modules.pop("repro.hdc.packing", None)
+        with pytest.warns(DeprecationWarning, match="repro.kernels") as caught:
+            importlib.import_module("repro.hdc.packing")
+        deprecations = [
+            w for w in caught if issubclass(w.category, DeprecationWarning)
+        ]
+        assert len(deprecations) == 1
+
     def test_shim_objects_are_kernel_objects(self):
         with warnings.catch_warnings():
             warnings.simplefilter("ignore", DeprecationWarning)
             from repro.hdc import packing as shim
 
-            assert shim.PackedHypervectors is PackedHypervectors
-            assert shim.pack_bipolar is pack_bipolar
+        assert shim.PackedHypervectors is PackedHypervectors
+        assert shim.pack_bipolar is pack_bipolar
 
-    def test_shim_warns_on_access(self):
-        from repro.hdc import packing as shim
+    def test_every_public_kernel_name_reexported_identically(self):
+        from repro.kernels import packed as kernel_module
 
-        with pytest.warns(DeprecationWarning, match="repro.kernels"):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            from repro.hdc import packing as shim
+
+        for name in kernel_module.__all__:
+            assert getattr(shim, name) is getattr(kernel_module, name), name
+
+    def test_attribute_access_does_not_warn(self):
+        """The deprecation fires at import time, not once per attribute access."""
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            from repro.hdc import packing as shim
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
             shim.pack_bits
+            shim.bit_differences_words
+            shim.sign_fuse_bits
 
     def test_shim_unknown_attribute_raises(self):
-        from repro.hdc import packing as shim
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            from repro.hdc import packing as shim
 
         with pytest.raises(AttributeError):
             shim.definitely_not_a_kernel

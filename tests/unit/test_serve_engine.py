@@ -181,7 +181,7 @@ class TestFromFile:
 
 class TestPackedExportOnClassifiers:
     def test_packed_class_hypervectors_roundtrip(self, encoded_problem):
-        from repro.hdc.packing import unpack_bipolar
+        from repro.kernels import unpack_bipolar
 
         classifier = BaselineHDC(seed=0).fit(
             encoded_problem["train_hypervectors"], encoded_problem["train_labels"]
