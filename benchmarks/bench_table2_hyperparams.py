@@ -11,6 +11,11 @@ it that DESIGN.md calls out:
 * the latent-clipping ablation (BinaryConnect-style clip vs the paper's
   unclipped latent weights bounded by weight decay);
 * coupled vs decoupled weight decay (Eq. 10 literal vs AdamW-style).
+
+Every grid/ablation cell is fitted through
+:func:`repro.eval.sweep.run_fit_grid` on one shared
+:class:`repro.eval.sweep.PackedSplits`: the dataset is encoded and packed
+exactly once per module, no matter how many hyper-parameter cells run on it.
 """
 
 from __future__ import annotations
@@ -26,6 +31,7 @@ from benchmarks.conftest import (
 from repro.core.configs import PAPER_CONFIGS, get_paper_config
 from repro.core.lehdc import LeHDCClassifier
 from repro.datasets.registry import get_dataset
+from repro.eval.sweep import PackedSplits, run_fit_grid
 from repro.eval.tables import format_table
 from repro.hdc.encoders import RecordEncoder
 
@@ -59,41 +65,39 @@ def test_table2_configurations_printed(benchmark):
 
 
 @pytest.fixture(scope="module")
-def encoded_grid_dataset():
+def grid_splits():
+    """One encoded + packed split pair shared by every grid cell below."""
     data = get_dataset(GRID_DATASET, profile=BENCH_PROFILE, seed=22)
     encoder = RecordEncoder(dimension=BENCH_DIMENSION, num_levels=32, seed=22)
-    encoder.fit(data.train_features)
+    return PackedSplits.from_dataset(data, encoder)
+
+
+def _accuracy_grid(splits, configs, seed=22):
+    """Fit one LeHDC per config cell on the shared packed split."""
+    cells = {
+        key: (lambda config=config: LeHDCClassifier(config=config, seed=seed))
+        for key, config in configs.items()
+    }
     return {
-        "train": encoder.encode(data.train_features),
-        "train_labels": data.train_labels,
-        "test": encoder.encode(data.test_features),
-        "test_labels": data.test_labels,
+        key: cell.test_accuracy for key, cell in run_fit_grid(splits, cells).items()
     }
 
 
-def _fit_accuracy(encoded, config, seed=22):
-    model = LeHDCClassifier(config=config, seed=seed)
-    model.fit(encoded["train"], encoded["train_labels"])
-    return model.score(encoded["test"], encoded["test_labels"])
-
-
-def test_table2_regularisation_grid(benchmark, encoded_grid_dataset):
+def test_table2_regularisation_grid(benchmark, grid_splits):
     """Weight-decay x dropout grid around the paper's UCIHAR/ISOLET/PAMAP row."""
     base = get_paper_config(GRID_DATASET).with_overrides(
         epochs=BENCH_LEHDC_EPOCHS, batch_size=64, learning_rate=0.01
     )
 
     def run():
-        grid = {}
-        for weight_decay in WEIGHT_DECAYS:
-            for dropout_rate in DROPOUT_RATES:
-                config = base.with_overrides(
-                    weight_decay=weight_decay, dropout_rate=dropout_rate
-                )
-                grid[(weight_decay, dropout_rate)] = _fit_accuracy(
-                    encoded_grid_dataset, config
-                )
-        return grid
+        configs = {
+            (weight_decay, dropout_rate): base.with_overrides(
+                weight_decay=weight_decay, dropout_rate=dropout_rate
+            )
+            for weight_decay in WEIGHT_DECAYS
+            for dropout_rate in DROPOUT_RATES
+        }
+        return _accuracy_grid(grid_splits, configs)
 
     grid = benchmark.pedantic(run, rounds=1, iterations=1)
     rows = [
@@ -109,7 +113,7 @@ def test_table2_regularisation_grid(benchmark, encoded_grid_dataset):
     assert paper_cell >= max(grid.values()) - 0.03
 
 
-def test_table2_latent_clip_and_decay_ablation(benchmark, encoded_grid_dataset):
+def test_table2_latent_clip_and_decay_ablation(benchmark, grid_splits):
     """Latent clipping and coupled/decoupled weight decay (DESIGN.md ablations)."""
     base = get_paper_config(GRID_DATASET).with_overrides(
         epochs=BENCH_LEHDC_EPOCHS, batch_size=64, learning_rate=0.01
@@ -121,10 +125,7 @@ def test_table2_latent_clip_and_decay_ablation(benchmark, encoded_grid_dataset):
     }
 
     def run():
-        return {
-            name: _fit_accuracy(encoded_grid_dataset, config)
-            for name, config in variants.items()
-        }
+        return _accuracy_grid(grid_splits, variants)
 
     accuracies = benchmark.pedantic(run, rounds=1, iterations=1)
     print_report(

@@ -1,16 +1,21 @@
-"""Packed-training benchmark: retraining ``fit()`` on packed words vs the seed loop.
+"""Packed-training benchmark: training ``fit()`` on packed words vs the seed loops.
 
-The packed-training issue moved the retraining epoch onto the kernel layer:
-one blocked XOR+popcount scoring of the whole packed training set per pass,
-followed by an ordered scatter-add of the misclassified samples' updates.
-This benchmark measures every retraining strategy's full ``fit()`` against
-the seed's sequential per-sample loop (still available as
-``packed_epochs=False``), writes the raw numbers as JSON under
-``benchmarks/results/``, and asserts the acceptance criteria:
+The packed-training issues moved training onto the kernel layer: one blocked
+XOR+popcount scoring of the whole packed training set per pass, followed by
+an ordered scatter-add of the misclassified samples' updates (the retraining
+family), or by sequential stochastic bit-flips replayed on an incrementally
+maintained score matrix (the SearcHD-style ensemble).  This benchmark
+measures every strategy's full ``fit()`` against the seed's sequential
+per-sample loop (still available as ``packed_epochs=False``), writes the raw
+numbers as JSON under ``benchmarks/results/``, and asserts the acceptance
+criteria:
 
 * ``RetrainingHDC.fit()`` >= 5x the seed dense loop at D=4000, with a
   bit-identical accuracy history (the benchmark runner verifies bit-identity
   of histories, class hypervectors and accumulators before reporting);
+* ``MultiModelHDC.fit()`` >= 5x the seed dense loop at D=4000 with the
+  paper's 64 models per class — bit-identical models, history and RNG
+  stream, both ``push_away`` settings, verified before timing;
 * AdaptHD / enhanced retraining and the packed baseline bundling must not
   be slower than their dense counterparts.
 """
@@ -25,8 +30,9 @@ import pytest
 from benchmarks.conftest import RESULTS_DIR, print_report
 from repro.kernels.bench_train import format_training_report, run_training_benchmark
 
-#: Acceptance threshold from the packed-training issue.
+#: Acceptance thresholds from the packed-training issues (PR 3 / PR 4).
 MIN_RETRAINING_FIT_SPEEDUP = 5.0
+MIN_MULTIMODEL_FIT_SPEEDUP = 5.0
 
 
 @pytest.fixture(scope="module")
@@ -64,10 +70,23 @@ def test_retraining_fit_speedup(training_result):
     )
 
 
+def test_multimodel_fit_speedup(training_result):
+    """Packed ensemble ``fit()`` >= 5x the seed loop at D=4000, 64 models/class."""
+    section = training_result["multimodel"]
+    assert section["models_per_class"] == 64
+    speedup = section["speedup"]
+    assert speedup >= MIN_MULTIMODEL_FIT_SPEEDUP, (
+        f"packed multimodel fit speedup {speedup:.1f}x is below the "
+        f"{MIN_MULTIMODEL_FIT_SPEEDUP:.0f}x acceptance threshold"
+    )
+
+
 def test_histories_bit_identical(training_result):
-    """The runner verifies bit-identity before timing; the flag must be set."""
-    for section in ("retraining", "adapthd", "enhanced"):
+    """The runner verifies bit-identity before timing; the flags must be set."""
+    for section in ("retraining", "adapthd", "enhanced", "multimodel"):
         assert training_result[section]["bit_identical"] is True
+    assert training_result["multimodel"]["rng_stream_identical"] is True
+    assert training_result["multimodel"]["push_away_bit_identical"] is True
 
 
 def test_variants_and_bundle_not_slower(training_result):

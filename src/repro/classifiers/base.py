@@ -112,13 +112,15 @@ class HDCClassifierBase(RngMixin, abc.ABC):
 
     # ------------------------------------------------------ packed inference
     def supports_packed_scoring(self) -> bool:
-        """True when this classifier scores with the shared dot-similarity rule.
+        """True when this classifier's scoring has an exact packed twin.
 
-        Strategies that override :meth:`decision_scores` (non-binary centroids
-        with cosine scoring, the multi-model ensemble) cannot be reproduced by
-        XOR + popcount over the majority-vote class hypervectors, so the
-        packed paths (serving engine, :meth:`decision_scores_packed`) fall
-        back to dense scoring for them.
+        By default that means the shared dot-similarity rule (classifiers
+        that override :meth:`decision_scores` are assumed bespoke and the
+        packed paths fall back to dense for them, e.g. non-binary centroids
+        with cosine scoring).  A classifier whose bespoke rule *does* reduce
+        to XOR + popcount — the multi-model ensemble's max-over-sub-models —
+        overrides this together with :meth:`decision_scores_packed` and
+        :meth:`packed_inference_bank`.
         """
         return type(self).decision_scores is HDCClassifierBase.decision_scores
 
@@ -174,6 +176,18 @@ class HDCClassifierBase(RngMixin, abc.ABC):
             cache = (self.class_hypervectors_, pack_bipolar(self.class_hypervectors_))
             self._packed_classes_cache = cache
         return cache[1]
+
+    def packed_inference_bank(self) -> PackedHypervectors:
+        """The packed words the packed scoring rule keeps resident.
+
+        For shared-rule classifiers this is :meth:`packed_class_hypervectors`
+        (one row per class); the multi-model ensemble overrides it with its
+        flat ``K * N`` model bank.  The serving engine calls it at compile
+        time to pre-build the cache and to account resident packed storage —
+        which is how the ensemble's linear-in-``N`` storage growth shows up
+        in serving metrics.
+        """
+        return self.packed_class_hypervectors()
 
 
 __all__ = ["HDCClassifierBase", "top_k_from_scores"]

@@ -21,8 +21,10 @@ regenerated without writing any Python:
   float32-policy training vs forced float64); ``--quick`` for CI smoke;
 * ``python -m repro bench-train`` — the packed-training benchmark
   (retraining/AdaptHD/enhanced ``fit()`` on packed epochs vs the seed's
-  sequential loop, bundling over packed words vs dense ``np.add.at``);
-  ``--quick`` for CI smoke.
+  sequential loop, the SearcHD-style ensemble on incremental packed scoring
+  vs the seed's per-sample dense matmul — bit-identity including the RNG
+  stream verified first — and bundling over packed words vs dense
+  ``np.add.at``); ``--quick`` for CI smoke.
 """
 
 from __future__ import annotations
@@ -168,6 +170,24 @@ def build_parser() -> argparse.ArgumentParser:
     bench_train.add_argument("--classes", type=int, default=10)
     bench_train.add_argument("--samples", type=int, default=2000)
     bench_train.add_argument("--iterations", type=int, default=20)
+    bench_train.add_argument(
+        "--multimodel-models-per-class",
+        type=int,
+        default=64,
+        help="ensemble sub-models per class for the multimodel case (paper: 64)",
+    )
+    bench_train.add_argument(
+        "--multimodel-samples",
+        type=int,
+        default=400,
+        help="training samples for the multimodel case (sliced from --samples)",
+    )
+    bench_train.add_argument(
+        "--multimodel-iterations",
+        type=int,
+        default=3,
+        help="stochastic training passes for the multimodel case",
+    )
     bench_train.add_argument("--seed", type=int, default=0)
     bench_train.add_argument(
         "--quick", action="store_true", help="shrink sizes for a CI smoke run"
@@ -393,6 +413,9 @@ def command_bench_train(args) -> int:
         iterations=args.iterations,
         seed=args.seed,
         quick=args.quick,
+        multimodel_models_per_class=args.multimodel_models_per_class,
+        multimodel_samples=args.multimodel_samples,
+        multimodel_iterations=args.multimodel_iterations,
     )
     print(format_training_report(results))
     if args.json:

@@ -18,13 +18,20 @@ from repro.eval.experiment import (
     default_strategy_factories,
     run_strategy_comparison,
 )
-from repro.eval.sweep import DimensionSweepResult, run_dimension_sweep
+from repro.eval.sweep import (
+    DimensionSweepResult,
+    GridCellResult,
+    PackedSplits,
+    run_dimension_sweep,
+    run_fit_grid,
+)
 from repro.eval.tables import format_table
 from repro.eval.figures import TrajectorySeries, render_trajectories, sparkline
 from repro.eval.reports import (
     ClassificationReport,
     classification_report,
     compare_per_class,
+    training_timing_report,
 )
 from repro.eval.significance import (
     mcnemar_test,
@@ -42,7 +49,10 @@ __all__ = [
     "run_strategy_comparison",
     "default_strategy_factories",
     "DimensionSweepResult",
+    "GridCellResult",
+    "PackedSplits",
     "run_dimension_sweep",
+    "run_fit_grid",
     "format_table",
     "TrajectorySeries",
     "render_trajectories",
@@ -50,6 +60,7 @@ __all__ = [
     "ClassificationReport",
     "classification_report",
     "compare_per_class",
+    "training_timing_report",
     "mcnemar_test",
     "paired_accuracy_ttest",
     "wilson_interval",

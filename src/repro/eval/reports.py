@@ -1,4 +1,4 @@
-"""Per-class evaluation reports.
+"""Per-class evaluation and training-timing reports.
 
 Table 1 reports a single accuracy number per model, but when analysing *why*
 one training strategy beats another (e.g. LeHDC's gain on the multi-cluster
@@ -6,12 +6,18 @@ PAMAP-style classes) a per-class breakdown is far more informative.  This
 module provides a scikit-learn-style classification report built only on the
 confusion matrix: precision, recall and F1 per class plus macro/weighted
 averages, rendered through :func:`repro.eval.tables.format_table`.
+
+It also renders the per-iteration wall-clock timings that every trainer with
+a :class:`~repro.classifiers.retraining.RetrainingHistory` records
+(``iteration_seconds`` — the retraining family and the multi-model ensemble
+alike) as the table the committed experiment reports carry
+(:func:`training_timing_report`).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Mapping, Optional, Sequence
 
 import numpy as np
 
@@ -149,4 +155,46 @@ def compare_per_class(
     return format_table(["class"] + names, rows, title=f"per-class {metric}")
 
 
-__all__ = ["ClassReport", "ClassificationReport", "classification_report", "compare_per_class"]
+def training_timing_report(
+    histories: Mapping[str, object], footnote: Optional[str] = None
+) -> str:
+    """Render per-iteration training wall-time as an aligned table.
+
+    ``histories`` maps a display name to either a
+    :class:`~repro.classifiers.retraining.RetrainingHistory` (anything with
+    an ``iteration_seconds`` list) or a bare sequence of per-iteration
+    seconds.  This is the single rendering the committed experiment reports
+    use, so the retraining benchmarks and the ensemble trainer publish their
+    timings in one shape.
+    """
+    if not histories:
+        raise ValueError("histories must be non-empty")
+    rows = []
+    for name, history in histories.items():
+        seconds = list(getattr(history, "iteration_seconds", history))
+        if not seconds:
+            raise ValueError(f"history {name!r} has no iteration_seconds")
+        rows.append(
+            [
+                name,
+                len(seconds),
+                f"{sum(seconds):.3f}",
+                f"{sum(seconds) / len(seconds):.5f}",
+                f"{max(seconds):.5f}",
+            ]
+        )
+    table = format_table(
+        ["variant", "iterations", "total (s)", "mean/iter (s)", "max/iter (s)"], rows
+    )
+    if footnote:
+        table = f"{table}\n\n{footnote}"
+    return table
+
+
+__all__ = [
+    "ClassReport",
+    "ClassificationReport",
+    "classification_report",
+    "compare_per_class",
+    "training_timing_report",
+]

@@ -4,7 +4,10 @@ A deployed HDC classifier consists of three artefacts:
 
 * the encoder's item memories (position and level hypervectors) and its
   quantiser state — needed to encode queries exactly as at training time;
-* the binary class hypervectors — the entire inference-time model;
+* the binary class hypervectors — the entire inference-time model — plus,
+  for SearcHD-style ensembles, the full ``(K, N, D)`` model bank, so a
+  loaded ensemble keeps its max-over-sub-models decision rule instead of
+  silently degrading to the per-class majority vectors;
 * metadata (dimension, class count, the training strategy that produced it).
 
 :func:`save_model` / :func:`load_model` store all three in a single ``.npz``
@@ -25,11 +28,19 @@ from typing import Optional, Union
 import numpy as np
 
 from repro.classifiers.baseline import BaselineHDC
+from repro.classifiers.multimodel import MultiModelHDC
 from repro.classifiers.pipeline import HDCPipeline
 from repro.hdc.encoders import Encoder, NGramEncoder, RecordEncoder
 from repro.hdc.quantize import QuantileQuantizer, UniformQuantizer
 
 FORMAT_VERSION = 1
+#: Archives carrying a multi-model ensemble bank are stamped with this higher
+#: version: readers that predate ensemble persistence reject them with a
+#: clear format error instead of silently serving the per-class majority
+#: vectors.  Plain single-hypervector models keep ``FORMAT_VERSION`` so they
+#: stay readable by older builds.
+ENSEMBLE_FORMAT_VERSION = 2
+SUPPORTED_FORMAT_VERSIONS = (FORMAT_VERSION, ENSEMBLE_FORMAT_VERSION)
 
 _ENCODER_KINDS = ("record", "ngram")
 
@@ -47,10 +58,10 @@ def _verify_metadata(metadata: dict, path: Path) -> None:
     package version and deferred encoder-kind mistakes to an opaque
     ``KeyError`` deep in reconstruction; both are now checked up front.
     """
-    if metadata.get("format_version") != FORMAT_VERSION:
+    if metadata.get("format_version") not in SUPPORTED_FORMAT_VERSIONS:
         raise ValueError(
             f"unsupported model format version {metadata.get('format_version')!r} "
-            f"in {path} (this build reads format {FORMAT_VERSION})"
+            f"in {path} (this build reads formats {SUPPORTED_FORMAT_VERSIONS})"
         )
     saved_version = metadata.get("package_version")
     if saved_version is not None:
@@ -79,6 +90,20 @@ class _FrozenClassifier(BaselineHDC):
     """
 
     def fit(self, hypervectors, labels):  # pragma: no cover - guard path
+        raise RuntimeError(
+            "this classifier was loaded from a file and is inference-only; "
+            "train a new classifier instead of refitting it"
+        )
+
+
+class _FrozenEnsembleClassifier(MultiModelHDC):
+    """Inference-only carrier for a loaded SearcHD-style model bank.
+
+    Reuses :class:`MultiModelHDC`'s max-over-sub-models scoring (dense and
+    packed) against the restored ``model_hypervectors_``.
+    """
+
+    def fit(self, hypervectors, labels, packed_train=None):  # pragma: no cover
         raise RuntimeError(
             "this classifier was loaded from a file and is inference-only; "
             "train a new classifier instead of refitting it"
@@ -123,10 +148,22 @@ def save_model(
     else:  # pragma: no cover - future quantisers
         raise TypeError(f"unsupported quantizer type {type(quantizer).__name__}")
 
+    model_bank = getattr(classifier, "model_hypervectors_", None)
+    if model_bank is not None and np.ndim(model_bank) != 3:  # pragma: no cover
+        raise ValueError(
+            f"model_hypervectors_ must be a (K, N, D) bank, got shape "
+            f"{np.shape(model_bank)}"
+        )
+
     metadata = {
-        "format_version": FORMAT_VERSION,
+        "format_version": (
+            ENSEMBLE_FORMAT_VERSION if model_bank is not None else FORMAT_VERSION
+        ),
         "package_version": _package_version(),
         "strategy": strategy_name,
+        "models_per_class": (
+            int(model_bank.shape[1]) if model_bank is not None else None
+        ),
         "encoder_kind": "ngram" if isinstance(encoder, NGramEncoder) else "record",
         "ngram": getattr(encoder, "ngram", None),
         "dimension": encoder.dimension,
@@ -149,6 +186,8 @@ def save_model(
             json.dumps(metadata).encode("utf-8"), dtype=np.uint8
         ),
     }
+    if model_bank is not None:
+        arrays["model_hypervectors"] = model_bank
     for key, value in quantizer_state.items():
         arrays[f"quantizer_{key}"] = value
     np.savez_compressed(path, **arrays)
@@ -168,6 +207,11 @@ def load_model(path: Union[str, Path]) -> HDCPipeline:
         class_hypervectors = archive["class_hypervectors"]
         position_vectors = archive["position_vectors"]
         level_vectors = archive["level_vectors"]
+        model_bank = (
+            archive["model_hypervectors"]
+            if "model_hypervectors" in archive.files
+            else None
+        )
         quantizer_arrays = {
             key[len("quantizer_") :]: archive[key]
             for key in archive.files
@@ -175,7 +219,13 @@ def load_model(path: Union[str, Path]) -> HDCPipeline:
         }
 
     encoder = _rebuild_encoder(metadata, position_vectors, level_vectors, quantizer_arrays)
-    classifier = _FrozenClassifier(tie_break=metadata["tie_break"])
+    if model_bank is not None:
+        classifier = _FrozenEnsembleClassifier(
+            models_per_class=int(model_bank.shape[1])
+        )
+        classifier.model_hypervectors_ = model_bank.astype(np.int8)
+    else:
+        classifier = _FrozenClassifier(tie_break=metadata["tie_break"])
     classifier.class_hypervectors_ = class_hypervectors.astype(np.int8)
     classifier.num_classes_ = metadata["num_classes"]
 
@@ -235,4 +285,11 @@ def _rebuild_encoder(metadata, position_vectors, level_vectors, quantizer_arrays
     return encoder
 
 
-__all__ = ["save_model", "load_model", "read_model_metadata", "FORMAT_VERSION"]
+__all__ = [
+    "save_model",
+    "load_model",
+    "read_model_metadata",
+    "ENSEMBLE_FORMAT_VERSION",
+    "FORMAT_VERSION",
+    "SUPPORTED_FORMAT_VERSIONS",
+]

@@ -29,6 +29,7 @@ from repro.kernels.dispatch import (
     use_float_dtype,
 )
 from repro.kernels.train import (
+    EnsembleScoreboard,
     PackedTrainingSet,
     apply_class_updates,
     bundle_packed,
@@ -45,8 +46,10 @@ from repro.kernels.linear import as_float, matmul, sign_bipolar
 from repro.kernels.packed import (
     PackedHypervectors,
     bit_differences_words,
+    flip_score_delta,
     pack_bipolar,
     pack_bits,
+    pack_flip_mask,
     packed_dot_scores,
     popcount,
     sign_fuse_bits,
@@ -56,6 +59,7 @@ from repro.kernels.packed import (
 
 __all__ = [
     "DEFAULT_LUT_BUDGET_BYTES",
+    "EnsembleScoreboard",
     "NGramAccumulator",
     "PackedHypervectors",
     "PackedTrainingSet",
@@ -68,12 +72,14 @@ __all__ = [
     "build_accumulator",
     "bundle_packed",
     "flip_fraction_packed",
+    "flip_score_delta",
     "float_dtype",
     "get_kernel",
     "list_kernels",
     "matmul",
     "pack_bipolar",
     "pack_bits",
+    "pack_flip_mask",
     "packed_dot_scores",
     "popcount",
     "register_kernel",

@@ -10,15 +10,22 @@ sequential per-sample loop the seed repository shipped (still available as
 * **retraining / adapthd / enhanced** — full ``fit()`` wall-clock of each
   retraining strategy on the packed epoch kernels (blocked XOR+popcount
   scoring + ordered scatter-add) vs the seed loop, end to end: the packed
-  side pays for building its own :class:`~repro.kernels.train.PackedTrainingSet`.
+  side pays for building its own :class:`~repro.kernels.train.PackedTrainingSet`;
+* **multimodel** — the SearcHD-style ensemble's full ``fit()`` on the
+  incremental packed-scoring trainer
+  (:class:`~repro.kernels.train.EnsembleScoreboard`: score-once per pass,
+  sparse flipped-mask column updates) vs the seed per-sample dense
+  model-bank matmul, verified bit-identical — models, history *and* the RNG
+  stream, for both ``push_away`` settings — before timing.
 
 Every comparison also *verifies* bit-identity — equal class hypervectors,
-equal non-binary accumulators, and an identical
+equal non-binary accumulators / model banks, and an identical
 :class:`~repro.classifiers.retraining.RetrainingHistory` — before timing is
 reported; a benchmark that drifted numerically raises instead of reporting a
-speedup.  The result dictionary is JSON-ready.  The acceptance bar from the
-packed-training issue — retraining ``fit()`` >= 5x the seed loop at D=4000 —
-is asserted by ``benchmarks/bench_training.py``.
+speedup.  The result dictionary is JSON-ready.  The acceptance bars —
+retraining ``fit()`` >= 5x and ensemble ``fit()`` >= 5x the seed loops at
+D=4000 (the ensemble at the paper's 64 models per class) — are asserted by
+``benchmarks/bench_training.py``.
 """
 
 from __future__ import annotations
@@ -31,6 +38,7 @@ import numpy as np
 from repro.classifiers.adapthd import AdaptHDC
 from repro.classifiers.baseline import BaselineHDC
 from repro.classifiers.enhanced import EnhancedRetrainingHDC
+from repro.classifiers.multimodel import MultiModelHDC
 from repro.classifiers.retraining import RetrainingHDC
 from repro.datasets.synthetic import make_gaussian_classes
 from repro.hdc.encoders import RecordEncoder
@@ -68,6 +76,33 @@ def _assert_identical(name: str, seed_model, packed_model) -> None:
         raise AssertionError(f"{name}: packed accumulators diverged from seed")
 
 
+def _assert_identical_ensemble(name: str, seed_model, packed_model) -> None:
+    """The packed ensemble trainer must reproduce the seed loop bit for bit.
+
+    Beyond the model bank and history, the RNG streams must coincide: the
+    packed path replays every ``rng`` call of the seed loop (permutations,
+    bootstrap choices, flip choices, ``sgn(0)`` ties) in the same order with
+    the same arguments, so the generators end in the same state.
+    """
+    if not np.array_equal(
+        seed_model.model_hypervectors_, packed_model.model_hypervectors_
+    ):
+        raise AssertionError(f"{name}: packed model bank diverged from seed")
+    if not np.array_equal(
+        seed_model.class_hypervectors_, packed_model.class_hypervectors_
+    ):
+        raise AssertionError(f"{name}: packed majority vectors diverged from seed")
+    seed_history = seed_model.history_
+    packed_history = packed_model.history_
+    if (
+        seed_history.train_accuracy != packed_history.train_accuracy
+        or seed_history.update_fraction != packed_history.update_fraction
+    ):
+        raise AssertionError(f"{name}: packed training history diverged from seed")
+    if seed_model.rng.bit_generator.state != packed_model.rng.bit_generator.state:
+        raise AssertionError(f"{name}: packed RNG stream diverged from seed")
+
+
 def run_training_benchmark(
     dimension: int = 4000,
     num_features: int = 64,
@@ -79,6 +114,9 @@ def run_training_benchmark(
     seed: int = 0,
     repeats: int = 1,
     quick: bool = False,
+    multimodel_models_per_class: int = 64,
+    multimodel_samples: int = 400,
+    multimodel_iterations: int = 3,
 ) -> Dict[str, object]:
     """Benchmark packed training against the seed sequential loop.
 
@@ -86,15 +124,28 @@ def run_training_benchmark(
     to end); the defaults match the acceptance setting ``D=4000``, with
     ``class_sep`` low enough that a few percent of samples stay
     misclassified throughout — so the timed epochs exercise the scatter-add,
-    not just the scorer.  All strategies run ``shuffle=False`` / ``tie_break='positive'`` /
-    ``epsilon=0`` so every pair completes the same full iteration budget and
-    the bit-identity check covers the whole trajectory.
+    not just the scorer.  All retraining strategies run ``shuffle=False`` /
+    ``tie_break='positive'`` / ``epsilon=0`` so every pair completes the same
+    full iteration budget and the bit-identity check covers the whole
+    trajectory.
+
+    The multimodel case runs at the paper's 64 models per class on a slice
+    of the encoded set with 15% label noise mixed in — noisy labels keep a
+    steady share of samples misclassified, so the timed passes exercise the
+    stochastic flip updates and the incremental score-column maintenance,
+    not just the pass-start scorer.
     """
     if quick:
         dimension = min(dimension, 1024)
         num_samples = min(num_samples, 256)
         iterations = min(iterations, 5)
         repeats = 1
+        multimodel_models_per_class = min(multimodel_models_per_class, 8)
+        multimodel_samples = min(multimodel_samples, 128)
+        multimodel_iterations = min(multimodel_iterations, 2)
+    # Clamp before the config block below records it, so the committed JSON
+    # always states the sample count the ensemble case actually ran on.
+    multimodel_samples = min(multimodel_samples, num_samples)
 
     train_features, train_labels, _, _ = make_gaussian_classes(
         num_classes=num_classes,
@@ -122,6 +173,9 @@ def run_training_benchmark(
             "seed": seed,
             "repeats": repeats,
             "quick": quick,
+            "multimodel_models_per_class": multimodel_models_per_class,
+            "multimodel_samples": multimodel_samples,
+            "multimodel_iterations": multimodel_iterations,
         }
     }
 
@@ -198,6 +252,60 @@ def run_training_benchmark(
             "bit_identical": True,
         }
 
+    # ---- multimodel: incremental packed scoring vs the seed dense loop -----
+    ensemble_encoded = encoded[:multimodel_samples]
+    noise_rng = np.random.default_rng(seed + 1)
+    ensemble_labels = np.array(train_labels[:multimodel_samples])
+    noisy = noise_rng.random(multimodel_samples) < 0.15
+    ensemble_labels[noisy] = (
+        ensemble_labels[noisy]
+        + noise_rng.integers(1, num_classes, size=int(np.count_nonzero(noisy)))
+    ) % num_classes
+
+    def ensemble_factory(packed: bool, push_away: bool = False) -> MultiModelHDC:
+        return MultiModelHDC(
+            models_per_class=multimodel_models_per_class,
+            iterations=multimodel_iterations,
+            push_away=push_away,
+            packed_epochs=packed,
+            seed=seed,
+        )
+
+    seed_model = ensemble_factory(False)
+    packed_model = ensemble_factory(True)
+    seed_time = _best_time(
+        lambda: seed_model.fit(ensemble_encoded, ensemble_labels), repeats
+    )
+    packed_time = _best_time(
+        lambda: packed_model.fit(ensemble_encoded, ensemble_labels), repeats
+    )
+    _assert_identical_ensemble("multimodel", seed_model, packed_model)
+    # The push-away update rule flips a second sub-model per misclassification
+    # (extra RNG draws, extra score-column patches); verify it separately.
+    seed_push = ensemble_factory(False, push_away=True)
+    packed_push = ensemble_factory(True, push_away=True)
+    seed_push.fit(ensemble_encoded, ensemble_labels)
+    packed_push.fit(ensemble_encoded, ensemble_labels)
+    _assert_identical_ensemble("multimodel[push_away]", seed_push, packed_push)
+    history = packed_model.history_
+    results["multimodel"] = {
+        "seed_seconds": seed_time,
+        "packed_seconds": packed_time,
+        "speedup": seed_time / packed_time,
+        "iterations": history.iterations,
+        "seed_iteration_seconds": float(
+            np.mean(seed_model.history_.iteration_seconds)
+        ),
+        "packed_iteration_seconds": float(np.mean(history.iteration_seconds)),
+        "samples_per_second": multimodel_samples * history.iterations / packed_time,
+        "final_train_accuracy": history.train_accuracy[-1],
+        "bit_identical": True,
+        "rng_stream_identical": True,
+        "push_away_bit_identical": True,
+        "models_per_class": multimodel_models_per_class,
+        "num_samples": multimodel_samples,
+    }
+
     return results
 
 
@@ -217,16 +325,22 @@ def format_training_report(results: Dict[str, object]) -> str:
         f"{'bundle':<12} {bundle['dense_seconds']:>10.4f} "
         f"{bundle['packed_seconds']:>11.4f} {bundle['speedup']:>7.2f}x {'—':>13}"
     )
-    for section in ("retraining", "adapthd", "enhanced"):
+    for section in ("retraining", "adapthd", "enhanced", "multimodel"):
         entry = results[section]
         lines.append(
             f"{section:<12} {entry['seed_seconds']:>10.4f} "
             f"{entry['packed_seconds']:>11.4f} {entry['speedup']:>7.2f}x "
             f"{entry['packed_iteration_seconds']:>12.5f}s"
         )
+    multimodel = results["multimodel"]
     lines.append("")
     lines.append(
-        "histories bit-identical to the sequential loop (verified before timing)"
+        f"multimodel: {multimodel['models_per_class']} models/class on "
+        f"{multimodel['num_samples']} samples, both push_away settings "
+        "verified (models + RNG stream)"
+    )
+    lines.append(
+        "histories bit-identical to the sequential loops (verified before timing)"
     )
     return "\n".join(lines)
 

@@ -187,6 +187,66 @@ def packed_dot_scores(
     return (queries.dimension - 2 * differences).astype(np.int64)
 
 
+# ------------------------------------------------------------ flipped masks
+def pack_flip_mask(positions: np.ndarray, dimension: int) -> np.ndarray:
+    """Pack a set of bit *positions* into a one-row uint64 flip mask.
+
+    The mask's set bits mark the positions a stochastic update flips in one
+    packed model row (``words ^= mask`` applies the flip), which is also the
+    sparse operand :func:`flip_score_delta` popcounts against.  Positions must
+    be unique and lie in ``[0, dimension)`` — out-of-range bits would land in
+    the padding of the last word and corrupt every later XOR+popcount.
+    """
+    positions = np.asarray(positions)
+    if positions.size and (
+        int(positions.min()) < 0 or int(positions.max()) >= dimension
+    ):
+        raise ValueError(f"positions must lie in [0, {dimension})")
+    num_words = (dimension + _WORD_BITS - 1) // _WORD_BITS
+    mask = np.zeros(num_words, dtype=np.uint64)
+    word_indices = positions // _WORD_BITS
+    bits = np.left_shift(
+        np.uint64(1), (positions % _WORD_BITS).astype(np.uint64)
+    )
+    np.bitwise_or.at(mask, word_indices, bits)
+    return mask
+
+
+def flip_score_delta(
+    sample_words: np.ndarray, model_words: np.ndarray, flip_mask: np.ndarray
+) -> np.ndarray:
+    """Per-sample dot-score change from flipping masked bits of one model row.
+
+    ``model_words`` is the packed model row *after* the flip (``old ^ mask``)
+    and ``flip_mask`` marks the flipped positions.  Returns the exact int64
+    delta ``new_dot - old_dot`` for every row of ``sample_words``: each
+    flipped position moves the dot product by ±2, agreeing with the new bit
+    counts ``+2`` and disagreeing ``-2``, so with ``d`` masked disagreements
+    ``delta = 2 * flipped - 4 * d``.
+
+    The computation is sparse in the mask: only the mask's non-zero words are
+    XOR'd and popcounted, so maintaining a score column under a stochastic
+    bit-flip update costs ``O(samples * touched_words)`` instead of a rescan
+    of the whole model bank.
+    """
+    if sample_words.shape[1] != flip_mask.shape[0] or (
+        model_words.shape[0] != flip_mask.shape[0]
+    ):
+        raise ValueError(
+            f"word-count mismatch: samples {sample_words.shape[1]}, "
+            f"model {model_words.shape[0]}, mask {flip_mask.shape[0]}"
+        )
+    active = np.flatnonzero(flip_mask)
+    if active.size == 0:
+        return np.zeros(sample_words.shape[0], dtype=np.int64)
+    mask = flip_mask[active]
+    flipped = int(popcount(mask).sum())
+    disagreements = popcount(
+        (sample_words[:, active] ^ model_words[active]) & mask
+    ).sum(axis=1, dtype=np.int64)
+    return 2 * flipped - 4 * disagreements
+
+
 # --------------------------------------------------------------- sign fusion
 def sign_fuse_bits(
     accumulated: np.ndarray,
@@ -278,8 +338,10 @@ __all__ = [
     "BIPOLAR_DTYPE",
     "PackedHypervectors",
     "bit_differences_words",
+    "flip_score_delta",
     "pack_bipolar",
     "pack_bits",
+    "pack_flip_mask",
     "packed_dot_scores",
     "popcount",
     "sign_fuse_bits",

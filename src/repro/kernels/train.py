@@ -23,6 +23,14 @@ decomposes into
 bundling (Eq. 2) that seeds every retraining run: per-class bit counts over
 packed words instead of an unbuffered ``np.add.at`` over dense int64 rows.
 
+:class:`EnsembleScoreboard` extends the same idea to the SearcHD-style
+multi-model ensemble, whose updates are sequential *within* a pass (each
+stochastic bit-flip changes the scores later samples see): the whole
+``(samples, K * N)`` score matrix is computed once per pass by blocked
+XOR+popcount and then maintained *incrementally* — a bit-flip update patches
+exactly one column via a sparse flipped-mask popcount
+(:func:`~repro.kernels.packed.flip_score_delta`).
+
 Everything here is exact: integer kernels produce the same integers, and the
 float scatter-add reproduces the sequential addition order, so classifiers
 riding these kernels emit bit-identical models and histories (see
@@ -39,6 +47,8 @@ import numpy as np
 from repro.kernels.dispatch import get_kernel, register_kernel, run_sharded_sum
 from repro.kernels.packed import (
     PackedHypervectors,
+    flip_score_delta,
+    pack_flip_mask,
     packed_dot_scores,
     popcount,
     try_pack_bipolar,
@@ -186,6 +196,18 @@ def _bundle_counts_threaded(
     )
 
 
+def unpack_bit_rows(words: np.ndarray, dimension: int) -> np.ndarray:
+    """Packed uint64 words -> ``(rows, dimension)`` 0/1 uint8 matrix.
+
+    The expansion behind the bundling kernels, exposed for callers that
+    bundle *overlapping* row subsets of the same packed matrix (the
+    ensemble's bootstrap initialisation): expanding a group of rows once and
+    summing uint8 gathers per subset moves an eighth of the memory the dense
+    ``astype(int64)`` path does, while producing the same bit counts.
+    """
+    return _unpack_bits(words, dimension)
+
+
 def _unpack_bits(words: np.ndarray, dimension: int) -> np.ndarray:
     """Packed uint64 words -> ``(rows, dimension)`` 0/1 uint8 matrix."""
     if sys.byteorder == "little":
@@ -273,6 +295,96 @@ def apply_class_updates(
     )
 
 
+# ------------------------------------------------------ incremental scoring
+class EnsembleScoreboard:
+    """Incrementally-maintained packed dot scores of samples vs a model bank.
+
+    The SearcHD-style ensemble trains *sequentially*: every visited sample is
+    scored against all ``K * N`` binary sub-models, and a misclassification
+    flips a sparse random subset of one (or two) sub-models' bits.  The seed
+    loop re-ran a full dense ``(K * N, D)`` matmul per sample; this structure
+    exploits the two facts that make that rescan redundant:
+
+    * between updates the model bank is *fixed*, so one blocked XOR+popcount
+      (:func:`~repro.kernels.packed.packed_dot_scores`) of the whole packed
+      training set at the start of a pass yields every score the pass reads;
+    * an update touches *one* sub-model, so only that column of the score
+      matrix changes — and the change is a popcount over the flipped-bit
+      mask against each sample (:func:`~repro.kernels.packed.flip_score_delta`),
+      sparse in ``flip_fraction * disagreeing_bits``, not a rescan.
+
+    All arithmetic is integer-exact, so the invariant
+    ``scores == packed_dot_scores(samples, bank)`` holds after any sequence
+    of :meth:`flip_bits` calls and the visit-time score rows equal the seed
+    loop's dense per-sample products bit for bit.
+
+    Parameters
+    ----------
+    packed_samples:
+        The packed training set rows (fixed for the scoreboard's lifetime).
+    bank_words:
+        ``(models, ceil(D/64))`` uint64 packed model bank, mutated in place
+        by :meth:`flip_bits` (bit 1 means ``+1``, as in ``pack_bipolar``).
+    dimension:
+        The unpacked hypervector dimension ``D``.
+    """
+
+    def __init__(
+        self,
+        packed_samples: PackedHypervectors,
+        bank_words: np.ndarray,
+        dimension: int,
+    ):
+        bank_words = np.ascontiguousarray(bank_words, dtype=np.uint64)
+        if bank_words.ndim != 2 or bank_words.shape[1] != packed_samples.words.shape[1]:
+            raise ValueError(
+                f"bank_words shape {bank_words.shape} does not match packed "
+                f"samples with {packed_samples.words.shape[1]} words per row"
+            )
+        if dimension != packed_samples.dimension:
+            raise ValueError(
+                f"dimension mismatch: {dimension} vs {packed_samples.dimension}"
+            )
+        self._packed_samples = packed_samples
+        self.bank_words = bank_words
+        self.dimension = dimension
+        self.scores: np.ndarray = np.empty(0)
+        self.refresh()
+
+    @property
+    def num_models(self) -> int:
+        return self.bank_words.shape[0]
+
+    def refresh(self) -> None:
+        """Recompute the full ``(samples, models)`` score matrix.
+
+        One blocked XOR+popcount over the packed words — the score-once half
+        of the trainer, run at construction.  The incremental deltas are
+        exact integers, so the matrix never drifts and training passes keep
+        reusing it across pass boundaries; ``refresh`` exists for callers
+        that mutate ``bank_words`` outside :meth:`flip_bits`.
+        """
+        self.scores = packed_dot_scores(
+            self._packed_samples,
+            PackedHypervectors(self.bank_words, self.dimension),
+        )
+
+    def flip_bits(self, model_index: int, positions: np.ndarray) -> None:
+        """Flip *positions* of one sub-model and patch its score column.
+
+        ``positions`` are unique bit indices in ``[0, D)`` (the stochastic
+        update's chosen disagreeing/agreeing bits).  The packed row is
+        updated with one XOR and the score column with the sparse
+        flipped-mask delta — no other column changes, because no other
+        sub-model changed.
+        """
+        mask = pack_flip_mask(positions, self.dimension)
+        self.bank_words[model_index] ^= mask
+        self.scores[:, model_index] += flip_score_delta(
+            self._packed_samples.words, self.bank_words[model_index], mask
+        )
+
+
 # ------------------------------------------------------------ flip fraction
 def flip_fraction_packed(
     new_packed: PackedHypervectors, old_packed: PackedHypervectors
@@ -294,9 +406,11 @@ def flip_fraction_packed(
 
 
 __all__ = [
+    "EnsembleScoreboard",
     "PackedTrainingSet",
     "apply_class_updates",
     "bundle_packed",
     "flip_fraction_packed",
     "score_epoch",
+    "unpack_bit_rows",
 ]

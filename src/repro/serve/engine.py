@@ -4,15 +4,18 @@ Training produces an :class:`~repro.classifiers.pipeline.HDCPipeline`; serving
 wants something flatter.  :class:`PackedInferenceEngine` does the one-time
 compilation at load time:
 
-* the classifier's ``(K, D)`` bipolar class hypervectors are bit-packed into
-  ``(K, ceil(D/64))`` uint64 words, so each query is answered with XOR +
-  popcount — the zero-overhead path the paper claims;
+* the classifier's packed inference bank is compiled up front — the
+  ``(K, ceil(D/64))`` packed class hypervectors for shared-rule classifiers,
+  the flat ``(K * N, ceil(D/64))`` model bank for the SearcHD-style ensemble
+  (scored by XOR + popcount then max over each class's sub-models) — so each
+  query is answered with XOR + popcount, the zero-overhead path the paper
+  claims;
 * the encoder's fused accumulator (bound position×level LUT for the record
   encoder, pre-permuted codebooks for the n-gram encoder) is compiled once,
   so encoding a request is pure gather + accumulate with no per-request binds;
-* classifiers whose scoring is *not* the shared Hamming/dot rule (non-binary
-  centroids, the multi-model ensemble) transparently fall back to a dense
-  path that defers to the classifier's own ``decision_scores``.
+* classifiers whose scoring has no packed twin (non-binary cosine centroids)
+  transparently fall back to a dense path that defers to the classifier's
+  own ``decision_scores``.
 
 All of the bit-level machinery lives in :mod:`repro.kernels` — this module
 owns only serving concerns: compilation policy (packed vs dense), metadata,
@@ -40,7 +43,6 @@ from repro.kernels.packed import (
     PackedHypervectors,
     pack_bipolar,
     pack_bits,
-    packed_dot_scores,
     sign_fuse_bits,
 )
 from repro.utils.validation import check_matrix
@@ -103,9 +105,14 @@ class PackedInferenceEngine:
             )
         self.mode = mode
 
+        # The words the packed scoring rule keeps resident: the packed class
+        # hypervectors for shared-rule classifiers, the flat K*N model bank
+        # for ensembles.  Building it here both pre-warms the classifier's
+        # cache (scoring after this point is read-only, hence thread-safe)
+        # and makes first-request latency exclude the pack.
         self._packed_classes: Optional[PackedHypervectors] = None
         if mode == "packed":
-            self._packed_classes = pack_bipolar(classifier.class_hypervectors_)
+            self._packed_classes = classifier.packed_inference_bank()
         # np.random.Generator is not thread-safe; tie-break draws (the only
         # RNG consumption on the request path) are serialised behind this.
         self._rng_lock = threading.Lock()
@@ -203,13 +210,15 @@ class PackedInferenceEngine:
         """``(n, K)`` class scores; higher is more similar.
 
         Packed mode returns the integer dot similarity ``D - 2 * hamming_bits``
-        computed entirely over packed words; dense mode defers to the
-        classifier's own scoring rule.
+        computed entirely over packed words through the classifier's packed
+        scoring rule (plain dot against the class hypervectors, or
+        max-over-sub-models for the ensemble — both exactly equal to the
+        dense scores); dense mode defers to the classifier's own rule.
         """
         features = self._validate(features)
         if self.mode == "packed":
             packed_queries = self._encode_packed(features)
-            return packed_dot_scores(packed_queries, self._packed_classes)
+            return self.classifier.decision_scores_packed(packed_queries)
         return self.classifier.decision_scores(self._encode_validated(features))
 
     def predict(self, features: np.ndarray) -> np.ndarray:
@@ -249,7 +258,11 @@ class PackedInferenceEngine:
 
     @property
     def packed_storage_bytes(self) -> int:
-        """Bytes of packed class-hypervector storage (0 in dense mode)."""
+        """Bytes of resident packed model storage (0 in dense mode).
+
+        For ensemble models this counts the whole ``K * N`` packed bank —
+        the paper's linear-in-``N`` storage growth, as a serving metric.
+        """
         return self._packed_classes.storage_bytes if self._packed_classes else 0
 
     def info(self) -> dict:
@@ -259,6 +272,7 @@ class PackedInferenceEngine:
             "mode": self.mode,
             "dimension": self.dimension,
             "num_classes": self.num_classes,
+            "packed_rows": len(self._packed_classes) if self._packed_classes else 0,
             "num_features": self.encoder.num_features,
             "encoder": type(self.encoder).__name__,
             "classifier": type(self.classifier).__name__,

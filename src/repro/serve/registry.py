@@ -204,6 +204,11 @@ class ModelRegistry:
                                 "num_classes",
                                 entry.engine.num_classes if entry.engine else None,
                             ),
+                            # Ensemble models carry their per-class sub-model
+                            # count (None for single-hypervector strategies),
+                            # so operators can see the K*N residency cost of
+                            # a SearcHD bank before it is promoted.
+                            "models_per_class": entry.metadata.get("models_per_class"),
                         }
                     )
             return rows

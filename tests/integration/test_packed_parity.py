@@ -3,8 +3,10 @@
 The whole point of the kernel-layer refactor is that the packed XOR+popcount
 path is a *re-implementation*, not an approximation: for every classifier the
 packed ``predict``/``top_k`` must equal the dense results exactly — including
-classifiers whose bespoke scoring forces the dense fallback (the ensemble),
-and the raw-feature nearest-centroid reference that rides the linear kernel.
+the ensemble's max-over-sub-models rule (packed against its flat model
+bank), classifiers whose bespoke scoring forces the dense fallback (the
+non-binary cosine centroids), and the raw-feature nearest-centroid reference
+that rides the linear kernel.
 """
 
 import numpy as np
@@ -14,6 +16,7 @@ from repro.classifiers.adapthd import AdaptHDC
 from repro.classifiers.baseline import BaselineHDC
 from repro.classifiers.multimodel import MultiModelHDC
 from repro.classifiers.nearest_centroid import NearestCentroidClassifier
+from repro.classifiers.nonbinary import NonBinaryHDC
 from repro.classifiers.pipeline import HDCPipeline
 from repro.core.configs import DEFAULT_CONFIG
 from repro.core.lehdc import LeHDCClassifier
@@ -31,6 +34,7 @@ CLASSIFIER_FACTORIES = {
     "adapthd": lambda: AdaptHDC(iterations=5, seed=0),
     "lehdc": lambda: LeHDCClassifier(config=FAST_LEHDC, seed=0),
     "multimodel": lambda: MultiModelHDC(models_per_class=4, iterations=2, seed=0),
+    "nonbinary": lambda: NonBinaryHDC(seed=0),
 }
 
 
@@ -60,8 +64,9 @@ class TestClassifierPackedParity:
             packed = classifier.predict_packed(pack_bipolar(fitted["test_encoded"]))
             np.testing.assert_array_equal(packed, dense)
         else:
-            # Bespoke scoring (the ensemble): the packed path must refuse
-            # rather than silently produce different predictions.
+            # Bespoke scoring with no packed twin (non-binary cosine): the
+            # packed path must refuse rather than silently produce different
+            # predictions.
             with pytest.raises(ValueError, match="decision_scores"):
                 classifier.predict_packed(pack_bipolar(fitted["test_encoded"]))
 

@@ -1,12 +1,15 @@
-"""Packed training must match the sequential retraining loop bit for bit.
+"""Packed training must match the sequential training loops bit for bit.
 
-The packed training path (epoch scoring over packed words + ordered
-scatter-add, ``repro.kernels.train``) is a *re-implementation* of the seed's
-per-sample loop, not an approximation: with the same seed it must produce an
-identical :class:`~repro.classifiers.retraining.RetrainingHistory`, identical
-binary class hypervectors, and identical float accumulators — for every
-retraining classifier, with and without shuffling (the scatter-add replays
-the visit order, so even the shuffled trajectories coincide draw for draw).
+The packed training paths (epoch scoring over packed words + ordered
+scatter-add for the retraining family; incremental packed scoring for the
+multi-model ensemble — ``repro.kernels.train``) are *re-implementations* of
+the seed's per-sample loops, not approximations: with the same seed they must
+produce an identical :class:`~repro.classifiers.retraining.RetrainingHistory`,
+identical binary class hypervectors / model banks, identical float
+accumulators — and, for the ensemble, an identical RNG stream (every
+permutation, bootstrap choice, flip choice and ``sgn(0)`` tie draw replays in
+order) — with and without shuffling (the scatter-add replays the visit
+order, so even the shuffled trajectories coincide draw for draw).
 """
 
 import numpy as np
@@ -15,6 +18,7 @@ import pytest
 from repro.classifiers.adapthd import AdaptHDC
 from repro.classifiers.baseline import BaselineHDC
 from repro.classifiers.enhanced import EnhancedRetrainingHDC
+from repro.classifiers.multimodel import MultiModelHDC
 from repro.classifiers.retraining import RetrainingHDC
 from repro.kernels.train import PackedTrainingSet
 
@@ -228,10 +232,146 @@ class TestBaselinePackedParity:
             )
 
     def test_supports_packed_training_flags(self, encoded_problem):
-        from repro.classifiers.multimodel import MultiModelHDC
-
         assert BaselineHDC().supports_packed_training()
         assert RetrainingHDC().supports_packed_training()
         assert AdaptHDC().supports_packed_training()
         assert EnhancedRetrainingHDC().supports_packed_training()
-        assert not MultiModelHDC().supports_packed_training()
+        assert MultiModelHDC().supports_packed_training()
+
+
+@pytest.fixture(scope="module")
+def noisy_ensemble_problem(encoded_problem):
+    """The encoded problem with 20% label noise mixed in.
+
+    The clean fixture is separable enough that the bootstrap-initialised
+    ensemble classifies every sample correctly and no stochastic update ever
+    fires; noisy labels keep a steady share of samples misclassified so the
+    parity tests actually exercise the flip updates and the incremental
+    score-column maintenance.
+    """
+    rng = np.random.default_rng(77)
+    labels = np.array(encoded_problem["train_labels"])
+    flips = rng.random(labels.size) < 0.2
+    num_classes = encoded_problem["num_classes"]
+    labels[flips] = (
+        labels[flips] + rng.integers(1, num_classes, size=int(flips.sum()))
+    ) % num_classes
+    return {
+        "hypervectors": encoded_problem["train_hypervectors"],
+        "labels": labels,
+    }
+
+
+class TestMultiModelPackedParity:
+    """The ensemble's incremental packed trainer vs the seed per-sample loop."""
+
+    @pytest.mark.parametrize("push_away", [False, True])
+    def test_identical_models_history_and_rng_stream(
+        self, noisy_ensemble_problem, push_away
+    ):
+        def factory(packed):
+            return MultiModelHDC(
+                models_per_class=4,
+                iterations=3,
+                push_away=push_away,
+                packed_epochs=packed,
+                seed=31,
+            )
+
+        packed_model = factory(True).fit(
+            noisy_ensemble_problem["hypervectors"], noisy_ensemble_problem["labels"]
+        )
+        sequential_model = factory(False).fit(
+            noisy_ensemble_problem["hypervectors"], noisy_ensemble_problem["labels"]
+        )
+        np.testing.assert_array_equal(
+            packed_model.model_hypervectors_, sequential_model.model_hypervectors_
+        )
+        np.testing.assert_array_equal(
+            packed_model.class_hypervectors_, sequential_model.class_hypervectors_
+        )
+        assert (
+            packed_model.history_.train_accuracy
+            == sequential_model.history_.train_accuracy
+        )
+        assert (
+            packed_model.history_.update_fraction
+            == sequential_model.history_.update_fraction
+        )
+        # Updates must actually have fired, or this test proves nothing.
+        assert any(value > 0 for value in packed_model.history_.update_fraction)
+        # Same draws in the same order leave the generators in the same state.
+        assert (
+            packed_model.rng.bit_generator.state
+            == sequential_model.rng.bit_generator.state
+        )
+
+    def test_shared_packed_train_is_equivalent(self, noisy_ensemble_problem):
+        train_set = PackedTrainingSet.from_dense(
+            noisy_ensemble_problem["hypervectors"]
+        )
+        with_shared = MultiModelHDC(models_per_class=3, iterations=2, seed=5).fit(
+            noisy_ensemble_problem["hypervectors"],
+            noisy_ensemble_problem["labels"],
+            packed_train=train_set,
+        )
+        without_shared = MultiModelHDC(models_per_class=3, iterations=2, seed=5).fit(
+            noisy_ensemble_problem["hypervectors"], noisy_ensemble_problem["labels"]
+        )
+        np.testing.assert_array_equal(
+            with_shared.model_hypervectors_, without_shared.model_hypervectors_
+        )
+
+    def test_packed_epochs_false_wins_over_shared_packed_train(
+        self, noisy_ensemble_problem, monkeypatch
+    ):
+        monkeypatch.setattr(
+            MultiModelHDC,
+            "_fit_packed",
+            lambda self, *args, **kwargs: pytest.fail(
+                "packed path taken despite packed_epochs=False"
+            ),
+        )
+        train_set = PackedTrainingSet.from_dense(
+            noisy_ensemble_problem["hypervectors"]
+        )
+        model = MultiModelHDC(
+            models_per_class=2, iterations=1, packed_epochs=False, seed=6
+        ).fit(
+            noisy_ensemble_problem["hypervectors"],
+            noisy_ensemble_problem["labels"],
+            packed_train=train_set,
+        )
+        assert model.history_.iterations == 1
+
+    def test_non_bipolar_input_falls_back_to_sequential(self):
+        rng = np.random.default_rng(0)
+        hypervectors = rng.integers(-1, 2, size=(60, 128)).astype(np.int8)
+        labels = rng.integers(0, 3, size=60)
+        model = MultiModelHDC(models_per_class=2, iterations=1, seed=7).fit(
+            hypervectors, labels
+        )
+        assert model.model_hypervectors_.shape == (3, 2, 128)
+        assert model.history_.iterations == 1
+
+    def test_packed_train_content_mismatch_raises(self, noisy_ensemble_problem):
+        wrong_split = -noisy_ensemble_problem["hypervectors"]
+        train_set = PackedTrainingSet.from_dense(wrong_split)
+        with pytest.raises(ValueError, match="content does not match"):
+            MultiModelHDC(models_per_class=2, iterations=1, seed=8).fit(
+                noisy_ensemble_problem["hypervectors"],
+                noisy_ensemble_problem["labels"],
+                packed_train=train_set,
+            )
+
+    def test_iteration_seconds_recorded_on_both_paths(self, noisy_ensemble_problem):
+        for packed in (True, False):
+            model = MultiModelHDC(
+                models_per_class=2, iterations=2, packed_epochs=packed, seed=9
+            ).fit(
+                noisy_ensemble_problem["hypervectors"],
+                noisy_ensemble_problem["labels"],
+            )
+            seconds = model.history_.iteration_seconds
+            assert len(seconds) == model.history_.iterations == 2
+            assert all(value >= 0.0 for value in seconds)

@@ -6,11 +6,14 @@ from hypothesis import strategies as st
 
 from repro.hdc.hypervector import random_hypervectors
 from repro.kernels import pack_bipolar
+from repro.kernels.packed import flip_score_delta, pack_flip_mask, popcount
 from repro.kernels.train import (
+    EnsembleScoreboard,
     PackedTrainingSet,
     bundle_packed,
     flip_fraction_packed,
     score_epoch,
+    unpack_bit_rows,
 )
 
 
@@ -108,3 +111,78 @@ def test_training_set_roundtrip(rows, dimension, seed):
     np.testing.assert_array_equal(
         train_set.packed.words, pack_bipolar(vectors).words
     )
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.integers(min_value=1, max_value=200),
+    st.integers(min_value=1, max_value=64),
+    st.integers(min_value=0, max_value=2**31 - 1),
+)
+def test_pack_flip_mask_sets_exactly_the_chosen_bits(dimension, max_flips, seed):
+    rng = np.random.default_rng(seed)
+    count = min(max_flips, dimension)
+    positions = rng.choice(dimension, size=count, replace=False)
+    mask = pack_flip_mask(positions, dimension)
+    assert int(popcount(mask).sum()) == count
+    bits = unpack_bit_rows(mask[None, :], dimension)[0]
+    np.testing.assert_array_equal(np.flatnonzero(bits), np.sort(positions))
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.integers(min_value=1, max_value=30),
+    st.integers(min_value=1, max_value=200),
+    st.integers(min_value=1, max_value=40),
+    st.integers(min_value=0, max_value=2**31 - 1),
+)
+def test_flip_score_delta_equals_dense_dot_difference(
+    rows, dimension, max_flips, seed
+):
+    """delta == (new model) · samples − (old model) · samples, exactly."""
+    rng = np.random.default_rng(seed)
+    samples = random_hypervectors(rows, dimension, seed=seed)
+    old_model = random_hypervectors(1, dimension, seed=seed + 1)[0]
+    count = min(max_flips, dimension)
+    positions = rng.choice(dimension, size=count, replace=False)
+    new_model = old_model.copy()
+    new_model[positions] = -new_model[positions]
+
+    mask = pack_flip_mask(positions, dimension)
+    delta = flip_score_delta(
+        pack_bipolar(samples).words, pack_bipolar(new_model[None, :]).words[0], mask
+    )
+    expected = samples.astype(np.int64) @ new_model.astype(np.int64) - (
+        samples.astype(np.int64) @ old_model.astype(np.int64)
+    )
+    np.testing.assert_array_equal(delta, expected)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    st.integers(min_value=1, max_value=20),
+    st.integers(min_value=1, max_value=150),
+    st.integers(min_value=1, max_value=8),
+    st.integers(min_value=0, max_value=2**31 - 1),
+)
+def test_scoreboard_invariant_under_random_flips(rows, dimension, models, seed):
+    """scores == samples · bank after any sequence of flip_bits calls."""
+    rng = np.random.default_rng(seed)
+    samples = random_hypervectors(rows, dimension, seed=seed)
+    bank = random_hypervectors(models, dimension, seed=seed + 1)
+    board = EnsembleScoreboard(
+        pack_bipolar(samples), pack_bipolar(bank).words, dimension
+    )
+    for _ in range(5):
+        model_index = int(rng.integers(0, models))
+        count = int(rng.integers(1, dimension + 1))
+        positions = rng.choice(dimension, size=count, replace=False)
+        bank[model_index, positions] = -bank[model_index, positions]
+        board.flip_bits(model_index, positions)
+        np.testing.assert_array_equal(
+            board.scores, samples.astype(np.int64) @ bank.astype(np.int64).T
+        )
+    # refresh() recomputes the same matrix from the mutated words.
+    maintained = board.scores.copy()
+    board.refresh()
+    np.testing.assert_array_equal(board.scores, maintained)

@@ -183,3 +183,72 @@ class TestSaveLoadErrors:
         np.savez_compressed(bad_path, **arrays)
         with pytest.raises(ValueError):
             load_model(bad_path)
+
+
+class TestEnsembleRoundtrip:
+    def fit_ensemble_pipeline(self, small_problem):
+        from repro.classifiers.multimodel import MultiModelHDC
+
+        return make_fitted_pipeline(
+            small_problem,
+            classifier=MultiModelHDC(models_per_class=4, iterations=1, seed=0),
+        )
+
+    def test_model_bank_and_predictions_survive_reload(self, small_problem, tmp_path):
+        pipeline = self.fit_ensemble_pipeline(small_problem)
+        path = save_model(tmp_path / "ens.npz", pipeline, strategy_name="multimodel")
+        reloaded = load_model(path)
+        np.testing.assert_array_equal(
+            reloaded.classifier.model_hypervectors_,
+            pipeline.classifier.model_hypervectors_,
+        )
+        np.testing.assert_array_equal(
+            reloaded.predict(small_problem["test_features"]),
+            pipeline.predict(small_problem["test_features"]),
+        )
+        # The restored classifier keeps the packed max-over-ensemble rule.
+        assert reloaded.classifier.supports_packed_scoring()
+
+    def test_models_per_class_metadata(self, small_problem, tmp_path):
+        pipeline = self.fit_ensemble_pipeline(small_problem)
+        path = save_model(tmp_path / "ens.npz", pipeline, strategy_name="multimodel")
+        assert read_model_metadata(path)["models_per_class"] == 4
+        single = make_fitted_pipeline(small_problem)
+        single_path = save_model(tmp_path / "one.npz", single, strategy_name="baseline")
+        assert read_model_metadata(single_path)["models_per_class"] is None
+
+    def test_ensemble_archives_use_the_gated_format_version(
+        self, small_problem, tmp_path
+    ):
+        """Bank-carrying archives are stamped v2 so pre-ensemble readers
+        reject them outright instead of silently serving majority vectors;
+        plain models keep v1 and stay readable by older builds."""
+        from repro.io import ENSEMBLE_FORMAT_VERSION, FORMAT_VERSION
+
+        ensemble_path = save_model(
+            tmp_path / "ens.npz",
+            self.fit_ensemble_pipeline(small_problem),
+            strategy_name="multimodel",
+        )
+        assert (
+            read_model_metadata(ensemble_path)["format_version"]
+            == ENSEMBLE_FORMAT_VERSION
+        )
+        plain_path = save_model(
+            tmp_path / "one.npz",
+            make_fitted_pipeline(small_problem),
+            strategy_name="baseline",
+        )
+        assert read_model_metadata(plain_path)["format_version"] == FORMAT_VERSION
+        # Both versions load in this build.
+        load_model(ensemble_path)
+        load_model(plain_path)
+
+    def test_loaded_ensemble_is_inference_only(self, small_problem, tmp_path):
+        pipeline = self.fit_ensemble_pipeline(small_problem)
+        path = save_model(tmp_path / "ens.npz", pipeline, strategy_name="multimodel")
+        reloaded = load_model(path)
+        with pytest.raises(RuntimeError, match="inference-only"):
+            reloaded.classifier.fit(
+                np.ones((4, 512), dtype=np.int8), np.array([0, 1, 0, 1])
+            )

@@ -155,3 +155,50 @@ class TestRunShardedSum:
             lambda start, stop: rows[start:stop].sum(axis=0), rows.shape[0]
         )
         np.testing.assert_array_equal(result, [3, 3])
+
+
+class TestEnsembleScoreboard:
+    def make_board(self, rows=10, models=4, dimension=100, seed=0):
+        from repro.kernels.train import EnsembleScoreboard
+
+        samples = random_hypervectors(rows, dimension, seed=seed)
+        bank = random_hypervectors(models, dimension, seed=seed + 1)
+        board = EnsembleScoreboard(
+            pack_bipolar(samples), pack_bipolar(bank).words, dimension
+        )
+        return board, samples, bank
+
+    def test_initial_scores_match_dense_dot(self):
+        board, samples, bank = self.make_board()
+        np.testing.assert_array_equal(board.scores, dot_similarity(samples, bank))
+        assert board.num_models == 4
+
+    def test_flip_bits_patches_only_that_column(self):
+        board, samples, bank = self.make_board()
+        before = board.scores.copy()
+        bank[2, [3, 50, 99]] = -bank[2, [3, 50, 99]]
+        board.flip_bits(2, np.array([3, 50, 99]))
+        np.testing.assert_array_equal(board.scores, dot_similarity(samples, bank))
+        untouched = [0, 1, 3]
+        np.testing.assert_array_equal(board.scores[:, untouched], before[:, untouched])
+
+    def test_word_count_mismatch_rejected(self):
+        from repro.kernels.train import EnsembleScoreboard
+
+        samples = pack_bipolar(random_hypervectors(5, 100, seed=0))
+        bank = pack_bipolar(random_hypervectors(3, 200, seed=1))
+        with pytest.raises(ValueError, match="does not match"):
+            EnsembleScoreboard(samples, bank.words, 100)
+
+    def test_dimension_mismatch_rejected(self):
+        from repro.kernels.train import EnsembleScoreboard
+
+        samples = pack_bipolar(random_hypervectors(5, 100, seed=0))
+        bank = pack_bipolar(random_hypervectors(3, 100, seed=1))
+        with pytest.raises(ValueError, match="dimension mismatch"):
+            EnsembleScoreboard(samples, bank.words, 101)
+
+    def test_out_of_range_flip_positions_rejected(self):
+        board, _, _ = self.make_board(dimension=100)
+        with pytest.raises(ValueError, match=r"\[0, 100\)"):
+            board.flip_bits(0, np.array([100]))

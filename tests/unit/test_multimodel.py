@@ -74,3 +74,60 @@ class TestMultiModelHDC:
             encoded_problem["num_classes"],
             encoded_problem["dimension"],
         )
+
+    def test_history_recorded(self, encoded_problem):
+        model = MultiModelHDC(models_per_class=3, iterations=2, seed=6)
+        model.fit(encoded_problem["train_hypervectors"], encoded_problem["train_labels"])
+        history = model.history_
+        assert history.iterations == 2
+        assert len(history.update_fraction) == 2
+        assert len(history.iteration_seconds) == 2
+        assert all(0.0 <= value <= 1.0 for value in history.train_accuracy)
+
+    def test_decision_scores_dtype_and_values(self, encoded_problem):
+        """Dense scoring runs in int32 (not the seed's per-call int64 casts)."""
+        model = MultiModelHDC(models_per_class=3, iterations=1, seed=2)
+        model.fit(encoded_problem["train_hypervectors"], encoded_problem["train_labels"])
+        queries = encoded_problem["test_hypervectors"][:8]
+        scores = model.decision_scores(queries)
+        assert scores.dtype == np.int32
+        flat = model.model_hypervectors_.reshape(-1, encoded_problem["dimension"])
+        reference = (
+            (queries.astype(np.int64) @ flat.astype(np.int64).T)
+            .reshape(8, encoded_problem["num_classes"], 3)
+            .max(axis=2)
+        )
+        np.testing.assert_array_equal(scores, reference)
+
+    def test_packed_scoring_matches_dense(self, encoded_problem):
+        from repro.kernels.packed import pack_bipolar
+
+        model = MultiModelHDC(models_per_class=4, iterations=1, seed=3)
+        model.fit(encoded_problem["train_hypervectors"], encoded_problem["train_labels"])
+        assert model.supports_packed_scoring()
+        queries = encoded_problem["test_hypervectors"]
+        np.testing.assert_array_equal(
+            model.decision_scores_packed(pack_bipolar(queries)),
+            model.decision_scores(queries),
+        )
+        np.testing.assert_array_equal(
+            model.predict_packed(pack_bipolar(queries)), model.predict(queries)
+        )
+
+    def test_packed_bank_is_cached_and_invalidated(self, encoded_problem):
+        model = MultiModelHDC(models_per_class=2, iterations=1, seed=4)
+        model.fit(encoded_problem["train_hypervectors"], encoded_problem["train_labels"])
+        bank = model.packed_inference_bank()
+        assert model.packed_inference_bank() is bank
+        assert len(bank) == encoded_problem["num_classes"] * 2
+        model.fit(encoded_problem["train_hypervectors"], encoded_problem["train_labels"])
+        assert model.packed_inference_bank() is not bank
+
+    def test_packed_scoring_dimension_mismatch_raises(self, encoded_problem):
+        from repro.kernels.packed import pack_bipolar
+
+        model = MultiModelHDC(models_per_class=2, iterations=1, seed=5)
+        model.fit(encoded_problem["train_hypervectors"], encoded_problem["train_labels"])
+        wrong = pack_bipolar(encoded_problem["test_hypervectors"][:, :100])
+        with pytest.raises(ValueError, match="dimension mismatch"):
+            model.decision_scores_packed(wrong)

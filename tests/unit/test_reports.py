@@ -73,3 +73,29 @@ class TestComparePerClass:
     def test_empty_rejected(self):
         with pytest.raises(ValueError):
             compare_per_class({})
+
+
+class TestTrainingTimingReport:
+    def test_renders_histories_and_sequences(self):
+        from repro.classifiers.retraining import RetrainingHistory
+        from repro.eval.reports import training_timing_report
+
+        history = RetrainingHistory()
+        history.train_accuracy.extend([0.5, 0.6])
+        history.update_fraction.extend([0.1, 0.05])
+        history.iteration_seconds.extend([0.25, 0.75])
+        table = training_timing_report(
+            {"retraining": history, "raw": [1.0, 1.0, 2.0]}, footnote="note"
+        )
+        assert "retraining" in table and "raw" in table
+        assert "1.000" in table  # retraining total
+        assert "4.000" in table  # raw total
+        assert table.rstrip().endswith("note")
+
+    def test_empty_inputs_rejected(self):
+        from repro.eval.reports import training_timing_report
+
+        with pytest.raises(ValueError, match="non-empty"):
+            training_timing_report({})
+        with pytest.raises(ValueError, match="iteration_seconds"):
+            training_timing_report({"empty": []})

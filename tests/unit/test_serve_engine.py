@@ -96,21 +96,53 @@ class TestDenseFallback:
             pipeline.predict(small_problem["test_features"]),
         )
 
-    def test_multimodel_uses_dense_mode(self, small_problem):
-        pipeline = fit_pipeline(
-            small_problem, MultiModelHDC(models_per_class=4, iterations=1, seed=0)
-        )
-        engine = PackedInferenceEngine(pipeline)
-        assert engine.mode == "dense"
-        np.testing.assert_array_equal(
-            engine.predict(small_problem["test_features"]),
-            pipeline.predict(small_problem["test_features"]),
-        )
-
     def test_forcing_packed_on_nonbinary_rejected(self, small_problem):
         pipeline = fit_pipeline(small_problem, NonBinaryHDC(seed=0))
         with pytest.raises(ValueError):
             PackedInferenceEngine(pipeline, mode="packed")
+
+
+class TestEnsemblePackedServing:
+    """The SearcHD-style ensemble serves on the packed path, not dense."""
+
+    def test_multimodel_takes_packed_path(self, small_problem):
+        pipeline = fit_pipeline(
+            small_problem, MultiModelHDC(models_per_class=4, iterations=1, seed=0)
+        )
+        engine = PackedInferenceEngine(pipeline)
+        assert engine.mode == "packed"
+        features = small_problem["test_features"]
+        np.testing.assert_array_equal(
+            engine.predict(features), pipeline.predict(features)
+        )
+        # Dense-path scores match exactly too (max over sub-models both ways).
+        encoded = pipeline.encoder.encode(features)
+        np.testing.assert_array_equal(
+            engine.decision_scores(features),
+            pipeline.classifier.decision_scores(encoded),
+        )
+
+    def test_resident_bank_is_the_full_ensemble(self, small_problem):
+        models_per_class = 4
+        pipeline = fit_pipeline(
+            small_problem,
+            MultiModelHDC(models_per_class=models_per_class, iterations=1, seed=0),
+        )
+        engine = PackedInferenceEngine(pipeline)
+        num_rows = small_problem["num_classes"] * models_per_class
+        assert engine.info()["packed_rows"] == num_rows
+        assert engine.packed_storage_bytes == num_rows * (512 // 64) * 8
+
+    def test_forcing_dense_still_allowed(self, small_problem):
+        pipeline = fit_pipeline(
+            small_problem, MultiModelHDC(models_per_class=3, iterations=1, seed=0)
+        )
+        dense = PackedInferenceEngine(pipeline, mode="dense")
+        packed = PackedInferenceEngine(pipeline, mode="packed")
+        np.testing.assert_array_equal(
+            dense.predict(small_problem["test_features"]),
+            packed.predict(small_problem["test_features"]),
+        )
 
 
 class TestEngineOutputs:

@@ -99,3 +99,72 @@ class TestRunDimensionSweep:
             seed=3,
         )
         assert result.dimensions == [128, 512]
+
+
+class TestPackedSplitsAndFitGrid:
+    @pytest.fixture(scope="class")
+    def splits(self, tiny_dataset):
+        from repro.eval.sweep import PackedSplits
+        from repro.hdc.encoders import RecordEncoder
+
+        encoder = RecordEncoder(dimension=256, num_levels=8, seed=3)
+        return PackedSplits.from_dataset(tiny_dataset, encoder)
+
+    def test_from_dataset_packs_both_splits(self, tiny_dataset, splits):
+        import numpy as np
+
+        from repro.kernels.packed import pack_bipolar
+
+        assert splits.train_set.num_samples == tiny_dataset.train_features.shape[0]
+        assert len(splits.test_packed) == tiny_dataset.test_features.shape[0]
+        np.testing.assert_array_equal(
+            splits.test_packed.words, pack_bipolar(splits.test_encoded).words
+        )
+
+    def test_run_fit_grid_shares_one_packed_training_set(self, splits, monkeypatch):
+        """Every grid cell must ride the splits' PackedTrainingSet, not build one."""
+        from repro.eval.sweep import run_fit_grid
+        from repro.kernels.train import PackedTrainingSet
+
+        def fail_from_dense(*args, **kwargs):
+            raise AssertionError("grid cell built its own PackedTrainingSet")
+
+        monkeypatch.setattr(PackedTrainingSet, "try_from_dense", fail_from_dense)
+        results = run_fit_grid(
+            splits,
+            {"a": lambda: BaselineHDC(seed=0), "b": lambda: BaselineHDC(seed=1)},
+        )
+        assert set(results) == {"a", "b"}
+        for cell in results.values():
+            assert 0.0 <= cell.test_accuracy <= 1.0
+            assert cell.fit_seconds >= 0.0
+            assert cell.classifier.class_hypervectors_ is not None
+
+    def test_run_fit_grid_matches_standalone_fit(self, splits):
+        import numpy as np
+
+        from repro.eval.sweep import run_fit_grid
+
+        grid = run_fit_grid(splits, {"cell": lambda: BaselineHDC(seed=4)})
+        standalone = BaselineHDC(seed=4).fit(splits.train_encoded, splits.train_labels)
+        np.testing.assert_array_equal(
+            grid["cell"].classifier.class_hypervectors_,
+            standalone.class_hypervectors_,
+        )
+
+    def test_empty_grid_rejected(self, splits):
+        from repro.eval.sweep import run_fit_grid
+
+        with pytest.raises(ValueError, match="non-empty"):
+            run_fit_grid(splits, {})
+
+    def test_grid_accepts_packed_training_ensemble(self, splits):
+        """The ensemble trains on the shared packed set through the grid too."""
+        from repro.classifiers.multimodel import MultiModelHDC
+        from repro.eval.sweep import run_fit_grid
+
+        results = run_fit_grid(
+            splits,
+            {"ens": lambda: MultiModelHDC(models_per_class=2, iterations=1, seed=0)},
+        )
+        assert results["ens"].classifier.model_hypervectors_ is not None
