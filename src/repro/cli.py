@@ -13,7 +13,13 @@ regenerated without writing any Python:
 * ``python -m repro predict --model model.npz --dataset ucihar`` — load a
   saved model and evaluate it on a dataset's test split;
 * ``python -m repro serve --model model.npz --port 8080`` — serve saved
-  models over JSON/HTTP with micro-batched packed inference;
+  models over JSON/HTTP with micro-batched packed inference
+  (``--workers N`` adds the multiprocess tier: N worker processes sharing
+  the packed model bank through shared memory);
+* ``python -m repro loadgen --url http://host:8080`` — soak-test a serving
+  endpoint (or an in-process app) with seeded, reproducible traffic:
+  open-loop Poisson or closed-loop, warm-up + measure phases, exact latency
+  percentiles, JSON report output; ``--quick`` for CI smoke;
 * ``python -m repro bench-serve`` — the serving throughput comparison
   (single-sample vs micro-batched, dense vs packed);
 * ``python -m repro bench-kernels`` — the kernel-layer benchmark (fused
@@ -117,20 +123,100 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--port", type=int, default=8080)
     serve.add_argument("--max-batch-size", type=int, default=64)
     serve.add_argument("--max-wait-ms", type=float, default=2.0)
-    serve.add_argument("--workers", type=int, default=1, help="inference worker threads")
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help=(
+            "inference worker processes sharing the packed model bank via "
+            "shared memory (1 = single-process serving)"
+        ),
+    )
+    serve.add_argument(
+        "--scheduler-threads",
+        type=int,
+        default=1,
+        help="engine-executing threads inside each model's micro-batch scheduler",
+    )
+    serve.add_argument(
+        "--cache-size",
+        type=int,
+        default=1024,
+        help="request-level LRU prediction cache entries (0 disables)",
+    )
     serve.add_argument(
         "--max-resident", type=int, default=4, help="LRU cap on in-memory engines"
     )
     serve.add_argument(
         "--kernel-backend",
         default=None,
-        choices=["numpy", "threaded"],
+        choices=["numpy", "threaded", "multiprocess"],
         help=(
             "kernel backend for the inference workers (overrides the "
             "REPRO_KERNEL_BACKEND environment variable; default: env, then numpy)"
         ),
     )
     serve.add_argument("--verbose", action="store_true", help="log HTTP requests")
+
+    loadgen = subparsers.add_parser(
+        "loadgen", help="soak-test a serving target with reproducible traffic"
+    )
+    loadgen.add_argument("--dataset", default="ucihar", help="registry dataset name")
+    loadgen.add_argument("--profile", default="tiny", choices=["tiny", "small", "full"])
+    loadgen.add_argument("--seed", type=int, default=0)
+    target_group = loadgen.add_mutually_exclusive_group()
+    target_group.add_argument(
+        "--url", default=None, help="live endpoint, e.g. http://127.0.0.1:8080"
+    )
+    target_group.add_argument(
+        "--model",
+        default=None,
+        metavar="PATH",
+        help="saved .npz model served in-process (default: train a quick baseline)",
+    )
+    loadgen.add_argument("--mode", default="closed", choices=["closed", "open"])
+    loadgen.add_argument(
+        "--rate", type=float, default=200.0, help="open-loop arrival rate (req/s)"
+    )
+    loadgen.add_argument(
+        "--concurrency", type=int, default=4, help="closed-loop client count"
+    )
+    loadgen.add_argument(
+        "--requests", type=int, default=None, help="measured requests (default 400)"
+    )
+    loadgen.add_argument(
+        "--warmup", type=int, default=None, help="warm-up requests (default 40)"
+    )
+    loadgen.add_argument("--top-k", type=int, default=1)
+    loadgen.add_argument(
+        "--dimension", type=int, default=2000, help="D for the trained default model"
+    )
+    loadgen.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes for the in-process target (1 = single process)",
+    )
+    loadgen.add_argument("--max-batch-size", type=int, default=64)
+    loadgen.add_argument("--max-wait-ms", type=float, default=2.0)
+    loadgen.add_argument(
+        "--cache-size",
+        type=int,
+        default=0,
+        help=(
+            "prediction-cache entries for the in-process target (default 0: "
+            "disabled, so small datasets with repeated rows measure real "
+            "inference rather than cache hits)"
+        ),
+    )
+    loadgen.add_argument(
+        "--json", default=None, metavar="PATH", help="also write the report as JSON"
+    )
+    loadgen.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI smoke: small sizes, then assert a well-formed non-degenerate report",
+    )
 
     bench_serve = subparsers.add_parser(
         "bench-serve", help="serving throughput: single vs batched, dense vs packed"
@@ -343,9 +429,99 @@ def command_serve(args) -> int:  # pragma: no cover - blocking server loop
         registry,
         max_batch_size=args.max_batch_size,
         max_wait_ms=args.max_wait_ms,
-        num_workers=args.workers,
+        num_workers=args.scheduler_threads,
+        num_processes=args.workers if args.workers > 1 else 0,
+        cache_size=args.cache_size,
     )
     run_server(app, host=args.host, port=args.port, verbose=args.verbose)
+    return 0
+
+
+def command_loadgen(args) -> int:
+    from pathlib import Path
+
+    from repro.loadgen import (
+        ClosedLoop,
+        HTTPTarget,
+        InProcessTarget,
+        OpenLoop,
+        RequestSampler,
+        format_report,
+        run_load_test,
+        validate_report,
+        write_report,
+    )
+
+    num_requests = args.requests if args.requests is not None else (120 if args.quick else 400)
+    warmup = args.warmup if args.warmup is not None else (16 if args.quick else 40)
+    dimension = min(args.dimension, 1000) if args.quick else args.dimension
+
+    sampler = RequestSampler(
+        dataset=args.dataset, profile=args.profile, seed=args.seed
+    )
+    if args.mode == "open":
+        traffic = OpenLoop(rate_rps=args.rate, seed=args.seed)
+    else:
+        traffic = ClosedLoop(concurrency=args.concurrency)
+
+    app = None
+    if args.url:
+        target = HTTPTarget(args.url, top_k=args.top_k)
+    else:
+        from repro.serve import ModelRegistry, PackedInferenceEngine, ServeApp
+
+        registry = ModelRegistry()
+        if args.model:
+            try:
+                registry.register(Path(args.model).stem, args.model)
+            except (OSError, ValueError) as error:
+                print(f"error: cannot load model {args.model!r}: {error}", file=sys.stderr)
+                return 1
+        else:
+            # No model given: train a quick deterministic baseline on the
+            # sampler's own dataset so the soak exercises a real pipeline.
+            encoder = RecordEncoder(
+                dimension=dimension,
+                num_levels=16,
+                tie_break="positive",
+                seed=args.seed,
+            )
+            pipeline = HDCPipeline(encoder, BaselineHDC(seed=args.seed))
+            pipeline.fit(sampler.train_features, sampler.train_labels)
+            registry.register(
+                args.dataset, PackedInferenceEngine(pipeline, name=args.dataset)
+            )
+        app = ServeApp(
+            registry,
+            max_batch_size=args.max_batch_size,
+            max_wait_ms=args.max_wait_ms,
+            num_processes=args.workers if args.workers > 1 else 0,
+            cache_size=args.cache_size,
+        )
+        target = InProcessTarget(app, top_k=args.top_k)
+
+    try:
+        report = run_load_test(
+            target,
+            sampler,
+            traffic,
+            num_requests=num_requests,
+            warmup_requests=warmup,
+        )
+    finally:
+        if app is not None:
+            app.close()
+
+    print(format_report(report))
+    if args.json:
+        destination = write_report(args.json, report)
+        print(f"report written to {destination}")
+    if args.quick:
+        validate_report(report)
+        print(
+            "quick-mode report validated: non-zero throughput, "
+            "monotone percentiles, zero errors"
+        )
     return 0
 
 
@@ -440,6 +616,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return command_predict(args)
     if args.command == "serve":
         return command_serve(args)
+    if args.command == "loadgen":
+        return command_loadgen(args)
     if args.command == "bench-serve":
         return command_bench_serve(args)
     if args.command == "bench-kernels":

@@ -1,0 +1,51 @@
+"""repro.cluster — multiprocess serving with shared-memory model residency.
+
+The GIL caps the single-process serving stack at roughly one core of encode
+throughput no matter how many scheduler threads run.  This subpackage is the
+scale-out tier that breaks that cap without duplicating the model:
+
+* :mod:`repro.cluster.shared` — :class:`SharedModelStore` publishes packed
+  inference banks into ``multiprocessing.shared_memory`` segments
+  (refcounted; one physical copy serves every worker), plus the picklable
+  :class:`SharedBankHandle` / :class:`WorkerModelSpec` and the worker-side
+  :func:`build_worker_engine` that reconstructs a
+  :class:`~repro.serve.engine.PackedInferenceEngine` over the mapped words;
+* :mod:`repro.cluster.worker` — the worker process loop (tiny
+  request/reply protocol over a duplex pipe);
+* :mod:`repro.cluster.dispatcher` — :class:`ClusterDispatcher` shards
+  micro-batches across the pool, merges scores bit-identically (including
+  the ensemble max-over-bank reduction), and respawns crashed workers;
+* :mod:`repro.cluster.errors` — the exception taxonomy the HTTP layer maps
+  to status codes.
+
+Wired into serving as ``ServeApp(..., num_processes=N)`` /
+``repro serve --workers N``, and complemented on the kernel side by the
+``multiprocess`` dispatch backend (``REPRO_KERNEL_BACKEND=multiprocess``)
+which shards ``packed.bit_differences`` across a process pool.
+"""
+
+from repro.cluster.dispatcher import ClusterDispatcher
+from repro.cluster.errors import ClusterError, WorkerCrashedError, WorkerStartupError
+from repro.cluster.shared import (
+    AttachedBank,
+    SharedBankHandle,
+    SharedModelStore,
+    WorkerModelSpec,
+    attach_bank,
+    build_worker_engine,
+    make_worker_spec,
+)
+
+__all__ = [
+    "AttachedBank",
+    "ClusterDispatcher",
+    "ClusterError",
+    "SharedBankHandle",
+    "SharedModelStore",
+    "WorkerCrashedError",
+    "WorkerModelSpec",
+    "WorkerStartupError",
+    "attach_bank",
+    "build_worker_engine",
+    "make_worker_spec",
+]

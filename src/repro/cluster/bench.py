@@ -1,0 +1,154 @@
+"""Cluster scaling benchmark: throughput vs worker count, parity always.
+
+Shared by ``benchmarks/bench_cluster_scaling.py``.  Two claims are measured
+on one trained model at serving scale (D=4000 by default):
+
+* **parity** — for every worker count, the merged cluster scores equal the
+  single-process engine's bit for bit (this holds on any machine and is the
+  part CI asserts unconditionally);
+* **scaling** — samples/second of the sharded cluster vs the single-process
+  engine.  Only meaningful on multi-core hosts: on a single core the cluster
+  pays fork + pipe overhead for no parallelism, and the harness records
+  ``cpu_count`` so the results file says which regime produced it.
+
+An ensemble (``MultiModelHDC``) parity check rides along so the
+max-over-bank merge path is exercised at benchmark scale, not just in the
+unit tests.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Dict, Sequence
+
+import numpy as np
+
+from repro.classifiers.baseline import BaselineHDC
+from repro.classifiers.multimodel import MultiModelHDC
+from repro.classifiers.pipeline import HDCPipeline
+from repro.cluster.dispatcher import ClusterDispatcher
+from repro.datasets.synthetic import make_gaussian_classes
+from repro.hdc.encoders import RecordEncoder
+from repro.serve.engine import PackedInferenceEngine
+
+
+def _throughput(run, num_samples: int, repeats: int = 3) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        run()
+        best = min(best, time.perf_counter() - started)
+    return num_samples / best if best > 0 else float("inf")
+
+
+def run_cluster_scaling_benchmark(
+    dimension: int = 4000,
+    num_features: int = 64,
+    num_classes: int = 10,
+    num_samples: int = 256,
+    batch_size: int = 64,
+    worker_counts: Sequence[int] = (1, 2, 4),
+    ensemble_models_per_class: int = 8,
+    seed: int = 0,
+) -> Dict[str, object]:
+    """Measure cluster throughput at each worker count; verify score parity.
+
+    Returns ``{config, rates, speedups, parity, cpu_count}`` where ``rates``
+    maps ``"single-process"`` and ``"workers-N"`` to samples/second,
+    ``speedups`` normalises by the single-process rate, and ``parity`` maps
+    the same keys (plus ``"ensemble-workers-2"``) to booleans.
+    """
+    train_features, train_labels, test_features, _ = make_gaussian_classes(
+        num_classes=num_classes,
+        num_features=num_features,
+        train_size=max(40 * num_classes, 200),
+        test_size=num_samples,
+        class_sep=2.5,
+        seed=seed,
+    )
+    encoder = RecordEncoder(
+        dimension=dimension, num_levels=16, tie_break="positive", seed=seed
+    )
+    pipeline = HDCPipeline(encoder, BaselineHDC(seed=seed))
+    pipeline.fit(train_features, train_labels)
+    engine = PackedInferenceEngine(pipeline, name="scaling")
+    engine.warmup()
+    queries = test_features[:num_samples]
+    reference_scores = engine.decision_scores(queries)
+
+    def run_batches(top_k):
+        for start in range(0, num_samples, batch_size):
+            top_k(queries[start : start + batch_size], k=1)
+
+    rates: Dict[str, float] = {
+        "single-process": _throughput(lambda: run_batches(engine.top_k), num_samples)
+    }
+    parity: Dict[str, bool] = {"single-process": True}
+
+    for count in worker_counts:
+        key = f"workers-{count}"
+        with ClusterDispatcher(engine, num_workers=count, name=key) as dispatcher:
+            parity[key] = bool(
+                np.array_equal(dispatcher.decision_scores(queries), reference_scores)
+            )
+            rates[key] = _throughput(
+                lambda: run_batches(dispatcher.top_k), num_samples
+            )
+
+    # Ensemble max-over-bank merge parity at benchmark dimension.
+    ensemble_encoder = RecordEncoder(
+        dimension=dimension, num_levels=16, tie_break="positive", seed=seed + 1
+    )
+    ensemble_pipeline = HDCPipeline(
+        ensemble_encoder,
+        MultiModelHDC(
+            models_per_class=ensemble_models_per_class, iterations=1, seed=seed
+        ),
+    )
+    ensemble_pipeline.fit(train_features, train_labels)
+    ensemble_engine = PackedInferenceEngine(ensemble_pipeline, name="scaling-ens")
+    ensemble_queries = queries[: min(64, num_samples)]
+    with ClusterDispatcher(ensemble_engine, num_workers=2) as dispatcher:
+        parity["ensemble-workers-2"] = bool(
+            np.array_equal(
+                dispatcher.decision_scores(ensemble_queries),
+                ensemble_engine.decision_scores(ensemble_queries),
+            )
+        )
+
+    baseline_rate = rates["single-process"]
+    return {
+        "config": {
+            "dimension": dimension,
+            "num_features": num_features,
+            "num_classes": num_classes,
+            "num_samples": num_samples,
+            "batch_size": batch_size,
+            "worker_counts": list(worker_counts),
+            "ensemble_models_per_class": ensemble_models_per_class,
+        },
+        "cpu_count": os.cpu_count() or 1,
+        "rates": rates,
+        "speedups": {mode: rate / baseline_rate for mode, rate in rates.items()},
+        "parity": parity,
+    }
+
+
+def format_scaling_rows(result: Dict[str, object]):
+    """Rows ``[mode, samples/s, vs single-process, parity]`` for ``format_table``."""
+    rates: Dict[str, float] = result["rates"]  # type: ignore[assignment]
+    speedups: Dict[str, float] = result["speedups"]  # type: ignore[assignment]
+    parity: Dict[str, bool] = result["parity"]  # type: ignore[assignment]
+    return [
+        [
+            mode,
+            f"{rates[mode]:.0f}",
+            f"{speedups[mode]:.2f}x",
+            "exact" if parity.get(mode) else "MISMATCH",
+        ]
+        for mode in rates
+    ]
+
+
+__all__ = ["format_scaling_rows", "run_cluster_scaling_benchmark"]

@@ -1,0 +1,397 @@
+"""``ClusterDispatcher``: shard micro-batches across worker processes.
+
+The dispatcher is the parent-side half of the multiprocess serving tier.  It
+presents the same inference surface as a
+:class:`~repro.serve.engine.PackedInferenceEngine` (``top_k`` /
+``decision_scores`` / ``predict``), which is exactly what the
+:class:`~repro.serve.batching.BatchScheduler` calls — so the existing
+micro-batcher feeds coalesced batches straight into the cluster with no
+changes of its own.  Per batch it:
+
+1. splits the feature rows into contiguous shards, one per worker (a batch
+   smaller than the pool goes to the next worker round-robin);
+2. scatters the shards over per-worker pipes and gathers the replies;
+3. concatenates the per-shard results in shard order — row sharding keeps
+   the merged output *bit-identical* to a single-process engine call,
+   including the ensemble's max-over-bank reduction, which each worker
+   applies to its own rows before replying.
+
+Failure semantics: a request-level exception inside a worker (bad feature
+width) is re-raised in the caller with its original type preserved for
+``ValueError`` so the HTTP layer still answers 400.  A worker *crash* is
+detected as a broken/ silent pipe; the dispatcher *retires* the slot
+(infallible, so every other worker's pending reply is still drained and no
+pipe ever desynchronises), raises
+:class:`~repro.cluster.errors.WorkerCrashedError` for the in-flight request
+(HTTP 503), and spawns the replacement lazily when the slot is next used —
+so the next request finds a healthy pool, and a spawn failure surfaces on
+the request that needed the worker rather than corrupting this one.
+
+Workers default to the ``fork`` start method when the platform offers it
+(instant startup, no spec pickling); set ``REPRO_CLUSTER_START_METHOD`` to
+``spawn`` or ``forkserver`` to override.  Encoders configured with
+``tie_break="random"`` draw from per-worker RNG copies, so ``sgn(0)`` ties
+may resolve differently than in a single process; deterministic
+(``"positive"``) encoders — the serving default for saved models — are
+bit-identical across any worker count.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import threading
+import time
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.cluster.errors import (
+    DispatcherClosedError,
+    WorkerCrashedError,
+    WorkerStartupError,
+)
+from repro.cluster.shared import SharedModelStore, make_worker_spec
+from repro.cluster.worker import worker_main
+
+
+def _default_start_method() -> str:
+    method = os.environ.get("REPRO_CLUSTER_START_METHOD")
+    if method:
+        return method
+    return "fork" if "fork" in multiprocessing.get_all_start_methods() else "spawn"
+
+
+class _Worker:
+    __slots__ = ("process", "connection")
+
+    def __init__(self, process, connection):
+        self.process = process
+        self.connection = connection
+
+
+class _WorkerCrash(Exception):
+    """Internal marker: the pipe broke or the process died mid-request."""
+
+
+class ClusterDispatcher:
+    """Shard inference batches from one packed engine across processes.
+
+    Parameters
+    ----------
+    engine:
+        A packed-mode :class:`~repro.serve.engine.PackedInferenceEngine`;
+        its resident bank is published to shared memory and the engine
+        itself remains untouched (the parent can keep serving on it).
+    num_workers:
+        Worker process count (>= 1).
+    store:
+        Optional shared :class:`SharedModelStore`.  When omitted the
+        dispatcher owns a private store and closes it on :meth:`close`.
+    name:
+        Bank key in the store; defaults to the engine name.  Give versioned
+        keys (``"model@v3"``) when hot-swapping so old and new banks coexist.
+    start_method / startup_timeout / request_timeout:
+        Process start method override and the two failure deadlines
+        (seconds) for worker startup and a single sharded request.
+    """
+
+    def __init__(
+        self,
+        engine,
+        num_workers: int = 2,
+        store: Optional[SharedModelStore] = None,
+        name: Optional[str] = None,
+        start_method: Optional[str] = None,
+        startup_timeout: float = 60.0,
+        request_timeout: float = 60.0,
+    ):
+        if num_workers < 1:
+            raise ValueError(f"num_workers must be >= 1, got {num_workers}")
+        if engine.packed_bank is None:
+            raise ValueError(
+                "cluster serving requires the packed scoring path; "
+                f"engine {engine.name!r} compiled in {engine.mode!r} mode"
+            )
+        self.num_workers = int(num_workers)
+        self.name = str(name or engine.name)
+        self.num_classes = int(engine.num_classes)
+        self.dimension = int(engine.dimension)
+        self.startup_timeout = float(startup_timeout)
+        self.request_timeout = float(request_timeout)
+        self._context = multiprocessing.get_context(
+            start_method or _default_start_method()
+        )
+        self._owns_store = store is None
+        self._store = store if store is not None else SharedModelStore()
+        self._bank_key = self.name
+        handle = self._store.publish(self._bank_key, engine.packed_bank)
+        try:
+            self._spec = make_worker_spec(engine, handle)
+        except BaseException:
+            self._store.release(self._bank_key)
+            if self._owns_store:
+                self._store.close()
+            raise
+        self._lock = threading.Lock()
+        self._closed = False
+        self._round_robin = 0
+        self.respawns = 0
+        self._workers: List[Optional[_Worker]] = [None] * self.num_workers
+        try:
+            for index in range(self.num_workers):
+                self._workers[index] = self._spawn()
+        except BaseException:
+            self.close()
+            raise
+
+    # -------------------------------------------------------------- inference
+    def top_k(
+        self, features: np.ndarray, k: int = 5
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """The ``k`` best classes per sample, merged across worker shards."""
+        results = self._scatter_gather(("top_k", int(k)), features)
+        labels = np.concatenate([labels for labels, _ in results], axis=0)
+        scores = np.concatenate([scores for _, scores in results], axis=0)
+        return labels, scores
+
+    def decision_scores(self, features: np.ndarray) -> np.ndarray:
+        """``(n, K)`` class scores, merged across worker shards."""
+        return np.concatenate(self._scatter_gather(("scores",), features), axis=0)
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        """Predict integer class labels for a batch of raw feature rows."""
+        return np.argmax(self.decision_scores(features), axis=1)
+
+    def ping(self) -> List[int]:
+        """Round-trip every worker; returns their PIDs (health check)."""
+        with self._lock:
+            self._check_open()
+            pids = []
+            for index in range(self.num_workers):
+                try:
+                    worker = self._ensure_worker(index)
+                    worker.connection.send(("ping",))
+                    pids.append(self._receive(worker))
+                except (_WorkerCrash, BrokenPipeError, OSError):
+                    self._retire_worker(index)
+                    raise WorkerCrashedError(
+                        f"worker {index} of {self.name!r} died during ping "
+                        "(respawning on next use)"
+                    )
+            return pids
+
+    def poison_worker(self, index: int = 0) -> None:
+        """Arm worker *index* to die on its next request (chaos-testing hook).
+
+        The armed worker acknowledges, then hard-exits when the next batch
+        shard reaches it — deterministically exercising the mid-batch crash
+        path (:class:`WorkerCrashedError` + respawn) that a random ``kill``
+        can only hit by lucky timing.
+        """
+        with self._lock:
+            self._check_open()
+            worker = self._ensure_worker(index)
+            try:
+                worker.connection.send(("poison",))
+                self._receive(worker)
+            except (_WorkerCrash, BrokenPipeError, OSError):
+                self._retire_worker(index)
+                raise WorkerCrashedError(
+                    f"worker {index} of {self.name!r} died while being poisoned"
+                )
+
+    # -------------------------------------------------------------- lifecycle
+    def close(self) -> None:
+        """Stop the workers and release the shared bank (idempotent)."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            workers, self._workers = self._workers, []
+        for worker in workers:
+            if worker is None:
+                continue
+            try:
+                worker.connection.send(("stop",))
+            except (BrokenPipeError, OSError):
+                pass
+            worker.connection.close()
+        for worker in workers:
+            if worker is None:
+                continue
+            worker.process.join(timeout=5.0)
+            if worker.process.is_alive():  # pragma: no cover - stuck worker
+                worker.process.terminate()
+                worker.process.join(timeout=1.0)
+        try:
+            self._store.release(self._bank_key)
+        except KeyError:  # pragma: no cover - store closed externally
+            pass
+        if self._owns_store:
+            self._store.close()
+
+    def __enter__(self) -> "ClusterDispatcher":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def info(self) -> dict:
+        """JSON-ready health/layout description of the worker pool."""
+        with self._lock:
+            return {
+                "name": self.name,
+                "num_workers": self.num_workers,
+                "respawns": self.respawns,
+                "start_method": self._context.get_start_method(),
+                "shared_bank_bytes": self._spec.bank_handle.nbytes,
+                "worker_pids": [
+                    worker.process.pid
+                    for worker in self._workers
+                    if worker is not None and worker.process.is_alive()
+                ],
+            }
+
+    # -------------------------------------------------------------- internals
+    def _check_open(self) -> None:
+        if self._closed:
+            raise DispatcherClosedError("ClusterDispatcher is closed")
+
+    def _spawn(self) -> _Worker:
+        parent_connection, child_connection = self._context.Pipe(duplex=True)
+        process = self._context.Process(
+            target=worker_main,
+            args=(self._spec, child_connection),
+            name=f"repro-cluster-{self.name}",
+            daemon=True,
+        )
+        process.start()
+        child_connection.close()
+        worker = _Worker(process, parent_connection)
+        deadline = time.monotonic() + self.startup_timeout
+        while not parent_connection.poll(0.05):
+            if not process.is_alive() or time.monotonic() > deadline:
+                process.terminate()
+                raise WorkerStartupError(
+                    f"worker for {self.name!r} failed to start "
+                    f"(alive={process.is_alive()})"
+                )
+        try:
+            reply = parent_connection.recv()
+        except EOFError:
+            raise WorkerStartupError(f"worker for {self.name!r} died during startup")
+        if reply[0] != "ready":
+            process.join(timeout=1.0)
+            raise WorkerStartupError(
+                f"worker for {self.name!r} failed to build its engine: {reply[1]}"
+            )
+        return worker
+
+    def _ensure_worker(self, index: int) -> _Worker:
+        """The live worker at *index*, respawning a retired/dead one.
+
+        May raise :class:`WorkerStartupError`; callers that are mid-batch
+        catch it and keep draining the other pipes (retiring is infallible,
+        spawning is not — so death is recorded eagerly via
+        :meth:`_retire_worker` and the replacement is spawned lazily here).
+        """
+        worker = self._workers[index]
+        if worker is not None and worker.process.is_alive():
+            return worker
+        if worker is not None:
+            self._retire_worker(index)
+        self._workers[index] = self._spawn()
+        self.respawns += 1
+        return self._workers[index]
+
+    def _retire_worker(self, index: int) -> None:
+        """Tear down a dead/poisoned worker slot; never raises."""
+        worker = self._workers[index]
+        if worker is None:
+            return
+        self._workers[index] = None
+        worker.connection.close()
+        if worker.process.is_alive():
+            worker.process.terminate()
+        worker.process.join(timeout=5.0)
+
+    def _receive(self, worker: _Worker):
+        deadline = time.monotonic() + self.request_timeout
+        while not worker.connection.poll(0.05):
+            if not worker.process.is_alive():
+                raise _WorkerCrash()
+            if time.monotonic() > deadline:  # pragma: no cover - hung worker
+                raise _WorkerCrash()
+        try:
+            reply = worker.connection.recv()
+        except (EOFError, OSError):
+            raise _WorkerCrash()
+        if reply[0] == "error":
+            _, kind, message = reply
+            if kind == "ValueError":
+                raise ValueError(message)
+            raise RuntimeError(f"worker error ({kind}): {message}")
+        return reply[1]
+
+    def _scatter_gather(self, op: tuple, features: np.ndarray) -> list:
+        """Send row shards of *features* to the pool; return per-shard results.
+
+        Serialised under the dispatcher lock: concurrent callers (scheduler
+        pool threads, direct 2-D requests) take turns, which keeps each pipe
+        a strict request/reply channel.
+        """
+        features = np.asarray(features, dtype=np.float64)
+        if features.ndim == 1:
+            features = features[None, :]
+        with self._lock:
+            self._check_open()
+            num_shards = max(1, min(self.num_workers, features.shape[0]))
+            offset = self._round_robin
+            self._round_robin = (offset + num_shards) % self.num_workers
+            shards = np.array_split(features, num_shards, axis=0)
+            crashed: List[int] = []
+            spawn_error: Optional[WorkerStartupError] = None
+            assignments = []
+            for shard_index, shard in enumerate(shards):
+                index = (offset + shard_index) % self.num_workers
+                try:
+                    worker = self._ensure_worker(index)
+                except WorkerStartupError as error:
+                    spawn_error = spawn_error or error
+                    crashed.append(index)
+                    continue
+                try:
+                    worker.connection.send((op[0], shard, *op[1:]))
+                except (BrokenPipeError, OSError):
+                    self._retire_worker(index)
+                    crashed.append(index)
+                    continue
+                assignments.append((index, worker))
+            # Every successfully sent shard is awaited even after a failure —
+            # an unconsumed reply would desynchronise its pipe and hand the
+            # NEXT batch this batch's results.  Nothing in this drain loop can
+            # raise: crashes retire the slot (infallible; the replacement is
+            # spawned lazily on the next request) and request-level errors
+            # consume their reply.
+            results = []
+            request_error: Optional[Exception] = None
+            for index, worker in assignments:
+                try:
+                    results.append(self._receive(worker))
+                except _WorkerCrash:
+                    self._retire_worker(index)
+                    crashed.append(index)
+                except (ValueError, RuntimeError) as error:
+                    request_error = request_error or error
+            if crashed:
+                raise WorkerCrashedError(
+                    f"worker(s) {sorted(set(crashed))} of {self.name!r} died "
+                    "mid-batch (respawning on next use)"
+                ) from spawn_error
+            if request_error is not None:
+                raise request_error
+            return results
+
+
+__all__ = ["ClusterDispatcher"]

@@ -1,0 +1,43 @@
+"""Exception types for the multiprocess serving tier.
+
+These live in their own dependency-free module so the HTTP front-end can map
+them to status codes (``WorkerCrashedError`` → 503) without importing the
+multiprocessing machinery — and without creating an import cycle between
+``repro.serve`` and ``repro.cluster``.
+"""
+
+from __future__ import annotations
+
+
+class ClusterError(RuntimeError):
+    """Base class for multiprocess serving-tier failures."""
+
+
+class WorkerCrashedError(ClusterError):
+    """An inference worker process died while handling a request.
+
+    The dispatcher respawns the worker before raising this, so the *next*
+    request succeeds; the in-flight one is reported as a retryable failure
+    (the HTTP layer answers 503).
+    """
+
+
+class WorkerStartupError(ClusterError):
+    """A worker process failed to come up within the startup timeout."""
+
+
+class DispatcherClosedError(ClusterError):
+    """The dispatcher was closed while this request held a reference to it.
+
+    Raised (instead of a bare ``RuntimeError``) so the serving layer can map
+    a hot-swap race — the promoted version's dispatcher replaced this one
+    mid-request — to a retryable 503 rather than an opaque 500.
+    """
+
+
+__all__ = [
+    "ClusterError",
+    "DispatcherClosedError",
+    "WorkerCrashedError",
+    "WorkerStartupError",
+]

@@ -1,0 +1,83 @@
+"""The inference worker process: one engine view, one duplex pipe.
+
+Each worker rebuilds a full :class:`~repro.serve.engine.PackedInferenceEngine`
+from a :class:`~repro.cluster.shared.WorkerModelSpec` — encoder tables private,
+packed model bank mapped zero-copy from the parent's shared segment — then
+answers a tiny request protocol over its pipe:
+
+==============================  ============================================
+request                         reply
+==============================  ============================================
+``("top_k", features, k)``      ``("ok", (labels, scores))``
+``("scores", features)``        ``("ok", scores)``
+``("ping",)``                   ``("ok", pid)``
+``("poison",)``                 ``("ok", None)`` *(then die on next request)*
+``("stop",)``                   *(none; the worker exits)*
+==============================  ============================================
+
+``poison`` arms a hard ``os._exit`` on the *next* request, which is how the
+crash-recovery tests (and chaos drills) provoke a deterministic mid-batch
+worker death — the dispatcher's send succeeds, the reply never comes.
+
+Request-level Python exceptions (for example a feature-width mismatch) are
+caught and shipped back as ``("error", type_name, message)`` so one bad
+request never takes the process down; only a genuine crash (segfault, kill,
+OOM) breaks the pipe, which the dispatcher detects and handles by
+respawning.  A ``("ready", pid)`` handshake is sent once the engine is
+compiled so the dispatcher can distinguish slow startup from startup failure.
+"""
+
+from __future__ import annotations
+
+from repro.cluster.shared import WorkerModelSpec, build_worker_engine
+
+
+def worker_main(spec: WorkerModelSpec, connection) -> None:
+    """Process entry point: build the engine, then serve the pipe until EOF."""
+    import os
+
+    try:
+        attached, engine = build_worker_engine(spec)
+        engine.warmup()
+    except BaseException as error:
+        try:
+            connection.send(("failed", f"{type(error).__name__}: {error}"))
+        finally:
+            connection.close()
+        return
+    connection.send(("ready", os.getpid()))
+
+    poisoned = False
+    try:
+        while True:
+            try:
+                message = connection.recv()
+            except EOFError:
+                break
+            op = message[0]
+            if op == "stop":
+                break
+            if poisoned:
+                os._exit(1)
+            try:
+                if op == "poison":
+                    poisoned = True
+                    connection.send(("ok", None))
+                elif op == "top_k":
+                    _, features, k = message
+                    labels, scores = engine.top_k(features, k=k)
+                    connection.send(("ok", (labels, scores)))
+                elif op == "scores":
+                    connection.send(("ok", engine.decision_scores(message[1])))
+                elif op == "ping":
+                    connection.send(("ok", os.getpid()))
+                else:
+                    connection.send(("error", "ValueError", f"unknown op {op!r}"))
+            except Exception as error:
+                connection.send(("error", type(error).__name__, str(error)))
+    finally:
+        connection.close()
+        attached.close()
+
+
+__all__ = ["worker_main"]

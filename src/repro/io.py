@@ -81,7 +81,7 @@ def _verify_metadata(metadata: dict, path: Path) -> None:
         )
 
 
-class _FrozenClassifier(BaselineHDC):
+class FrozenClassifier(BaselineHDC):
     """Inference-only carrier for loaded class hypervectors.
 
     It reuses :class:`BaselineHDC`'s inference path (which is shared by every
@@ -96,7 +96,7 @@ class _FrozenClassifier(BaselineHDC):
         )
 
 
-class _FrozenEnsembleClassifier(MultiModelHDC):
+class FrozenEnsembleClassifier(MultiModelHDC):
     """Inference-only carrier for a loaded SearcHD-style model bank.
 
     Reuses :class:`MultiModelHDC`'s max-over-sub-models scoring (dense and
@@ -220,12 +220,12 @@ def load_model(path: Union[str, Path]) -> HDCPipeline:
 
     encoder = _rebuild_encoder(metadata, position_vectors, level_vectors, quantizer_arrays)
     if model_bank is not None:
-        classifier = _FrozenEnsembleClassifier(
+        classifier = FrozenEnsembleClassifier(
             models_per_class=int(model_bank.shape[1])
         )
         classifier.model_hypervectors_ = model_bank.astype(np.int8)
     else:
-        classifier = _FrozenClassifier(tie_break=metadata["tie_break"])
+        classifier = FrozenClassifier(tie_break=metadata["tie_break"])
     classifier.class_hypervectors_ = class_hypervectors.astype(np.int8)
     classifier.num_classes_ = metadata["num_classes"]
 
@@ -286,6 +286,8 @@ def _rebuild_encoder(metadata, position_vectors, level_vectors, quantizer_arrays
 
 
 __all__ = [
+    "FrozenClassifier",
+    "FrozenEnsembleClassifier",
     "save_model",
     "load_model",
     "read_model_metadata",

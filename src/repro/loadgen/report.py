@@ -1,0 +1,150 @@
+"""Load-test reports: build, validate, format, persist.
+
+One report shape serves every consumer: the CLI prints it as a table, the CI
+smoke job validates it, the soak harness dumps it as JSON next to the other
+artefacts under ``benchmarks/results/``.  The report embeds the sampler's
+stream digest, so two runs with the same seed can be proven to have replayed
+byte-identical traffic (the acceptance criterion for determinism).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import List, Union
+
+import numpy as np
+
+REPORT_VERSION = 1
+
+#: The latency summary percentiles every report carries.
+PERCENTILES = (50.0, 95.0, 99.0)
+
+
+def build_report(
+    target: dict,
+    traffic: dict,
+    sampler,
+    num_requests: int,
+    warmup_requests: int,
+    warmup_errors: int,
+    latencies: List[float],
+    errors: int,
+    duration_seconds: float,
+) -> dict:
+    """Assemble the JSON-ready report dictionary from one measure phase."""
+    latency_array = np.asarray(latencies, dtype=np.float64)
+    completed = int(latency_array.size)
+    summary = {"count": completed, "mean_ms": 0.0, "max_ms": 0.0}
+    for percentile in PERCENTILES:
+        summary[f"p{percentile:.0f}_ms"] = 0.0
+    if completed:
+        summary["mean_ms"] = float(latency_array.mean() * 1e3)
+        summary["max_ms"] = float(latency_array.max() * 1e3)
+        for percentile in PERCENTILES:
+            summary[f"p{percentile:.0f}_ms"] = float(
+                np.percentile(latency_array, percentile) * 1e3
+            )
+    return {
+        "report_version": REPORT_VERSION,
+        "config": {
+            "target": target,
+            "traffic": traffic,
+            "dataset": sampler.dataset,
+            "profile": sampler.profile,
+            "split": sampler.split,
+            "seed": sampler.seed,
+            "num_requests": int(num_requests),
+            "warmup_requests": int(warmup_requests),
+        },
+        "stream_digest": sampler.digest(warmup_requests + num_requests),
+        "results": {
+            "completed": completed,
+            "errors": int(errors),
+            "warmup_errors": int(warmup_errors),
+            "duration_seconds": float(duration_seconds),
+            "throughput_rps": (
+                completed / duration_seconds if duration_seconds > 0 else 0.0
+            ),
+            "latency_ms": summary,
+        },
+    }
+
+
+def validate_report(report: dict) -> None:
+    """Raise ``ValueError`` unless *report* is well-formed and non-degenerate.
+
+    This is the CI smoke assertion: every expected key present, a non-zero
+    throughput, monotone percentiles, and no failed requests.
+    """
+    for key in ("report_version", "config", "stream_digest", "results"):
+        if key not in report:
+            raise ValueError(f"report is missing the {key!r} block")
+    results = report["results"]
+    for key in ("completed", "errors", "duration_seconds", "throughput_rps"):
+        if key not in results:
+            raise ValueError(f"report results are missing {key!r}")
+    if results["completed"] < 1:
+        raise ValueError("report recorded no completed requests")
+    if results["errors"]:
+        raise ValueError(f"report recorded {results['errors']} failed requests")
+    if not results["throughput_rps"] > 0:
+        raise ValueError(f"throughput is {results['throughput_rps']!r}, expected > 0")
+    latency = results.get("latency_ms", {})
+    points = [latency.get(f"p{p:.0f}_ms") for p in PERCENTILES]
+    if any(value is None for value in points):
+        raise ValueError(f"latency summary is missing percentiles: {latency}")
+    if not all(earlier <= later for earlier, later in zip(points, points[1:])):
+        raise ValueError(f"latency percentiles are not monotone: {points}")
+    if not len(report["stream_digest"]) == 64:
+        raise ValueError("stream digest is not a sha256 hex string")
+
+
+def format_report(report: dict) -> str:
+    """Human-readable summary table of one report."""
+    from repro.eval.tables import format_table
+
+    config = report["config"]
+    results = report["results"]
+    latency = results["latency_ms"]
+    traffic = config["traffic"]
+    load = (
+        f"open @ {traffic['rate_rps']:g} rps"
+        if traffic["mode"] == "open"
+        else f"closed x{traffic['concurrency']}"
+    )
+    rows = [
+        ["target", config["target"]["kind"]],
+        ["traffic", load],
+        ["dataset", f"{config['dataset']} ({config['profile']}/{config['split']})"],
+        ["requests", f"{results['completed']} ok, {results['errors']} errors"],
+        ["duration", f"{results['duration_seconds']:.2f} s"],
+        ["throughput", f"{results['throughput_rps']:.1f} req/s"],
+        ["latency p50", f"{latency['p50_ms']:.2f} ms"],
+        ["latency p95", f"{latency['p95_ms']:.2f} ms"],
+        ["latency p99", f"{latency['p99_ms']:.2f} ms"],
+        ["latency max", f"{latency['max_ms']:.2f} ms"],
+        ["stream digest", report["stream_digest"][:16] + "…"],
+    ]
+    title = f"Load test (seed={config['seed']})"
+    return format_table(["metric", "value"], rows, title=title)
+
+
+def write_report(path: Union[str, Path], report: dict) -> Path:
+    """Write *report* as indented JSON (the ``benchmarks/results`` format)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=False)
+        handle.write("\n")
+    return path
+
+
+__all__ = [
+    "PERCENTILES",
+    "REPORT_VERSION",
+    "build_report",
+    "format_report",
+    "validate_report",
+    "write_report",
+]

@@ -1,0 +1,69 @@
+"""Traffic models: open-loop Poisson arrivals and closed-loop concurrency.
+
+The distinction matters for what a soak test can claim:
+
+* **closed loop** keeps ``concurrency`` requests outstanding — each client
+  waits for its response before sending the next.  Throughput converges to
+  the server's ceiling, but latency is flattered because the load *backs
+  off* exactly when the server slows down (coordinated omission).
+* **open loop** fires requests at the arrival times of a Poisson process
+  regardless of responses, like independent users would.  Latency then
+  includes the queueing delay a real caller experiences when the server
+  falls behind, which is the number that matters at p99.
+
+Both models are seed-deterministic: the open-loop arrival schedule is a pure
+function of ``(rate, seed, n)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class OpenLoop:
+    """Poisson arrivals at *rate_rps* requests/second (seed-deterministic)."""
+
+    rate_rps: float
+    seed: int = 0
+    #: Cap on concurrently outstanding requests; beyond it the generator
+    #: blocks (and reports the backlog) instead of spawning unbounded threads.
+    max_outstanding: int = 64
+
+    def __post_init__(self):
+        if self.rate_rps <= 0:
+            raise ValueError(f"rate_rps must be > 0, got {self.rate_rps}")
+        if self.max_outstanding < 1:
+            raise ValueError(
+                f"max_outstanding must be >= 1, got {self.max_outstanding}"
+            )
+
+    def arrival_offsets(self, num_requests: int) -> np.ndarray:
+        """Seconds from test start to each arrival (non-decreasing)."""
+        if num_requests < 0:
+            raise ValueError(f"num_requests must be >= 0, got {num_requests}")
+        rng = np.random.default_rng(self.seed)
+        gaps = rng.exponential(scale=1.0 / self.rate_rps, size=int(num_requests))
+        return np.cumsum(gaps)
+
+    def describe(self) -> dict:
+        return {"mode": "open", "rate_rps": self.rate_rps, "seed": self.seed}
+
+
+@dataclass(frozen=True)
+class ClosedLoop:
+    """*concurrency* clients, each sending its next request on response."""
+
+    concurrency: int = 4
+
+    def __post_init__(self):
+        if self.concurrency < 1:
+            raise ValueError(f"concurrency must be >= 1, got {self.concurrency}")
+
+    def describe(self) -> dict:
+        return {"mode": "closed", "concurrency": self.concurrency}
+
+
+__all__ = ["ClosedLoop", "OpenLoop"]

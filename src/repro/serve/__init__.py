@@ -16,7 +16,10 @@ serving stack:
 * :mod:`repro.serve.metrics` — per-model request counters and latency
   histograms;
 * :mod:`repro.serve.server` — a stdlib-only JSON-over-HTTP front-end
-  (``POST /v1/predict`` and friends);
+  (``POST /v1/predict`` and friends) with a version-keyed LRU prediction
+  cache and optional multiprocess execution through
+  :mod:`repro.cluster` (``ServeApp(num_processes=N)``: shared-memory model
+  residency, sharded batches, crash-respawning workers);
 * :mod:`repro.serve.bench` — the serving throughput benchmark shared by
   ``python -m repro bench-serve`` and ``benchmarks/bench_serving_throughput.py``.
 """

@@ -110,6 +110,8 @@ class ModelMetrics:
         self.requests = 0
         self.samples = 0
         self.errors = 0
+        self.cache_hits = 0
+        self.cache_misses = 0
         self.latency = LatencyHistogram()
         self._batch_sizes: Dict[int, int] = {}
 
@@ -130,6 +132,16 @@ class ModelMetrics:
         with self._lock:
             self.errors += 1
 
+    def record_cache_hit(self) -> None:
+        """Record one prediction answered from the request-level cache."""
+        with self._lock:
+            self.cache_hits += 1
+
+    def record_cache_miss(self) -> None:
+        """Record one prediction that had to run inference."""
+        with self._lock:
+            self.cache_misses += 1
+
     @property
     def batch_size_distribution(self) -> Dict[int, int]:
         with self._lock:
@@ -139,10 +151,16 @@ class ModelMetrics:
         batches = self.batch_size_distribution
         total_batches = sum(batches.values())
         batched_samples = sum(size * count for size, count in batches.items())
+        lookups = self.cache_hits + self.cache_misses
         return {
             "requests": self.requests,
             "samples": self.samples,
             "errors": self.errors,
+            "cache": {
+                "hits": self.cache_hits,
+                "misses": self.cache_misses,
+                "hit_rate": self.cache_hits / lookups if lookups else 0.0,
+            },
             "latency": self.latency.snapshot(),
             "batches": total_batches,
             "mean_batch_size": (

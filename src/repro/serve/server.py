@@ -24,17 +24,23 @@ Example::
 
 from __future__ import annotations
 
+import hashlib
 import json
 import threading
 import time
+from collections import OrderedDict
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Dict, Optional
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
+from repro.cluster.dispatcher import ClusterDispatcher
+from repro.cluster.errors import DispatcherClosedError, WorkerCrashedError
+from repro.cluster.shared import SharedModelStore
 from repro.serve.batching import BatchScheduler
 from repro.serve.metrics import MetricsRegistry
 from repro.serve.registry import ModelRegistry
+from repro.utils.validation import check_finite
 
 
 class RequestError(Exception):
@@ -43,6 +49,43 @@ class RequestError(Exception):
     def __init__(self, status: int, message: str):
         super().__init__(message)
         self.status = status
+
+
+class _PredictionCache:
+    """A small thread-safe LRU of ``(labels, scores)`` prediction results.
+
+    Keys carry the model *version*, so promoting a new version naturally
+    invalidates the superseded entries (they simply age out).  Values are
+    the result arrays, not response dictionaries — the response is rebuilt
+    per request so latency numbers stay honest.
+    """
+
+    def __init__(self, max_entries: int):
+        if max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        self.max_entries = int(max_entries)
+        self._entries: "OrderedDict[tuple, Tuple[np.ndarray, np.ndarray]]" = (
+            OrderedDict()
+        )
+        self._lock = threading.Lock()
+
+    def get(self, key: tuple) -> Optional[Tuple[np.ndarray, np.ndarray]]:
+        with self._lock:
+            value = self._entries.get(key)
+            if value is not None:
+                self._entries.move_to_end(key)
+            return value
+
+    def put(self, key: tuple, value: Tuple[np.ndarray, np.ndarray]) -> None:
+        with self._lock:
+            self._entries[key] = value
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
 
 
 class ServeApp:
@@ -56,6 +99,14 @@ class ServeApp:
         Optional shared :class:`MetricsRegistry` (created when omitted).
     max_batch_size / max_wait_ms / num_workers:
         Micro-batching configuration applied to every model's scheduler.
+    num_processes:
+        When > 0, batches execute on a :class:`ClusterDispatcher` of this
+        many worker processes sharing the packed model bank through
+        ``multiprocessing.shared_memory`` (one dispatcher per promoted
+        model version; dense-mode models transparently stay in-process).
+    cache_size:
+        Entry cap for the request-level LRU prediction cache keyed by
+        ``(model, version, top_k, payload hash)``; ``0`` disables caching.
     """
 
     def __init__(
@@ -65,9 +116,14 @@ class ServeApp:
         max_batch_size: int = 64,
         max_wait_ms: float = 2.0,
         num_workers: int = 1,
+        num_processes: int = 0,
+        cache_size: int = 1024,
     ):
+        if num_processes < 0:
+            raise ValueError(f"num_processes must be >= 0, got {num_processes}")
         self.registry = registry
         self.metrics = metrics or MetricsRegistry()
+        self.num_processes = int(num_processes)
         self._batch_config = dict(
             max_batch_size=max_batch_size,
             max_wait_ms=max_wait_ms,
@@ -75,6 +131,11 @@ class ServeApp:
         )
         self._schedulers: Dict[str, BatchScheduler] = {}
         self._lock = threading.Lock()
+        self._cache = _PredictionCache(cache_size) if cache_size else None
+        #: name -> (promoted version, dispatcher or None for dense fallback)
+        self._dispatchers: Dict[str, Tuple[int, Optional[ClusterDispatcher]]] = {}
+        self._cluster_lock = threading.Lock()
+        self._store: Optional[SharedModelStore] = None
 
     # ----------------------------------------------------------------- routes
     def healthz(self) -> dict:
@@ -84,7 +145,17 @@ class ServeApp:
         return {"models": self.registry.list_models()}
 
     def metrics_snapshot(self) -> dict:
-        return self.metrics.snapshot()
+        snapshot = self.metrics.snapshot()
+        if self._cache is not None:
+            snapshot["prediction_cache"] = {
+                "entries": len(self._cache),
+                "max_entries": self._cache.max_entries,
+            }
+        with self._cluster_lock:
+            dispatchers = [d for _, d in self._dispatchers.values() if d is not None]
+        if dispatchers:
+            snapshot["cluster"] = {d.name: d.info() for d in dispatchers}
+        return snapshot
 
     def predict(self, payload: dict) -> dict:
         """Handle one ``POST /v1/predict`` payload."""
@@ -110,26 +181,63 @@ class ServeApp:
         except KeyError:
             raise RequestError(400, "the 'features' field is required")
         except (TypeError, ValueError):
-            raise RequestError(400, "'features' must be a numeric array")
+            # Covers non-numeric entries and ragged rows (NumPy refuses the
+            # inhomogeneous nesting) — a clean 400, never a stack trace.
+            raise RequestError(
+                400, "'features' must be a rectangular numeric array"
+            )
+        if features.ndim not in (1, 2):
+            raise RequestError(
+                400, f"'features' must be 1-D or 2-D, got {features.ndim}-D"
+            )
+        try:
+            check_finite(features, "'features'")
+        except ValueError as error:
+            raise RequestError(400, str(error))
 
         started = time.perf_counter()
         model_metrics = self.metrics.for_model(name)
+        cache_key = None
+        if self._cache is not None:
+            cache_key = (
+                name,
+                self.registry.default_version(name),
+                top_k,
+                features.shape,
+                hashlib.sha1(features.tobytes()).hexdigest(),
+            )
+            cached = self._cache.get(cache_key)
+            if cached is not None:
+                model_metrics.record_cache_hit()
+                labels, scores = cached
+                return self._build_response(
+                    name, labels, scores, top_k, started, cached=True
+                )
+            model_metrics.record_cache_miss()
+
         try:
             if features.ndim == 1:
                 labels, scores = self.scheduler_for(name).top_k(features, k=top_k)
                 labels, scores = labels[None, :], scores[None, :]
                 batched = True
-            elif features.ndim == 2:
-                engine = self.registry.get(name)
+            else:
+                engine = self.engine_for(name)
                 labels, scores = engine.top_k(features, k=top_k)
                 batched = False
-            else:
-                raise RequestError(
-                    400, f"'features' must be 1-D or 2-D, got {features.ndim}-D"
-                )
         except RequestError:
             model_metrics.record_error()
             raise
+        except WorkerCrashedError as error:
+            model_metrics.record_error()
+            raise RequestError(
+                503, f"inference worker crashed and was respawned; retry ({error})"
+            )
+        except DispatcherClosedError:
+            # Hot-swap race: this request resolved a dispatcher that a
+            # concurrent promote closed before the batch ran.  The swap has
+            # finished, so a retry lands on the new version.
+            model_metrics.record_error()
+            raise RequestError(503, "model version was swapped mid-request; retry")
         except ValueError as error:
             model_metrics.record_error()
             raise RequestError(400, str(error))
@@ -138,12 +246,26 @@ class ServeApp:
         # numbers below include queueing, which is what callers experience.
         if not batched:
             model_metrics.record_request(features.shape[0], elapsed)
+        if cache_key is not None:
+            self._cache.put(cache_key, (labels, scores))
+        return self._build_response(name, labels, scores, top_k, started)
 
+    @staticmethod
+    def _build_response(
+        name: str,
+        labels: np.ndarray,
+        scores: np.ndarray,
+        top_k: int,
+        started: float,
+        cached: bool = False,
+    ) -> dict:
         response = {
             "model": name,
             "labels": [int(row[0]) for row in labels],
-            "latency_ms": elapsed * 1e3,
+            "latency_ms": (time.perf_counter() - started) * 1e3,
         }
+        if cached:
+            response["cached"] = True
         if top_k > 1:
             response["top_k_labels"] = labels.astype(int).tolist()
             response["top_k_scores"] = scores.astype(float).tolist()
@@ -158,19 +280,83 @@ class ServeApp:
             scheduler = self._schedulers.get(name)
             if scheduler is None:
                 scheduler = BatchScheduler(
-                    self.registry.resolver(name),
+                    lambda: self.engine_for(name),
                     metrics=self.metrics.for_model(name),
                     **self._batch_config,
                 )
                 self._schedulers[name] = scheduler
             return scheduler
 
+    # ---------------------------------------------------------------- cluster
+    def engine_for(self, name: str):
+        """The batch executor for *name*.
+
+        The in-process registry engine by default; with ``num_processes > 0``
+        the model's :class:`ClusterDispatcher` (same ``top_k`` surface), so
+        both the micro-batcher and direct 2-D requests shard across the
+        worker pool.
+        """
+        if self.num_processes <= 0:
+            return self.registry.get(name)
+        return self._dispatcher_for(name)
+
+    def _dispatcher_for(self, name: str):
+        engine = self.registry.get(name)  # loads + resolves promoted version
+        version = self.registry.default_version(name)
+        with self._cluster_lock:
+            entry = self._dispatchers.get(name)
+            if entry is not None and entry[0] == version:
+                dispatcher = entry[1]
+                return dispatcher if dispatcher is not None else engine
+            if self._store is None:
+                self._store = SharedModelStore()
+            store = self._store
+        # Spawning workers and waiting for their ready handshakes can take
+        # seconds; doing it outside the lock keeps every other model (and
+        # /v1/metrics) serving.  Two threads may race to build the same
+        # dispatcher — the loser's pool is closed, like the registry's
+        # duplicate-load policy.
+        try:
+            dispatcher = ClusterDispatcher(
+                engine,
+                num_workers=self.num_processes,
+                store=store,
+                name=f"{name}@v{version}",
+            )
+        except ValueError:
+            # Dense-mode engines (no packed bank to share) stay in-process.
+            dispatcher = None
+        stale = loser = None
+        winner = dispatcher
+        with self._cluster_lock:
+            entry = self._dispatchers.get(name)
+            if entry is not None and entry[0] == version:
+                winner, loser = entry[1], dispatcher
+            else:
+                stale = entry
+                self._dispatchers[name] = (version, dispatcher)
+        if loser is not None:
+            loser.close()
+        if stale is not None and stale[1] is not None:
+            # The superseded version's workers; close() waits behind the
+            # dispatcher's own lock for any in-flight batch to finish.
+            stale[1].close()
+        return winner if winner is not None else engine
+
     def close(self) -> None:
-        """Stop every scheduler (flushes pending requests)."""
+        """Stop schedulers, worker pools, and shared segments (in that order)."""
         with self._lock:
             schedulers, self._schedulers = list(self._schedulers.values()), {}
         for scheduler in schedulers:
             scheduler.stop()
+        with self._cluster_lock:
+            dispatchers, self._dispatchers = list(self._dispatchers.values()), {}
+            store, self._store = self._store, None
+        for _, dispatcher in dispatchers:
+            if dispatcher is not None:
+                dispatcher.close()
+        if store is not None:
+            store.close()
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -199,8 +385,8 @@ class _Handler(BaseHTTPRequestHandler):
                 self._send_json(200, self.app.metrics_snapshot())
             else:
                 self._send_json(404, {"error": f"no route {self.path!r}"})
-        except Exception as error:  # pragma: no cover - defensive
-            self._send_json(500, {"error": str(error)})
+        except Exception:  # pragma: no cover - defensive
+            self._send_internal_error()
 
     def do_POST(self) -> None:  # noqa: N802 - stdlib naming
         try:
@@ -210,8 +396,18 @@ class _Handler(BaseHTTPRequestHandler):
             self._send_json(200, self.app.predict(payload))
         except RequestError as error:
             self._send_json(error.status, {"error": str(error)})
-        except Exception as error:  # pragma: no cover - defensive
-            self._send_json(500, {"error": str(error)})
+        except Exception:
+            # Unexpected failures answer with a fixed JSON body: no stack
+            # trace, no exception internals — those go to the server log
+            # (when verbose), never over the wire.
+            self._send_internal_error()
+
+    def _send_internal_error(self) -> None:
+        import traceback
+
+        if getattr(self.server, "verbose", False):  # pragma: no cover
+            traceback.print_exc()
+        self._send_json(500, {"error": "internal server error"})
 
     # ---------------------------------------------------------------- helpers
     def _read_json(self) -> dict:

@@ -54,6 +54,18 @@ def check_matrix(
     return matrix
 
 
+def check_finite(array: np.ndarray, name: str) -> np.ndarray:
+    """Raise if *array* contains NaN or infinities; returns it unchanged.
+
+    Serving uses this to turn malformed numeric payloads into clean client
+    errors instead of letting NaN flow into the quantiser (where it would
+    silently classify garbage) or surface as an opaque internal error.
+    """
+    if not np.all(np.isfinite(array)):
+        raise ValueError(f"{name} must contain only finite values (no NaN/Inf)")
+    return array
+
+
 def check_labels(
     labels: Any, n_samples: int, n_classes: Optional[int] = None
 ) -> np.ndarray:

@@ -42,6 +42,29 @@ class TestParser:
                 ["serve", "--model", "m.npz", "--kernel-backend", "cuda"]
             )
 
+    def test_serve_multiprocess_flags(self):
+        args = build_parser().parse_args(
+            ["serve", "--model", "m.npz", "--workers", "4", "--cache-size", "0"]
+        )
+        assert args.workers == 4
+        assert args.cache_size == 0
+        assert args.scheduler_threads == 1
+        multiproc = build_parser().parse_args(
+            ["serve", "--model", "m.npz", "--kernel-backend", "multiprocess"]
+        )
+        assert multiproc.kernel_backend == "multiprocess"
+
+    def test_loadgen_defaults_and_target_exclusivity(self):
+        args = build_parser().parse_args(["loadgen"])
+        assert args.command == "loadgen"
+        assert args.mode == "closed"
+        assert args.url is None and args.model is None
+        assert args.quick is False
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["loadgen", "--url", "http://x:1", "--model", "m.npz"]
+            )
+
 
 class TestCommands:
     def test_list_datasets(self, capsys):
@@ -103,6 +126,30 @@ class TestCommands:
         )
         output = capsys.readouterr().out
         assert "Test accuracy" in output
+
+    def test_loadgen_quick_writes_validated_report(self, tmp_path, capsys):
+        report_path = tmp_path / "soak" / "report.json"
+        code = main(
+            [
+                "loadgen",
+                "--quick",
+                "--dataset",
+                "pamap",
+                "--dimension",
+                "256",
+                "--requests",
+                "30",
+                "--warmup",
+                "4",
+                "--json",
+                str(report_path),
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "throughput" in output
+        assert "quick-mode report validated" in output
+        assert report_path.exists()
 
     def test_compare_quick(self, capsys):
         code = main(

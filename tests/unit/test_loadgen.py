@@ -1,0 +1,206 @@
+"""Unit tests for repro.loadgen: sampler determinism, traffic, runner, report."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.classifiers.baseline import BaselineHDC
+from repro.classifiers.pipeline import HDCPipeline
+from repro.hdc.encoders import RecordEncoder
+from repro.loadgen import (
+    ClosedLoop,
+    InProcessTarget,
+    OpenLoop,
+    RequestSampler,
+    TargetError,
+    build_report,
+    format_report,
+    run_load_test,
+    validate_report,
+    write_report,
+)
+from repro.serve import ModelRegistry, PackedInferenceEngine, ServeApp
+
+
+class TestRequestSampler:
+    def test_same_seed_same_stream(self):
+        first = RequestSampler(dataset="ucihar", profile="tiny", seed=7)
+        second = RequestSampler(dataset="ucihar", profile="tiny", seed=7)
+        assert np.array_equal(first.indices(50), second.indices(50))
+        assert first.digest(50) == second.digest(50)
+
+    def test_different_seed_different_stream(self):
+        first = RequestSampler(dataset="ucihar", profile="tiny", seed=7)
+        second = RequestSampler(dataset="ucihar", profile="tiny", seed=8)
+        assert first.digest(50) != second.digest(50)
+
+    def test_indices_are_pure_in_the_seed(self):
+        sampler = RequestSampler(dataset="ucihar", profile="tiny", seed=3)
+        first = sampler.indices(20)
+        sampler.indices(5)  # interleaved draws must not perturb the stream
+        assert np.array_equal(sampler.indices(20), first)
+
+    def test_prefix_stability(self):
+        sampler = RequestSampler(dataset="ucihar", profile="tiny", seed=3)
+        assert np.array_equal(sampler.indices(50)[:20], sampler.indices(20))
+
+    def test_stream_yields_rows_from_split(self):
+        sampler = RequestSampler(dataset="ucihar", profile="tiny", seed=0)
+        pairs = list(sampler.stream(10))
+        assert len(pairs) == 10
+        for position, (index, row) in enumerate(pairs):
+            assert index == position
+            assert row.shape == (sampler.num_features,)
+
+    def test_from_arrays(self):
+        features = np.arange(12, dtype=np.float64).reshape(4, 3)
+        sampler = RequestSampler.from_arrays(features, seed=1)
+        assert sampler.num_features == 3
+        assert sampler.digest(8) == RequestSampler.from_arrays(features, seed=1).digest(8)
+
+    def test_bad_split_rejected(self):
+        with pytest.raises(ValueError, match="split"):
+            RequestSampler(dataset="ucihar", split="validation")
+
+
+class TestTraffic:
+    def test_open_loop_arrivals_deterministic_and_rate_consistent(self):
+        traffic = OpenLoop(rate_rps=100.0, seed=5)
+        offsets = traffic.arrival_offsets(2000)
+        assert np.array_equal(offsets, OpenLoop(rate_rps=100.0, seed=5).arrival_offsets(2000))
+        assert np.all(np.diff(offsets) >= 0)
+        mean_gap = float(np.diff(offsets, prepend=0.0).mean())
+        assert mean_gap == pytest.approx(1.0 / 100.0, rel=0.1)
+
+    def test_open_loop_validation(self):
+        with pytest.raises(ValueError, match="rate_rps"):
+            OpenLoop(rate_rps=0.0)
+        with pytest.raises(ValueError, match="max_outstanding"):
+            OpenLoop(rate_rps=1.0, max_outstanding=0)
+
+    def test_closed_loop_validation(self):
+        with pytest.raises(ValueError, match="concurrency"):
+            ClosedLoop(concurrency=0)
+        assert ClosedLoop(concurrency=3).describe() == {
+            "mode": "closed",
+            "concurrency": 3,
+        }
+
+
+@pytest.fixture(scope="module")
+def loadgen_app():
+    sampler = RequestSampler(dataset="ucihar", profile="tiny", seed=0)
+    encoder = RecordEncoder(dimension=256, num_levels=8, tie_break="positive", seed=0)
+    pipeline = HDCPipeline(encoder, BaselineHDC(seed=0))
+    pipeline.fit(sampler.train_features, sampler.train_labels)
+    registry = ModelRegistry()
+    registry.register("ucihar", PackedInferenceEngine(pipeline, name="ucihar"))
+    app = ServeApp(registry, max_wait_ms=0.5, cache_size=0)
+    yield app, sampler
+    app.close()
+
+
+class TestRunner:
+    def test_closed_loop_run_produces_valid_report(self, loadgen_app):
+        app, sampler = loadgen_app
+        report = run_load_test(
+            InProcessTarget(app),
+            sampler,
+            ClosedLoop(concurrency=3),
+            num_requests=40,
+            warmup_requests=8,
+        )
+        validate_report(report)
+        assert report["results"]["completed"] == 40
+        assert report["config"]["traffic"]["mode"] == "closed"
+        assert report["stream_digest"] == sampler.digest(48)
+
+    def test_open_loop_run_produces_valid_report(self, loadgen_app):
+        app, sampler = loadgen_app
+        report = run_load_test(
+            InProcessTarget(app),
+            sampler,
+            OpenLoop(rate_rps=400.0, seed=0),
+            num_requests=30,
+            warmup_requests=4,
+        )
+        validate_report(report)
+        assert report["config"]["traffic"]["rate_rps"] == 400.0
+
+    def test_errors_are_counted_not_fatal(self, loadgen_app):
+        app, _ = loadgen_app
+        # A sampler whose rows have the wrong width: every request is a 400.
+        bad = RequestSampler.from_arrays(np.zeros((4, 3)), seed=0)
+        report = run_load_test(
+            InProcessTarget(app),
+            bad,
+            ClosedLoop(concurrency=2),
+            num_requests=10,
+            warmup_requests=0,
+        )
+        assert report["results"]["errors"] == 10
+        assert report["results"]["completed"] == 0
+        with pytest.raises(ValueError, match="no completed requests"):
+            validate_report(report)
+
+    def test_target_error_on_unknown_model(self, loadgen_app):
+        app, sampler = loadgen_app
+        target = InProcessTarget(app, model="nope")
+        with pytest.raises(TargetError, match="404"):
+            target.send(sampler.features[0])
+
+    def test_input_validation(self, loadgen_app):
+        app, sampler = loadgen_app
+        target = InProcessTarget(app)
+        with pytest.raises(ValueError, match="num_requests"):
+            run_load_test(target, sampler, ClosedLoop(), num_requests=0)
+        with pytest.raises(ValueError, match="warmup"):
+            run_load_test(
+                target, sampler, ClosedLoop(), num_requests=1, warmup_requests=-1
+            )
+
+
+class TestReport:
+    def _report(self):
+        sampler = RequestSampler.from_arrays(np.zeros((4, 3)), seed=0)
+        return build_report(
+            target={"kind": "in-process", "model": None, "top_k": 1},
+            traffic={"mode": "closed", "concurrency": 2},
+            sampler=sampler,
+            num_requests=8,
+            warmup_requests=2,
+            warmup_errors=0,
+            latencies=[0.001, 0.002, 0.003, 0.004],
+            errors=0,
+            duration_seconds=0.5,
+        )
+
+    def test_build_and_validate(self):
+        report = self._report()
+        validate_report(report)
+        assert report["results"]["throughput_rps"] == pytest.approx(8.0)
+        latency = report["results"]["latency_ms"]
+        assert latency["p50_ms"] <= latency["p95_ms"] <= latency["p99_ms"]
+        assert latency["max_ms"] == pytest.approx(4.0)
+
+    def test_validate_rejects_degenerate_reports(self):
+        report = self._report()
+        report["results"]["throughput_rps"] = 0.0
+        with pytest.raises(ValueError, match="throughput"):
+            validate_report(report)
+        missing = self._report()
+        del missing["stream_digest"]
+        with pytest.raises(ValueError, match="stream_digest"):
+            validate_report(missing)
+
+    def test_format_report_mentions_key_numbers(self):
+        text = format_report(self._report())
+        assert "throughput" in text and "p99" in text
+
+    def test_write_report_round_trips(self, tmp_path):
+        report = self._report()
+        path = write_report(tmp_path / "soak" / "report.json", report)
+        assert json.loads(path.read_text()) == report

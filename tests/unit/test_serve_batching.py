@@ -183,3 +183,41 @@ class TestLifecycleAndErrors:
                 scheduler.submit(small_problem["test_features"][:2])  # 2-D
             with pytest.raises(ValueError):
                 scheduler.submit(small_problem["test_features"][0], top_k=0)
+
+
+class TestConcurrentSubmitters:
+    def test_many_threads_all_get_their_own_answer(self, engine, small_problem):
+        # The concurrency satellite: N submitter threads racing the collector
+        # must each receive the prediction for *their* sample, with no swaps,
+        # drops, or hangs — across enough rounds to shuffle batch formation.
+        queries = small_problem["test_features"][:32]
+        expected = engine.predict(queries)
+        with BatchScheduler(engine, max_batch_size=8, max_wait_ms=1.0) as scheduler:
+            def one_client(index):
+                results = []
+                for _ in range(5):
+                    results.append(scheduler.predict(queries[index], timeout=30))
+                return results
+
+            with ThreadPoolExecutor(max_workers=16) as pool:
+                futures = {
+                    index: pool.submit(one_client, index)
+                    for index in range(len(queries))
+                }
+                for index, future in futures.items():
+                    assert future.result() == [int(expected[index])] * 5
+
+    def test_concurrent_mixed_top_k(self, engine, small_problem):
+        queries = small_problem["test_features"][:16]
+        labels_k3, _ = engine.top_k(queries, k=3)
+        with BatchScheduler(engine, max_batch_size=4, max_wait_ms=1.0) as scheduler:
+            with ThreadPoolExecutor(max_workers=8) as pool:
+                futures = [
+                    pool.submit(scheduler.top_k, queries[index], 1 + index % 3)
+                    for index in range(len(queries))
+                ]
+                for index, future in enumerate(futures):
+                    labels, scores = future.result(timeout=30)
+                    k = 1 + index % 3
+                    assert labels.shape == (k,)
+                    assert np.array_equal(labels, labels_k3[index, :k])
