@@ -15,11 +15,16 @@ regenerated without writing any Python:
 * ``python -m repro serve --model model.npz --port 8080`` — serve saved
   models over JSON/HTTP with micro-batched packed inference
   (``--workers N`` adds the multiprocess tier: N worker processes sharing
-  the packed model bank through shared memory);
+  the packed model bank through shared memory; ``--trace FILE`` writes
+  JSONL request traces, ``--log-level info`` enables the access log, and
+  ``GET /metrics`` exposes Prometheus text format);
 * ``python -m repro loadgen --url http://host:8080`` — soak-test a serving
   endpoint (or an in-process app) with seeded, reproducible traffic:
   open-loop Poisson or closed-loop, warm-up + measure phases, exact latency
-  percentiles, JSON report output; ``--quick`` for CI smoke;
+  percentiles, JSON report output with server-side metric deltas;
+  ``--quick`` for CI smoke, ``--trace FILE`` to record and check traces;
+* ``python -m repro trace-summary trace.jsonl`` — per-stage latency
+  breakdown (count/p50/p95/max per span name) of a recorded trace file;
 * ``python -m repro bench-serve`` — the serving throughput comparison
   (single-sample vs micro-batched, dense vs packed);
 * ``python -m repro bench-kernels`` — the kernel-layer benchmark (fused
@@ -157,6 +162,28 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     serve.add_argument("--verbose", action="store_true", help="log HTTP requests")
+    serve.add_argument(
+        "--log-level",
+        default=None,
+        choices=["debug", "info", "warning", "error"],
+        help="enable the structured access log at this level (default: off)",
+    )
+    serve.add_argument(
+        "--trace",
+        default=None,
+        metavar="FILE",
+        help=(
+            "write request traces as JSONL to FILE (also honoured via the "
+            "REPRO_TRACE environment variable); inspect with trace-summary"
+        ),
+    )
+    serve.add_argument(
+        "--trace-sample",
+        type=float,
+        default=1.0,
+        metavar="P",
+        help="probability a request is traced (default 1.0; e.g. 0.01 for soaks)",
+    )
 
     loadgen = subparsers.add_parser(
         "loadgen", help="soak-test a serving target with reproducible traffic"
@@ -213,9 +240,35 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", default=None, metavar="PATH", help="also write the report as JSON"
     )
     loadgen.add_argument(
+        "--trace",
+        default=None,
+        metavar="FILE",
+        help=(
+            "JSONL request-trace file for the in-process target (with --quick "
+            "the file is also parsed and checked after the run); for --url "
+            "targets pass --trace to the server side instead"
+        ),
+    )
+    loadgen.add_argument(
+        "--trace-sample",
+        type=float,
+        default=1.0,
+        metavar="P",
+        help="probability a request is traced (default 1.0)",
+    )
+    loadgen.add_argument(
         "--quick",
         action="store_true",
         help="CI smoke: small sizes, then assert a well-formed non-degenerate report",
+    )
+
+    trace_summary = subparsers.add_parser(
+        "trace-summary",
+        help="per-stage latency breakdown of a JSONL trace file",
+    )
+    trace_summary.add_argument("trace_file", metavar="FILE", help="JSONL trace file")
+    trace_summary.add_argument(
+        "--json", default=None, metavar="PATH", help="also write the summary as JSON"
     )
 
     bench_serve = subparsers.add_parser(
@@ -425,6 +478,12 @@ def command_serve(args) -> int:  # pragma: no cover - blocking server loop
         except (OSError, ValueError) as error:
             print(f"error: cannot load model {path!r}: {error}", file=sys.stderr)
             return 1
+    tracer = None
+    if args.trace:
+        from repro.obs import configure_tracing
+
+        tracer = configure_tracing(args.trace, sample_rate=args.trace_sample)
+        print(f"tracing to {args.trace} (sample rate {args.trace_sample:g})")
     app = ServeApp(
         registry,
         max_batch_size=args.max_batch_size,
@@ -433,7 +492,17 @@ def command_serve(args) -> int:  # pragma: no cover - blocking server loop
         num_processes=args.workers if args.workers > 1 else 0,
         cache_size=args.cache_size,
     )
-    run_server(app, host=args.host, port=args.port, verbose=args.verbose)
+    try:
+        run_server(
+            app,
+            host=args.host,
+            port=args.port,
+            verbose=args.verbose,
+            log_level=args.log_level,
+        )
+    finally:
+        if tracer is not None:
+            tracer.close()
     return 0
 
 
@@ -455,6 +524,12 @@ def command_loadgen(args) -> int:
     num_requests = args.requests if args.requests is not None else (120 if args.quick else 400)
     warmup = args.warmup if args.warmup is not None else (16 if args.quick else 40)
     dimension = min(args.dimension, 1000) if args.quick else args.dimension
+
+    tracer = None
+    if args.trace:
+        from repro.obs import configure_tracing
+
+        tracer = configure_tracing(args.trace, sample_rate=args.trace_sample)
 
     sampler = RequestSampler(
         dataset=args.dataset, profile=args.profile, seed=args.seed
@@ -511,6 +586,8 @@ def command_loadgen(args) -> int:
     finally:
         if app is not None:
             app.close()
+        if tracer is not None:
+            tracer.close()
 
     print(format_report(report))
     if args.json:
@@ -522,6 +599,48 @@ def command_loadgen(args) -> int:
             "quick-mode report validated: non-zero throughput, "
             "monotone percentiles, zero errors"
         )
+        if args.trace and not args.url:
+            # The CI tracing smoke: the file must parse strictly, cover the
+            # run, and — with a worker pool — contain worker-side spans that
+            # stitched across the process boundary.
+            from repro.obs import parse_trace_file
+
+            spans = parse_trace_file(args.trace)
+            if not spans:
+                print("error: trace file is empty", file=sys.stderr)
+                return 1
+            names = {span["name"] for span in spans}
+            if "request" not in names:
+                print(f"error: no request spans in trace ({sorted(names)})", file=sys.stderr)
+                return 1
+            if args.workers > 1 and "worker:score" not in names:
+                print(
+                    f"error: no worker-side spans in trace ({sorted(names)})",
+                    file=sys.stderr,
+                )
+                return 1
+            print(
+                f"trace validated: {len(spans)} spans, "
+                f"stages {', '.join(sorted(names))}"
+            )
+    return 0
+
+
+def command_trace_summary(args) -> int:
+    from repro.obs import format_trace_summary, summarize_trace_file
+
+    try:
+        summary = summarize_trace_file(args.trace_file)
+    except (OSError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    print(format_trace_summary(summary))
+    if args.json:
+        import json
+
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(summary, handle, indent=2)
+        print(f"summary written to {args.json}")
     return 0
 
 
@@ -618,6 +737,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return command_serve(args)
     if args.command == "loadgen":
         return command_loadgen(args)
+    if args.command == "trace-summary":
+        return command_trace_summary(args)
     if args.command == "bench-serve":
         return command_bench_serve(args)
     if args.command == "bench-kernels":

@@ -53,6 +53,8 @@ from repro.cluster.errors import (
 )
 from repro.cluster.shared import SharedModelStore, make_worker_spec
 from repro.cluster.worker import worker_main
+from repro.obs.shm_metrics import WorkerStatsSlab, merge_worker_stats, stats_summary
+from repro.obs.trace import NULL_SPAN, Tracer, get_tracer
 
 
 def _default_start_method() -> str:
@@ -94,6 +96,15 @@ class ClusterDispatcher:
     start_method / startup_timeout / request_timeout:
         Process start method override and the two failure deadlines
         (seconds) for worker startup and a single sharded request.
+    tracer:
+        Optional :class:`~repro.obs.trace.Tracer`.  When the calling thread
+        has a sampled span open, each batch gets a ``dispatch`` span whose
+        context rides the worker pipes; workers reply with finished
+        ``worker:score`` span records that are stitched into the parent
+        trace here.  Defaults to the process-wide tracer.
+    metrics:
+        Optional :class:`~repro.serve.metrics.ModelMetrics` receiving
+        ``dispatch`` / ``merge`` stage timings.
     """
 
     def __init__(
@@ -105,6 +116,8 @@ class ClusterDispatcher:
         start_method: Optional[str] = None,
         startup_timeout: float = 60.0,
         request_timeout: float = 60.0,
+        tracer: Optional[Tracer] = None,
+        metrics=None,
     ):
         if num_workers < 1:
             raise ValueError(f"num_workers must be >= 1, got {num_workers}")
@@ -133,14 +146,23 @@ class ClusterDispatcher:
             if self._owns_store:
                 self._store.close()
             raise
+        self._tracer = tracer if tracer is not None else get_tracer()
+        self._metrics = metrics
         self._lock = threading.Lock()
         self._closed = False
         self._round_robin = 0
         self.respawns = 0
+        self._started_monotonic = time.monotonic()
+        # One stats slab per worker *slot*, owned by the dispatcher for its
+        # whole lifetime: respawned workers inherit their slot's slab, so the
+        # fleet counters survive crashes instead of resetting mid-soak.
+        self._slabs: List[WorkerStatsSlab] = []
         self._workers: List[Optional[_Worker]] = [None] * self.num_workers
         try:
+            for _ in range(self.num_workers):
+                self._slabs.append(WorkerStatsSlab.create())
             for index in range(self.num_workers):
-                self._workers[index] = self._spawn()
+                self._workers[index] = self._spawn(index)
         except BaseException:
             self.close()
             raise
@@ -151,13 +173,23 @@ class ClusterDispatcher:
     ) -> Tuple[np.ndarray, np.ndarray]:
         """The ``k`` best classes per sample, merged across worker shards."""
         results = self._scatter_gather(("top_k", int(k)), features)
-        labels = np.concatenate([labels for labels, _ in results], axis=0)
-        scores = np.concatenate([scores for _, scores in results], axis=0)
+        merge_started = time.perf_counter()
+        with self._child_span("merge", attrs={"shards": len(results)}):
+            labels = np.concatenate([labels for labels, _ in results], axis=0)
+            scores = np.concatenate([scores for _, scores in results], axis=0)
+        if self._metrics is not None:
+            self._metrics.record_stage("merge", time.perf_counter() - merge_started)
         return labels, scores
 
     def decision_scores(self, features: np.ndarray) -> np.ndarray:
         """``(n, K)`` class scores, merged across worker shards."""
-        return np.concatenate(self._scatter_gather(("scores",), features), axis=0)
+        results = self._scatter_gather(("scores",), features)
+        merge_started = time.perf_counter()
+        with self._child_span("merge", attrs={"shards": len(results)}):
+            merged = np.concatenate(results, axis=0)
+        if self._metrics is not None:
+            self._metrics.record_stage("merge", time.perf_counter() - merge_started)
+        return merged
 
     def predict(self, features: np.ndarray) -> np.ndarray:
         """Predict integer class labels for a batch of raw feature rows."""
@@ -172,7 +204,7 @@ class ClusterDispatcher:
                 try:
                     worker = self._ensure_worker(index)
                     worker.connection.send(("ping",))
-                    pids.append(self._receive(worker))
+                    pids.append(self._receive(worker)[0])
                 except (_WorkerCrash, BrokenPipeError, OSError):
                     self._retire_worker(index)
                     raise WorkerCrashedError(
@@ -224,6 +256,14 @@ class ClusterDispatcher:
             if worker.process.is_alive():  # pragma: no cover - stuck worker
                 worker.process.terminate()
                 worker.process.join(timeout=1.0)
+        # Slabs go away only after every worker has exited (workers hold
+        # attachments; the owner's close also unlinks the segment).
+        slabs, self._slabs = self._slabs, []
+        for slab in slabs:
+            try:
+                slab.close()
+            except (OSError, ValueError):  # pragma: no cover - already gone
+                pass
         try:
             self._store.release(self._bank_key)
         except KeyError:  # pragma: no cover - store closed externally
@@ -251,19 +291,49 @@ class ClusterDispatcher:
                     for worker in self._workers
                     if worker is not None and worker.process.is_alive()
                 ],
+                "uptime_seconds": time.monotonic() - self._started_monotonic,
+                "workers": self.fleet_stats(),
             }
+
+    def fleet_stats(self) -> dict:
+        """Per-worker counters from the shared-memory slabs, plus the merged
+        fleet view (utilisation, scoring-latency percentiles).
+
+        Reads are lock-free — each slab has a single writer (its worker) and
+        this is the single reader — so polling ``/v1/metrics`` never touches
+        the request path.
+        """
+        per_worker = [slab.read() for slab in self._slabs]
+        merged = merge_worker_stats(per_worker)
+        uptime = time.monotonic() - self._started_monotonic
+        return {
+            "per_worker": per_worker,
+            "fleet": stats_summary(merged, uptime_seconds=uptime),
+        }
 
     # -------------------------------------------------------------- internals
     def _check_open(self) -> None:
         if self._closed:
             raise DispatcherClosedError("ClusterDispatcher is closed")
 
-    def _spawn(self) -> _Worker:
+    def _child_span(self, name: str, attrs=None):
+        """A recording span only when the calling thread is already inside a
+        sampled trace; the shared null span otherwise.
+
+        Dispatcher stages are never trace *roots* — gating on the ambient
+        context keeps unsampled requests (and direct engine-style use) from
+        minting orphan single-span traces.
+        """
+        if self._tracer.current_context() is None:
+            return NULL_SPAN
+        return self._tracer.start_span(name, attrs=attrs)
+
+    def _spawn(self, index: int) -> _Worker:
         parent_connection, child_connection = self._context.Pipe(duplex=True)
         process = self._context.Process(
             target=worker_main,
-            args=(self._spec, child_connection),
-            name=f"repro-cluster-{self.name}",
+            args=(self._spec, child_connection, self._slabs[index].name, index),
+            name=f"repro-cluster-{self.name}-{index}",
             daemon=True,
         )
         process.start()
@@ -301,7 +371,7 @@ class ClusterDispatcher:
             return worker
         if worker is not None:
             self._retire_worker(index)
-        self._workers[index] = self._spawn()
+        self._workers[index] = self._spawn(index)
         self.respawns += 1
         return self._workers[index]
 
@@ -332,7 +402,9 @@ class ClusterDispatcher:
             if kind == "ValueError":
                 raise ValueError(message)
             raise RuntimeError(f"worker error ({kind}): {message}")
-        return reply[1]
+        # ``("ok", payload, spans)`` — spans is the worker's list of finished
+        # span records (empty unless the request carried a trace context).
+        return reply[1], reply[2]
 
     def _scatter_gather(self, op: tuple, features: np.ndarray) -> list:
         """Send row shards of *features* to the pool; return per-shard results.
@@ -344,12 +416,21 @@ class ClusterDispatcher:
         features = np.asarray(features, dtype=np.float64)
         if features.ndim == 1:
             features = features[None, :]
-        with self._lock:
+        started = time.perf_counter()
+        with self._lock, self._child_span(
+            "dispatch", attrs={"op": op[0], "rows": int(features.shape[0])}
+        ) as span:
             self._check_open()
+            # The span context (None when unsampled) rides each pipe as the
+            # op's final element; workers reply with finished ``worker:score``
+            # records that we stitch into the parent trace below — the worker
+            # never touches the trace file, so there is exactly one writer.
+            ctx = span.context
             num_shards = max(1, min(self.num_workers, features.shape[0]))
             offset = self._round_robin
             self._round_robin = (offset + num_shards) % self.num_workers
             shards = np.array_split(features, num_shards, axis=0)
+            span.set("shards", num_shards)
             crashed: List[int] = []
             spawn_error: Optional[WorkerStartupError] = None
             assignments = []
@@ -362,7 +443,7 @@ class ClusterDispatcher:
                     crashed.append(index)
                     continue
                 try:
-                    worker.connection.send((op[0], shard, *op[1:]))
+                    worker.connection.send((op[0], shard, *op[1:], ctx))
                 except (BrokenPipeError, OSError):
                     self._retire_worker(index)
                     crashed.append(index)
@@ -378,12 +459,17 @@ class ClusterDispatcher:
             request_error: Optional[Exception] = None
             for index, worker in assignments:
                 try:
-                    results.append(self._receive(worker))
+                    payload, worker_spans = self._receive(worker)
                 except _WorkerCrash:
                     self._retire_worker(index)
                     crashed.append(index)
+                    continue
                 except (ValueError, RuntimeError) as error:
                     request_error = request_error or error
+                    continue
+                results.append(payload)
+                for record in worker_spans:
+                    self._tracer.emit_record(record)
             if crashed:
                 raise WorkerCrashedError(
                     f"worker(s) {sorted(set(crashed))} of {self.name!r} died "
@@ -391,7 +477,9 @@ class ClusterDispatcher:
                 ) from spawn_error
             if request_error is not None:
                 raise request_error
-            return results
+        if self._metrics is not None:
+            self._metrics.record_stage("dispatch", time.perf_counter() - started)
+        return results
 
 
 __all__ = ["ClusterDispatcher"]

@@ -5,15 +5,28 @@ from a :class:`~repro.cluster.shared.WorkerModelSpec` — encoder tables private
 packed model bank mapped zero-copy from the parent's shared segment — then
 answers a tiny request protocol over its pipe:
 
-==============================  ============================================
-request                         reply
-==============================  ============================================
-``("top_k", features, k)``      ``("ok", (labels, scores))``
-``("scores", features)``        ``("ok", scores)``
-``("ping",)``                   ``("ok", pid)``
-``("poison",)``                 ``("ok", None)`` *(then die on next request)*
-``("stop",)``                   *(none; the worker exits)*
-==============================  ============================================
+==================================  ==========================================
+request                             reply
+==================================  ==========================================
+``("top_k", features, k, ctx)``     ``("ok", (labels, scores), spans)``
+``("scores", features, ctx)``       ``("ok", scores, spans)``
+``("ping",)``                       ``("ok", pid, [])``
+``("poison",)``                     ``("ok", None, [])`` *(then die on next
+                                    request)*
+``("stop",)``                       *(none; the worker exits)*
+==================================  ==========================================
+
+``ctx`` is an optional trace span context (a picklable
+:class:`~repro.obs.trace.SpanContext` tuple, or ``None``).  When present the
+worker times its scoring and ships a finished ``worker:score`` span record
+back in the reply's third slot; the dispatcher writes it into the parent's
+trace sink, which is how a single request's trace stitches across the
+process boundary without the worker ever opening the trace file.
+
+Independent of tracing, every scoring request is recorded into the worker's
+shared-memory stats slab (requests, samples, busy seconds, and a scoring
+latency histogram) when the dispatcher handed one over — that is the
+lock-free channel behind the fleet-wide utilisation view in ``/v1/metrics``.
 
 ``poison`` arms a hard ``os._exit`` on the *next* request, which is how the
 crash-recovery tests (and chaos drills) provoke a deterministic mid-batch
@@ -32,13 +45,25 @@ from __future__ import annotations
 from repro.cluster.shared import WorkerModelSpec, build_worker_engine
 
 
-def worker_main(spec: WorkerModelSpec, connection) -> None:
+def worker_main(
+    spec: WorkerModelSpec,
+    connection,
+    stats_slab_name=None,
+    worker_index: int = 0,
+) -> None:
     """Process entry point: build the engine, then serve the pipe until EOF."""
     import os
+    import time
 
+    from repro.obs.shm_metrics import WorkerStatsSlab
+    from repro.obs.trace import span_record
+
+    stats = None
     try:
         attached, engine = build_worker_engine(spec)
         engine.warmup()
+        if stats_slab_name is not None:
+            stats = WorkerStatsSlab.attach(stats_slab_name)
     except BaseException as error:
         try:
             connection.send(("failed", f"{type(error).__name__}: {error}"))
@@ -46,6 +71,31 @@ def worker_main(spec: WorkerModelSpec, connection) -> None:
             connection.close()
         return
     connection.send(("ready", os.getpid()))
+
+    def _score(op, features, extra_args, ctx):
+        """Run one scoring op; returns ``(payload, spans)`` and records stats."""
+        started_wall = time.time()
+        started = time.perf_counter()
+        if op == "top_k":
+            payload = engine.top_k(features, k=extra_args[0])
+        else:
+            payload = engine.decision_scores(features)
+        elapsed = time.perf_counter() - started
+        rows = int(features.shape[0]) if features.ndim == 2 else 1
+        if stats is not None:
+            stats.record(rows, elapsed)
+        spans = []
+        if ctx is not None:
+            spans.append(
+                span_record(
+                    "worker:score",
+                    ctx,
+                    started_wall,
+                    elapsed,
+                    attrs={"op": op, "rows": rows, "worker": worker_index},
+                )
+            )
+        return payload, spans
 
     poisoned = False
     try:
@@ -62,21 +112,27 @@ def worker_main(spec: WorkerModelSpec, connection) -> None:
             try:
                 if op == "poison":
                     poisoned = True
-                    connection.send(("ok", None))
+                    connection.send(("ok", None, []))
                 elif op == "top_k":
-                    _, features, k = message
-                    labels, scores = engine.top_k(features, k=k)
-                    connection.send(("ok", (labels, scores)))
+                    _, features, k, ctx = message
+                    payload, spans = _score(op, features, (k,), ctx)
+                    connection.send(("ok", payload, spans))
                 elif op == "scores":
-                    connection.send(("ok", engine.decision_scores(message[1])))
+                    _, features, ctx = message
+                    payload, spans = _score(op, features, (), ctx)
+                    connection.send(("ok", payload, spans))
                 elif op == "ping":
-                    connection.send(("ok", os.getpid()))
+                    connection.send(("ok", os.getpid(), []))
                 else:
                     connection.send(("error", "ValueError", f"unknown op {op!r}"))
             except Exception as error:
+                if stats is not None:
+                    stats.record_error()
                 connection.send(("error", type(error).__name__, str(error)))
     finally:
         connection.close()
+        if stats is not None:
+            stats.close()
         attached.close()
 
 

@@ -43,10 +43,12 @@ point are never silently up- or down-cast.
 
 from __future__ import annotations
 
+import functools
 import os
 import threading
+import time
 from contextlib import contextmanager
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -94,6 +96,8 @@ def get_kernel(name: str, backend: Optional[str] = None) -> Callable:
         implementation = implementations.get(DEFAULT_BACKEND)
     if implementation is None:  # pragma: no cover - registration bug
         raise KeyError(f"kernel {name!r} has no {backend!r} or numpy implementation")
+    if _PROFILE_ENABLED:
+        return _profiled_kernel(name, backend, implementation)
     return implementation
 
 
@@ -320,6 +324,92 @@ def run_sharded_processes(function, sharded: np.ndarray, *args):
         return function(sharded, *args)
 
 
+# ------------------------------------------------------------------ profiling
+#: (kernel name, backend) -> [calls, total seconds]; guarded by _PROFILE_LOCK.
+_PROFILE: Dict[Tuple[str, str], List] = {}
+_PROFILE_LOCK = threading.Lock()
+_PROFILE_ENABLED = False
+#: Stable wrapper per (name, backend, implementation) so repeated resolution
+#: while profiling does not stack timers.
+_PROFILE_WRAPPERS: Dict[Tuple[str, str, Callable], Callable] = {}
+
+
+def enable_kernel_profiling(enabled: bool = True) -> None:
+    """Turn per-kernel call-count/time accounting on or off.
+
+    Profiling hooks in at *resolution* time: while enabled,
+    :func:`get_kernel` hands out a timing wrapper; while disabled it returns
+    the raw implementation, so the serving hot path (which resolves once and
+    caches) pays nothing.  Call sites that cached a kernel before profiling
+    was enabled keep their unwrapped reference — re-resolve to profile them.
+    """
+    global _PROFILE_ENABLED
+    _PROFILE_ENABLED = bool(enabled)
+
+
+def kernel_profiling_enabled() -> bool:
+    return _PROFILE_ENABLED
+
+
+@contextmanager
+def profile_kernels():
+    """Enable profiling within a ``with`` block (restores the prior state)."""
+    previous = _PROFILE_ENABLED
+    enable_kernel_profiling(True)
+    try:
+        yield
+    finally:
+        enable_kernel_profiling(previous)
+
+
+def reset_kernel_profile() -> None:
+    """Zero all accumulated per-kernel counters."""
+    with _PROFILE_LOCK:
+        _PROFILE.clear()
+
+
+def kernel_profile_snapshot() -> Dict[str, Dict[str, object]]:
+    """JSON-ready ``{"name[backend]": {calls, total_ms, mean_ms}}`` view."""
+    with _PROFILE_LOCK:
+        entries = {key: list(value) for key, value in _PROFILE.items()}
+    snapshot = {}
+    for (name, backend), (calls, seconds) in sorted(entries.items()):
+        snapshot[f"{name}[{backend}]"] = {
+            "kernel": name,
+            "backend": backend,
+            "calls": calls,
+            "total_ms": seconds * 1e3,
+            "mean_ms": (seconds / calls * 1e3) if calls else 0.0,
+        }
+    return snapshot
+
+
+def _profiled_kernel(name: str, backend: str, function: Callable) -> Callable:
+    cache_key = (name, backend, function)
+    wrapper = _PROFILE_WRAPPERS.get(cache_key)
+    if wrapper is not None:
+        return wrapper
+    profile_key = (name, backend)
+
+    @functools.wraps(function)
+    def timed(*args, **kwargs):
+        started = time.perf_counter()
+        try:
+            return function(*args, **kwargs)
+        finally:
+            elapsed = time.perf_counter() - started
+            with _PROFILE_LOCK:
+                entry = _PROFILE.get(profile_key)
+                if entry is None:
+                    entry = _PROFILE[profile_key] = [0, 0.0]
+                entry[0] += 1
+                entry[1] += elapsed
+
+    with _PROFILE_LOCK:
+        wrapper = _PROFILE_WRAPPERS.setdefault(cache_key, timed)
+    return wrapper
+
+
 # --------------------------------------------------------------- dtype policy
 def float_dtype() -> np.dtype:
     """The dtype used when floats are introduced (init, int->float casts)."""
@@ -356,12 +446,17 @@ __all__ = [
     "DEFAULT_BACKEND",
     "active_backend",
     "available_backends",
+    "enable_kernel_profiling",
     "float_dtype",
     "get_kernel",
+    "kernel_profile_snapshot",
+    "kernel_profiling_enabled",
     "list_kernels",
     "num_procs",
     "num_threads",
+    "profile_kernels",
     "register_kernel",
+    "reset_kernel_profile",
     "run_sharded",
     "run_sharded_processes",
     "run_sharded_sum",

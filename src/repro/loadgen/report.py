@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import List, Union
+from typing import List, Optional, Union
 
 import numpy as np
 
@@ -19,6 +19,55 @@ REPORT_VERSION = 1
 
 #: The latency summary percentiles every report carries.
 PERCENTILES = (50.0, 95.0, 99.0)
+
+
+def server_metrics_delta(before: dict, after: dict) -> dict:
+    """Counter deltas (and after-the-run gauges) between two ``/v1/metrics``
+    snapshots taken around the measure phase.
+
+    The counters say what the *server* did for this load — requests answered,
+    samples scored, cache hits, coalesced batches, worker busy seconds —
+    which the client-side latency numbers cannot distinguish (e.g. a 100%
+    cache-hit soak and a real scoring soak look identical from outside).
+    """
+
+    def totals(snapshot: dict) -> dict:
+        out = {
+            "requests": 0,
+            "samples": 0,
+            "errors": 0,
+            "cache_hits": 0,
+            "cache_misses": 0,
+            "batches": 0,
+        }
+        for model in snapshot.get("models", {}).values():
+            out["requests"] += model.get("requests", 0)
+            out["samples"] += model.get("samples", 0)
+            out["errors"] += model.get("errors", 0)
+            cache = model.get("cache", {})
+            out["cache_hits"] += cache.get("hits", 0)
+            out["cache_misses"] += cache.get("misses", 0)
+            out["batches"] += model.get("batches", 0)
+        return out
+
+    def worker_totals(snapshot: dict) -> dict:
+        out = {"worker_requests": 0, "worker_busy_seconds": 0.0}
+        for info in snapshot.get("cluster", {}).values():
+            fleet = info.get("workers", {}).get("fleet", {})
+            out["worker_requests"] += fleet.get("requests", 0)
+            out["worker_busy_seconds"] += fleet.get("busy_seconds", 0.0)
+        return out
+
+    first, last = totals(before), totals(after)
+    delta = {key: last[key] - first[key] for key in last}
+    first_w, last_w = worker_totals(before), worker_totals(after)
+    delta.update({key: last_w[key] - first_w[key] for key in last_w})
+    gauges = {}
+    for name, scheduler in after.get("schedulers", {}).items():
+        gauges[name] = {"queue_depth": scheduler.get("queue_depth", 0)}
+    if gauges:
+        delta["queue_depth_after"] = gauges
+    return delta
 
 
 def build_report(
@@ -31,6 +80,7 @@ def build_report(
     latencies: List[float],
     errors: int,
     duration_seconds: float,
+    server_metrics: Optional[dict] = None,
 ) -> dict:
     """Assemble the JSON-ready report dictionary from one measure phase."""
     latency_array = np.asarray(latencies, dtype=np.float64)
@@ -45,7 +95,7 @@ def build_report(
             summary[f"p{percentile:.0f}_ms"] = float(
                 np.percentile(latency_array, percentile) * 1e3
             )
-    return {
+    report = {
         "report_version": REPORT_VERSION,
         "config": {
             "target": target,
@@ -69,6 +119,9 @@ def build_report(
             "latency_ms": summary,
         },
     }
+    if server_metrics is not None:
+        report["server_metrics_delta"] = server_metrics
+    return report
 
 
 def validate_report(report: dict) -> None:
@@ -126,6 +179,24 @@ def format_report(report: dict) -> str:
         ["latency max", f"{latency['max_ms']:.2f} ms"],
         ["stream digest", report["stream_digest"][:16] + "…"],
     ]
+    delta = report.get("server_metrics_delta")
+    if delta is not None:
+        lookups = delta["cache_hits"] + delta["cache_misses"]
+        hit_rate = delta["cache_hits"] / lookups if lookups else 0.0
+        rows.append(["server requests", f"+{delta['requests']}"])
+        rows.append(["server samples", f"+{delta['samples']}"])
+        rows.append(
+            ["server cache", f"+{delta['cache_hits']} hits ({hit_rate:.0%})"]
+        )
+        rows.append(["server batches", f"+{delta['batches']}"])
+        if delta.get("worker_requests"):
+            rows.append(
+                [
+                    "worker shards",
+                    f"+{delta['worker_requests']} "
+                    f"({delta['worker_busy_seconds']:.2f} s busy)",
+                ]
+            )
     title = f"Load test (seed={config['seed']})"
     return format_table(["metric", "value"], rows, title=title)
 
@@ -145,6 +216,7 @@ __all__ = [
     "REPORT_VERSION",
     "build_report",
     "format_report",
+    "server_metrics_delta",
     "validate_report",
     "write_report",
 ]

@@ -26,7 +26,7 @@ from typing import List, Optional, Union
 
 import numpy as np
 
-from repro.loadgen.report import build_report
+from repro.loadgen.report import build_report, server_metrics_delta
 from repro.loadgen.sampler import RequestSampler
 from repro.loadgen.traffic import ClosedLoop, OpenLoop
 
@@ -58,6 +58,10 @@ class InProcessTarget:
         except RequestError as error:
             raise TargetError(f"{error.status}: {error}")
 
+    def metrics_snapshot(self) -> Optional[dict]:
+        """The app's ``/v1/metrics`` snapshot (for before/after deltas)."""
+        return self.app.metrics_snapshot()
+
     def describe(self) -> dict:
         return {"kind": self.kind, "model": self.model, "top_k": self.top_k}
 
@@ -74,7 +78,8 @@ class HTTPTarget:
         top_k: int = 1,
         timeout: float = 30.0,
     ):
-        self.url = url.rstrip("/") + "/v1/predict"
+        self.base_url = url.rstrip("/")
+        self.url = self.base_url + "/v1/predict"
         self.model = model
         self.top_k = int(top_k)
         self.timeout = float(timeout)
@@ -96,6 +101,17 @@ class HTTPTarget:
             raise TargetError(f"{error.code}: {error.reason}")
         except (urllib.error.URLError, OSError, json.JSONDecodeError) as error:
             raise TargetError(str(error))
+
+    def metrics_snapshot(self) -> Optional[dict]:
+        """Fetch ``GET /v1/metrics``; ``None`` when the endpoint is unreachable
+        (a missing snapshot must never fail the soak itself)."""
+        try:
+            with urllib.request.urlopen(
+                self.base_url + "/v1/metrics", timeout=self.timeout
+            ) as response:
+                return json.loads(response.read())
+        except (urllib.error.URLError, OSError, json.JSONDecodeError):
+            return None
 
     def describe(self) -> dict:
         return {
@@ -226,6 +242,11 @@ def run_load_test(
         )
         _run_closed(target, warmup_rows, warmup_concurrency, warmup_phase)
 
+    # Server-side view: snapshot the target's metrics around the measure
+    # phase so the report can say what the *server* saw (cache hits, batch
+    # coalescing, worker busy time) — not just what the clients felt.
+    metrics_before = _safe_metrics(target)
+
     measure_phase = _Phase()
     if isinstance(traffic, ClosedLoop):
         duration = _run_closed(
@@ -233,6 +254,11 @@ def run_load_test(
         )
     else:
         duration = _run_open(target, measure_rows, traffic, measure_phase)
+
+    metrics_after = _safe_metrics(target)
+    server_metrics = None
+    if metrics_before is not None and metrics_after is not None:
+        server_metrics = server_metrics_delta(metrics_before, metrics_after)
 
     return build_report(
         target=target.describe(),
@@ -244,7 +270,18 @@ def run_load_test(
         latencies=measure_phase.latencies,
         errors=measure_phase.errors,
         duration_seconds=duration,
+        server_metrics=server_metrics,
     )
+
+
+def _safe_metrics(target) -> Optional[dict]:
+    snapshot = getattr(target, "metrics_snapshot", None)
+    if snapshot is None:
+        return None
+    try:
+        return snapshot()
+    except Exception:  # pragma: no cover - target without a serving app
+        return None
 
 
 __all__ = [

@@ -1,0 +1,67 @@
+"""repro.obs — end-to-end observability for the serving/cluster stack.
+
+Three capabilities, each usable on its own and composed by the serving
+layer:
+
+* :mod:`repro.obs.trace` — request-scoped tracing: every sampled request
+  gets a trace ID and a span tree (validate → cache lookup → queue wait →
+  dispatch → per-worker scoring → merge → respond) written as JSONL by a
+  single writer; span context is a picklable tuple, so it rides the
+  dispatcher's pipes and worker-side spans stitch back into the parent
+  trace;
+* :mod:`repro.obs.shm_metrics` — lock-free per-worker counter slabs in
+  ``multiprocessing.shared_memory``, merged by the dispatcher into a
+  fleet-wide utilisation/latency view without touching the request path;
+* :mod:`repro.obs.prometheus` — pure-function rendering of the
+  ``/v1/metrics`` snapshot into Prometheus text exposition (served at
+  ``GET /metrics``);
+* :mod:`repro.obs.summary` — trace-file analysis behind
+  ``repro trace-summary`` (per-stage latency breakdowns, stitching checks).
+
+This package deliberately imports nothing from :mod:`repro.serve` or
+:mod:`repro.cluster` — it is a leaf those layers build on.
+"""
+
+from repro.obs.prometheus import CONTENT_TYPE, render_prometheus, validate_exposition
+from repro.obs.shm_metrics import (
+    STAGE_BOUNDS,
+    WorkerStatsSlab,
+    merge_worker_stats,
+    stats_summary,
+)
+from repro.obs.trace import (
+    JsonlSink,
+    MemorySink,
+    Span,
+    SpanContext,
+    Tracer,
+    configure_tracing,
+    get_tracer,
+    parse_trace_file,
+    set_tracer,
+    span_record,
+)
+from repro.obs.summary import format_trace_summary, summarize_spans, summarize_trace_file
+
+__all__ = [
+    "CONTENT_TYPE",
+    "STAGE_BOUNDS",
+    "JsonlSink",
+    "MemorySink",
+    "Span",
+    "SpanContext",
+    "Tracer",
+    "WorkerStatsSlab",
+    "configure_tracing",
+    "format_trace_summary",
+    "get_tracer",
+    "merge_worker_stats",
+    "parse_trace_file",
+    "render_prometheus",
+    "set_tracer",
+    "span_record",
+    "stats_summary",
+    "summarize_spans",
+    "summarize_trace_file",
+    "validate_exposition",
+]

@@ -1,0 +1,249 @@
+"""Prometheus text-exposition rendering of the serving metrics snapshot.
+
+:func:`render_prometheus` turns the JSON-ready dictionary served at
+``GET /v1/metrics`` into the `text exposition format
+<https://prometheus.io/docs/instrumenting/exposition_formats/>`_ served at
+``GET /metrics`` — no client library, no registry object, just a pure
+function over the snapshot, which keeps it trivially testable (the format is
+pinned by a golden test) and free of extra state to keep consistent.
+
+Conventions:
+
+* counters end in ``_total``; latency histograms follow the native
+  ``_bucket``/``_sum``/``_count`` triplet with cumulative ``le`` labels
+  (which is why :class:`~repro.serve.metrics.LatencyHistogram` snapshots
+  carry their raw cumulative bucket counts);
+* per-model series carry a ``model`` label, per-stage histograms add
+  ``stage``, cluster-worker series carry ``dispatcher`` and ``worker``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+def _escape(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _labels(**labels: object) -> str:
+    if not labels:
+        return ""
+    body = ",".join(f'{key}="{_escape(str(value))}"' for key, value in labels.items())
+    return "{" + body + "}"
+
+
+def _number(value) -> str:
+    value = float(value)
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+class _Writer:
+    """Accumulates exposition lines, emitting HELP/TYPE once per metric."""
+
+    def __init__(self):
+        self.lines: List[str] = []
+        self._declared = set()
+
+    def declare(self, name: str, kind: str, help_text: str) -> None:
+        if name in self._declared:
+            return
+        self._declared.add(name)
+        self.lines.append(f"# HELP {name} {help_text}")
+        self.lines.append(f"# TYPE {name} {kind}")
+
+    def sample(self, name: str, value, **labels) -> None:
+        self.lines.append(f"{name}{_labels(**labels)} {_number(value)}")
+
+
+def _render_histogram(
+    writer: _Writer,
+    name: str,
+    help_text: str,
+    latency: Dict,
+    **labels,
+) -> None:
+    """Emit one ``_bucket``/``_sum``/``_count`` triplet from a latency
+    snapshot carrying cumulative ``buckets`` (skipped when absent)."""
+    buckets = latency.get("buckets")
+    if buckets is None:
+        return
+    writer.declare(name, "histogram", help_text)
+    for entry in buckets:
+        writer.sample(f"{name}_bucket", entry["count"], **labels, le=entry["le"])
+    writer.sample(f"{name}_sum", latency.get("sum_seconds", 0.0), **labels)
+    writer.sample(f"{name}_count", latency.get("count", 0), **labels)
+
+
+def render_prometheus(snapshot: Dict) -> str:
+    """Render a ``/v1/metrics`` snapshot as Prometheus text exposition."""
+    writer = _Writer()
+
+    for model, metrics in sorted(snapshot.get("models", {}).items()):
+        writer.declare(
+            "repro_requests_total", "counter", "Completed inference requests."
+        )
+        writer.sample("repro_requests_total", metrics["requests"], model=model)
+        writer.declare("repro_samples_total", "counter", "Samples scored.")
+        writer.sample("repro_samples_total", metrics["samples"], model=model)
+        writer.declare("repro_errors_total", "counter", "Failed requests.")
+        writer.sample("repro_errors_total", metrics["errors"], model=model)
+
+        cache = metrics.get("cache")
+        if cache is not None:
+            writer.declare(
+                "repro_cache_hits_total", "counter", "Prediction-cache hits."
+            )
+            writer.sample("repro_cache_hits_total", cache["hits"], model=model)
+            writer.declare(
+                "repro_cache_misses_total", "counter", "Prediction-cache misses."
+            )
+            writer.sample("repro_cache_misses_total", cache["misses"], model=model)
+
+        writer.declare(
+            "repro_batches_total", "counter", "Coalesced micro-batches executed."
+        )
+        writer.sample("repro_batches_total", metrics.get("batches", 0), model=model)
+
+        _render_histogram(
+            writer,
+            "repro_request_latency_seconds",
+            "End-to-end request latency.",
+            metrics.get("latency", {}),
+            model=model,
+        )
+        for stage, latency in sorted(metrics.get("stages", {}).items()):
+            _render_histogram(
+                writer,
+                "repro_stage_latency_seconds",
+                "Per-stage latency (validate, queue_wait, dispatch, ...).",
+                latency,
+                model=model,
+                stage=stage,
+            )
+
+    for model, scheduler in sorted(snapshot.get("schedulers", {}).items()):
+        writer.declare(
+            "repro_scheduler_queue_depth",
+            "gauge",
+            "Requests waiting in the micro-batch queue.",
+        )
+        writer.sample(
+            "repro_scheduler_queue_depth", scheduler["queue_depth"], model=model
+        )
+
+    cache = snapshot.get("prediction_cache")
+    if cache is not None:
+        writer.declare(
+            "repro_prediction_cache_entries", "gauge", "Resident LRU cache entries."
+        )
+        writer.sample("repro_prediction_cache_entries", cache["entries"])
+
+    shm = snapshot.get("shared_memory")
+    if shm is not None:
+        writer.declare(
+            "repro_shm_segments", "gauge", "Published shared-memory segments."
+        )
+        writer.sample("repro_shm_segments", shm["segments"])
+        writer.declare(
+            "repro_shm_resident_bytes",
+            "gauge",
+            "Bytes of packed model banks resident in shared memory.",
+        )
+        writer.sample("repro_shm_resident_bytes", shm["resident_bytes"])
+
+    for dispatcher, info in sorted(snapshot.get("cluster", {}).items()):
+        writer.declare(
+            "repro_cluster_respawns_total", "counter", "Worker respawns after crashes."
+        )
+        writer.sample(
+            "repro_cluster_respawns_total",
+            info.get("respawns", 0),
+            dispatcher=dispatcher,
+        )
+        uptime = float(info.get("uptime_seconds", 0.0))
+        for index, worker in enumerate(info.get("workers", {}).get("per_worker", [])):
+            writer.declare(
+                "repro_worker_requests_total",
+                "counter",
+                "Shards answered by each cluster worker.",
+            )
+            writer.sample(
+                "repro_worker_requests_total",
+                worker["requests"],
+                dispatcher=dispatcher,
+                worker=index,
+            )
+            writer.declare(
+                "repro_worker_busy_seconds_total",
+                "counter",
+                "Cumulative scoring time inside each worker.",
+            )
+            writer.sample(
+                "repro_worker_busy_seconds_total",
+                worker["busy_seconds"],
+                dispatcher=dispatcher,
+                worker=index,
+            )
+            writer.declare(
+                "repro_worker_utilization",
+                "gauge",
+                "Worker busy fraction since the dispatcher started.",
+            )
+            writer.sample(
+                "repro_worker_utilization",
+                worker["busy_seconds"] / uptime if uptime > 0 else 0.0,
+                dispatcher=dispatcher,
+                worker=index,
+            )
+
+    return "\n".join(writer.lines) + "\n" if writer.lines else ""
+
+
+def validate_exposition(text: str) -> None:
+    """Raise ``ValueError`` unless *text* is plausibly valid exposition format.
+
+    A light structural check used by tests and the CI smoke: every sample
+    line parses as ``name{labels} value``, every samples' metric family was
+    declared with ``# TYPE``, and histogram bucket counts are cumulative.
+    """
+    declared = set()
+    bucket_runs: Dict[str, List[float]] = {}
+    for line_number, line in enumerate(text.splitlines(), start=1):
+        if not line or line.startswith("# HELP"):
+            continue
+        if line.startswith("# TYPE"):
+            declared.add(line.split()[2])
+            continue
+        name, _, rest = line.partition("{") if "{" in line else line.partition(" ")
+        family = name.split("{")[0]
+        base = family
+        for suffix in ("_bucket", "_sum", "_count"):
+            if family.endswith(suffix):
+                base = family[: -len(suffix)]
+        if family not in declared and base not in declared:
+            raise ValueError(f"line {line_number}: {family!r} has no # TYPE")
+        try:
+            float(line.rsplit(" ", 1)[1])
+        except (IndexError, ValueError):
+            raise ValueError(f"line {line_number}: unparseable sample {line!r}")
+        if family.endswith("_bucket"):
+            # The series key is everything except the ``le`` label, whether
+            # or not other labels precede it.
+            series = line.rsplit(" ", 1)[0]
+            for separator in (',le="', '{le="'):
+                if separator in series:
+                    series = series.rsplit(separator, 1)[0]
+                    break
+            run = bucket_runs.setdefault(series, [])
+            run.append(float(line.rsplit(" ", 1)[1]))
+    for series, counts in bucket_runs.items():
+        if counts != sorted(counts):
+            raise ValueError(f"histogram buckets not cumulative for {series!r}")
+
+
+__all__ = ["CONTENT_TYPE", "render_prometheus", "validate_exposition"]

@@ -1,0 +1,199 @@
+"""Cross-process worker metrics over tiny shared-memory slabs.
+
+The dispatcher's in-process counters go blind the moment a shard crosses the
+pipe into a ``repro.cluster`` worker.  Instead of shipping metrics messages
+back (which would tax the request path), each worker *publishes* its counters
+into a small fixed-layout shared-memory slab that the dispatcher maps and
+reads whenever someone asks for ``/v1/metrics``:
+
+* one slab per worker *slot*, created by the dispatcher and kept for the
+  dispatcher's lifetime — a respawned worker inherits its slot's slab, so
+  counters survive crashes and the fleet view never resets mid-soak;
+* exactly one writer (the worker owning the slot) and one reader (the
+  dispatcher), both lock-free: slots are monotonically increasing float64
+  cells, so a torn read can at worst lag by one in-flight update — fine for
+  metrics, and nothing on the scoring path ever blocks on a lock;
+* recording is allocation-free: a slab update is four in-place adds on a
+  pre-built NumPy view.
+
+Layout (all float64): ``requests, samples, errors, busy_seconds`` followed by
+the scoring-latency histogram bucket counts (:data:`STAGE_BOUNDS` upper
+bounds plus one overflow bucket).
+"""
+
+from __future__ import annotations
+
+import bisect
+from multiprocessing import shared_memory
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+#: Histogram bucket upper bounds in seconds: log-spaced from 50 µs to 20 s
+#: (the same bracketing the serving layer's latency histograms use).
+STAGE_BOUNDS = tuple(
+    round(base * scale, 9)
+    for scale in (1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0)
+    for base in (5.0, 10.0, 20.0)
+)
+
+_COUNTER_FIELDS = ("requests", "samples", "errors", "busy_seconds")
+_NUM_SLOTS = len(_COUNTER_FIELDS) + len(STAGE_BOUNDS) + 1
+
+
+def _attach_segment(name: str) -> shared_memory.SharedMemory:
+    """Attach without claiming cleanup ownership (same policy as
+    :mod:`repro.cluster.shared`: only the creator unlinks)."""
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:  # Python < 3.13: attachments are never tracked
+        return shared_memory.SharedMemory(name=name)
+
+
+class WorkerStatsSlab:
+    """One worker slot's shared counter block.
+
+    Create with :meth:`create` (parent side, owns the segment) or
+    :meth:`attach` (worker side, borrows it).  The worker calls
+    :meth:`record`; the parent calls :meth:`read`.
+    """
+
+    def __init__(self, segment: shared_memory.SharedMemory, owner: bool):
+        self._segment = segment
+        self._owner = owner
+        self._slots = np.ndarray((_NUM_SLOTS,), dtype=np.float64, buffer=segment.buf)
+        if owner:
+            self._slots[:] = 0.0
+
+    @classmethod
+    def create(cls) -> "WorkerStatsSlab":
+        segment = shared_memory.SharedMemory(
+            create=True, size=_NUM_SLOTS * np.dtype(np.float64).itemsize
+        )
+        return cls(segment, owner=True)
+
+    @classmethod
+    def attach(cls, name: str) -> "WorkerStatsSlab":
+        return cls(_attach_segment(name), owner=False)
+
+    @property
+    def name(self) -> str:
+        return self._segment.name
+
+    @property
+    def nbytes(self) -> int:
+        return self._slots.nbytes
+
+    # -------------------------------------------------------------- recording
+    def record(self, rows: int, seconds: float) -> None:
+        """Record one answered shard of *rows* samples taking *seconds*."""
+        slots = self._slots
+        slots[0] += 1.0
+        slots[1] += float(rows)
+        slots[3] += float(seconds)
+        index = bisect.bisect_left(STAGE_BOUNDS, seconds)
+        slots[len(_COUNTER_FIELDS) + index] += 1.0
+
+    def record_error(self) -> None:
+        self._slots[2] += 1.0
+
+    # ---------------------------------------------------------------- reading
+    def read(self) -> Dict[str, object]:
+        """JSON-ready snapshot of this slot's counters (parent side)."""
+        values = self._slots.copy()
+        counters = dict(zip(_COUNTER_FIELDS, values[: len(_COUNTER_FIELDS)]))
+        buckets = values[len(_COUNTER_FIELDS) :]
+        return {
+            "requests": int(counters["requests"]),
+            "samples": int(counters["samples"]),
+            "errors": int(counters["errors"]),
+            "busy_seconds": float(counters["busy_seconds"]),
+            "scoring_buckets": [int(count) for count in buckets],
+        }
+
+    # -------------------------------------------------------------- lifecycle
+    def close(self) -> None:
+        """Unmap (and, for the creating side, unlink) the segment."""
+        self._slots = None
+        try:
+            self._segment.close()
+        except BufferError:  # pragma: no cover - a view outlived the slab
+            return
+        if self._owner:
+            try:
+                self._segment.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+
+    def __enter__(self) -> "WorkerStatsSlab":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def merge_worker_stats(stats: Sequence[Dict[str, object]]) -> Dict[str, object]:
+    """Fleet totals over per-worker :meth:`WorkerStatsSlab.read` snapshots."""
+    total = {
+        "requests": 0,
+        "samples": 0,
+        "errors": 0,
+        "busy_seconds": 0.0,
+        "scoring_buckets": [0] * (len(STAGE_BOUNDS) + 1),
+    }
+    for entry in stats:
+        total["requests"] += entry["requests"]
+        total["samples"] += entry["samples"]
+        total["errors"] += entry["errors"]
+        total["busy_seconds"] += entry["busy_seconds"]
+        for index, count in enumerate(entry["scoring_buckets"]):
+            total["scoring_buckets"][index] += count
+    return total
+
+
+def bucket_percentile(
+    buckets: Sequence[int], p: float, bounds: Optional[Sequence[float]] = None
+) -> float:
+    """Approximate *p*-th percentile (seconds) from histogram bucket counts.
+
+    Reports the upper bound of the bucket containing the percentile rank;
+    the overflow bucket reports the last finite bound (an underestimate,
+    flagged by the caller if it matters).  Returns 0.0 when empty.
+    """
+    bounds = STAGE_BOUNDS if bounds is None else tuple(bounds)
+    total = sum(buckets)
+    if total == 0:
+        return 0.0
+    rank = p / 100.0 * total
+    cumulative = 0
+    for index, count in enumerate(buckets):
+        cumulative += count
+        if cumulative >= rank and count:
+            return bounds[min(index, len(bounds) - 1)]
+    return bounds[-1]
+
+
+def stats_summary(merged: Dict[str, object], uptime_seconds: float) -> Dict[str, object]:
+    """Derive utilisation and latency percentiles from merged worker stats."""
+    buckets: List[int] = merged["scoring_buckets"]
+    requests = merged["requests"]
+    busy = merged["busy_seconds"]
+    return {
+        "requests": requests,
+        "samples": merged["samples"],
+        "errors": merged["errors"],
+        "busy_seconds": busy,
+        "utilization": busy / uptime_seconds if uptime_seconds > 0 else 0.0,
+        "scoring_p50_ms": bucket_percentile(buckets, 50) * 1e3,
+        "scoring_p99_ms": bucket_percentile(buckets, 99) * 1e3,
+        "mean_scoring_ms": (busy / requests * 1e3) if requests else 0.0,
+    }
+
+
+__all__ = [
+    "STAGE_BOUNDS",
+    "WorkerStatsSlab",
+    "bucket_percentile",
+    "merge_worker_stats",
+    "stats_summary",
+]

@@ -28,6 +28,7 @@ from typing import Callable, List, Optional, Tuple, Union
 
 import numpy as np
 
+from repro.obs.trace import SpanContext, Tracer, get_tracer
 from repro.serve.engine import PackedInferenceEngine
 from repro.serve.metrics import ModelMetrics
 
@@ -35,12 +36,23 @@ EngineSource = Union[PackedInferenceEngine, Callable[[], PackedInferenceEngine]]
 
 
 class _Request:
-    __slots__ = ("features", "top_k", "future")
+    __slots__ = ("features", "top_k", "future", "trace", "enqueued", "enqueued_wall")
 
-    def __init__(self, features: np.ndarray, top_k: int, future: Future):
+    def __init__(
+        self,
+        features: np.ndarray,
+        top_k: int,
+        future: Future,
+        trace: Optional[SpanContext] = None,
+    ):
         self.features = features
         self.top_k = top_k
         self.future = future
+        self.trace = trace
+        #: perf-counter enqueue time; consumed (set to None) once the
+        #: queue-wait has been recorded, so retry re-runs never double-count.
+        self.enqueued = time.perf_counter()
+        self.enqueued_wall = time.time()
 
 
 class BatchScheduler:
@@ -59,7 +71,15 @@ class BatchScheduler:
     num_workers:
         Pool threads executing engine calls.
     metrics:
-        Optional :class:`ModelMetrics` receiving batch sizes and latencies.
+        Optional :class:`ModelMetrics` receiving batch sizes, latencies, and
+        the ``queue_wait`` / ``batch_execute`` stage histograms.
+    tracer:
+        Optional :class:`~repro.obs.trace.Tracer`.  When a submitted request
+        carries a span context, the scheduler emits its ``queue_wait`` span
+        and wraps the engine call in a ``batch_execute`` span (parented to
+        the first traced request of the coalesced batch), so dispatcher- and
+        worker-side spans stitch into the caller's trace.  Defaults to the
+        process-wide tracer (disabled unless configured).
     """
 
     def __init__(
@@ -69,6 +89,7 @@ class BatchScheduler:
         max_wait_ms: float = 2.0,
         num_workers: int = 1,
         metrics: Optional[ModelMetrics] = None,
+        tracer: Optional[Tracer] = None,
     ):
         if max_batch_size < 1:
             raise ValueError(f"max_batch_size must be >= 1, got {max_batch_size}")
@@ -84,6 +105,7 @@ class BatchScheduler:
             max_workers=num_workers, thread_name_prefix="serve-batch"
         )
         self._metrics = metrics
+        self._tracer = tracer if tracer is not None else get_tracer()
         self._closed = False
         self._collector = threading.Thread(
             target=self._collect_loop, name="serve-collector", daemon=True
@@ -91,11 +113,18 @@ class BatchScheduler:
         self._collector.start()
 
     # ----------------------------------------------------------------- public
-    def submit(self, features: np.ndarray, top_k: int = 1) -> Future:
+    def submit(
+        self,
+        features: np.ndarray,
+        top_k: int = 1,
+        trace: Optional[SpanContext] = None,
+    ) -> Future:
         """Enqueue one sample; the future resolves to ``(labels, scores)``.
 
         ``labels`` and ``scores`` are 1-D arrays of length ``top_k`` (best
-        class first).  Raises ``RuntimeError`` after :meth:`stop`.
+        class first).  ``trace`` is the caller's span context (its request
+        crosses into the collector thread here, so ambient nesting cannot
+        follow it).  Raises ``RuntimeError`` after :meth:`stop`.
         """
         if self._closed:
             raise RuntimeError("BatchScheduler is stopped")
@@ -107,8 +136,13 @@ class BatchScheduler:
         if top_k < 1:
             raise ValueError(f"top_k must be >= 1, got {top_k}")
         future: Future = Future()
-        self._queue.put(_Request(features, int(top_k), future))
+        self._queue.put(_Request(features, int(top_k), future, trace=trace))
         return future
+
+    @property
+    def queue_depth(self) -> int:
+        """Requests currently waiting to be collected into a batch."""
+        return self._queue.qsize()
 
     def predict(self, features: np.ndarray, timeout: Optional[float] = None) -> int:
         """Synchronous single-sample prediction through the micro-batcher."""
@@ -116,10 +150,14 @@ class BatchScheduler:
         return int(labels[0])
 
     def top_k(
-        self, features: np.ndarray, k: int = 5, timeout: Optional[float] = None
+        self,
+        features: np.ndarray,
+        k: int = 5,
+        timeout: Optional[float] = None,
+        trace: Optional[SpanContext] = None,
     ) -> Tuple[np.ndarray, np.ndarray]:
         """Synchronous single-sample top-k through the micro-batcher."""
-        return self.submit(features, top_k=k).result(timeout=timeout)
+        return self.submit(features, top_k=k, trace=trace).result(timeout=timeout)
 
     def stop(self, timeout: float = 5.0) -> None:
         """Drain the queue, stop the collector, and shut the worker pool.
@@ -175,11 +213,47 @@ class BatchScheduler:
 
     def _run_batch(self, batch: List[_Request]) -> None:
         started = time.perf_counter()
+        # Queue wait ends when the executor picks the batch up.  Recorded
+        # exactly once per request (``enqueued`` is consumed), so the
+        # per-request retry path below cannot double-count.
+        batch_parent: Optional[SpanContext] = None
+        for request in batch:
+            if request.enqueued is None:
+                continue
+            waited = started - request.enqueued
+            if self._metrics is not None:
+                self._metrics.record_stage("queue_wait", waited)
+            if request.trace is not None:
+                self._tracer.emit_span(
+                    "queue_wait", request.trace, request.enqueued_wall, waited
+                )
+                if batch_parent is None:
+                    batch_parent = request.trace
+            request.enqueued = None
+        if batch_parent is None:
+            # Retry path or untraced batch: keep nesting under the first
+            # traced request so dispatcher spans still stitch somewhere.
+            batch_parent = next(
+                (request.trace for request in batch if request.trace is not None), None
+            )
+        span = (
+            self._tracer.start_span(
+                "batch_execute",
+                parent=batch_parent,
+                attrs={"batch_size": len(batch)},
+            )
+            if batch_parent is not None
+            else None
+        )
         try:
             engine = self._resolve_engine()
             features = np.stack([request.features for request in batch])
             k = max(request.top_k for request in batch)
-            labels, scores = engine.top_k(features, k=k)
+            if span is not None:
+                with span:
+                    labels, scores = engine.top_k(features, k=k)
+            else:
+                labels, scores = engine.top_k(features, k=k)
         except BaseException as error:
             # One malformed request (e.g. wrong feature width) must not poison
             # the whole coalesced batch: re-run each request individually so
@@ -196,6 +270,7 @@ class BatchScheduler:
         if self._metrics is not None:
             self._metrics.record_batch(len(batch))
             self._metrics.record_request(len(batch), elapsed)
+            self._metrics.record_stage("batch_execute", elapsed)
         for row, request in enumerate(batch):
             k_i = min(request.top_k, labels.shape[1])
             request.future.set_result((labels[row, :k_i], scores[row, :k_i]))

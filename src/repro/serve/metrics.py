@@ -22,6 +22,9 @@ _DEFAULT_BOUNDS = tuple(
     for base in (5.0, 10.0, 20.0)
 )
 
+#: Public alias (the cross-process worker slabs bracket with the same bounds).
+DEFAULT_LATENCY_BOUNDS = _DEFAULT_BOUNDS
+
 
 class LatencyHistogram:
     """A fixed-bucket histogram with approximate percentile queries.
@@ -60,13 +63,28 @@ class LatencyHistogram:
 
     @property
     def count(self) -> int:
-        return self._count
+        with self._lock:
+            return self._count
 
     @property
     def mean(self) -> float:
         """Mean observed latency in seconds (0.0 when empty)."""
         with self._lock:
             return self._total / self._count if self._count else 0.0
+
+    def _percentile_locked(self, p: float) -> float:
+        """Percentile estimate; the caller must hold ``self._lock``."""
+        if self._count == 0:
+            return 0.0
+        rank = p / 100.0 * self._count
+        cumulative = 0
+        for index, bucket_count in enumerate(self._counts):
+            cumulative += bucket_count
+            if cumulative >= rank and bucket_count:
+                if index < len(self._bounds):
+                    return self._bounds[index]
+                return self._max
+        return self._max
 
     def percentile(self, p: float) -> float:
         """Approximate *p*-th percentile in seconds (bucket upper bound).
@@ -78,32 +96,45 @@ class LatencyHistogram:
         if not 0.0 <= p <= 100.0:
             raise ValueError(f"p must be in [0, 100], got {p}")
         with self._lock:
-            if self._count == 0:
-                return 0.0
-            rank = p / 100.0 * self._count
-            cumulative = 0
-            for index, bucket_count in enumerate(self._counts):
-                cumulative += bucket_count
-                if cumulative >= rank and bucket_count:
-                    if index < len(self._bounds):
-                        return self._bounds[index]
-                    return self._max
-            return self._max
+            return self._percentile_locked(p)
 
-    def snapshot(self) -> Dict[str, float]:
-        """Summary dictionary with millisecond-denominated statistics."""
-        return {
-            "count": self._count,
-            "mean_ms": self.mean * 1e3,
-            "p50_ms": self.percentile(50) * 1e3,
-            "p95_ms": self.percentile(95) * 1e3,
-            "p99_ms": self.percentile(99) * 1e3,
-            "max_ms": self._max * 1e3,
-        }
+    def snapshot(self) -> Dict[str, object]:
+        """Summary dictionary with millisecond-denominated statistics.
+
+        Taken under the lock in one piece, so concurrent :meth:`record`
+        calls can never produce a torn view (e.g. a count that disagrees
+        with the bucket totals or a stale ``max_ms``).  ``buckets`` carries
+        the *cumulative* per-bound counts in Prometheus histogram form
+        (final bucket ``le="+Inf"``), and ``sum_seconds`` the exact total —
+        together they let ``GET /metrics`` expose a native histogram.
+        """
+        with self._lock:
+            buckets = []
+            cumulative = 0
+            for bound, bucket_count in zip(self._bounds, self._counts):
+                cumulative += bucket_count
+                buckets.append({"le": bound, "count": cumulative})
+            buckets.append({"le": "+Inf", "count": self._count})
+            return {
+                "count": self._count,
+                "mean_ms": (self._total / self._count if self._count else 0.0) * 1e3,
+                "p50_ms": self._percentile_locked(50) * 1e3,
+                "p95_ms": self._percentile_locked(95) * 1e3,
+                "p99_ms": self._percentile_locked(99) * 1e3,
+                "max_ms": self._max * 1e3,
+                "sum_seconds": self._total,
+                "buckets": buckets,
+            }
 
 
 class ModelMetrics:
-    """Counters and histograms for one served model."""
+    """Counters and histograms for one served model.
+
+    Besides the end-to-end request latency, the model keeps one
+    :class:`LatencyHistogram` per pipeline *stage* (``validate``,
+    ``queue_wait``, ``dispatch``, ``merge``, ...) so ``/v1/metrics`` can
+    answer "where does a request spend its time" without a trace file.
+    """
 
     def __init__(self):
         self._lock = threading.Lock()
@@ -114,6 +145,7 @@ class ModelMetrics:
         self.cache_misses = 0
         self.latency = LatencyHistogram()
         self._batch_sizes: Dict[int, int] = {}
+        self._stages: Dict[str, LatencyHistogram] = {}
 
     def record_request(self, num_samples: int, seconds: float) -> None:
         """Record one successful inference call over *num_samples* samples."""
@@ -142,24 +174,56 @@ class ModelMetrics:
         with self._lock:
             self.cache_misses += 1
 
+    def record_stage(self, stage: str, seconds: float) -> None:
+        """Record one *stage* timing (histogram created on first use).
+
+        The common case — the stage histogram already exists — holds the
+        model lock only for a dict lookup; the record itself runs under the
+        histogram's own lock, so stage recording never serialises against
+        the request counters.
+        """
+        with self._lock:
+            histogram = self._stages.get(stage)
+            if histogram is None:
+                histogram = self._stages[stage] = LatencyHistogram()
+        histogram.record(seconds)
+
+    def stage(self, name: str) -> "LatencyHistogram":
+        """The histogram for *name* (creating it empty on first use)."""
+        with self._lock:
+            histogram = self._stages.get(name)
+            if histogram is None:
+                histogram = self._stages[name] = LatencyHistogram()
+            return histogram
+
     @property
     def batch_size_distribution(self) -> Dict[int, int]:
         with self._lock:
             return dict(sorted(self._batch_sizes.items()))
 
     def snapshot(self) -> Dict[str, object]:
-        batches = self.batch_size_distribution
+        # All counters are read in one critical section so a concurrent
+        # record_request can never yield a snapshot where e.g. ``samples``
+        # reflects an update that ``requests`` does not.
+        with self._lock:
+            requests = self.requests
+            samples = self.samples
+            errors = self.errors
+            cache_hits = self.cache_hits
+            cache_misses = self.cache_misses
+            batches = dict(sorted(self._batch_sizes.items()))
+            stages = dict(self._stages)
         total_batches = sum(batches.values())
         batched_samples = sum(size * count for size, count in batches.items())
-        lookups = self.cache_hits + self.cache_misses
+        lookups = cache_hits + cache_misses
         return {
-            "requests": self.requests,
-            "samples": self.samples,
-            "errors": self.errors,
+            "requests": requests,
+            "samples": samples,
+            "errors": errors,
             "cache": {
-                "hits": self.cache_hits,
-                "misses": self.cache_misses,
-                "hit_rate": self.cache_hits / lookups if lookups else 0.0,
+                "hits": cache_hits,
+                "misses": cache_misses,
+                "hit_rate": cache_hits / lookups if lookups else 0.0,
             },
             "latency": self.latency.snapshot(),
             "batches": total_batches,
@@ -169,6 +233,7 @@ class ModelMetrics:
             "batch_size_distribution": {
                 str(size): count for size, count in batches.items()
             },
+            "stages": {name: histogram.snapshot() for name, histogram in stages.items()},
         }
 
 
@@ -200,4 +265,9 @@ class MetricsRegistry:
         }
 
 
-__all__ = ["LatencyHistogram", "ModelMetrics", "MetricsRegistry"]
+__all__ = [
+    "DEFAULT_LATENCY_BOUNDS",
+    "LatencyHistogram",
+    "ModelMetrics",
+    "MetricsRegistry",
+]

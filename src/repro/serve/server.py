@@ -10,7 +10,9 @@ Routes
 ------
 ``GET  /v1/healthz``  liveness + model count;
 ``GET  /v1/models``   registry listing (every registered version);
-``GET  /v1/metrics``  per-model counters and latency percentiles;
+``GET  /v1/metrics``  per-model counters, latency percentiles, queue depth,
+                      cluster fleet stats, shared-memory accounting (JSON);
+``GET  /metrics``     the same snapshot in Prometheus text exposition;
 ``POST /v1/predict``  body ``{"model": name?, "features": [...], "top_k": k?}``
                       — a 1-D ``features`` list is one sample and goes through
                       the micro-batcher; a 2-D list is a client-side batch and
@@ -26,6 +28,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import logging
 import threading
 import time
 from collections import OrderedDict
@@ -37,6 +40,9 @@ import numpy as np
 from repro.cluster.dispatcher import ClusterDispatcher
 from repro.cluster.errors import DispatcherClosedError, WorkerCrashedError
 from repro.cluster.shared import SharedModelStore
+from repro.obs.prometheus import CONTENT_TYPE as _PROMETHEUS_CONTENT_TYPE
+from repro.obs.prometheus import render_prometheus
+from repro.obs.trace import NULL_SPAN, Tracer, get_tracer
 from repro.serve.batching import BatchScheduler
 from repro.serve.metrics import MetricsRegistry
 from repro.serve.registry import ModelRegistry
@@ -107,6 +113,14 @@ class ServeApp:
     cache_size:
         Entry cap for the request-level LRU prediction cache keyed by
         ``(model, version, top_k, payload hash)``; ``0`` disables caching.
+    tracer:
+        Optional :class:`~repro.obs.trace.Tracer`.  Each sampled
+        ``/v1/predict`` request becomes one trace: a ``request`` root span
+        with ``validate`` / ``cache_lookup`` / ``respond`` children here,
+        stitched to the scheduler's ``queue_wait`` / ``batch_execute``
+        spans and — under ``num_processes > 0`` — the dispatcher's
+        ``dispatch`` / per-worker ``worker:score`` / ``merge`` spans.
+        Defaults to the process-wide tracer (disabled unless configured).
     """
 
     def __init__(
@@ -118,11 +132,13 @@ class ServeApp:
         num_workers: int = 1,
         num_processes: int = 0,
         cache_size: int = 1024,
+        tracer: Optional[Tracer] = None,
     ):
         if num_processes < 0:
             raise ValueError(f"num_processes must be >= 0, got {num_processes}")
         self.registry = registry
         self.metrics = metrics or MetricsRegistry()
+        self.tracer = tracer if tracer is not None else get_tracer()
         self.num_processes = int(num_processes)
         self._batch_config = dict(
             max_batch_size=max_batch_size,
@@ -151,19 +167,50 @@ class ServeApp:
                 "entries": len(self._cache),
                 "max_entries": self._cache.max_entries,
             }
+        with self._lock:
+            schedulers = dict(self._schedulers)
+        if schedulers:
+            snapshot["schedulers"] = {
+                name: {"queue_depth": scheduler.queue_depth}
+                for name, scheduler in schedulers.items()
+            }
         with self._cluster_lock:
             dispatchers = [d for _, d in self._dispatchers.values() if d is not None]
+            store = self._store
         if dispatchers:
             snapshot["cluster"] = {d.name: d.info() for d in dispatchers}
+        if store is not None:
+            snapshot["shared_memory"] = {
+                "segments": len(store),
+                "resident_bytes": store.resident_bytes,
+                "stats_slabs": sum(d.num_workers for d in dispatchers),
+            }
         return snapshot
 
     def predict(self, payload: dict) -> dict:
-        """Handle one ``POST /v1/predict`` payload."""
+        """Handle one ``POST /v1/predict`` payload.
+
+        Sampled requests become one trace: this opens the ``request`` root
+        span (the sampling decision for the whole tree) and every stage
+        below — local or across the cluster's worker pipes — stitches under
+        it.  Exceptions mark the root span with an ``error`` attribute on
+        the way out.
+        """
+        with self.tracer.start_span(
+            "request", attrs={"route": "/v1/predict"}
+        ) as root:
+            return self._predict(payload, root)
+
+    @staticmethod
+    def _validate_predict_payload(
+        payload: dict, registry: ModelRegistry
+    ) -> Tuple[str, int, np.ndarray]:
+        """Parse and validate one predict payload → ``(name, top_k, features)``."""
         if not isinstance(payload, dict):
             raise RequestError(400, "request body must be a JSON object")
         name = payload.get("model")
         if name is None:
-            names = self.registry.names()
+            names = registry.names()
             if len(names) != 1:
                 raise RequestError(
                     400,
@@ -171,7 +218,7 @@ class ServeApp:
                     f"{len(names)} models are registered",
                 )
             name = names[0]
-        if name not in self.registry:
+        if name not in registry:
             raise RequestError(404, f"unknown model {name!r}")
         top_k = payload.get("top_k", 1)
         if not isinstance(top_k, int) or isinstance(top_k, bool) or top_k < 1:
@@ -194,30 +241,54 @@ class ServeApp:
             check_finite(features, "'features'")
         except ValueError as error:
             raise RequestError(400, str(error))
+        return name, top_k, features
 
+    def _predict(self, payload: dict, root) -> dict:
+        sampled = root.sampled
+        tracer = self.tracer
+        validate_started = time.perf_counter()
+        with tracer.start_span("validate") if sampled else NULL_SPAN:
+            name, top_k, features = self._validate_predict_payload(
+                payload, self.registry
+            )
         started = time.perf_counter()
         model_metrics = self.metrics.for_model(name)
+        model_metrics.record_stage("validate", started - validate_started)
+        root.set("model", name)
+        root.set("rows", int(features.shape[0]) if features.ndim == 2 else 1)
+
         cache_key = None
         if self._cache is not None:
-            cache_key = (
-                name,
-                self.registry.default_version(name),
-                top_k,
-                features.shape,
-                hashlib.sha1(features.tobytes()).hexdigest(),
+            lookup_started = time.perf_counter()
+            with tracer.start_span("cache_lookup") if sampled else NULL_SPAN:
+                cache_key = (
+                    name,
+                    self.registry.default_version(name),
+                    top_k,
+                    features.shape,
+                    hashlib.sha1(features.tobytes()).hexdigest(),
+                )
+                cached = self._cache.get(cache_key)
+            model_metrics.record_stage(
+                "cache_lookup", time.perf_counter() - lookup_started
             )
-            cached = self._cache.get(cache_key)
             if cached is not None:
                 model_metrics.record_cache_hit()
+                root.set("cache", "hit")
                 labels, scores = cached
-                return self._build_response(
-                    name, labels, scores, top_k, started, cached=True
+                return self._respond(
+                    name, labels, scores, top_k, started, root, cached=True
                 )
             model_metrics.record_cache_miss()
 
         try:
             if features.ndim == 1:
-                labels, scores = self.scheduler_for(name).top_k(features, k=top_k)
+                # The request crosses into the collector thread here, so the
+                # root context is handed over explicitly; ambient nesting
+                # resumes inside the scheduler's executor thread.
+                labels, scores = self.scheduler_for(name).top_k(
+                    features, k=top_k, trace=root.context
+                )
                 labels, scores = labels[None, :], scores[None, :]
                 batched = True
             else:
@@ -248,7 +319,27 @@ class ServeApp:
             model_metrics.record_request(features.shape[0], elapsed)
         if cache_key is not None:
             self._cache.put(cache_key, (labels, scores))
-        return self._build_response(name, labels, scores, top_k, started)
+        return self._respond(name, labels, scores, top_k, started, root)
+
+    def _respond(
+        self,
+        name: str,
+        labels: np.ndarray,
+        scores: np.ndarray,
+        top_k: int,
+        started: float,
+        root,
+        cached: bool = False,
+    ) -> dict:
+        """Build the response under a ``respond`` span; sampled requests get
+        their ``trace_id`` echoed so clients can find their trace."""
+        with self.tracer.start_span("respond") if root.sampled else NULL_SPAN:
+            response = self._build_response(
+                name, labels, scores, top_k, started, cached=cached
+            )
+            if root.sampled:
+                response["trace_id"] = root.trace_id
+        return response
 
     @staticmethod
     def _build_response(
@@ -282,6 +373,7 @@ class ServeApp:
                 scheduler = BatchScheduler(
                     lambda: self.engine_for(name),
                     metrics=self.metrics.for_model(name),
+                    tracer=self.tracer,
                     **self._batch_config,
                 )
                 self._schedulers[name] = scheduler
@@ -322,6 +414,8 @@ class ServeApp:
                 num_workers=self.num_processes,
                 store=store,
                 name=f"{name}@v{version}",
+                tracer=self.tracer,
+                metrics=self.metrics.for_model(name),
             )
         except ValueError:
             # Dense-mode engines (no packed bank to share) stay in-process.
@@ -371,43 +465,81 @@ class _Handler(BaseHTTPRequestHandler):
         return self.server.app  # type: ignore[attr-defined]
 
     def log_message(self, format, *args):  # noqa: A002 - stdlib signature
-        if getattr(self.server, "verbose", False):  # pragma: no cover
+        # Stdlib diagnostics (malformed request lines, broken pipes) used to
+        # be silently discarded here; route them through the access logger
+        # instead so ``--log-level`` surfaces them.
+        logger = getattr(self.server, "access_logger", None)
+        if logger is not None:
+            logger.warning(format % args)
+        elif getattr(self.server, "verbose", False):  # pragma: no cover
             super().log_message(format, *args)
+
+    def log_request(self, code="-", size="-") -> None:
+        # The stdlib per-request line is superseded by the structured access
+        # log below (which adds duration and survives log aggregation).
+        pass
+
+    def _log_access(self, method: str, status: int, started: float) -> None:
+        """One structured line per answered request (when logging is on)."""
+        logger = getattr(self.server, "access_logger", None)
+        if logger is None or not logger.isEnabledFor(logging.INFO):
+            return
+        logger.info(
+            "method=%s path=%s status=%d dur_ms=%.3f client=%s",
+            method,
+            self.path,
+            status,
+            (time.perf_counter() - started) * 1e3,
+            self.client_address[0],
+        )
 
     # ------------------------------------------------------------------ verbs
     def do_GET(self) -> None:  # noqa: N802 - stdlib naming
+        started = time.perf_counter()
         try:
             if self.path == "/v1/healthz":
-                self._send_json(200, self.app.healthz())
+                status = self._send_json(200, self.app.healthz())
             elif self.path == "/v1/models":
-                self._send_json(200, self.app.models())
+                status = self._send_json(200, self.app.models())
             elif self.path == "/v1/metrics":
-                self._send_json(200, self.app.metrics_snapshot())
+                status = self._send_json(200, self.app.metrics_snapshot())
+            elif self.path == "/metrics":
+                status = self._send_text(
+                    200,
+                    render_prometheus(self.app.metrics_snapshot()),
+                    _PROMETHEUS_CONTENT_TYPE,
+                )
             else:
-                self._send_json(404, {"error": f"no route {self.path!r}"})
+                status = self._send_json(404, {"error": f"no route {self.path!r}"})
         except Exception:  # pragma: no cover - defensive
-            self._send_internal_error()
+            status = self._send_internal_error()
+        self._log_access("GET", status, started)
 
     def do_POST(self) -> None:  # noqa: N802 - stdlib naming
+        started = time.perf_counter()
         try:
             if self.path != "/v1/predict":
                 raise RequestError(404, f"no route {self.path!r}")
             payload = self._read_json()
-            self._send_json(200, self.app.predict(payload))
+            status = self._send_json(200, self.app.predict(payload))
         except RequestError as error:
-            self._send_json(error.status, {"error": str(error)})
+            status = self._send_json(error.status, {"error": str(error)})
         except Exception:
             # Unexpected failures answer with a fixed JSON body: no stack
             # trace, no exception internals — those go to the server log
             # (when verbose), never over the wire.
-            self._send_internal_error()
+            status = self._send_internal_error()
+        self._log_access("POST", status, started)
 
-    def _send_internal_error(self) -> None:
+    def _send_internal_error(self) -> int:
         import traceback
 
-        if getattr(self.server, "verbose", False):  # pragma: no cover
+        logger = getattr(self.server, "access_logger", None)
+        if logger is not None:  # pragma: no cover - unexpected-failure path
+            logger.exception("unhandled error serving %s", self.path)
+        elif getattr(self.server, "verbose", False):  # pragma: no cover
             traceback.print_exc()
-        self._send_json(500, {"error": "internal server error"})
+        return self._send_json(500, {"error": "internal server error"})
 
     # ---------------------------------------------------------------- helpers
     def _read_json(self) -> dict:
@@ -422,10 +554,16 @@ class _Handler(BaseHTTPRequestHandler):
         except json.JSONDecodeError as error:
             raise RequestError(400, f"invalid JSON body: {error}")
 
-    def _send_json(self, status: int, payload: dict) -> None:
+    def _send_json(self, status: int, payload: dict) -> int:
         body = json.dumps(payload).encode("utf-8")
+        return self._send_body(status, body, "application/json")
+
+    def _send_text(self, status: int, text: str, content_type: str) -> int:
+        return self._send_body(status, text.encode("utf-8"), content_type)
+
+    def _send_body(self, status: int, body: bytes, content_type: str) -> int:
         self.send_response(status)
-        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
         if status >= 400:
             # The request body may not have been (fully) read on error paths;
@@ -435,28 +573,58 @@ class _Handler(BaseHTTPRequestHandler):
             self.close_connection = True
         self.end_headers()
         self.wfile.write(body)
+        return status
 
 
 def create_server(
-    app: ServeApp, host: str = "127.0.0.1", port: int = 8080, verbose: bool = False
+    app: ServeApp,
+    host: str = "127.0.0.1",
+    port: int = 8080,
+    verbose: bool = False,
+    log_level: Optional[str] = None,
 ) -> ThreadingHTTPServer:
     """Build (but do not start) the HTTP server bound to ``host:port``.
 
     Pass ``port=0`` to bind an ephemeral port (``server.server_address[1]``
     reports the one chosen) — the integration tests rely on this.
+
+    ``log_level`` (``"debug"`` / ``"info"`` / ``"warning"`` / ...) enables
+    the structured access log on the ``repro.serve.access`` logger: one
+    ``method= path= status= dur_ms= client=`` line per answered request,
+    plus stdlib HTTP diagnostics as warnings.  ``None`` keeps the server
+    silent (the default, and what the benchmarks want).
     """
     server = ThreadingHTTPServer((host, port), _Handler)
     server.app = app  # type: ignore[attr-defined]
     server.verbose = verbose  # type: ignore[attr-defined]
-    server.daemon_threads = True
+    server.access_logger = None  # type: ignore[attr-defined]
+    if log_level is not None:
+        level = getattr(logging, str(log_level).upper(), None)
+        if not isinstance(level, int):
+            raise ValueError(f"unknown log level {log_level!r}")
+        logger = logging.getLogger("repro.serve.access")
+        logger.setLevel(level)
+        if not logger.handlers:
+            handler = logging.StreamHandler()
+            handler.setFormatter(
+                logging.Formatter("%(asctime)s %(name)s %(levelname)s %(message)s")
+            )
+            logger.addHandler(handler)
+        server.access_logger = logger  # type: ignore[attr-defined]
     return server
 
 
 def run_server(
-    app: ServeApp, host: str = "127.0.0.1", port: int = 8080, verbose: bool = False
+    app: ServeApp,
+    host: str = "127.0.0.1",
+    port: int = 8080,
+    verbose: bool = False,
+    log_level: Optional[str] = None,
 ) -> None:  # pragma: no cover - blocking loop, exercised manually / by CLI
     """Run the server until interrupted, then flush schedulers."""
-    server = create_server(app, host=host, port=port, verbose=verbose)
+    server = create_server(
+        app, host=host, port=port, verbose=verbose, log_level=log_level
+    )
     bound_host, bound_port = server.server_address[:2]
     print(f"repro.serve listening on http://{bound_host}:{bound_port}")
     for row in app.registry.list_models():

@@ -188,3 +188,59 @@ class TestBrokenPoolRecovery:
             )
         finally:
             dispatch.shutdown_process_pool()
+
+
+class TestKernelProfiling:
+    def test_disabled_by_default_and_unwrapped(self):
+        assert dispatch.kernel_profiling_enabled() is False
+        kernel = dispatch.get_kernel("linear.matmul")
+        # Off the profiling path, get_kernel returns the raw implementation.
+        assert not hasattr(kernel, "__wrapped__")
+
+    def test_profiled_calls_are_counted_and_timed(self):
+        dispatch.reset_kernel_profile()
+        a = np.ones((4, 3), dtype=np.float32)
+        b = np.ones((3, 2), dtype=np.float32)
+        with dispatch.profile_kernels():
+            kernel = dispatch.get_kernel("linear.matmul")
+            kernel(a, b)
+            kernel(a, b)
+        snapshot = dispatch.kernel_profile_snapshot()
+        entry = snapshot["linear.matmul[numpy]"]
+        assert entry["calls"] == 2
+        assert entry["total_ms"] >= 0.0
+        assert entry["mean_ms"] == pytest.approx(entry["total_ms"] / 2)
+        assert entry["kernel"] == "linear.matmul"
+        assert entry["backend"] == "numpy"
+
+    def test_wrapper_is_stable_across_resolutions(self):
+        with dispatch.profile_kernels():
+            first = dispatch.get_kernel("linear.matmul")
+            second = dispatch.get_kernel("linear.matmul")
+        assert first is second
+
+    def test_context_restores_prior_state(self):
+        assert dispatch.kernel_profiling_enabled() is False
+        with dispatch.profile_kernels():
+            assert dispatch.kernel_profiling_enabled() is True
+            with dispatch.profile_kernels():
+                pass
+            # The inner exit restores the outer enabled state, not False.
+            assert dispatch.kernel_profiling_enabled() is True
+        assert dispatch.kernel_profiling_enabled() is False
+
+    def test_reset_clears_counters(self):
+        a = np.ones((2, 2), dtype=np.float32)
+        with dispatch.profile_kernels():
+            dispatch.get_kernel("linear.matmul")(a, a)
+        dispatch.reset_kernel_profile()
+        assert dispatch.kernel_profile_snapshot() == {}
+
+    def test_failing_kernel_still_counted(self):
+        dispatch.reset_kernel_profile()
+        with dispatch.profile_kernels():
+            kernel = dispatch.get_kernel("linear.matmul")
+            with pytest.raises(ValueError):
+                kernel(np.ones((2, 3)), np.ones((5, 2)))  # shape mismatch
+        snapshot = dispatch.kernel_profile_snapshot()
+        assert snapshot["linear.matmul[numpy]"]["calls"] == 1

@@ -1,0 +1,117 @@
+"""Unit tests for repro.obs.shm_metrics (cross-process worker counters)."""
+
+import pytest
+
+from repro.obs.shm_metrics import (
+    STAGE_BOUNDS,
+    WorkerStatsSlab,
+    bucket_percentile,
+    merge_worker_stats,
+    stats_summary,
+)
+
+
+class TestWorkerStatsSlab:
+    def test_fresh_slab_reads_zero(self):
+        with WorkerStatsSlab.create() as slab:
+            snapshot = slab.read()
+            assert snapshot["requests"] == 0
+            assert snapshot["samples"] == 0
+            assert snapshot["errors"] == 0
+            assert snapshot["busy_seconds"] == 0.0
+            assert sum(snapshot["scoring_buckets"]) == 0
+
+    def test_record_accumulates(self):
+        with WorkerStatsSlab.create() as slab:
+            slab.record(rows=4, seconds=0.002)
+            slab.record(rows=1, seconds=0.0005)
+            slab.record_error()
+            snapshot = slab.read()
+            assert snapshot["requests"] == 2
+            assert snapshot["samples"] == 5
+            assert snapshot["errors"] == 1
+            assert snapshot["busy_seconds"] == pytest.approx(0.0025)
+            assert sum(snapshot["scoring_buckets"]) == 2
+
+    def test_attach_sees_creators_writes_without_resetting(self):
+        owner = WorkerStatsSlab.create()
+        try:
+            owner.record(rows=3, seconds=0.001)
+            borrowed = WorkerStatsSlab.attach(owner.name)
+            assert borrowed.read()["samples"] == 3
+            # The attached side is the writer in production.
+            borrowed.record(rows=2, seconds=0.001)
+            borrowed.close()
+            assert owner.read()["samples"] == 5
+        finally:
+            owner.close()
+
+    def test_overflow_latency_lands_in_last_bucket(self):
+        with WorkerStatsSlab.create() as slab:
+            slab.record(rows=1, seconds=100.0)  # beyond the 20 s top bound
+            assert slab.read()["scoring_buckets"][-1] == 1
+
+    def test_slab_is_small(self):
+        with WorkerStatsSlab.create() as slab:
+            assert slab.nbytes <= 4096
+
+
+class TestMergeAndSummary:
+    def test_merge_sums_fields_and_buckets(self):
+        first = WorkerStatsSlab.create()
+        second = WorkerStatsSlab.create()
+        try:
+            first.record(rows=2, seconds=0.001)
+            second.record(rows=3, seconds=0.010)
+            second.record_error()
+            merged = merge_worker_stats([first.read(), second.read()])
+            assert merged["requests"] == 2
+            assert merged["samples"] == 5
+            assert merged["errors"] == 1
+            assert merged["busy_seconds"] == pytest.approx(0.011)
+            assert sum(merged["scoring_buckets"]) == 2
+        finally:
+            first.close()
+            second.close()
+
+    def test_merge_of_nothing_is_zero(self):
+        merged = merge_worker_stats([])
+        assert merged["requests"] == 0
+        assert len(merged["scoring_buckets"]) == len(STAGE_BOUNDS) + 1
+
+    def test_stats_summary_utilization(self):
+        merged = {
+            "requests": 10,
+            "samples": 40,
+            "errors": 0,
+            "busy_seconds": 2.0,
+            "scoring_buckets": [10] + [0] * len(STAGE_BOUNDS),
+        }
+        summary = stats_summary(merged, uptime_seconds=8.0)
+        assert summary["utilization"] == pytest.approx(0.25)
+        assert summary["mean_scoring_ms"] == pytest.approx(200.0)
+        assert summary["scoring_p50_ms"] > 0
+
+    def test_stats_summary_handles_idle_fleet(self):
+        merged = merge_worker_stats([])
+        summary = stats_summary(merged, uptime_seconds=0.0)
+        assert summary["utilization"] == 0.0
+        assert summary["mean_scoring_ms"] == 0.0
+        assert summary["scoring_p50_ms"] == 0.0
+
+
+class TestBucketPercentile:
+    def test_empty_is_zero(self):
+        assert bucket_percentile([0, 0, 0], 99) == 0.0
+
+    def test_percentile_reports_bucket_upper_bound(self):
+        bounds = (0.001, 0.01, 0.1)
+        # 10 fast, 1 slow: p50 in the first bucket, p99 in the last.
+        buckets = [10, 0, 1]
+        assert bucket_percentile(buckets, 50, bounds) == pytest.approx(0.001)
+        assert bucket_percentile(buckets, 99, bounds) == pytest.approx(0.1)
+
+    def test_overflow_reports_last_finite_bound(self):
+        bounds = (0.001, 0.01)
+        buckets = [0, 0, 5]  # everything beyond the top bound
+        assert bucket_percentile(buckets, 50, bounds) == pytest.approx(0.01)

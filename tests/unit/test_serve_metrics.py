@@ -96,3 +96,79 @@ class TestMetricsRegistry:
         payload = json.dumps(registry.snapshot())
         assert '"m"' in payload
         assert registry.model_names() == ["m"]
+
+
+class TestSnapshotConsistency:
+    """Snapshots taken during concurrent recording must never be torn."""
+
+    def test_histogram_snapshot_is_internally_consistent_under_writes(self):
+        histogram = LatencyHistogram()
+        stop = threading.Event()
+
+        def hammer():
+            while not stop.is_set():
+                histogram.record(0.001)
+                histogram.record(5.0)  # lands in a different bucket
+
+        threads = [threading.Thread(target=hammer) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        try:
+            for _ in range(200):
+                snapshot = histogram.snapshot()
+                # Cumulative buckets must be monotone and the +Inf bucket
+                # must equal the count taken in the same critical section.
+                counts = [bucket["count"] for bucket in snapshot["buckets"]]
+                assert counts == sorted(counts)
+                assert counts[-1] == snapshot["count"]
+                if snapshot["count"]:
+                    assert snapshot["mean_ms"] == pytest.approx(
+                        snapshot["sum_seconds"] / snapshot["count"] * 1e3
+                    )
+                    assert snapshot["max_ms"] >= snapshot["p50_ms"]
+        finally:
+            stop.set()
+            for thread in threads:
+                thread.join()
+
+    def test_model_snapshot_counters_move_together(self):
+        metrics = ModelMetrics()
+        stop = threading.Event()
+
+        def hammer():
+            while not stop.is_set():
+                # Every request carries exactly 3 samples, so any snapshot
+                # must observe samples == 3 * requests — a torn read (one
+                # counter updated, the other not yet) breaks the invariant.
+                metrics.record_request(3, 0.001)
+
+        threads = [threading.Thread(target=hammer) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        try:
+            for _ in range(200):
+                snapshot = metrics.snapshot()
+                assert snapshot["samples"] == 3 * snapshot["requests"]
+        finally:
+            stop.set()
+            for thread in threads:
+                thread.join()
+
+    def test_concurrent_stage_recording(self):
+        metrics = ModelMetrics()
+
+        def record_stages():
+            for _ in range(200):
+                metrics.record_stage("validate", 0.0001)
+                metrics.record_stage("dispatch", 0.001)
+
+        threads = [threading.Thread(target=record_stages) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        snapshot = metrics.snapshot()
+        assert snapshot["stages"]["validate"]["count"] == 800
+        assert snapshot["stages"]["dispatch"]["count"] == 800
+        # Stage histograms are stable objects, created exactly once.
+        assert metrics.stage("validate") is metrics.stage("validate")
