@@ -10,11 +10,18 @@ scale-out tier that breaks that cap without duplicating the model:
   :class:`SharedBankHandle` / :class:`WorkerModelSpec` and the worker-side
   :func:`build_worker_engine` that reconstructs a
   :class:`~repro.serve.engine.PackedInferenceEngine` over the mapped words;
-* :mod:`repro.cluster.worker` — the worker process loop (tiny
-  request/reply protocol over a duplex pipe);
-* :mod:`repro.cluster.dispatcher` — :class:`ClusterDispatcher` shards
-  micro-batches across the pool, merges scores bit-identically (including
-  the ensemble max-over-bank reduction), and respawns crashed workers;
+* :mod:`repro.cluster.transport` — the pluggable data plane: one
+  request/reply protocol behind three carriages (``pipe`` pickling, ``shm``
+  shared-memory rings with control frames on the pipe, ``tcp`` framed
+  localhost sockets), each with exact byte accounting;
+* :mod:`repro.cluster.worker` — the worker process loop (the tiny
+  request/reply protocol over its transport endpoint);
+* :mod:`repro.cluster.dispatcher` — :class:`ClusterDispatcher` validates +
+  packs each batch once, shards the packed words across the pool, merges
+  scores bit-identically (including the ensemble max-over-bank reduction),
+  and respawns crashed workers;
+* :mod:`repro.cluster.affinity` — best-effort ``sched_setaffinity`` worker
+  pinning so scaling benchmarks record where work actually ran;
 * :mod:`repro.cluster.errors` — the exception taxonomy the HTTP layer maps
   to status codes.
 
@@ -24,8 +31,10 @@ Wired into serving as ``ServeApp(..., num_processes=N)`` /
 which shards ``packed.bit_differences`` across a process pool.
 """
 
+from repro.cluster.affinity import available_cpus, build_pin_map, pin_process
 from repro.cluster.dispatcher import ClusterDispatcher
 from repro.cluster.errors import ClusterError, WorkerCrashedError, WorkerStartupError
+from repro.cluster.transport import TRANSPORT_NAMES, Transport, TransportError
 from repro.cluster.shared import (
     AttachedBank,
     SharedBankHandle,
@@ -42,10 +51,16 @@ __all__ = [
     "ClusterError",
     "SharedBankHandle",
     "SharedModelStore",
+    "TRANSPORT_NAMES",
+    "Transport",
+    "TransportError",
     "WorkerCrashedError",
     "WorkerModelSpec",
     "WorkerStartupError",
     "attach_bank",
+    "available_cpus",
+    "build_pin_map",
     "build_worker_engine",
     "make_worker_spec",
+    "pin_process",
 ]

@@ -8,20 +8,26 @@ presents the same inference surface as a
 micro-batcher feeds coalesced batches straight into the cluster with no
 changes of its own.  Per batch it:
 
-1. splits the feature rows into contiguous shards, one per worker (a batch
-   smaller than the pool goes to the next worker round-robin);
-2. scatters the shards over per-worker pipes and gathers the replies;
+1. validates and — when the engine has a fused accumulator — encodes + packs
+   the query rows *once*, so what crosses the process boundary is the packed
+   ``uint64`` words (one ``ceil(D/64)``-word row per sample), not float
+   features re-encoded per worker;
+2. splits the rows into contiguous shards, one per worker (a batch smaller
+   than the pool goes to the next worker round-robin), and scatters them
+   over per-worker transport endpoints — pipe, shared-memory ring, or TCP
+   socket, chosen at construction (see :mod:`repro.cluster.transport`);
 3. concatenates the per-shard results in shard order — row sharding keeps
    the merged output *bit-identical* to a single-process engine call,
    including the ensemble's max-over-bank reduction, which each worker
    applies to its own rows before replying.
 
-Failure semantics: a request-level exception inside a worker (bad feature
-width) is re-raised in the caller with its original type preserved for
-``ValueError`` so the HTTP layer still answers 400.  A worker *crash* is
-detected as a broken/ silent pipe; the dispatcher *retires* the slot
-(infallible, so every other worker's pending reply is still drained and no
-pipe ever desynchronises), raises
+Failure semantics are transport-independent: a request-level exception
+inside a worker is re-raised in the caller with its original type preserved
+for ``ValueError`` so the HTTP layer still answers 400 (feature-width errors
+on the packed path raise parent-side, before any dispatch).  A worker
+*crash* is detected as a broken transport or silent process death; the
+dispatcher *retires* the slot (infallible, so every other worker's pending
+reply is still drained and no channel ever desynchronises), raises
 :class:`~repro.cluster.errors.WorkerCrashedError` for the in-flight request
 (HTTP 503), and spawns the replacement lazily when the slot is next used —
 so the next request finds a healthy pool, and a spawn failure surfaces on
@@ -29,11 +35,11 @@ the request that needed the worker rather than corrupting this one.
 
 Workers default to the ``fork`` start method when the platform offers it
 (instant startup, no spec pickling); set ``REPRO_CLUSTER_START_METHOD`` to
-``spawn`` or ``forkserver`` to override.  Encoders configured with
-``tie_break="random"`` draw from per-worker RNG copies, so ``sgn(0)`` ties
-may resolve differently than in a single process; deterministic
-(``"positive"``) encoders — the serving default for saved models — are
-bit-identical across any worker count.
+``spawn`` or ``forkserver`` to override.  With parent-side packing the
+``sgn(0)`` tie-break RNG is consumed exactly once in the parent, so even
+``tie_break="random"`` encoders shard deterministically; engines without a
+fused accumulator fall back to shipping float rows, where per-worker RNG
+copies may resolve ties differently than a single process.
 """
 
 from __future__ import annotations
@@ -42,19 +48,28 @@ import multiprocessing
 import os
 import threading
 import time
-from typing import List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro.cluster.affinity import build_pin_map, pin_process
 from repro.cluster.errors import (
     DispatcherClosedError,
     WorkerCrashedError,
     WorkerStartupError,
 )
 from repro.cluster.shared import SharedModelStore, make_worker_spec
+from repro.cluster.transport import (
+    ParentEndpoint,
+    Transport,
+    TransportCounters,
+    make_transport,
+)
 from repro.cluster.worker import worker_main
 from repro.obs.shm_metrics import WorkerStatsSlab, merge_worker_stats, stats_summary
 from repro.obs.trace import NULL_SPAN, Tracer, get_tracer
+
+_ROW_BYTES = 8  # labels/scores elements and packed words are 8-byte lanes
 
 
 def _default_start_method() -> str:
@@ -65,15 +80,16 @@ def _default_start_method() -> str:
 
 
 class _Worker:
-    __slots__ = ("process", "connection")
+    __slots__ = ("process", "connection", "endpoint")
 
-    def __init__(self, process, connection):
+    def __init__(self, process, connection, endpoint: ParentEndpoint):
         self.process = process
         self.connection = connection
+        self.endpoint = endpoint
 
 
 class _WorkerCrash(Exception):
-    """Internal marker: the pipe broke or the process died mid-request."""
+    """Internal marker: the transport broke or the process died mid-request."""
 
 
 class ClusterDispatcher:
@@ -84,7 +100,9 @@ class ClusterDispatcher:
     engine:
         A packed-mode :class:`~repro.serve.engine.PackedInferenceEngine`;
         its resident bank is published to shared memory and the engine
-        itself remains untouched (the parent can keep serving on it).
+        itself remains untouched (the parent can keep serving on it — the
+        dispatcher borrows only its validator and fused encoder for the
+        one-time parent-side pack).
     num_workers:
         Worker process count (>= 1).
     store:
@@ -93,13 +111,23 @@ class ClusterDispatcher:
     name:
         Bank key in the store; defaults to the engine name.  Give versioned
         keys (``"model@v3"``) when hot-swapping so old and new banks coexist.
+    transport:
+        ``"pipe"`` (default), ``"shm"``, ``"tcp"``, or a pre-configured
+        :class:`~repro.cluster.transport.Transport` (tests use the latter to
+        shrink initial slab sizes and force growth).  See
+        :mod:`repro.cluster.transport` for the three data planes.
+    cpu_affinity:
+        ``None`` (no pinning, the default), ``"auto"`` (round-robin workers
+        over the available CPUs via ``sched_setaffinity``), or an explicit
+        CPU-id sequence to round-robin over.  Pinning is best-effort and
+        recorded per worker in :meth:`info` so benchmark results stay honest.
     start_method / startup_timeout / request_timeout:
         Process start method override and the two failure deadlines
         (seconds) for worker startup and a single sharded request.
     tracer:
         Optional :class:`~repro.obs.trace.Tracer`.  When the calling thread
         has a sampled span open, each batch gets a ``dispatch`` span whose
-        context rides the worker pipes; workers reply with finished
+        context rides the worker transports; workers reply with finished
         ``worker:score`` span records that are stitched into the parent
         trace here.  Defaults to the process-wide tracer.
     metrics:
@@ -113,6 +141,8 @@ class ClusterDispatcher:
         num_workers: int = 2,
         store: Optional[SharedModelStore] = None,
         name: Optional[str] = None,
+        transport: Union[str, Transport] = "pipe",
+        cpu_affinity: Union[None, str, Sequence[int]] = None,
         start_method: Optional[str] = None,
         startup_timeout: float = 60.0,
         request_timeout: float = 60.0,
@@ -132,8 +162,26 @@ class ClusterDispatcher:
         self.dimension = int(engine.dimension)
         self.startup_timeout = float(startup_timeout)
         self.request_timeout = float(request_timeout)
+        self._transport = make_transport(transport)
+        self.transport = self._transport.name
+        self.cpu_count = os.cpu_count() or 1
+        if cpu_affinity is None:
+            self._pin_map: Dict[int, int] = {}
+        elif cpu_affinity == "auto":
+            self._pin_map = build_pin_map(self.num_workers)
+        else:
+            self._pin_map = build_pin_map(self.num_workers, cpus=cpu_affinity)
+        self._pinned: Dict[int, Optional[int]] = {}
         self._context = multiprocessing.get_context(
             start_method or _default_start_method()
+        )
+        # The engine stays resident parent-side: its validator and fused
+        # encoder turn each batch into packed words exactly once before the
+        # scatter, so workers receive 1-bit-per-dimension words instead of
+        # 64-bit float rows and skip re-encoding entirely.
+        self._engine = engine
+        self._ship_packed = (
+            engine.mode == "packed" and getattr(engine, "_accumulator", None) is not None
         )
         self._owns_store = store is None
         self._store = store if store is not None else SharedModelStore()
@@ -203,9 +251,9 @@ class ClusterDispatcher:
             for index in range(self.num_workers):
                 try:
                     worker = self._ensure_worker(index)
-                    worker.connection.send(("ping",))
+                    worker.endpoint.send_request({"op": "ping"}, [])
                     pids.append(self._receive(worker)[0])
-                except (_WorkerCrash, BrokenPipeError, OSError):
+                except (_WorkerCrash, BrokenPipeError, EOFError, OSError):
                     self._retire_worker(index)
                     raise WorkerCrashedError(
                         f"worker {index} of {self.name!r} died during ping "
@@ -219,15 +267,16 @@ class ClusterDispatcher:
         The armed worker acknowledges, then hard-exits when the next batch
         shard reaches it — deterministically exercising the mid-batch crash
         path (:class:`WorkerCrashedError` + respawn) that a random ``kill``
-        can only hit by lucky timing.
+        can only hit by lucky timing.  The arming frame rides the active
+        transport, so the drill covers the shm/tcp crash paths too.
         """
         with self._lock:
             self._check_open()
             worker = self._ensure_worker(index)
             try:
-                worker.connection.send(("poison",))
+                worker.endpoint.send_request({"op": "poison"}, [])
                 self._receive(worker)
-            except (_WorkerCrash, BrokenPipeError, OSError):
+            except (_WorkerCrash, BrokenPipeError, EOFError, OSError):
                 self._retire_worker(index)
                 raise WorkerCrashedError(
                     f"worker {index} of {self.name!r} died while being poisoned"
@@ -245,9 +294,10 @@ class ClusterDispatcher:
             if worker is None:
                 continue
             try:
-                worker.connection.send(("stop",))
-            except (BrokenPipeError, OSError):
+                worker.endpoint.send_request({"op": "stop"}, [])
+            except (BrokenPipeError, EOFError, OSError):
                 pass
+            worker.endpoint.close()
             worker.connection.close()
         for worker in workers:
             if worker is None:
@@ -285,6 +335,15 @@ class ClusterDispatcher:
                 "num_workers": self.num_workers,
                 "respawns": self.respawns,
                 "start_method": self._context.get_start_method(),
+                "transport": self.transport,
+                "ships_packed_queries": self._ship_packed,
+                "cpu_count": self.cpu_count,
+                "pin_map": [
+                    self._pinned.get(index, self._pin_map.get(index))
+                    for index in range(self.num_workers)
+                ]
+                if self._pin_map
+                else None,
                 "shared_bank_bytes": self._spec.bank_handle.nbytes,
                 "worker_pids": [
                     worker.process.pid
@@ -293,6 +352,7 @@ class ClusterDispatcher:
                 ],
                 "uptime_seconds": time.monotonic() - self._started_monotonic,
                 "workers": self.fleet_stats(),
+                "transport_stats": self.transport_stats(),
             }
 
     def fleet_stats(self) -> dict:
@@ -309,6 +369,28 @@ class ClusterDispatcher:
         return {
             "per_worker": per_worker,
             "fleet": stats_summary(merged, uptime_seconds=uptime),
+        }
+
+    def transport_stats(self) -> dict:
+        """Per-worker transport accounting (bytes by carriage, frame counts,
+        slab occupancy) plus fleet totals — the raw numbers behind the
+        ``bytes_avoided`` / ring-occupancy series in ``/v1/metrics``."""
+        per_worker: List[Optional[dict]] = []
+        totals = TransportCounters().snapshot()
+        for worker in self._workers:
+            if worker is None:
+                per_worker.append(None)
+                continue
+            stats = worker.endpoint.stats()
+            per_worker.append(stats)
+            for key in totals:
+                value = stats.get(key)
+                if isinstance(value, (int, float)):
+                    totals[key] += value
+        return {
+            "transport": self.transport,
+            "per_worker": per_worker,
+            "totals": totals,
         }
 
     # -------------------------------------------------------------- internals
@@ -330,40 +412,64 @@ class ClusterDispatcher:
 
     def _spawn(self, index: int) -> _Worker:
         parent_connection, child_connection = self._context.Pipe(duplex=True)
-        process = self._context.Process(
-            target=worker_main,
-            args=(self._spec, child_connection, self._slabs[index].name, index),
-            name=f"repro-cluster-{self.name}-{index}",
-            daemon=True,
-        )
-        process.start()
-        child_connection.close()
-        worker = _Worker(process, parent_connection)
-        deadline = time.monotonic() + self.startup_timeout
-        while not parent_connection.poll(0.05):
-            if not process.is_alive() or time.monotonic() > deadline:
-                process.terminate()
-                raise WorkerStartupError(
-                    f"worker for {self.name!r} failed to start "
-                    f"(alive={process.is_alive()})"
-                )
+        endpoint = self._transport.create_endpoint(parent_connection)
+        process = None
         try:
-            reply = parent_connection.recv()
-        except EOFError:
-            raise WorkerStartupError(f"worker for {self.name!r} died during startup")
-        if reply[0] != "ready":
-            process.join(timeout=1.0)
-            raise WorkerStartupError(
-                f"worker for {self.name!r} failed to build its engine: {reply[1]}"
+            process = self._context.Process(
+                target=worker_main,
+                args=(
+                    self._spec,
+                    child_connection,
+                    self._slabs[index].name,
+                    index,
+                    endpoint.worker_spec(),
+                ),
+                name=f"repro-cluster-{self.name}-{index}",
+                daemon=True,
             )
-        return worker
+            process.start()
+            child_connection.close()
+            deadline = time.monotonic() + self.startup_timeout
+            # TCP endpoints accept the worker's connection here; pipe/shm
+            # endpoints have nothing to do.  Either way the ready handshake
+            # below stays a plain-pipe exchange that strictly precedes any
+            # transport frame.
+            endpoint.bind(process, deadline)
+            while not parent_connection.poll(0.05):
+                if not process.is_alive() or time.monotonic() > deadline:
+                    raise WorkerStartupError(
+                        f"worker for {self.name!r} failed to start "
+                        f"(alive={process.is_alive()})"
+                    )
+            try:
+                reply = parent_connection.recv()
+            except EOFError:
+                raise WorkerStartupError(
+                    f"worker for {self.name!r} died during startup"
+                )
+            if reply[0] != "ready":
+                process.join(timeout=1.0)
+                raise WorkerStartupError(
+                    f"worker for {self.name!r} failed to build its engine: "
+                    f"{reply[1]}"
+                )
+        except BaseException:
+            endpoint.close()
+            parent_connection.close()
+            if process is not None and process.is_alive():
+                process.terminate()
+            raise
+        cpu = self._pin_map.get(index)
+        if cpu is not None:
+            self._pinned[index] = cpu if pin_process(process.pid, cpu) else None
+        return _Worker(process, parent_connection, endpoint)
 
     def _ensure_worker(self, index: int) -> _Worker:
         """The live worker at *index*, respawning a retired/dead one.
 
         May raise :class:`WorkerStartupError`; callers that are mid-batch
-        catch it and keep draining the other pipes (retiring is infallible,
-        spawning is not — so death is recorded eagerly via
+        catch it and keep draining the other channels (retiring is
+        infallible, spawning is not — so death is recorded eagerly via
         :meth:`_retire_worker` and the replacement is spawned lazily here).
         """
         worker = self._workers[index]
@@ -381,6 +487,7 @@ class ClusterDispatcher:
         if worker is None:
             return
         self._workers[index] = None
+        worker.endpoint.close()
         worker.connection.close()
         if worker.process.is_alive():
             worker.process.terminate()
@@ -388,13 +495,13 @@ class ClusterDispatcher:
 
     def _receive(self, worker: _Worker):
         deadline = time.monotonic() + self.request_timeout
-        while not worker.connection.poll(0.05):
+        while not worker.endpoint.poll(0.05):
             if not worker.process.is_alive():
                 raise _WorkerCrash()
             if time.monotonic() > deadline:  # pragma: no cover - hung worker
                 raise _WorkerCrash()
         try:
-            reply = worker.connection.recv()
+            reply = worker.endpoint.recv_reply()
         except (EOFError, OSError):
             raise _WorkerCrash()
         if reply[0] == "error":
@@ -402,16 +509,32 @@ class ClusterDispatcher:
             if kind == "ValueError":
                 raise ValueError(message)
             raise RuntimeError(f"worker error ({kind}): {message}")
-        # ``("ok", payload, spans)`` — spans is the worker's list of finished
-        # span records (empty unless the request carried a trace context).
-        return reply[1], reply[2]
+        # ``("ok", scalar, arrays, spans)`` — scalar carries ping/poison
+        # results, arrays carry scoring results (1 array = scores, 2 = the
+        # ``(labels, scores)`` top-k pair), spans is the worker's list of
+        # finished span records (empty unless the request carried a trace
+        # context).
+        _, scalar, arrays, spans = reply
+        if not arrays:
+            return scalar, spans
+        if len(arrays) == 1:
+            return arrays[0], spans
+        return tuple(arrays), spans
+
+    def _reply_nbytes_hint(self, op: tuple, rows: int) -> int:
+        """Upper-bound reply payload size, so the shm transport pre-grows
+        each worker's response slab instead of round-tripping a growth."""
+        if op[0] == "top_k":
+            k = min(int(op[1]), self.num_classes)
+            return rows * k * 2 * _ROW_BYTES  # labels + scores
+        return rows * self.num_classes * _ROW_BYTES
 
     def _scatter_gather(self, op: tuple, features: np.ndarray) -> list:
-        """Send row shards of *features* to the pool; return per-shard results.
+        """Send row shards of the batch to the pool; return per-shard results.
 
         Serialised under the dispatcher lock: concurrent callers (scheduler
-        pool threads, direct 2-D requests) take turns, which keeps each pipe
-        a strict request/reply channel.
+        pool threads, direct 2-D requests) take turns, which keeps each
+        transport channel a strict request/reply channel.
         """
         features = np.asarray(features, dtype=np.float64)
         if features.ndim == 1:
@@ -421,16 +544,28 @@ class ClusterDispatcher:
             "dispatch", attrs={"op": op[0], "rows": int(features.shape[0])}
         ) as span:
             self._check_open()
-            # The span context (None when unsampled) rides each pipe as the
-            # op's final element; workers reply with finished ``worker:score``
-            # records that we stitch into the parent trace below — the worker
-            # never touches the trace file, so there is exactly one writer.
+            if self._ship_packed:
+                # Validate + encode + pack exactly once, parent-side: a bad
+                # feature width raises here (same ValueError/400 as the
+                # engine), and every transport then carries 1-bit-per-
+                # dimension words instead of float rows.
+                validated = self._engine._validate(features)
+                rows = self._engine._encode_packed(validated).words
+                kind = "packed"
+            else:
+                rows = features
+                kind = "dense"
+            # The span context (None when unsampled) rides each request
+            # header; workers reply with finished ``worker:score`` records
+            # that we stitch into the parent trace below — the worker never
+            # touches the trace file, so there is exactly one writer.
             ctx = span.context
-            num_shards = max(1, min(self.num_workers, features.shape[0]))
+            num_shards = max(1, min(self.num_workers, rows.shape[0]))
             offset = self._round_robin
             self._round_robin = (offset + num_shards) % self.num_workers
-            shards = np.array_split(features, num_shards, axis=0)
+            shards = np.array_split(rows, num_shards, axis=0)
             span.set("shards", num_shards)
+            span.set("kind", kind)
             crashed: List[int] = []
             spawn_error: Optional[WorkerStartupError] = None
             assignments = []
@@ -442,19 +577,29 @@ class ClusterDispatcher:
                     spawn_error = spawn_error or error
                     crashed.append(index)
                     continue
+                header = {
+                    "op": op[0],
+                    "kind": kind,
+                    "ctx": ctx,
+                    "reply_nbytes_hint": self._reply_nbytes_hint(
+                        op, int(shard.shape[0])
+                    ),
+                }
+                if op[0] == "top_k":
+                    header["k"] = int(op[1])
                 try:
-                    worker.connection.send((op[0], shard, *op[1:], ctx))
-                except (BrokenPipeError, OSError):
+                    worker.endpoint.send_request(header, [shard])
+                except (BrokenPipeError, EOFError, OSError):
                     self._retire_worker(index)
                     crashed.append(index)
                     continue
                 assignments.append((index, worker))
             # Every successfully sent shard is awaited even after a failure —
-            # an unconsumed reply would desynchronise its pipe and hand the
-            # NEXT batch this batch's results.  Nothing in this drain loop can
-            # raise: crashes retire the slot (infallible; the replacement is
-            # spawned lazily on the next request) and request-level errors
-            # consume their reply.
+            # an unconsumed reply would desynchronise its channel and hand
+            # the NEXT batch this batch's results.  Nothing in this drain
+            # loop can raise: crashes retire the slot (infallible; the
+            # replacement is spawned lazily on the next request) and
+            # request-level errors consume their reply.
             results = []
             request_error: Optional[Exception] = None
             for index, worker in assignments:

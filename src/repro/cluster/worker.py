@@ -1,27 +1,44 @@
-"""The inference worker process: one engine view, one duplex pipe.
+"""The inference worker process: one engine view, one transport endpoint.
 
 Each worker rebuilds a full :class:`~repro.serve.engine.PackedInferenceEngine`
 from a :class:`~repro.cluster.shared.WorkerModelSpec` — encoder tables private,
 packed model bank mapped zero-copy from the parent's shared segment — then
-answers a tiny request protocol over its pipe:
+answers a tiny request protocol over its transport endpoint
+(:func:`repro.cluster.transport.build_worker_endpoint` turns the dispatcher's
+picklable transport spec into the matching pipe / shared-memory-ring / TCP
+implementation; the duplex pipe always remains open for control frames and
+the startup handshake).
 
-==================================  ==========================================
-request                             reply
-==================================  ==========================================
-``("top_k", features, k, ctx)``     ``("ok", (labels, scores), spans)``
-``("scores", features, ctx)``       ``("ok", scores, spans)``
-``("ping",)``                       ``("ok", pid, [])``
-``("poison",)``                     ``("ok", None, [])`` *(then die on next
-                                    request)*
-``("stop",)``                       *(none; the worker exits)*
-==================================  ==========================================
+Requests are ``(header, arrays)`` pairs; replies are ``send_ok(scalar,
+arrays, spans)`` or ``send_error(kind, message)``:
 
-``ctx`` is an optional trace span context (a picklable
-:class:`~repro.obs.trace.SpanContext` tuple, or ``None``).  When present the
-worker times its scoring and ships a finished ``worker:score`` span record
-back in the reply's third slot; the dispatcher writes it into the parent's
-trace sink, which is how a single request's trace stitches across the
-process boundary without the worker ever opening the trace file.
+=====================================  =======================================
+request header (+ arrays)              ok-reply payload
+=====================================  =======================================
+``{"op": "top_k", "k", ...}``          ``arrays = [labels, scores]``
+``+ [features | packed words]``
+``{"op": "scores", ...}``              ``arrays = [scores]``
+``+ [features | packed words]``
+``{"op": "ping"}``                     ``scalar = pid``
+``{"op": "poison"}``                   ``scalar = None`` *(then die on next
+                                       request)*
+``{"op": "stop"}``                     *(none; the worker exits)*
+=====================================  =======================================
+
+``header["kind"]`` selects the scoring path.  ``"packed"`` means the
+dispatcher already validated and encoded the batch — the array is the shard's
+packed ``uint64`` query words — so the worker goes straight to XOR+popcount
+(``decision_scores_packed``) plus the same stable ``top_k_from_scores`` the
+engine itself uses, which keeps the merged result bit-identical to a
+single-process call.  ``"dense"`` ships raw float rows and defers to the
+engine's public entry points (validation included), the pre-packing fallback
+for engines without a fused accumulator.
+
+``header["ctx"]`` is an optional trace span context.  When present the worker
+times its scoring and ships a finished ``worker:score`` span record back in
+the reply's span slot; the dispatcher writes it into the parent's trace sink,
+which is how a single request's trace stitches across the process boundary
+without the worker ever opening the trace file.
 
 Independent of tracing, every scoring request is recorded into the worker's
 shared-memory stats slab (requests, samples, busy seconds, and a scoring
@@ -30,14 +47,20 @@ lock-free channel behind the fleet-wide utilisation view in ``/v1/metrics``.
 
 ``poison`` arms a hard ``os._exit`` on the *next* request, which is how the
 crash-recovery tests (and chaos drills) provoke a deterministic mid-batch
-worker death — the dispatcher's send succeeds, the reply never comes.
+worker death — the dispatcher's send succeeds, the reply never comes.  The
+arming frame travels whatever transport is active, so the chaos drill
+exercises the shm/tcp crash paths too.
 
-Request-level Python exceptions (for example a feature-width mismatch) are
-caught and shipped back as ``("error", type_name, message)`` so one bad
-request never takes the process down; only a genuine crash (segfault, kill,
-OOM) breaks the pipe, which the dispatcher detects and handles by
-respawning.  A ``("ready", pid)`` handshake is sent once the engine is
-compiled so the dispatcher can distinguish slow startup from startup failure.
+Request-level Python exceptions (for example a feature-width mismatch on the
+dense path) are caught and shipped back as ``("error", type_name, message)``
+so one bad request never takes the process down; a torn shared-memory read
+(generation mismatch) likewise becomes a ``TransportError`` reply rather than
+scoring stale bytes.  Only a genuine crash (segfault, kill, OOM) breaks the
+transport, which the dispatcher detects and handles by respawning.  A
+``("ready", pid)`` handshake is sent on the pipe once the engine is compiled
+so the dispatcher can distinguish slow startup from startup failure; the
+worker connects its transport *before* the engine build so a TCP dispatcher
+never waits out the engine compile in ``accept``.
 """
 
 from __future__ import annotations
@@ -50,16 +73,26 @@ def worker_main(
     connection,
     stats_slab_name=None,
     worker_index: int = 0,
+    transport_spec=None,
 ) -> None:
-    """Process entry point: build the engine, then serve the pipe until EOF."""
+    """Process entry point: build the endpoint + engine, serve until EOF."""
     import os
     import time
 
+    import numpy as np
+
+    from repro.classifiers.base import top_k_from_scores
+    from repro.cluster.transport import TransportError, build_worker_endpoint
+    from repro.kernels.packed import PackedHypervectors
     from repro.obs.shm_metrics import WorkerStatsSlab
     from repro.obs.trace import span_record
 
     stats = None
+    endpoint = None
     try:
+        # Transport first (a TCP connect is instant; the engine build is
+        # not), so the dispatcher's accept never waits on compilation.
+        endpoint = build_worker_endpoint(transport_spec, connection)
         attached, engine = build_worker_engine(spec)
         engine.warmup()
         if stats_slab_name is not None:
@@ -68,23 +101,42 @@ def worker_main(
         try:
             connection.send(("failed", f"{type(error).__name__}: {error}"))
         finally:
+            if endpoint is not None:
+                endpoint.close()
             connection.close()
         return
     connection.send(("ready", os.getpid()))
 
-    def _score(op, features, extra_args, ctx):
-        """Run one scoring op; returns ``(payload, spans)`` and records stats."""
+    def _score(header, arrays):
+        """Run one scoring op; returns ``(arrays, spans)`` + records stats."""
+        op = header["op"]
         started_wall = time.time()
         started = time.perf_counter()
-        if op == "top_k":
-            payload = engine.top_k(features, k=extra_args[0])
+        if header.get("kind") == "packed":
+            # The dispatcher validated + encoded once; the shard is packed
+            # uint64 query words, so scoring is pure XOR+popcount here.
+            words = np.ascontiguousarray(arrays[0], dtype=np.uint64)
+            queries = PackedHypervectors(words=words, dimension=engine.dimension)
+            scores = engine.classifier.decision_scores_packed(queries)
+            rows = int(words.shape[0])
+            if op == "top_k":
+                labels, top_scores = top_k_from_scores(scores, header["k"])
+                payload = [labels, top_scores]
+            else:
+                payload = [scores]
         else:
-            payload = engine.decision_scores(features)
+            features = arrays[0]
+            rows = int(features.shape[0]) if features.ndim == 2 else 1
+            if op == "top_k":
+                labels, top_scores = engine.top_k(features, k=header["k"])
+                payload = [labels, top_scores]
+            else:
+                payload = [engine.decision_scores(features)]
         elapsed = time.perf_counter() - started
-        rows = int(features.shape[0]) if features.ndim == 2 else 1
         if stats is not None:
             stats.record(rows, elapsed)
         spans = []
+        ctx = header.get("ctx")
         if ctx is not None:
             spans.append(
                 span_record(
@@ -92,7 +144,12 @@ def worker_main(
                     ctx,
                     started_wall,
                     elapsed,
-                    attrs={"op": op, "rows": rows, "worker": worker_index},
+                    attrs={
+                        "op": op,
+                        "rows": rows,
+                        "worker": worker_index,
+                        "kind": header.get("kind", "dense"),
+                    },
                 )
             )
         return payload, spans
@@ -101,10 +158,15 @@ def worker_main(
     try:
         while True:
             try:
-                message = connection.recv()
-            except EOFError:
+                header, arrays = endpoint.recv()
+            except (EOFError, OSError):
                 break
-            op = message[0]
+            except TransportError as error:
+                # A torn/stale slab read: refuse to score the bytes, tell
+                # the dispatcher exactly why, and stay alive.
+                endpoint.send_error("TransportError", str(error))
+                continue
+            op = header["op"]
             if op == "stop":
                 break
             if poisoned:
@@ -112,24 +174,20 @@ def worker_main(
             try:
                 if op == "poison":
                     poisoned = True
-                    connection.send(("ok", None, []))
-                elif op == "top_k":
-                    _, features, k, ctx = message
-                    payload, spans = _score(op, features, (k,), ctx)
-                    connection.send(("ok", payload, spans))
-                elif op == "scores":
-                    _, features, ctx = message
-                    payload, spans = _score(op, features, (), ctx)
-                    connection.send(("ok", payload, spans))
+                    endpoint.send_ok(None, [], [])
+                elif op in ("top_k", "scores"):
+                    payload, spans = _score(header, arrays)
+                    endpoint.send_ok(None, payload, spans)
                 elif op == "ping":
-                    connection.send(("ok", os.getpid(), []))
+                    endpoint.send_ok(os.getpid(), [], [])
                 else:
-                    connection.send(("error", "ValueError", f"unknown op {op!r}"))
+                    endpoint.send_error("ValueError", f"unknown op {op!r}")
             except Exception as error:
                 if stats is not None:
                     stats.record_error()
-                connection.send(("error", type(error).__name__, str(error)))
+                endpoint.send_error(type(error).__name__, str(error))
     finally:
+        endpoint.close()
         connection.close()
         if stats is not None:
             stats.close()

@@ -110,6 +110,11 @@ class ServeApp:
         many worker processes sharing the packed model bank through
         ``multiprocessing.shared_memory`` (one dispatcher per promoted
         model version; dense-mode models transparently stay in-process).
+    transport:
+        Cluster data plane for shard payloads — ``"pipe"`` (default),
+        ``"shm"`` (shared-memory rings; pipes carry only control frames),
+        or ``"tcp"`` (framed localhost sockets).  Ignored when
+        ``num_processes == 0``.  See :mod:`repro.cluster.transport`.
     cache_size:
         Entry cap for the request-level LRU prediction cache keyed by
         ``(model, version, top_k, payload hash)``; ``0`` disables caching.
@@ -131,6 +136,7 @@ class ServeApp:
         max_wait_ms: float = 2.0,
         num_workers: int = 1,
         num_processes: int = 0,
+        transport: str = "pipe",
         cache_size: int = 1024,
         tracer: Optional[Tracer] = None,
     ):
@@ -140,6 +146,7 @@ class ServeApp:
         self.metrics = metrics or MetricsRegistry()
         self.tracer = tracer if tracer is not None else get_tracer()
         self.num_processes = int(num_processes)
+        self.transport = transport
         self._batch_config = dict(
             max_batch_size=max_batch_size,
             max_wait_ms=max_wait_ms,
@@ -414,6 +421,7 @@ class ServeApp:
                 num_workers=self.num_processes,
                 store=store,
                 name=f"{name}@v{version}",
+                transport=self.transport,
                 tracer=self.tracer,
                 metrics=self.metrics.for_model(name),
             )

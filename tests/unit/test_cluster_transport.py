@@ -1,0 +1,285 @@
+"""Unit tests for the pluggable cluster transports (pipe / shm / tcp).
+
+Covers the transport tier's contracts end to end: bit-identical shard/merge
+parity on every transport (including the ensemble max-over-bank merge),
+shared-memory slab auto-growth and torn-write detection via generation
+counters, the inline-fallback degrade path, `poison_worker` chaos and
+kill-mid-batch crashes on the shm path, the TCP framing against its real
+localhost listener, request-level error propagation per transport, and the
+byte-accounting/affinity surfaces the benchmarks and metrics read.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import signal
+import time
+
+import numpy as np
+import pytest
+
+from repro.classifiers.baseline import BaselineHDC
+from repro.classifiers.multimodel import MultiModelHDC
+from repro.classifiers.pipeline import HDCPipeline
+from repro.cluster import ClusterDispatcher, Transport, WorkerCrashedError
+from repro.cluster.affinity import available_cpus, build_pin_map
+from repro.cluster.transport import (
+    ShmParentEndpoint,
+    ShmWorkerEndpoint,
+    TransportError,
+    _Slab,
+    make_transport,
+)
+from repro.hdc.encoders import RecordEncoder
+from repro.serve.engine import PackedInferenceEngine
+
+TRANSPORTS = ("pipe", "shm", "tcp")
+
+
+@pytest.fixture(scope="module")
+def served(small_problem):
+    encoder = RecordEncoder(dimension=256, num_levels=8, tie_break="positive", seed=5)
+    pipeline = HDCPipeline(encoder, BaselineHDC(seed=5))
+    pipeline.fit(small_problem["train_features"], small_problem["train_labels"])
+    engine = PackedInferenceEngine(pipeline, name="transport")
+    return engine, small_problem["test_features"]
+
+
+@pytest.fixture(scope="module")
+def ensemble_served(small_problem):
+    encoder = RecordEncoder(dimension=192, num_levels=8, tie_break="positive", seed=9)
+    pipeline = HDCPipeline(
+        encoder, MultiModelHDC(models_per_class=4, iterations=1, seed=9)
+    )
+    pipeline.fit(small_problem["train_features"], small_problem["train_labels"])
+    engine = PackedInferenceEngine(pipeline, name="transport-ens")
+    return engine, small_problem["test_features"][:32]
+
+
+class TestParity:
+    @pytest.mark.parametrize("transport", TRANSPORTS)
+    def test_top_k_scores_and_predict_match_single_process(self, served, transport):
+        engine, queries = served
+        expected_labels, expected_scores = engine.top_k(queries, k=3)
+        with ClusterDispatcher(engine, num_workers=2, transport=transport) as d:
+            labels, scores = d.top_k(queries, k=3)
+            assert np.array_equal(labels, expected_labels)
+            assert np.array_equal(scores, expected_scores)
+            assert np.array_equal(
+                d.decision_scores(queries), engine.decision_scores(queries)
+            )
+            assert np.array_equal(d.predict(queries), engine.predict(queries))
+
+    @pytest.mark.parametrize("transport", TRANSPORTS)
+    def test_ensemble_max_over_bank_merge(self, ensemble_served, transport):
+        engine, queries = ensemble_served
+        with ClusterDispatcher(engine, num_workers=2, transport=transport) as d:
+            assert np.array_equal(
+                d.decision_scores(queries), engine.decision_scores(queries)
+            )
+
+    @pytest.mark.parametrize("transport", TRANSPORTS)
+    def test_value_error_propagates_and_pool_survives(self, served, transport):
+        engine, queries = served
+        with ClusterDispatcher(engine, num_workers=2, transport=transport) as d:
+            with pytest.raises(ValueError, match="columns"):
+                d.top_k(np.zeros((4, 3)), k=1)
+            labels, _ = d.top_k(queries, k=1)
+            assert np.array_equal(labels, engine.top_k(queries, k=1)[0])
+            assert d.respawns == 0
+
+    def test_ships_packed_words_not_float_rows(self, served):
+        engine, queries = served
+        batch = np.ascontiguousarray(queries[:16])
+        packed_nbytes = engine._encode_packed(engine._validate(batch)).words.nbytes
+        with ClusterDispatcher(engine, num_workers=1, transport="shm") as d:
+            assert d.info()["ships_packed_queries"] is True
+            d.decision_scores(batch)
+            sent = d.transport_stats()["per_worker"][0]
+            # Request payload = the packed words (32x smaller than float64
+            # rows at D=256/F=24); everything else is reply scores.
+            reply_nbytes = 16 * d.num_classes * 8
+            assert sent["shm_bytes"] == packed_nbytes + reply_nbytes
+            assert packed_nbytes < batch.nbytes
+
+
+class TestShmRing:
+    def test_slab_auto_growth_preserves_parity(self, served):
+        engine, queries = served
+        transport = Transport("shm", initial_slab_bytes=32)
+        with ClusterDispatcher(engine, num_workers=2, transport=transport) as d:
+            assert np.array_equal(
+                d.decision_scores(queries), engine.decision_scores(queries)
+            )
+            stats = d.transport_stats()["totals"]
+            assert stats["slab_grows"] > 0
+            assert stats["inline_fallbacks"] == 0  # growth, not degrade
+
+    def test_slab_rejects_torn_reads(self):
+        slab = _Slab.create(64)
+        try:
+            payload = np.arange(4, dtype=np.uint64)
+            slab.write(7, [payload])
+            round_tripped = np.frombuffer(
+                slab.read(7, payload.nbytes), dtype=np.uint64
+            )
+            assert np.array_equal(round_tripped, payload)
+            with pytest.raises(TransportError, match="generation"):
+                slab.read(8, payload.nbytes)  # stale/foreign generation
+            with pytest.raises(TransportError, match="mismatch"):
+                slab.read(7, payload.nbytes - 8)  # size disagrees with frame
+        finally:
+            slab.close()
+
+    def test_endpoint_pair_detects_generation_races(self, rng):
+        """Drive the shm endpoints in-process to hit both race detectors."""
+        parent_conn, child_conn = multiprocessing.Pipe(duplex=True)
+        parent = ShmParentEndpoint(parent_conn, initial_slab_bytes=256)
+        worker = ShmWorkerEndpoint(child_conn)
+        try:
+            batch = rng.standard_normal((2, 4))
+            # A reply carrying a stale generation (worker answered an older
+            # request) is refused parent-side.
+            parent.send_request({"op": "scores", "reply_nbytes_hint": 64}, [batch])
+            header, arrays = worker.recv()
+            assert header["op"] == "scores"
+            assert np.array_equal(arrays[0], batch)
+            worker._generation -= 1  # simulate answering the previous frame
+            worker.send_ok(None, [batch], [])
+            with pytest.raises(TransportError, match="generation"):
+                parent.recv_reply()
+            # A request slab scribbled after the frame was cut (torn write)
+            # is refused worker-side.
+            parent.send_request({"op": "scores", "reply_nbytes_hint": 64}, [batch])
+            scribbler = _Slab.attach(parent._request_slab.name)
+            try:
+                buf = scribbler._segment.buf
+                buf[0] = (buf[0] + 1) % 256  # bump the generation word
+                with pytest.raises(TransportError, match="mismatch"):
+                    worker.recv()
+            finally:
+                scribbler.close()
+        finally:
+            worker.close()
+            parent.close()
+            parent_conn.close()
+            child_conn.close()
+
+    def test_reply_outgrowing_its_slab_falls_back_inline(self, rng):
+        parent_conn, child_conn = multiprocessing.Pipe(duplex=True)
+        parent = ShmParentEndpoint(parent_conn, initial_slab_bytes=64)
+        worker = ShmWorkerEndpoint(child_conn)
+        try:
+            small = rng.standard_normal((1, 4))
+            big = rng.standard_normal((32, 32))
+            parent.send_request({"op": "scores", "reply_nbytes_hint": 0}, [small])
+            worker.recv()
+            worker.send_ok(None, [big], [])  # 8 KiB into a 64 B response slab
+            reply = parent.recv_reply()
+            assert reply[0] == "ok"
+            assert np.array_equal(reply[2][0], big)
+            assert parent.counters.inline_fallbacks == 1
+        finally:
+            worker.close()
+            parent.close()
+            parent_conn.close()
+            child_conn.close()
+
+    def test_poison_worker_chaos_on_shm_path(self, served):
+        engine, queries = served
+        with ClusterDispatcher(engine, num_workers=2, transport="shm") as d:
+            d.poison_worker(0)
+            with pytest.raises(WorkerCrashedError):
+                d.top_k(queries, k=1)
+            labels, _ = d.top_k(queries, k=1)  # lazy respawn heals the pool
+            assert np.array_equal(labels, engine.top_k(queries, k=1)[0])
+            assert d.respawns == 1
+
+    def test_kill_mid_batch_on_shm_path(self, served):
+        engine, queries = served
+        with ClusterDispatcher(engine, num_workers=2, transport="shm") as d:
+            victim = d.info()["worker_pids"][0]
+            os.kill(victim, signal.SIGKILL)
+            deadline = time.monotonic() + 5.0
+            while time.monotonic() < deadline:
+                try:
+                    os.kill(victim, 0)
+                except ProcessLookupError:
+                    break
+                time.sleep(0.01)
+            # The dead worker is respawned transparently at the next ensure.
+            assert np.array_equal(
+                d.decision_scores(queries), engine.decision_scores(queries)
+            )
+
+
+class TestTcp:
+    def test_frames_travel_a_real_localhost_socket(self, served):
+        engine, queries = served
+        with ClusterDispatcher(engine, num_workers=2, transport="tcp") as d:
+            labels, _ = d.top_k(queries, k=2)
+            assert np.array_equal(labels, engine.top_k(queries, k=2)[0])
+            totals = d.transport_stats()["totals"]
+            assert totals["socket_bytes"] > 0
+            assert totals["pipe_bytes"] == 0  # only the handshake used it
+            assert len(set(d.ping())) == 2
+
+    def test_poison_worker_chaos_on_tcp_path(self, served):
+        engine, queries = served
+        with ClusterDispatcher(engine, num_workers=2, transport="tcp") as d:
+            d.poison_worker(1)
+            with pytest.raises(WorkerCrashedError):
+                d.top_k(queries, k=1)
+            assert np.array_equal(
+                d.decision_scores(queries), engine.decision_scores(queries)
+            )
+            assert d.respawns == 1
+
+
+class TestSurfaces:
+    def test_unknown_transport_rejected(self, served):
+        engine, _ = served
+        with pytest.raises(ValueError, match="unknown transport"):
+            ClusterDispatcher(engine, num_workers=1, transport="carrier-pigeon")
+        with pytest.raises(ValueError, match="unknown transport"):
+            make_transport("udp")
+
+    @pytest.mark.parametrize("transport", TRANSPORTS)
+    def test_info_and_stats_expose_the_transport(self, served, transport):
+        engine, queries = served
+        with ClusterDispatcher(
+            engine, num_workers=2, transport=transport, cpu_affinity="auto"
+        ) as d:
+            d.top_k(queries[:8], k=1)
+            info = d.info()
+            assert info["transport"] == transport
+            assert info["cpu_count"] == (os.cpu_count() or 1)
+            assert len(info["pin_map"]) == 2
+            stats = info["transport_stats"]
+            assert stats["transport"] == transport
+            assert len(stats["per_worker"]) == 2
+            assert stats["totals"]["frames_sent"] >= 2
+            assert stats["totals"]["payload_bytes"] > 0
+            if transport == "shm":
+                assert stats["totals"]["bytes_avoided"] > 0
+                for endpoint in stats["per_worker"]:
+                    assert 0.0 <= endpoint["request_slab"]["occupancy"] <= 1.0
+                    assert 0.0 <= endpoint["response_slab"]["occupancy"] <= 1.0
+
+    def test_shm_moves_fewer_pipe_bytes_than_pipe(self, served):
+        engine, queries = served
+        batch = queries[:32]
+        pipe_bytes = {}
+        for transport in ("pipe", "shm"):
+            with ClusterDispatcher(engine, num_workers=1, transport=transport) as d:
+                d.top_k(batch, k=3)
+                pipe_bytes[transport] = d.transport_stats()["totals"]["pipe_bytes"]
+        assert pipe_bytes["shm"] * 10 <= pipe_bytes["pipe"]
+
+    def test_affinity_helpers(self):
+        cpus = available_cpus()
+        assert cpus and all(isinstance(cpu, int) for cpu in cpus)
+        pin_map = build_pin_map(4, cpus=[0, 1])
+        assert pin_map == {0: 0, 1: 1, 2: 0, 3: 1}
+        assert build_pin_map(2, cpus=[]) == {}
