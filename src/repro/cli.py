@@ -176,6 +176,53 @@ def build_parser() -> argparse.ArgumentParser:
             "REPRO_KERNEL_BACKEND environment variable; default: env, then numpy)"
         ),
     )
+    serve.add_argument(
+        "--max-queue-depth",
+        type=int,
+        default=None,
+        help=(
+            "bound each model's micro-batch queue; a full queue sheds the "
+            "request as 429 + Retry-After (default: unbounded)"
+        ),
+    )
+    serve.add_argument(
+        "--max-concurrent",
+        type=int,
+        default=None,
+        help=(
+            "per-model cap on concurrently admitted requests; excess load "
+            "sheds as 429 + Retry-After (default: unlimited)"
+        ),
+    )
+    serve.add_argument(
+        "--deadline-ms",
+        type=float,
+        default=None,
+        help=(
+            "default per-request deadline in milliseconds (requests may "
+            "override via the deadline_ms payload field); expired requests "
+            "answer 504 instead of being scored"
+        ),
+    )
+    serve.add_argument(
+        "--request-timeout",
+        type=float,
+        default=60.0,
+        help=(
+            "seconds the dispatcher waits for one worker shard before the "
+            "hung-worker watchdog terminates and respawns it (default 60)"
+        ),
+    )
+    serve.add_argument(
+        "--faults",
+        default=None,
+        metavar="PLAN",
+        help=(
+            "inject deterministic worker faults from PLAN — a preset name "
+            "(quick, soak), a 'kind:key=value;...' spec, or a JSON plan; "
+            "also honoured via REPRO_FAULTS (chaos testing only)"
+        ),
+    )
     serve.add_argument("--verbose", action="store_true", help="log HTTP requests")
     serve.add_argument(
         "--log-level",
@@ -256,6 +303,51 @@ def build_parser() -> argparse.ArgumentParser:
             "disabled, so small datasets with repeated rows measure real "
             "inference rather than cache hits)"
         ),
+    )
+    loadgen.add_argument(
+        "--max-queue-depth",
+        type=int,
+        default=None,
+        help="bound the in-process target's micro-batch queues (sheds as 429)",
+    )
+    loadgen.add_argument(
+        "--max-concurrent",
+        type=int,
+        default=None,
+        help="per-model concurrency cap for the in-process target (sheds as 429)",
+    )
+    loadgen.add_argument(
+        "--deadline-ms",
+        type=float,
+        default=None,
+        help=(
+            "attach this deadline (milliseconds) to every request; late "
+            "answers must be 504, and the report counts any successful "
+            "response that outlived it as a deadline violation"
+        ),
+    )
+    loadgen.add_argument(
+        "--request-timeout",
+        type=float,
+        default=60.0,
+        help="hung-worker watchdog timeout for the in-process target (seconds)",
+    )
+    loadgen.add_argument(
+        "--faults",
+        default=None,
+        metavar="PLAN",
+        help=(
+            "chaos soak: inject deterministic worker faults into the "
+            "in-process target from PLAN (preset name, 'kind:key=value;...' "
+            "spec, or JSON) and assert graceful degradation — requires "
+            "--workers >= 2"
+        ),
+    )
+    loadgen.add_argument(
+        "--min-availability",
+        type=float,
+        default=0.95,
+        help="availability floor the chaos report must clear (default 0.95)",
     )
     loadgen.add_argument(
         "--json", default=None, metavar="PATH", help="also write the report as JSON"
@@ -533,6 +625,19 @@ def command_serve(args) -> int:  # pragma: no cover - blocking server loop
 
         tracer = configure_tracing(args.trace, sample_rate=args.trace_sample)
         print(f"tracing to {args.trace} (sample rate {args.trace_sample:g})")
+    fault_plan = None
+    if args.faults:
+        from repro.faults import FaultPlan
+
+        if args.workers < 2:
+            print("error: --faults requires --workers >= 2", file=sys.stderr)
+            return 1
+        try:
+            fault_plan = FaultPlan.resolve(args.faults)
+        except ValueError as error:
+            print(f"error: bad --faults plan: {error}", file=sys.stderr)
+            return 1
+        print(f"chaos mode: injecting faults ({fault_plan.describe_short()})")
     app = ServeApp(
         registry,
         max_batch_size=args.max_batch_size,
@@ -541,6 +646,11 @@ def command_serve(args) -> int:  # pragma: no cover - blocking server loop
         num_processes=args.workers if args.workers > 1 else 0,
         transport=args.transport,
         cache_size=args.cache_size,
+        max_queue_depth=args.max_queue_depth,
+        max_concurrent=args.max_concurrent,
+        default_deadline_ms=args.deadline_ms,
+        request_timeout=args.request_timeout,
+        fault_plan=fault_plan,
     )
     try:
         run_server(
@@ -556,6 +666,20 @@ def command_serve(args) -> int:  # pragma: no cover - blocking server loop
     return 0
 
 
+def _list_shm_segments() -> set:
+    """Names of the POSIX shared-memory segments currently alive.
+
+    Linux exposes them as files under ``/dev/shm``; elsewhere the check
+    degrades to an empty set (the leak audit then passes vacuously).
+    """
+    from pathlib import Path
+
+    shm_root = Path("/dev/shm")
+    if not shm_root.is_dir():
+        return set()
+    return {entry.name for entry in shm_root.iterdir()}
+
+
 def command_loadgen(args) -> int:
     from pathlib import Path
 
@@ -568,12 +692,35 @@ def command_loadgen(args) -> int:
         format_report,
         run_load_test,
         validate_report,
+        validate_resilience_report,
         write_report,
     )
 
     num_requests = args.requests if args.requests is not None else (120 if args.quick else 400)
     warmup = args.warmup if args.warmup is not None else (16 if args.quick else 40)
     dimension = min(args.dimension, 1000) if args.quick else args.dimension
+
+    fault_plan = None
+    if args.faults:
+        from repro.faults import FaultPlan
+
+        if args.url:
+            print(
+                "error: --faults drives the in-process target; start the "
+                "server with --faults instead for --url soaks",
+                file=sys.stderr,
+            )
+            return 1
+        if args.workers < 2:
+            print("error: --faults requires --workers >= 2", file=sys.stderr)
+            return 1
+        try:
+            fault_plan = FaultPlan.resolve(args.faults)
+        except ValueError as error:
+            print(f"error: bad --faults plan: {error}", file=sys.stderr)
+            return 1
+        if fault_plan is not None:
+            print(f"chaos soak: {fault_plan.describe_short()}")
 
     tracer = None
     if args.trace:
@@ -591,7 +738,7 @@ def command_loadgen(args) -> int:
 
     app = None
     if args.url:
-        target = HTTPTarget(args.url, top_k=args.top_k)
+        target = HTTPTarget(args.url, top_k=args.top_k, deadline_ms=args.deadline_ms)
     else:
         from repro.serve import ModelRegistry, PackedInferenceEngine, ServeApp
 
@@ -623,8 +770,19 @@ def command_loadgen(args) -> int:
             num_processes=args.workers if args.workers > 1 else 0,
             transport=args.transport,
             cache_size=args.cache_size,
+            max_queue_depth=args.max_queue_depth,
+            max_concurrent=args.max_concurrent,
+            request_timeout=args.request_timeout,
+            fault_plan=fault_plan,
         )
-        target = InProcessTarget(app, top_k=args.top_k)
+        target = InProcessTarget(
+            app, top_k=args.top_k, deadline_ms=args.deadline_ms
+        )
+
+    # Chaos runs also audit shm hygiene: every segment the soak creates must
+    # be gone once the app closes (a leak means a crashed worker or a missed
+    # unlink survived the faults).
+    shm_before = _list_shm_segments() if fault_plan is not None else None
 
     try:
         report = run_load_test(
@@ -633,6 +791,7 @@ def command_loadgen(args) -> int:
             traffic,
             num_requests=num_requests,
             warmup_requests=warmup,
+            fault_plan=fault_plan,
         )
     finally:
         if app is not None:
@@ -640,11 +799,50 @@ def command_loadgen(args) -> int:
         if tracer is not None:
             tracer.close()
 
+    leaked = []
+    if shm_before is not None:
+        leaked = sorted(_list_shm_segments() - shm_before)
+
     print(format_report(report))
     if args.json:
         destination = write_report(args.json, report)
         print(f"report written to {destination}")
-    if args.quick:
+    if fault_plan is not None:
+        if leaked:
+            print(f"error: leaked shm segments after chaos soak: {leaked}", file=sys.stderr)
+            return 1
+        try:
+            validate_resilience_report(report, min_availability=args.min_availability)
+        except ValueError as error:
+            print(f"error: chaos soak failed: {error}", file=sys.stderr)
+            return 1
+        delta = report.get("server_metrics_delta") or {}
+        injected = sum(
+            delta.get(name, 0)
+            for name in (
+                "respawns",
+                "hangs",
+                "shard_retries",
+                "transport_errors",
+                "worker_faults",
+            )
+        )
+        if not injected:
+            print(
+                "error: chaos soak injected no faults (vacuous pass) — "
+                "raise --requests or use more workers",
+                file=sys.stderr,
+            )
+            return 1
+        resilience = report["resilience"]
+        print(
+            "chaos soak validated: availability "
+            f"{resilience['availability']:.2%} (floor {args.min_availability:.0%}), "
+            f"errors by status {resilience['errors_by_status'] or '{}'}, "
+            "zero untyped errors, zero deadline violations, zero leaked "
+            "shm segments"
+        )
+    if args.quick and fault_plan is None:
         validate_report(report)
         print(
             "quick-mode report validated: non-zero throughput, "

@@ -33,7 +33,14 @@ which shards ``packed.bit_differences`` across a process pool.
 
 from repro.cluster.affinity import available_cpus, build_pin_map, pin_process
 from repro.cluster.dispatcher import ClusterDispatcher
-from repro.cluster.errors import ClusterError, WorkerCrashedError, WorkerStartupError
+from repro.cluster.errors import (
+    ClusterError,
+    DeadlineExceededError,
+    DispatcherClosedError,
+    WorkerCrashedError,
+    WorkerFaultError,
+    WorkerStartupError,
+)
 from repro.cluster.transport import TRANSPORT_NAMES, Transport, TransportError
 from repro.cluster.shared import (
     AttachedBank,
@@ -49,12 +56,15 @@ __all__ = [
     "AttachedBank",
     "ClusterDispatcher",
     "ClusterError",
+    "DeadlineExceededError",
+    "DispatcherClosedError",
     "SharedBankHandle",
     "SharedModelStore",
     "TRANSPORT_NAMES",
     "Transport",
     "TransportError",
     "WorkerCrashedError",
+    "WorkerFaultError",
     "WorkerModelSpec",
     "WorkerStartupError",
     "attach_bank",

@@ -25,13 +25,27 @@ Failure semantics are transport-independent: a request-level exception
 inside a worker is re-raised in the caller with its original type preserved
 for ``ValueError`` so the HTTP layer still answers 400 (feature-width errors
 on the packed path raise parent-side, before any dispatch).  A worker
-*crash* is detected as a broken transport or silent process death; the
-dispatcher *retires* the slot (infallible, so every other worker's pending
-reply is still drained and no channel ever desynchronises), raises
-:class:`~repro.cluster.errors.WorkerCrashedError` for the in-flight request
-(HTTP 503), and spawns the replacement lazily when the slot is next used —
-so the next request finds a healthy pool, and a spawn failure surfaces on
-the request that needed the worker rather than corrupting this one.
+*crash* is detected as a broken transport or silent process death; a *hang*
+(alive but unresponsive past ``request_timeout``) is detected by the
+receive watchdog and the wedged process is forcibly retired (SIGTERM, then
+SIGKILL).  Either way the dispatcher retires the slot (infallible, so every
+other worker's pending reply is still drained and no channel ever
+desynchronises) and **retries the failed shards exactly once** on the lazily
+respawned pool — only a second consecutive failure surfaces
+:class:`~repro.cluster.errors.WorkerCrashedError` (HTTP 503).  Torn reply
+frames (``TransportError``) and transient worker faults
+(:class:`~repro.cluster.errors.WorkerFaultError`) are retried the same way
+without retiring the worker, since the channel realigns on the next
+request.
+
+Requests may carry an absolute monotonic *deadline*: it rides the op
+control frame so workers refuse to score expired shards, the receive
+watchdog abandons (and retires) a worker still holding a shard when the
+deadline passes, and the whole batch raises
+:class:`~repro.cluster.errors.DeadlineExceededError` (HTTP 504) instead of
+scoring dead work.  Deterministic chaos testing of all of these paths is
+provided by :mod:`repro.faults` — pass ``fault_plan=`` (or export
+``REPRO_FAULTS``) and the plan rides the spawn arguments into every worker.
 
 Workers default to the ``fork`` start method when the platform offers it
 (instant startup, no spec pickling); set ``REPRO_CLUSTER_START_METHOD`` to
@@ -54,8 +68,10 @@ import numpy as np
 
 from repro.cluster.affinity import build_pin_map, pin_process
 from repro.cluster.errors import (
+    DeadlineExceededError,
     DispatcherClosedError,
     WorkerCrashedError,
+    WorkerFaultError,
     WorkerStartupError,
 )
 from repro.cluster.shared import SharedModelStore, make_worker_spec
@@ -63,9 +79,11 @@ from repro.cluster.transport import (
     ParentEndpoint,
     Transport,
     TransportCounters,
+    TransportError,
     make_transport,
 )
 from repro.cluster.worker import worker_main
+from repro.faults import FaultPlan
 from repro.obs.shm_metrics import WorkerStatsSlab, merge_worker_stats, stats_summary
 from repro.obs.trace import NULL_SPAN, Tracer, get_tracer
 
@@ -90,6 +108,23 @@ class _Worker:
 
 class _WorkerCrash(Exception):
     """Internal marker: the transport broke or the process died mid-request."""
+
+
+class _WorkerHang(_WorkerCrash):
+    """Internal marker: the process is *alive* but unresponsive.
+
+    Raised by the receive watchdog when ``request_timeout`` elapses — or,
+    with ``deadline_hit=True``, when the request's own deadline expires
+    while the worker still holds the shard.  Distinct from a plain crash so
+    the dispatcher can count hangs separately and map the deadline case to
+    504 instead of 503; either way the wedged process must be forcibly
+    retired, because ``is_alive()`` would otherwise hand the same stuck
+    worker to every future request.
+    """
+
+    def __init__(self, deadline_hit: bool = False):
+        super().__init__()
+        self.deadline_hit = deadline_hit
 
 
 class ClusterDispatcher:
@@ -123,7 +158,14 @@ class ClusterDispatcher:
         recorded per worker in :meth:`info` so benchmark results stay honest.
     start_method / startup_timeout / request_timeout:
         Process start method override and the two failure deadlines
-        (seconds) for worker startup and a single sharded request.
+        (seconds) for worker startup and a single sharded request; on
+        ``request_timeout`` the hung-but-alive worker is terminated and its
+        shard retried once on the respawned pool.
+    fault_plan:
+        Optional :class:`~repro.faults.FaultPlan` shipped into every worker
+        for deterministic chaos testing; defaults to
+        :meth:`FaultPlan.from_env` (the ``REPRO_FAULTS`` variable), i.e.
+        no faults unless explicitly requested.
     tracer:
         Optional :class:`~repro.obs.trace.Tracer`.  When the calling thread
         has a sampled span open, each batch gets a ``dispatch`` span whose
@@ -146,6 +188,7 @@ class ClusterDispatcher:
         start_method: Optional[str] = None,
         startup_timeout: float = 60.0,
         request_timeout: float = 60.0,
+        fault_plan: Optional[FaultPlan] = None,
         tracer: Optional[Tracer] = None,
         metrics=None,
     ):
@@ -162,6 +205,7 @@ class ClusterDispatcher:
         self.dimension = int(engine.dimension)
         self.startup_timeout = float(startup_timeout)
         self.request_timeout = float(request_timeout)
+        self._fault_plan = fault_plan if fault_plan is not None else FaultPlan.from_env()
         self._transport = make_transport(transport)
         self.transport = self._transport.name
         self.cpu_count = os.cpu_count() or 1
@@ -200,6 +244,11 @@ class ClusterDispatcher:
         self._closed = False
         self._round_robin = 0
         self.respawns = 0
+        self.hangs = 0
+        self.shard_retries = 0
+        self.transport_errors = 0
+        self.worker_faults = 0
+        self.deadline_skips = 0
         self._started_monotonic = time.monotonic()
         # One stats slab per worker *slot*, owned by the dispatcher for its
         # whole lifetime: respawned workers inherit their slot's slab, so the
@@ -216,11 +265,15 @@ class ClusterDispatcher:
             raise
 
     # -------------------------------------------------------------- inference
+    #: Callers (the batch scheduler, the HTTP layer) check this attribute to
+    #: know they may pass ``deadline=`` — plain engines don't accept it.
+    accepts_deadline = True
+
     def top_k(
-        self, features: np.ndarray, k: int = 5
+        self, features: np.ndarray, k: int = 5, deadline: Optional[float] = None
     ) -> Tuple[np.ndarray, np.ndarray]:
         """The ``k`` best classes per sample, merged across worker shards."""
-        results = self._scatter_gather(("top_k", int(k)), features)
+        results = self._scatter_gather(("top_k", int(k)), features, deadline=deadline)
         merge_started = time.perf_counter()
         with self._child_span("merge", attrs={"shards": len(results)}):
             labels = np.concatenate([labels for labels, _ in results], axis=0)
@@ -229,9 +282,11 @@ class ClusterDispatcher:
             self._metrics.record_stage("merge", time.perf_counter() - merge_started)
         return labels, scores
 
-    def decision_scores(self, features: np.ndarray) -> np.ndarray:
+    def decision_scores(
+        self, features: np.ndarray, deadline: Optional[float] = None
+    ) -> np.ndarray:
         """``(n, K)`` class scores, merged across worker shards."""
-        results = self._scatter_gather(("scores",), features)
+        results = self._scatter_gather(("scores",), features, deadline=deadline)
         merge_started = time.perf_counter()
         with self._child_span("merge", attrs={"shards": len(results)}):
             merged = np.concatenate(results, axis=0)
@@ -239,9 +294,11 @@ class ClusterDispatcher:
             self._metrics.record_stage("merge", time.perf_counter() - merge_started)
         return merged
 
-    def predict(self, features: np.ndarray) -> np.ndarray:
+    def predict(
+        self, features: np.ndarray, deadline: Optional[float] = None
+    ) -> np.ndarray:
         """Predict integer class labels for a batch of raw feature rows."""
-        return np.argmax(self.decision_scores(features), axis=1)
+        return np.argmax(self.decision_scores(features, deadline=deadline), axis=1)
 
     def ping(self) -> List[int]:
         """Round-trip every worker; returns their PIDs (health check)."""
@@ -334,6 +391,17 @@ class ClusterDispatcher:
                 "name": self.name,
                 "num_workers": self.num_workers,
                 "respawns": self.respawns,
+                "request_timeout": self.request_timeout,
+                "failures": {
+                    "hangs": self.hangs,
+                    "shard_retries": self.shard_retries,
+                    "transport_errors": self.transport_errors,
+                    "worker_faults": self.worker_faults,
+                    "deadline_skips": self.deadline_skips,
+                },
+                "fault_plan": (
+                    self._fault_plan.describe() if self._fault_plan else None
+                ),
                 "start_method": self._context.get_start_method(),
                 "transport": self.transport,
                 "ships_packed_queries": self._ship_packed,
@@ -423,6 +491,7 @@ class ClusterDispatcher:
                     self._slabs[index].name,
                     index,
                     endpoint.worker_spec(),
+                    self._fault_plan,
                 ),
                 name=f"repro-cluster-{self.name}-{index}",
                 daemon=True,
@@ -482,7 +551,13 @@ class ClusterDispatcher:
         return self._workers[index]
 
     def _retire_worker(self, index: int) -> None:
-        """Tear down a dead/poisoned worker slot; never raises."""
+        """Tear down a dead/hung/poisoned worker slot; never raises.
+
+        Escalates SIGTERM → SIGKILL: a hung worker may be wedged somewhere
+        it cannot run signal handlers, and leaving it alive would leak the
+        process *and* let ``is_alive()`` hand the same stuck worker to every
+        future request (the hung-worker leak this watchdog exists to fix).
+        """
         worker = self._workers[index]
         if worker is None:
             return
@@ -491,23 +566,37 @@ class ClusterDispatcher:
         worker.connection.close()
         if worker.process.is_alive():
             worker.process.terminate()
+            worker.process.join(timeout=2.0)
+            if worker.process.is_alive():  # pragma: no cover - SIGTERM ignored
+                worker.process.kill()
         worker.process.join(timeout=5.0)
 
-    def _receive(self, worker: _Worker):
-        deadline = time.monotonic() + self.request_timeout
+    def _receive(self, worker: _Worker, deadline: Optional[float] = None):
+        timeout_at = time.monotonic() + self.request_timeout
         while not worker.endpoint.poll(0.05):
+            now = time.monotonic()
             if not worker.process.is_alive():
                 raise _WorkerCrash()
-            if time.monotonic() > deadline:  # pragma: no cover - hung worker
-                raise _WorkerCrash()
+            if deadline is not None and now >= deadline:
+                raise _WorkerHang(deadline_hit=True)
+            if now >= timeout_at:
+                raise _WorkerHang(deadline_hit=False)
         try:
             reply = worker.endpoint.recv_reply()
         except (EOFError, OSError):
             raise _WorkerCrash()
         if reply[0] == "error":
             _, kind, message = reply
+            # Re-raise with the worker's original type where the serving
+            # layer maps it to a distinct status / retry decision.
             if kind == "ValueError":
                 raise ValueError(message)
+            if kind == "DeadlineExceededError":
+                raise DeadlineExceededError(message)
+            if kind == "TransportError":
+                raise TransportError(message)
+            if kind == "InjectedFaultError":
+                raise WorkerFaultError(message)
             raise RuntimeError(f"worker error ({kind}): {message}")
         # ``("ok", scalar, arrays, spans)`` — scalar carries ping/poison
         # results, arrays carry scoring results (1 array = scores, 2 = the
@@ -529,12 +618,133 @@ class ClusterDispatcher:
             return rows * k * 2 * _ROW_BYTES  # labels + scores
         return rows * self.num_classes * _ROW_BYTES
 
-    def _scatter_gather(self, op: tuple, features: np.ndarray) -> list:
+    def _run_shards(
+        self,
+        op: tuple,
+        kind: str,
+        ctx,
+        shards: Sequence[np.ndarray],
+        indices: Sequence[int],
+        offset: int,
+        deadline: Optional[float],
+        results: list,
+        state: dict,
+    ) -> List[int]:
+        """One scatter/drain round over the given shard indices.
+
+        Fills ``results[shard_index]`` for every shard that scores and
+        returns the indices that failed *retryably* — crash, hang, torn or
+        dropped frame, transient worker fault.  Non-retryable failures land
+        in *state* (``request_error`` / ``deadline_error`` / ``spawn_error``;
+        ``retry_error`` remembers the last retryable exception so a
+        double-failure re-raises something meaningful).
+
+        Every successfully sent shard is awaited even after a failure — an
+        unconsumed reply would desynchronise its channel and hand the NEXT
+        batch this batch's results.  Nothing in the drain loop raises:
+        crashes and hangs retire the slot (infallible; the replacement is
+        spawned lazily), request-level errors consume their reply.
+        """
+        assignments = []
+        retry: List[int] = []
+        for shard_index in indices:
+            index = (offset + shard_index) % self.num_workers
+            shard = shards[shard_index]
+            if deadline is not None and time.monotonic() >= deadline:
+                state["deadline_error"] = state["deadline_error"] or (
+                    DeadlineExceededError(
+                        f"deadline expired before dispatch to worker {index} "
+                        f"of {self.name!r}"
+                    )
+                )
+                continue
+            try:
+                worker = self._ensure_worker(index)
+            except WorkerStartupError as error:
+                state["spawn_error"] = state["spawn_error"] or error
+                state["retry_error"] = None
+                retry.append(shard_index)
+                continue
+            header = {
+                "op": op[0],
+                "kind": kind,
+                "ctx": ctx,
+                "deadline": deadline,
+                "reply_nbytes_hint": self._reply_nbytes_hint(
+                    op, int(shard.shape[0])
+                ),
+            }
+            if op[0] == "top_k":
+                header["k"] = int(op[1])
+            try:
+                worker.endpoint.send_request(header, [shard])
+            except (BrokenPipeError, EOFError, OSError):
+                self._retire_worker(index)
+                state["retry_error"] = None
+                retry.append(shard_index)
+                continue
+            assignments.append((shard_index, index, worker))
+        for shard_index, index, worker in assignments:
+            try:
+                payload, worker_spans = self._receive(worker, deadline)
+            except _WorkerHang as hang:
+                # Alive but unresponsive: forcibly retire so ``is_alive()``
+                # can never hand this wedged process to a future request.
+                self._retire_worker(index)
+                if hang.deadline_hit:
+                    state["deadline_error"] = state["deadline_error"] or (
+                        DeadlineExceededError(
+                            f"deadline expired while worker {index} of "
+                            f"{self.name!r} held the shard"
+                        )
+                    )
+                else:
+                    self.hangs += 1
+                    state["retry_error"] = None
+                    retry.append(shard_index)
+                continue
+            except _WorkerCrash:
+                self._retire_worker(index)
+                state["retry_error"] = None
+                retry.append(shard_index)
+                continue
+            except DeadlineExceededError as error:
+                # The worker refused an already-expired shard; the reply was
+                # consumed, the channel is aligned, the request is dead.
+                self.deadline_skips += 1
+                state["deadline_error"] = state["deadline_error"] or error
+                continue
+            except TransportError as error:
+                # Torn/stale reply frame: the payload is untrusted but the
+                # frame was consumed and the worker is alive — retry the
+                # shard without retiring anything.
+                self.transport_errors += 1
+                state["retry_error"] = error
+                retry.append(shard_index)
+                continue
+            except WorkerFaultError as error:
+                self.worker_faults += 1
+                state["retry_error"] = error
+                retry.append(shard_index)
+                continue
+            except (ValueError, RuntimeError) as error:
+                state["request_error"] = state["request_error"] or error
+                continue
+            results[shard_index] = payload
+            for record in worker_spans:
+                self._tracer.emit_record(record)
+        return retry
+
+    def _scatter_gather(
+        self, op: tuple, features: np.ndarray, deadline: Optional[float] = None
+    ) -> list:
         """Send row shards of the batch to the pool; return per-shard results.
 
         Serialised under the dispatcher lock: concurrent callers (scheduler
         pool threads, direct 2-D requests) take turns, which keeps each
-        transport channel a strict request/reply channel.
+        transport channel a strict request/reply channel.  Shards that fail
+        retryably are re-dispatched exactly once (to the respawned pool when
+        the failure retired a worker) before any error surfaces.
         """
         features = np.asarray(features, dtype=np.float64)
         if features.ndim == 1:
@@ -566,62 +776,41 @@ class ClusterDispatcher:
             shards = np.array_split(rows, num_shards, axis=0)
             span.set("shards", num_shards)
             span.set("kind", kind)
-            crashed: List[int] = []
-            spawn_error: Optional[WorkerStartupError] = None
-            assignments = []
-            for shard_index, shard in enumerate(shards):
-                index = (offset + shard_index) % self.num_workers
-                try:
-                    worker = self._ensure_worker(index)
-                except WorkerStartupError as error:
-                    spawn_error = spawn_error or error
-                    crashed.append(index)
-                    continue
-                header = {
-                    "op": op[0],
-                    "kind": kind,
-                    "ctx": ctx,
-                    "reply_nbytes_hint": self._reply_nbytes_hint(
-                        op, int(shard.shape[0])
-                    ),
-                }
-                if op[0] == "top_k":
-                    header["k"] = int(op[1])
-                try:
-                    worker.endpoint.send_request(header, [shard])
-                except (BrokenPipeError, EOFError, OSError):
-                    self._retire_worker(index)
-                    crashed.append(index)
-                    continue
-                assignments.append((index, worker))
-            # Every successfully sent shard is awaited even after a failure —
-            # an unconsumed reply would desynchronise its channel and hand
-            # the NEXT batch this batch's results.  Nothing in this drain
-            # loop can raise: crashes retire the slot (infallible; the
-            # replacement is spawned lazily on the next request) and
-            # request-level errors consume their reply.
-            results = []
-            request_error: Optional[Exception] = None
-            for index, worker in assignments:
-                try:
-                    payload, worker_spans = self._receive(worker)
-                except _WorkerCrash:
-                    self._retire_worker(index)
-                    crashed.append(index)
-                    continue
-                except (ValueError, RuntimeError) as error:
-                    request_error = request_error or error
-                    continue
-                results.append(payload)
-                for record in worker_spans:
-                    self._tracer.emit_record(record)
-            if crashed:
+            results: list = [None] * num_shards
+            state: dict = {
+                "spawn_error": None,
+                "request_error": None,
+                "deadline_error": None,
+                "retry_error": None,
+            }
+            retry = self._run_shards(
+                op, kind, ctx, shards, range(num_shards), offset, deadline,
+                results, state,
+            )
+            if retry and state["deadline_error"] is None:
+                if deadline is not None and time.monotonic() >= deadline:
+                    state["deadline_error"] = DeadlineExceededError(
+                        f"deadline expired before shard retry on {self.name!r}"
+                    )
+                else:
+                    self.shard_retries += len(retry)
+                    span.set("retried_shards", len(retry))
+                    retry = self._run_shards(
+                        op, kind, ctx, shards, retry, offset, deadline,
+                        results, state,
+                    )
+            if state["deadline_error"] is not None:
+                raise state["deadline_error"]
+            if retry:
+                error = state["retry_error"]
+                if error is not None:
+                    raise error
                 raise WorkerCrashedError(
-                    f"worker(s) {sorted(set(crashed))} of {self.name!r} died "
-                    "mid-batch (respawning on next use)"
-                ) from spawn_error
-            if request_error is not None:
-                raise request_error
+                    f"shard(s) {sorted(retry)} of {self.name!r} failed twice "
+                    "(workers respawning on next use)"
+                ) from state["spawn_error"]
+            if state["request_error"] is not None:
+                raise state["request_error"]
         if self._metrics is not None:
             self._metrics.record_stage("dispatch", time.perf_counter() - started)
         return results

@@ -35,9 +35,32 @@ class DispatcherClosedError(ClusterError):
     """
 
 
+class WorkerFaultError(ClusterError):
+    """A worker reported a transient request-level fault (retryable).
+
+    Covers injected ``error``-reply faults from :mod:`repro.faults` and any
+    future transient worker-side condition that should be retried on the
+    pool before surfacing 503 — distinct from ``ValueError`` (the caller's
+    fault, 400) and from a crash (the process is gone).
+    """
+
+
+class DeadlineExceededError(ClusterError):
+    """The request's deadline expired before scoring completed.
+
+    Deadlines are absolute ``time.monotonic()`` instants that ride the HTTP
+    request into the op control frame; workers refuse to score expired
+    shards and the dispatcher abandons shards whose deadline passes while a
+    worker holds them.  The HTTP layer answers 504 — the work is dead, not
+    retryable.
+    """
+
+
 __all__ = [
     "ClusterError",
+    "DeadlineExceededError",
     "DispatcherClosedError",
     "WorkerCrashedError",
+    "WorkerFaultError",
     "WorkerStartupError",
 ]

@@ -491,6 +491,8 @@ class TcpParentEndpoint(ParentEndpoint):
         counters = self.counters
         counters.frames_received += 1
         counters.socket_bytes += received
+        if header[0] == "error":
+            return tuple(header)  # ("error", kind, message)
         tag, scalar, metas, spans = header
         if tag == "ok":
             arrays = _unpack_arrays(metas, payload)
@@ -597,6 +599,18 @@ class ShmWorkerEndpoint(WorkerEndpoint):
 
     def send_error(self, kind: str, message: str) -> None:
         self.connection.send_bytes(_dumps(("error", kind, message)))
+
+    def skew_generation(self) -> None:
+        """Chaos hook: desynchronise the reply generation counter.
+
+        The next ``send_ok`` stamps slab + frame with a generation the parent
+        is not expecting, so its torn-write detector raises
+        ``TransportError`` instead of reading the payload — exactly what a
+        write torn by a mid-``memcpy`` crash looks like.  Self-healing: the
+        parent's next request re-announces its own generation and ``recv``
+        adopts it, so only one reply is poisoned.
+        """
+        self._generation += 1
 
     def close(self) -> None:
         for slab in self._attached.values():

@@ -74,6 +74,7 @@ def worker_main(
     stats_slab_name=None,
     worker_index: int = 0,
     transport_spec=None,
+    fault_plan=None,
 ) -> None:
     """Process entry point: build the endpoint + engine, serve until EOF."""
     import os
@@ -87,6 +88,7 @@ def worker_main(
     from repro.obs.shm_metrics import WorkerStatsSlab
     from repro.obs.trace import span_record
 
+    injector = None if fault_plan is None else fault_plan.injector(worker_index)
     stats = None
     endpoint = None
     try:
@@ -176,7 +178,50 @@ def worker_main(
                     poisoned = True
                     endpoint.send_ok(None, [], [])
                 elif op in ("top_k", "scores"):
+                    # Deterministic chaos: consult the fault plan once per
+                    # scoring request.  Crash/drop never reply (the parent
+                    # sees process death / a broken transport); hang holds
+                    # the shard past the dispatcher's watchdog; the rest
+                    # reply — wrongly, slowly, or torn.
+                    action = injector.draw() if injector is not None else None
+                    if action == "crash":
+                        os._exit(17)
+                    if action == "drop":
+                        # A dropped/reset connection as seen from the parent:
+                        # tear the transport down mid-request and vanish.
+                        endpoint.close()
+                        connection.close()
+                        os._exit(18)
+                    if action in ("hang", "slow"):
+                        time.sleep(
+                            fault_plan.hang_seconds
+                            if action == "hang"
+                            else fault_plan.slow_seconds
+                        )
+                    deadline = header.get("deadline")
+                    if deadline is not None and time.monotonic() >= deadline:
+                        # The shard is already dead — refuse to score it so
+                        # the dispatcher can answer 504 without waiting.
+                        endpoint.send_error(
+                            "DeadlineExceededError",
+                            "shard deadline expired before scoring",
+                        )
+                        continue
+                    if action == "error":
+                        endpoint.send_error(
+                            "InjectedFaultError", "injected error-reply fault"
+                        )
+                        continue
                     payload, spans = _score(header, arrays)
+                    if action == "torn":
+                        if hasattr(endpoint, "skew_generation"):
+                            endpoint.skew_generation()
+                        else:
+                            # No shared-memory generation to tear on this
+                            # transport — degrade to a dropped connection.
+                            endpoint.close()
+                            connection.close()
+                            os._exit(19)
                     endpoint.send_ok(None, payload, spans)
                 elif op == "ping":
                     endpoint.send_ok(os.getpid(), [], [])

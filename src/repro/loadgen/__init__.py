@@ -22,7 +22,13 @@ measures it the way a *caller* experiences it, with reproducible traffic:
 smoke mode (in-process target, fixed seed, report well-formedness asserted).
 """
 
-from repro.loadgen.report import build_report, format_report, validate_report, write_report
+from repro.loadgen.report import (
+    build_report,
+    format_report,
+    validate_report,
+    validate_resilience_report,
+    write_report,
+)
 from repro.loadgen.runner import HTTPTarget, InProcessTarget, TargetError, run_load_test
 from repro.loadgen.sampler import RequestSampler
 from repro.loadgen.traffic import ClosedLoop, OpenLoop
@@ -38,5 +44,6 @@ __all__ = [
     "format_report",
     "run_load_test",
     "validate_report",
+    "validate_resilience_report",
     "write_report",
 ]

@@ -51,17 +51,20 @@ def server_metrics_delta(before: dict, after: dict) -> dict:
         return out
 
     def worker_totals(snapshot: dict) -> dict:
-        out = {"worker_requests": 0, "worker_busy_seconds": 0.0}
+        out = {"worker_requests": 0, "worker_busy_seconds": 0.0, "respawns": 0}
         for info in snapshot.get("cluster", {}).values():
             fleet = info.get("workers", {}).get("fleet", {})
             out["worker_requests"] += fleet.get("requests", 0)
             out["worker_busy_seconds"] += fleet.get("busy_seconds", 0.0)
+            out["respawns"] += info.get("respawns", 0)
+            for name, count in (info.get("failures") or {}).items():
+                out[name] = out.get(name, 0) + count
         return out
 
     first, last = totals(before), totals(after)
     delta = {key: last[key] - first[key] for key in last}
     first_w, last_w = worker_totals(before), worker_totals(after)
-    delta.update({key: last_w[key] - first_w[key] for key in last_w})
+    delta.update({key: last_w[key] - first_w.get(key, 0) for key in last_w})
     gauges = {}
     for name, scheduler in after.get("schedulers", {}).items():
         gauges[name] = {"queue_depth": scheduler.get("queue_depth", 0)}
@@ -81,6 +84,11 @@ def build_report(
     errors: int,
     duration_seconds: float,
     server_metrics: Optional[dict] = None,
+    errors_by_status: Optional[dict] = None,
+    errors_by_code: Optional[dict] = None,
+    untyped_errors: int = 0,
+    deadline_violations: int = 0,
+    fault_plan: Optional[dict] = None,
 ) -> dict:
     """Assemble the JSON-ready report dictionary from one measure phase."""
     latency_array = np.asarray(latencies, dtype=np.float64)
@@ -119,6 +127,23 @@ def build_report(
             "latency_ms": summary,
         },
     }
+    total = completed + int(errors)
+    report["resilience"] = {
+        # Availability is the fraction of measured requests that got a
+        # successful answer; every failure that counts against it must be a
+        # typed 429/503/504, never a hang or an untyped transport error.
+        "availability": completed / total if total else 0.0,
+        "errors_by_status": dict(
+            sorted((errors_by_status or {}).items(), key=lambda kv: kv[0])
+        ),
+        "errors_by_code": dict(
+            sorted((errors_by_code or {}).items(), key=lambda kv: kv[0])
+        ),
+        "untyped_errors": int(untyped_errors),
+        "deadline_violations": int(deadline_violations),
+    }
+    if fault_plan is not None:
+        report["config"]["fault_plan"] = fault_plan
     if server_metrics is not None:
         report["server_metrics_delta"] = server_metrics
     return report
@@ -153,6 +178,54 @@ def validate_report(report: dict) -> None:
         raise ValueError("stream digest is not a sha256 hex string")
 
 
+#: The only statuses a hardened server may answer a failed request with:
+#: 429 (shed by admission control), 503 (transient cluster fault), 504
+#: (deadline exceeded).  Anything else under chaos is a bug.
+TYPED_FAILURE_STATUSES = frozenset({"429", "503", "504"})
+
+
+def validate_resilience_report(report: dict, min_availability: float = 0.95) -> None:
+    """Raise ``ValueError`` unless a chaos soak's report shows graceful
+    degradation: availability at or above *min_availability*, zero untyped
+    errors, zero successful responses outliving their deadline, and every
+    failure carrying one of the typed overload/fault statuses.
+
+    This is the CI chaos-smoke assertion — unlike :func:`validate_report`
+    it tolerates (typed) errors, because a fault-injected run is *supposed*
+    to shed and fail some requests; what it must never do is hang, crash
+    untyped, or answer dead work.
+    """
+    resilience = report.get("resilience")
+    if resilience is None:
+        raise ValueError("report has no resilience block")
+    availability = resilience.get("availability", 0.0)
+    if availability < min_availability:
+        raise ValueError(
+            f"availability {availability:.3f} is below the "
+            f"{min_availability:.2f} floor"
+        )
+    if resilience.get("untyped_errors", 0):
+        raise ValueError(
+            f"{resilience['untyped_errors']} untyped errors "
+            "(transport failures or non-JSON bodies) — every failure must "
+            "be a typed 429/503/504"
+        )
+    if resilience.get("deadline_violations", 0):
+        raise ValueError(
+            f"{resilience['deadline_violations']} successful responses "
+            "outlived their deadline — the server answered dead work"
+        )
+    rogue = {
+        status: count
+        for status, count in resilience.get("errors_by_status", {}).items()
+        if status not in TYPED_FAILURE_STATUSES and count
+    }
+    if rogue:
+        raise ValueError(f"failures with non-overload statuses: {rogue}")
+    if report.get("results", {}).get("completed", 0) < 1:
+        raise ValueError("report recorded no completed requests")
+
+
 def format_report(report: dict) -> str:
     """Human-readable summary table of one report."""
     from repro.eval.tables import format_table
@@ -179,6 +252,30 @@ def format_report(report: dict) -> str:
         ["latency max", f"{latency['max_ms']:.2f} ms"],
         ["stream digest", report["stream_digest"][:16] + "…"],
     ]
+    resilience = report.get("resilience")
+    if resilience is not None and (
+        results["errors"] or config.get("fault_plan") is not None
+    ):
+        rows.append(["availability", f"{resilience['availability']:.2%}"])
+        breakdown = ", ".join(
+            f"{status}×{count}"
+            for status, count in resilience["errors_by_status"].items()
+        )
+        rows.append(["error statuses", breakdown or "none"])
+        codes = ", ".join(
+            f"{code}×{count}"
+            for code, count in resilience["errors_by_code"].items()
+        )
+        rows.append(["error codes", codes or "none"])
+        rows.append(["untyped errors", str(resilience["untyped_errors"])])
+        rows.append(
+            ["deadline violations", str(resilience["deadline_violations"])]
+        )
+    plan = config.get("fault_plan")
+    if plan is not None:
+        rows.append(
+            ["fault plan", f"seed={plan['seed']} rules={len(plan['rules'])}"]
+        )
     delta = report.get("server_metrics_delta")
     if delta is not None:
         lookups = delta["cache_hits"] + delta["cache_misses"]
@@ -195,6 +292,25 @@ def format_report(report: dict) -> str:
                     "worker shards",
                     f"+{delta['worker_requests']} "
                     f"({delta['worker_busy_seconds']:.2f} s busy)",
+                ]
+            )
+        survived = {
+            name: delta[name]
+            for name in (
+                "respawns",
+                "hangs",
+                "shard_retries",
+                "transport_errors",
+                "worker_faults",
+                "deadline_skips",
+            )
+            if delta.get(name)
+        }
+        if survived:
+            rows.append(
+                [
+                    "faults survived",
+                    ", ".join(f"{name}+{count}" for name, count in survived.items()),
                 ]
             )
     title = f"Load test (seed={config['seed']})"
@@ -214,9 +330,11 @@ def write_report(path: Union[str, Path], report: dict) -> Path:
 __all__ = [
     "PERCENTILES",
     "REPORT_VERSION",
+    "TYPED_FAILURE_STATUSES",
     "build_report",
     "format_report",
     "server_metrics_delta",
     "validate_report",
+    "validate_resilience_report",
     "write_report",
 ]

@@ -34,7 +34,24 @@ TrafficModel = Union[OpenLoop, ClosedLoop]
 
 
 class TargetError(RuntimeError):
-    """A request the target refused or failed (counted, not fatal)."""
+    """A request the target refused or failed (counted, not fatal).
+
+    ``status`` carries the HTTP status code when the failure was a typed
+    server answer; ``code`` carries the machine-readable error code from the
+    response body.  Both stay ``None`` for transport-level failures (socket
+    resets, malformed bodies) — the resilience report counts those as
+    *untyped* errors, which a chaos soak requires to be zero.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        status: Optional[int] = None,
+        code: Optional[str] = None,
+    ):
+        super().__init__(message)
+        self.status = status
+        self.code = code
 
 
 class InProcessTarget:
@@ -42,10 +59,17 @@ class InProcessTarget:
 
     kind = "in-process"
 
-    def __init__(self, app, model: Optional[str] = None, top_k: int = 1):
+    def __init__(
+        self,
+        app,
+        model: Optional[str] = None,
+        top_k: int = 1,
+        deadline_ms: Optional[float] = None,
+    ):
         self.app = app
         self.model = model
         self.top_k = int(top_k)
+        self.deadline_ms = None if deadline_ms is None else float(deadline_ms)
 
     def send(self, features: np.ndarray) -> dict:
         from repro.serve.server import RequestError
@@ -53,17 +77,26 @@ class InProcessTarget:
         payload = {"features": features.tolist(), "top_k": self.top_k}
         if self.model is not None:
             payload["model"] = self.model
+        if self.deadline_ms is not None:
+            payload["deadline_ms"] = self.deadline_ms
         try:
             return self.app.predict(payload)
         except RequestError as error:
-            raise TargetError(f"{error.status}: {error}")
+            raise TargetError(
+                f"{error.status}: {error}", status=error.status, code=error.code
+            )
 
     def metrics_snapshot(self) -> Optional[dict]:
         """The app's ``/v1/metrics`` snapshot (for before/after deltas)."""
         return self.app.metrics_snapshot()
 
     def describe(self) -> dict:
-        return {"kind": self.kind, "model": self.model, "top_k": self.top_k}
+        return {
+            "kind": self.kind,
+            "model": self.model,
+            "top_k": self.top_k,
+            "deadline_ms": self.deadline_ms,
+        }
 
 
 class HTTPTarget:
@@ -77,17 +110,21 @@ class HTTPTarget:
         model: Optional[str] = None,
         top_k: int = 1,
         timeout: float = 30.0,
+        deadline_ms: Optional[float] = None,
     ):
         self.base_url = url.rstrip("/")
         self.url = self.base_url + "/v1/predict"
         self.model = model
         self.top_k = int(top_k)
         self.timeout = float(timeout)
+        self.deadline_ms = None if deadline_ms is None else float(deadline_ms)
 
     def send(self, features: np.ndarray) -> dict:
         payload = {"features": features.tolist(), "top_k": self.top_k}
         if self.model is not None:
             payload["model"] = self.model
+        if self.deadline_ms is not None:
+            payload["deadline_ms"] = self.deadline_ms
         request = urllib.request.Request(
             self.url,
             data=json.dumps(payload).encode("utf-8"),
@@ -98,7 +135,16 @@ class HTTPTarget:
             with urllib.request.urlopen(request, timeout=self.timeout) as response:
                 return json.loads(response.read())
         except urllib.error.HTTPError as error:
-            raise TargetError(f"{error.code}: {error.reason}")
+            # A typed server answer: pull the machine-readable ``code`` out
+            # of the JSON error body (absent on non-JSON bodies).
+            code = None
+            try:
+                code = json.loads(error.read()).get("code")
+            except Exception:
+                pass
+            raise TargetError(
+                f"{error.code}: {error.reason}", status=int(error.code), code=code
+            )
         except (urllib.error.URLError, OSError, json.JSONDecodeError) as error:
             raise TargetError(str(error))
 
@@ -119,34 +165,72 @@ class HTTPTarget:
             "url": self.url,
             "model": self.model,
             "top_k": self.top_k,
+            "deadline_ms": self.deadline_ms,
         }
 
 
+#: Client-side grace added to the deadline before a successful response is
+#: counted as a *deadline violation*: the server enforces the deadline up to
+#: the moment it starts writing the response, so serialisation + local
+#: loopback delivery may land slightly after the instant itself.
+DEADLINE_GRACE_SECONDS = 0.1
+
+
 class _Phase:
-    """Latency/error accumulator for one phase (thread-safe)."""
+    """Latency/error accumulator for one phase (thread-safe).
+
+    Besides the raw latencies, the phase buckets every failure by HTTP
+    status and by machine-readable error code — that breakdown is the heart
+    of the resilience report (a chaos soak passes only when every failure is
+    a *typed* 429/503/504, never a hang or a stack trace).
+    """
 
     def __init__(self):
         self.latencies: List[float] = []
         self.errors = 0
+        self.errors_by_status: dict = {}
+        self.errors_by_code: dict = {}
+        self.untyped_errors = 0
+        self.deadline_violations = 0
         self._lock = threading.Lock()
 
-    def record(self, seconds: float) -> None:
+    def record(self, seconds: float, deadline_seconds: Optional[float] = None) -> None:
         with self._lock:
             self.latencies.append(seconds)
+            if (
+                deadline_seconds is not None
+                and seconds > deadline_seconds + DEADLINE_GRACE_SECONDS
+            ):
+                self.deadline_violations += 1
 
-    def record_error(self) -> None:
+    def record_deadline_violation(self) -> None:
+        with self._lock:
+            self.deadline_violations += 1
+
+    def record_error(
+        self, status: Optional[int] = None, code: Optional[str] = None
+    ) -> None:
         with self._lock:
             self.errors += 1
+            if status is None:
+                self.untyped_errors += 1
+            else:
+                key = str(int(status))
+                self.errors_by_status[key] = self.errors_by_status.get(key, 0) + 1
+            if code is not None:
+                self.errors_by_code[code] = self.errors_by_code.get(code, 0) + 1
 
 
 def _send_one(target, features: np.ndarray, phase: _Phase) -> None:
+    deadline_ms = getattr(target, "deadline_ms", None)
+    deadline_seconds = None if deadline_ms is None else deadline_ms / 1e3
     started = time.perf_counter()
     try:
         target.send(features)
-    except TargetError:
-        phase.record_error()
+    except TargetError as error:
+        phase.record_error(status=error.status, code=error.code)
         return
-    phase.record(time.perf_counter() - started)
+    phase.record(time.perf_counter() - started, deadline_seconds=deadline_seconds)
 
 
 def _run_closed(target, rows, concurrency: int, phase: _Phase) -> float:
@@ -185,15 +269,28 @@ def _run_open(target, rows, traffic: OpenLoop, phase: _Phase) -> float:
     offsets = traffic.arrival_offsets(len(rows))
     base = time.perf_counter()
 
+    deadline_ms = getattr(target, "deadline_ms", None)
+    deadline_seconds = None if deadline_ms is None else deadline_ms / 1e3
+
     def fire(row, intended: float):
+        sent = time.perf_counter()
         try:
             target.send(row)
-        except TargetError:
-            phase.record_error()
+        except TargetError as error:
+            phase.record_error(status=error.status, code=error.code)
             return
+        finished = time.perf_counter()
         # Latency from *intended arrival*, so schedule slip (server backlog)
-        # is charged to the server, not silently forgiven.
-        phase.record(time.perf_counter() - base - intended)
+        # is charged to the server, not silently forgiven.  The deadline
+        # check uses the actual send→response time — the server's deadline
+        # clock starts when the request reaches it, not at the intended
+        # arrival — so client-side slip cannot fake a violation.
+        phase.record(finished - base - intended)
+        if (
+            deadline_seconds is not None
+            and finished - sent > deadline_seconds + DEADLINE_GRACE_SECONDS
+        ):
+            phase.record_deadline_violation()
 
     with ThreadPoolExecutor(
         max_workers=traffic.max_outstanding, thread_name_prefix="loadgen"
@@ -215,6 +312,7 @@ def run_load_test(
     traffic: TrafficModel,
     num_requests: int = 200,
     warmup_requests: int = 20,
+    fault_plan=None,
 ) -> dict:
     """Run warm-up then measure phases; return a JSON-ready report.
 
@@ -271,6 +369,11 @@ def run_load_test(
         errors=measure_phase.errors,
         duration_seconds=duration,
         server_metrics=server_metrics,
+        errors_by_status=measure_phase.errors_by_status,
+        errors_by_code=measure_phase.errors_by_code,
+        untyped_errors=measure_phase.untyped_errors,
+        deadline_violations=measure_phase.deadline_violations,
+        fault_plan=None if fault_plan is None else fault_plan.describe(),
     )
 
 

@@ -94,6 +94,22 @@ def render_prometheus(snapshot: Dict) -> str:
         writer.sample("repro_samples_total", metrics["samples"], model=model)
         writer.declare("repro_errors_total", "counter", "Failed requests.")
         writer.sample("repro_errors_total", metrics["errors"], model=model)
+        writer.declare(
+            "repro_shed_total",
+            "counter",
+            "Requests rejected by admission control (HTTP 429).",
+        )
+        writer.sample("repro_shed_total", metrics.get("sheds", 0), model=model)
+        writer.declare(
+            "repro_deadline_exceeded_total",
+            "counter",
+            "Requests that missed their deadline (HTTP 504).",
+        )
+        writer.sample(
+            "repro_deadline_exceeded_total",
+            metrics.get("deadline_exceeded", 0),
+            model=model,
+        )
 
         cache = metrics.get("cache")
         if cache is not None:
@@ -167,6 +183,19 @@ def render_prometheus(snapshot: Dict) -> str:
             info.get("respawns", 0),
             dispatcher=dispatcher,
         )
+        failure_help = {
+            "hangs": "Worker hangs detected by the request-timeout watchdog.",
+            "shard_retries": "Shards retried once after a worker fault.",
+            "transport_errors": "Transport-level faults (torn frames, drops).",
+            "worker_faults": "Request-level faults reported by workers.",
+            "deadline_skips": "Shards abandoned because their deadline expired.",
+        }
+        for field, count in sorted((info.get("failures") or {}).items()):
+            name = f"repro_cluster_{field}_total"
+            writer.declare(
+                name, "counter", failure_help.get(field, "Cluster fault counter.")
+            )
+            writer.sample(name, count, dispatcher=dispatcher)
         uptime = float(info.get("uptime_seconds", 0.0))
         for index, worker in enumerate(info.get("workers", {}).get("per_worker", [])):
             writer.declare(

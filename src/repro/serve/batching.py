@@ -28,6 +28,7 @@ from typing import Callable, List, Optional, Tuple, Union
 
 import numpy as np
 
+from repro.cluster.errors import DeadlineExceededError
 from repro.obs.trace import SpanContext, Tracer, get_tracer
 from repro.serve.engine import PackedInferenceEngine
 from repro.serve.metrics import ModelMetrics
@@ -35,8 +36,26 @@ from repro.serve.metrics import ModelMetrics
 EngineSource = Union[PackedInferenceEngine, Callable[[], PackedInferenceEngine]]
 
 
+class SchedulerOverloadedError(RuntimeError):
+    """The bounded request queue is full — shed this request.
+
+    Raised by :meth:`BatchScheduler.submit` *before* enqueueing, so an
+    overloaded scheduler fails fast instead of building an unbounded backlog
+    whose tail latency outlives any client.  The HTTP layer maps it to
+    429 + ``Retry-After``.
+    """
+
+
 class _Request:
-    __slots__ = ("features", "top_k", "future", "trace", "enqueued", "enqueued_wall")
+    __slots__ = (
+        "features",
+        "top_k",
+        "future",
+        "trace",
+        "deadline",
+        "enqueued",
+        "enqueued_wall",
+    )
 
     def __init__(
         self,
@@ -44,11 +63,15 @@ class _Request:
         top_k: int,
         future: Future,
         trace: Optional[SpanContext] = None,
+        deadline: Optional[float] = None,
     ):
         self.features = features
         self.top_k = top_k
         self.future = future
         self.trace = trace
+        #: absolute ``time.monotonic()`` instant after which the caller no
+        #: longer wants the answer; ``None`` means no deadline.
+        self.deadline = deadline
         #: perf-counter enqueue time; consumed (set to None) once the
         #: queue-wait has been recorded, so retry re-runs never double-count.
         self.enqueued = time.perf_counter()
@@ -70,6 +93,10 @@ class BatchScheduler:
         before flushing a partial batch.
     num_workers:
         Pool threads executing engine calls.
+    max_queue_depth:
+        Admission bound: when this many requests are already waiting,
+        :meth:`submit` raises :class:`SchedulerOverloadedError` instead of
+        enqueueing (``None``, the default, keeps the queue unbounded).
     metrics:
         Optional :class:`ModelMetrics` receiving batch sizes, latencies, and
         the ``queue_wait`` / ``batch_execute`` stage histograms.
@@ -88,6 +115,7 @@ class BatchScheduler:
         max_batch_size: int = 64,
         max_wait_ms: float = 2.0,
         num_workers: int = 1,
+        max_queue_depth: Optional[int] = None,
         metrics: Optional[ModelMetrics] = None,
         tracer: Optional[Tracer] = None,
     ):
@@ -97,9 +125,14 @@ class BatchScheduler:
             raise ValueError(f"max_wait_ms must be >= 0, got {max_wait_ms}")
         if num_workers < 1:
             raise ValueError(f"num_workers must be >= 1, got {num_workers}")
+        if max_queue_depth is not None and max_queue_depth < 0:
+            raise ValueError(f"max_queue_depth must be >= 0, got {max_queue_depth}")
         self._resolve_engine = engine if callable(engine) else (lambda: engine)
         self.max_batch_size = int(max_batch_size)
         self.max_wait_seconds = float(max_wait_ms) / 1e3
+        self.max_queue_depth = (
+            None if max_queue_depth is None else int(max_queue_depth)
+        )
         self._queue: "queue.Queue[Optional[_Request]]" = queue.Queue()
         self._executor = ThreadPoolExecutor(
             max_workers=num_workers, thread_name_prefix="serve-batch"
@@ -118,16 +151,28 @@ class BatchScheduler:
         features: np.ndarray,
         top_k: int = 1,
         trace: Optional[SpanContext] = None,
+        deadline: Optional[float] = None,
     ) -> Future:
         """Enqueue one sample; the future resolves to ``(labels, scores)``.
 
         ``labels`` and ``scores`` are 1-D arrays of length ``top_k`` (best
         class first).  ``trace`` is the caller's span context (its request
         crosses into the collector thread here, so ambient nesting cannot
-        follow it).  Raises ``RuntimeError`` after :meth:`stop`.
+        follow it).  ``deadline`` is an absolute ``time.monotonic()`` instant:
+        a request still queued (or mid-batch) past it fails with
+        :class:`~repro.cluster.errors.DeadlineExceededError` instead of being
+        scored.  Raises ``RuntimeError`` after :meth:`stop` and
+        :class:`SchedulerOverloadedError` when the bounded queue is full.
         """
         if self._closed:
             raise RuntimeError("BatchScheduler is stopped")
+        if (
+            self.max_queue_depth is not None
+            and self._queue.qsize() >= self.max_queue_depth
+        ):
+            raise SchedulerOverloadedError(
+                f"request queue is full ({self.max_queue_depth} waiting)"
+            )
         features = np.asarray(features, dtype=np.float64)
         if features.ndim != 1:
             raise ValueError(
@@ -136,7 +181,9 @@ class BatchScheduler:
         if top_k < 1:
             raise ValueError(f"top_k must be >= 1, got {top_k}")
         future: Future = Future()
-        self._queue.put(_Request(features, int(top_k), future, trace=trace))
+        self._queue.put(
+            _Request(features, int(top_k), future, trace=trace, deadline=deadline)
+        )
         return future
 
     @property
@@ -155,9 +202,11 @@ class BatchScheduler:
         k: int = 5,
         timeout: Optional[float] = None,
         trace: Optional[SpanContext] = None,
+        deadline: Optional[float] = None,
     ) -> Tuple[np.ndarray, np.ndarray]:
         """Synchronous single-sample top-k through the micro-batcher."""
-        return self.submit(features, top_k=k, trace=trace).result(timeout=timeout)
+        future = self.submit(features, top_k=k, trace=trace, deadline=deadline)
+        return future.result(timeout=timeout)
 
     def stop(self, timeout: float = 5.0) -> None:
         """Drain the queue, stop the collector, and shut the worker pool.
@@ -236,6 +285,22 @@ class BatchScheduler:
             batch_parent = next(
                 (request.trace for request in batch if request.trace is not None), None
             )
+        # Shed requests whose deadline already passed while they queued —
+        # scoring them would be dead work the caller has stopped waiting for.
+        now = time.monotonic()
+        expired = [
+            request
+            for request in batch
+            if request.deadline is not None and now >= request.deadline
+        ]
+        if expired:
+            for request in expired:
+                request.future.set_exception(
+                    DeadlineExceededError("request deadline expired in queue")
+                )
+            batch = [request for request in batch if request not in expired]
+            if not batch:
+                return
         span = (
             self._tracer.start_span(
                 "batch_execute",
@@ -249,11 +314,20 @@ class BatchScheduler:
             engine = self._resolve_engine()
             features = np.stack([request.features for request in batch])
             k = max(request.top_k for request in batch)
+            kwargs = {}
+            if getattr(engine, "accepts_deadline", False):
+                # Propagate the batch's loosest deadline into the op control
+                # frame — workers skip shards only when *every* rider is
+                # already dead, so one tight-deadline request can never expire
+                # its batchmates.
+                deadlines = [request.deadline for request in batch]
+                if all(value is not None for value in deadlines):
+                    kwargs["deadline"] = max(deadlines)
             if span is not None:
                 with span:
-                    labels, scores = engine.top_k(features, k=k)
+                    labels, scores = engine.top_k(features, k=k, **kwargs)
             else:
-                labels, scores = engine.top_k(features, k=k)
+                labels, scores = engine.top_k(features, k=k, **kwargs)
         except BaseException as error:
             # One malformed request (e.g. wrong feature width) must not poison
             # the whole coalesced batch: re-run each request individually so
@@ -271,9 +345,18 @@ class BatchScheduler:
             self._metrics.record_batch(len(batch))
             self._metrics.record_request(len(batch), elapsed)
             self._metrics.record_stage("batch_execute", elapsed)
+        finished = time.monotonic()
         for row, request in enumerate(batch):
+            if request.deadline is not None and finished >= request.deadline:
+                # The answer exists but arrived late; a deadline is a
+                # *promise* ("zero requests outlive their deadline"), so the
+                # caller gets 504, not a stale success.
+                request.future.set_exception(
+                    DeadlineExceededError("request deadline expired mid-batch")
+                )
+                continue
             k_i = min(request.top_k, labels.shape[1])
             request.future.set_result((labels[row, :k_i], scores[row, :k_i]))
 
 
-__all__ = ["BatchScheduler"]
+__all__ = ["BatchScheduler", "SchedulerOverloadedError"]

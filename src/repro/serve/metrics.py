@@ -141,6 +141,8 @@ class ModelMetrics:
         self.requests = 0
         self.samples = 0
         self.errors = 0
+        self.sheds = 0
+        self.deadline_exceeded = 0
         self.cache_hits = 0
         self.cache_misses = 0
         self.latency = LatencyHistogram()
@@ -163,6 +165,16 @@ class ModelMetrics:
     def record_error(self) -> None:
         with self._lock:
             self.errors += 1
+
+    def record_shed(self) -> None:
+        """Record one request rejected by admission control (HTTP 429)."""
+        with self._lock:
+            self.sheds += 1
+
+    def record_deadline(self) -> None:
+        """Record one request that missed its deadline (HTTP 504)."""
+        with self._lock:
+            self.deadline_exceeded += 1
 
     def record_cache_hit(self) -> None:
         """Record one prediction answered from the request-level cache."""
@@ -209,6 +221,8 @@ class ModelMetrics:
             requests = self.requests
             samples = self.samples
             errors = self.errors
+            sheds = self.sheds
+            deadline_exceeded = self.deadline_exceeded
             cache_hits = self.cache_hits
             cache_misses = self.cache_misses
             batches = dict(sorted(self._batch_sizes.items()))
@@ -220,6 +234,8 @@ class ModelMetrics:
             "requests": requests,
             "samples": samples,
             "errors": errors,
+            "sheds": sheds,
+            "deadline_exceeded": deadline_exceeded,
             "cache": {
                 "hits": cache_hits,
                 "misses": cache_misses,

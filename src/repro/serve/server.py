@@ -9,14 +9,24 @@ engine call.
 Routes
 ------
 ``GET  /v1/healthz``  liveness + model count;
+``GET  /v1/readyz``   readiness — 200 while accepting work, 503 once a drain
+                      (SIGTERM) has begun, so load balancers stop routing
+                      here before in-flight batches finish;
 ``GET  /v1/models``   registry listing (every registered version);
 ``GET  /v1/metrics``  per-model counters, latency percentiles, queue depth,
                       cluster fleet stats, shared-memory accounting (JSON);
 ``GET  /metrics``     the same snapshot in Prometheus text exposition;
-``POST /v1/predict``  body ``{"model": name?, "features": [...], "top_k": k?}``
-                      — a 1-D ``features`` list is one sample and goes through
-                      the micro-batcher; a 2-D list is a client-side batch and
-                      runs directly on the engine.
+``POST /v1/predict``  body ``{"model": name?, "features": [...], "top_k": k?,
+                      "deadline_ms": ms?}`` — a 1-D ``features`` list is one
+                      sample and goes through the micro-batcher; a 2-D list
+                      is a client-side batch and runs directly on the engine.
+                      ``deadline_ms`` bounds the whole request: past it the
+                      server answers 504 instead of returning stale work.
+
+Every error response is machine-readable: ``{"error": message, "code":
+slug}`` with ``Retry-After`` on 429/503.  The retry taxonomy (which codes
+mean *back off*, *retry*, or *give up*) is documented in
+``docs/robustness.md``.
 
 Example::
 
@@ -26,9 +36,11 @@ Example::
 
 from __future__ import annotations
 
+import contextlib
 import hashlib
 import json
 import logging
+import signal
 import threading
 import time
 from collections import OrderedDict
@@ -38,23 +50,58 @@ from typing import Dict, Optional, Tuple
 import numpy as np
 
 from repro.cluster.dispatcher import ClusterDispatcher
-from repro.cluster.errors import DispatcherClosedError, WorkerCrashedError
+from repro.cluster.errors import (
+    ClusterError,
+    DeadlineExceededError,
+    DispatcherClosedError,
+    WorkerCrashedError,
+)
 from repro.cluster.shared import SharedModelStore
+from repro.faults import FaultPlan
 from repro.obs.prometheus import CONTENT_TYPE as _PROMETHEUS_CONTENT_TYPE
 from repro.obs.prometheus import render_prometheus
 from repro.obs.trace import NULL_SPAN, Tracer, get_tracer
-from repro.serve.batching import BatchScheduler
+from repro.serve.batching import BatchScheduler, SchedulerOverloadedError
 from repro.serve.metrics import MetricsRegistry
 from repro.serve.registry import ModelRegistry
 from repro.utils.validation import check_finite
 
+#: Default machine-readable error codes by status; a more specific cause
+#: (``draining``, ``worker_crashed``, ...) overrides these at raise sites.
+_DEFAULT_CODES = {
+    400: "bad_request",
+    404: "not_found",
+    413: "payload_too_large",
+    429: "overloaded",
+    500: "internal",
+    503: "unavailable",
+    504: "deadline_exceeded",
+}
+
 
 class RequestError(Exception):
-    """A client error carrying an HTTP status code."""
+    """A request-level error carrying an HTTP status plus wire metadata.
 
-    def __init__(self, status: int, message: str):
+    ``code`` is the machine-readable slug clients branch on (defaulting by
+    status from :data:`_DEFAULT_CODES`); ``retry_after`` is the
+    ``Retry-After`` header value in seconds, defaulted to 1 for the
+    back-off statuses (429/503) so every shed or transient failure tells
+    clients *when* to come back, not just that they should.
+    """
+
+    def __init__(
+        self,
+        status: int,
+        message: str,
+        code: Optional[str] = None,
+        retry_after: Optional[int] = None,
+    ):
         super().__init__(message)
         self.status = status
+        self.code = code or _DEFAULT_CODES.get(status, "error")
+        if retry_after is None and status in (429, 503):
+            retry_after = 1
+        self.retry_after = retry_after
 
 
 class _PredictionCache:
@@ -118,6 +165,23 @@ class ServeApp:
     cache_size:
         Entry cap for the request-level LRU prediction cache keyed by
         ``(model, version, top_k, payload hash)``; ``0`` disables caching.
+    max_queue_depth:
+        Admission bound on each model's scheduler queue: requests beyond it
+        are shed with 429 + ``Retry-After`` instead of queueing unboundedly
+        (``None`` keeps the legacy unbounded behaviour).
+    max_concurrent:
+        Per-model cap on requests in flight (scheduler *and* direct 2-D
+        paths); excess requests are shed with 429.  ``None`` disables.
+    default_deadline_ms:
+        Deadline applied to requests that do not send ``deadline_ms``
+        themselves; ``None`` means no implicit deadline.
+    request_timeout:
+        Seconds the cluster dispatcher waits for a worker's shard reply
+        before the hung-worker watchdog terminates and respawns it.
+    fault_plan:
+        Optional :class:`~repro.faults.FaultPlan` handed to every
+        dispatcher for deterministic chaos testing (also activates via the
+        ``REPRO_FAULTS`` environment variable).
     tracer:
         Optional :class:`~repro.obs.trace.Tracer`.  Each sampled
         ``/v1/predict`` request becomes one trace: a ``request`` root span
@@ -138,31 +202,55 @@ class ServeApp:
         num_processes: int = 0,
         transport: str = "pipe",
         cache_size: int = 1024,
+        max_queue_depth: Optional[int] = None,
+        max_concurrent: Optional[int] = None,
+        default_deadline_ms: Optional[float] = None,
+        request_timeout: float = 60.0,
+        fault_plan: Optional[FaultPlan] = None,
         tracer: Optional[Tracer] = None,
     ):
         if num_processes < 0:
             raise ValueError(f"num_processes must be >= 0, got {num_processes}")
+        if max_concurrent is not None and max_concurrent < 1:
+            raise ValueError(f"max_concurrent must be >= 1, got {max_concurrent}")
         self.registry = registry
         self.metrics = metrics or MetricsRegistry()
         self.tracer = tracer if tracer is not None else get_tracer()
         self.num_processes = int(num_processes)
         self.transport = transport
+        self.max_concurrent = max_concurrent
+        self.default_deadline_ms = default_deadline_ms
+        self.request_timeout = float(request_timeout)
+        self.fault_plan = fault_plan
         self._batch_config = dict(
             max_batch_size=max_batch_size,
             max_wait_ms=max_wait_ms,
             num_workers=num_workers,
+            max_queue_depth=max_queue_depth,
         )
         self._schedulers: Dict[str, BatchScheduler] = {}
         self._lock = threading.Lock()
         self._cache = _PredictionCache(cache_size) if cache_size else None
+        self._admission: Dict[str, threading.BoundedSemaphore] = {}
         #: name -> (promoted version, dispatcher or None for dense fallback)
         self._dispatchers: Dict[str, Tuple[int, Optional[ClusterDispatcher]]] = {}
         self._cluster_lock = threading.Lock()
         self._store: Optional[SharedModelStore] = None
+        self._draining = False
+        self._inflight = 0
+        self._inflight_cv = threading.Condition()
 
     # ----------------------------------------------------------------- routes
     def healthz(self) -> dict:
         return {"status": "ok", "models": len(self.registry.names())}
+
+    def readyz(self) -> Tuple[int, dict]:
+        """Readiness: ``(200, ...)`` while accepting work, ``(503, ...)``
+        once a drain has begun (load balancers stop routing here while
+        in-flight batches finish)."""
+        if self._draining:
+            return 503, {"status": "draining", "inflight": self._inflight}
+        return 200, {"status": "ready", "models": len(self.registry.names())}
 
     def models(self) -> dict:
         return {"models": self.registry.list_models()}
@@ -203,16 +291,37 @@ class ServeApp:
         it.  Exceptions mark the root span with an ``error`` attribute on
         the way out.
         """
-        with self.tracer.start_span(
-            "request", attrs={"route": "/v1/predict"}
-        ) as root:
-            return self._predict(payload, root)
+        if self._draining:
+            raise RequestError(
+                503, "server is draining; retry another replica", code="draining"
+            )
+        with self._track_inflight():
+            with self.tracer.start_span(
+                "request", attrs={"route": "/v1/predict"}
+            ) as root:
+                return self._predict(payload, root)
+
+    @contextlib.contextmanager
+    def _track_inflight(self):
+        """Count requests between admission and response so :meth:`drain`
+        knows when the last in-flight batch has finished."""
+        with self._inflight_cv:
+            self._inflight += 1
+        try:
+            yield
+        finally:
+            with self._inflight_cv:
+                self._inflight -= 1
+                self._inflight_cv.notify_all()
 
     @staticmethod
     def _validate_predict_payload(
-        payload: dict, registry: ModelRegistry
-    ) -> Tuple[str, int, np.ndarray]:
-        """Parse and validate one predict payload → ``(name, top_k, features)``."""
+        payload: dict,
+        registry: ModelRegistry,
+        default_deadline_ms: Optional[float] = None,
+    ) -> Tuple[str, int, np.ndarray, Optional[float]]:
+        """Parse and validate one predict payload →
+        ``(name, top_k, features, absolute monotonic deadline or None)``."""
         if not isinstance(payload, dict):
             raise RequestError(400, "request body must be a JSON object")
         name = payload.get("model")
@@ -248,22 +357,71 @@ class ServeApp:
             check_finite(features, "'features'")
         except ValueError as error:
             raise RequestError(400, str(error))
-        return name, top_k, features
+        deadline_ms = payload.get("deadline_ms", default_deadline_ms)
+        deadline = None
+        if deadline_ms is not None:
+            if (
+                isinstance(deadline_ms, bool)
+                or not isinstance(deadline_ms, (int, float))
+                or deadline_ms <= 0
+            ):
+                raise RequestError(400, "'deadline_ms' must be a positive number")
+            deadline = time.monotonic() + float(deadline_ms) / 1e3
+        return name, top_k, features, deadline
 
     def _predict(self, payload: dict, root) -> dict:
         sampled = root.sampled
         tracer = self.tracer
         validate_started = time.perf_counter()
         with tracer.start_span("validate") if sampled else NULL_SPAN:
-            name, top_k, features = self._validate_predict_payload(
-                payload, self.registry
+            name, top_k, features, deadline = self._validate_predict_payload(
+                payload, self.registry, self.default_deadline_ms
             )
         started = time.perf_counter()
         model_metrics = self.metrics.for_model(name)
         model_metrics.record_stage("validate", started - validate_started)
         root.set("model", name)
         root.set("rows", int(features.shape[0]) if features.ndim == 2 else 1)
+        slot = self._admission_slot(name)
+        if slot is not None and not slot.acquire(blocking=False):
+            model_metrics.record_shed()
+            model_metrics.record_error()
+            raise RequestError(
+                429,
+                f"model {name!r} is at its concurrency limit "
+                f"({self.max_concurrent} in flight)",
+                code="overloaded",
+            )
+        try:
+            return self._execute(
+                name, top_k, features, deadline, model_metrics, started, root
+            )
+        finally:
+            if slot is not None:
+                slot.release()
 
+    def _admission_slot(self, name: str) -> Optional[threading.BoundedSemaphore]:
+        if self.max_concurrent is None:
+            return None
+        with self._lock:
+            slot = self._admission.get(name)
+            if slot is None:
+                slot = threading.BoundedSemaphore(self.max_concurrent)
+                self._admission[name] = slot
+            return slot
+
+    def _execute(
+        self,
+        name: str,
+        top_k: int,
+        features: np.ndarray,
+        deadline: Optional[float],
+        model_metrics,
+        started: float,
+        root,
+    ) -> dict:
+        sampled = root.sampled
+        tracer = self.tracer
         cache_key = None
         if self._cache is not None:
             lookup_started = time.perf_counter()
@@ -289,33 +447,63 @@ class ServeApp:
             model_metrics.record_cache_miss()
 
         try:
+            if deadline is not None and time.monotonic() >= deadline:
+                raise DeadlineExceededError("deadline expired before execution")
             if features.ndim == 1:
                 # The request crosses into the collector thread here, so the
                 # root context is handed over explicitly; ambient nesting
                 # resumes inside the scheduler's executor thread.
                 labels, scores = self.scheduler_for(name).top_k(
-                    features, k=top_k, trace=root.context
+                    features, k=top_k, trace=root.context, deadline=deadline
                 )
                 labels, scores = labels[None, :], scores[None, :]
                 batched = True
             else:
                 engine = self.engine_for(name)
-                labels, scores = engine.top_k(features, k=top_k)
+                kwargs = {}
+                if deadline is not None and getattr(
+                    engine, "accepts_deadline", False
+                ):
+                    kwargs["deadline"] = deadline
+                labels, scores = engine.top_k(features, k=top_k, **kwargs)
                 batched = False
+            if deadline is not None and time.monotonic() >= deadline:
+                # The answer exists but arrived late — a deadline is a
+                # promise, so the caller gets 504, not stale work.
+                raise DeadlineExceededError("request completed after its deadline")
         except RequestError:
             model_metrics.record_error()
             raise
+        except SchedulerOverloadedError as error:
+            model_metrics.record_shed()
+            model_metrics.record_error()
+            raise RequestError(429, str(error), code="overloaded")
+        except DeadlineExceededError as error:
+            model_metrics.record_deadline()
+            model_metrics.record_error()
+            raise RequestError(504, str(error), code="deadline_exceeded")
         except WorkerCrashedError as error:
             model_metrics.record_error()
             raise RequestError(
-                503, f"inference worker crashed and was respawned; retry ({error})"
+                503,
+                f"inference worker crashed and was respawned; retry ({error})",
+                code="worker_crashed",
             )
         except DispatcherClosedError:
             # Hot-swap race: this request resolved a dispatcher that a
             # concurrent promote closed before the batch ran.  The swap has
             # finished, so a retry lands on the new version.
             model_metrics.record_error()
-            raise RequestError(503, "model version was swapped mid-request; retry")
+            raise RequestError(
+                503, "model version was swapped mid-request; retry", code="model_swapped"
+            )
+        except ClusterError as error:
+            # Residual cluster-tier failures (double transport faults, ...):
+            # the pool heals on the next request, so they are retryable.
+            model_metrics.record_error()
+            raise RequestError(
+                503, f"cluster fault; retry ({error})", code="cluster_fault"
+            )
         except ValueError as error:
             model_metrics.record_error()
             raise RequestError(400, str(error))
@@ -422,6 +610,8 @@ class ServeApp:
                 store=store,
                 name=f"{name}@v{version}",
                 transport=self.transport,
+                request_timeout=self.request_timeout,
+                fault_plan=self.fault_plan,
                 tracer=self.tracer,
                 metrics=self.metrics.for_model(name),
             )
@@ -444,6 +634,38 @@ class ServeApp:
             # dispatcher's own lock for any in-flight batch to finish.
             stale[1].close()
         return winner if winner is not None else engine
+
+    # ------------------------------------------------------------------- drain
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    def begin_drain(self) -> None:
+        """Flip readiness off and start refusing new predict requests.
+
+        Idempotent and instant — the actual teardown happens in
+        :meth:`drain` once in-flight requests finish.
+        """
+        self._draining = True
+
+    def drain(self, grace_seconds: float = 10.0) -> None:
+        """Graceful shutdown: refuse new work, wait out in-flight requests
+        (up to *grace_seconds*), then :meth:`close` everything.
+
+        The SIGTERM sequence: ``begin_drain`` flips ``/v1/readyz`` to 503 so
+        the balancer stops routing here, requests already admitted keep
+        their batches, and only then do schedulers stop, worker pools exit,
+        and shared-memory segments unlink.
+        """
+        self.begin_drain()
+        deadline = time.monotonic() + float(grace_seconds)
+        with self._inflight_cv:
+            while self._inflight > 0:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:  # pragma: no cover - stuck in-flight work
+                    break
+                self._inflight_cv.wait(timeout=remaining)
+        self.close()
 
     def close(self) -> None:
         """Stop schedulers, worker pools, and shared segments (in that order)."""
@@ -487,18 +709,31 @@ class _Handler(BaseHTTPRequestHandler):
         # log below (which adds duration and survives log aggregation).
         pass
 
-    def _log_access(self, method: str, status: int, started: float) -> None:
-        """One structured line per answered request (when logging is on)."""
+    def _log_access(
+        self,
+        method: str,
+        status: int,
+        started: float,
+        code: Optional[str] = None,
+    ) -> None:
+        """One structured line per answered request (when logging is on).
+
+        Error responses append their machine-readable ``code=`` so shed
+        (429/overloaded) and timed-out (504/deadline_exceeded) requests are
+        greppable in aggregated logs without parsing response bodies.
+        """
         logger = getattr(self.server, "access_logger", None)
         if logger is None or not logger.isEnabledFor(logging.INFO):
             return
+        suffix = "" if code is None else f" code={code}"
         logger.info(
-            "method=%s path=%s status=%d dur_ms=%.3f client=%s",
+            "method=%s path=%s status=%d dur_ms=%.3f client=%s%s",
             method,
             self.path,
             status,
             (time.perf_counter() - started) * 1e3,
             self.client_address[0],
+            suffix,
         )
 
     # ------------------------------------------------------------------ verbs
@@ -507,6 +742,9 @@ class _Handler(BaseHTTPRequestHandler):
         try:
             if self.path == "/v1/healthz":
                 status = self._send_json(200, self.app.healthz())
+            elif self.path == "/v1/readyz":
+                ready_status, body = self.app.readyz()
+                status = self._send_json(ready_status, body)
             elif self.path == "/v1/models":
                 status = self._send_json(200, self.app.models())
             elif self.path == "/v1/metrics":
@@ -518,26 +756,35 @@ class _Handler(BaseHTTPRequestHandler):
                     _PROMETHEUS_CONTENT_TYPE,
                 )
             else:
-                status = self._send_json(404, {"error": f"no route {self.path!r}"})
+                status = self._send_json(
+                    404, {"error": f"no route {self.path!r}", "code": "not_found"}
+                )
         except Exception:  # pragma: no cover - defensive
             status = self._send_internal_error()
         self._log_access("GET", status, started)
 
     def do_POST(self) -> None:  # noqa: N802 - stdlib naming
         started = time.perf_counter()
+        code: Optional[str] = None
         try:
             if self.path != "/v1/predict":
                 raise RequestError(404, f"no route {self.path!r}")
             payload = self._read_json()
             status = self._send_json(200, self.app.predict(payload))
         except RequestError as error:
-            status = self._send_json(error.status, {"error": str(error)})
+            code = error.code
+            status = self._send_json(
+                error.status,
+                {"error": str(error), "code": code},
+                retry_after=error.retry_after,
+            )
         except Exception:
             # Unexpected failures answer with a fixed JSON body: no stack
             # trace, no exception internals — those go to the server log
             # (when verbose), never over the wire.
+            code = "internal"
             status = self._send_internal_error()
-        self._log_access("POST", status, started)
+        self._log_access("POST", status, started, code=code)
 
     def _send_internal_error(self) -> int:
         import traceback
@@ -547,7 +794,9 @@ class _Handler(BaseHTTPRequestHandler):
             logger.exception("unhandled error serving %s", self.path)
         elif getattr(self.server, "verbose", False):  # pragma: no cover
             traceback.print_exc()
-        return self._send_json(500, {"error": "internal server error"})
+        return self._send_json(
+            500, {"error": "internal server error", "code": "internal"}
+        )
 
     # ---------------------------------------------------------------- helpers
     def _read_json(self) -> dict:
@@ -562,17 +811,29 @@ class _Handler(BaseHTTPRequestHandler):
         except json.JSONDecodeError as error:
             raise RequestError(400, f"invalid JSON body: {error}")
 
-    def _send_json(self, status: int, payload: dict) -> int:
+    def _send_json(
+        self, status: int, payload: dict, retry_after: Optional[int] = None
+    ) -> int:
         body = json.dumps(payload).encode("utf-8")
-        return self._send_body(status, body, "application/json")
+        return self._send_body(
+            status, body, "application/json", retry_after=retry_after
+        )
 
     def _send_text(self, status: int, text: str, content_type: str) -> int:
         return self._send_body(status, text.encode("utf-8"), content_type)
 
-    def _send_body(self, status: int, body: bytes, content_type: str) -> int:
+    def _send_body(
+        self,
+        status: int,
+        body: bytes,
+        content_type: str,
+        retry_after: Optional[int] = None,
+    ) -> int:
         self.send_response(status)
         self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
+        if retry_after is not None:
+            self.send_header("Retry-After", str(int(retry_after)))
         if status >= 400:
             # The request body may not have been (fully) read on error paths;
             # on a keep-alive connection the leftover bytes would be parsed as
@@ -629,10 +890,24 @@ def run_server(
     verbose: bool = False,
     log_level: Optional[str] = None,
 ) -> None:  # pragma: no cover - blocking loop, exercised manually / by CLI
-    """Run the server until interrupted, then flush schedulers."""
+    """Run the server until interrupted, then drain and flush schedulers.
+
+    ``SIGTERM`` triggers a graceful drain: ``/v1/readyz`` flips to 503 so a
+    load balancer stops routing here, new ``/v1/predict`` calls answer 503
+    ``draining``, in-flight requests finish, and only then do the worker
+    pools shut down and the shared-memory segments unlink.
+    """
     server = create_server(
         app, host=host, port=port, verbose=verbose, log_level=log_level
     )
+
+    def _handle_sigterm(signum, frame):  # noqa: ARG001 - signal signature
+        app.begin_drain()
+        # shutdown() blocks until serve_forever returns, so it must run off
+        # the signal-handler (main) thread to avoid deadlocking the loop.
+        threading.Thread(target=server.shutdown, daemon=True).start()
+
+    previous_handler = signal.signal(signal.SIGTERM, _handle_sigterm)
     bound_host, bound_port = server.server_address[:2]
     print(f"repro.serve listening on http://{bound_host}:{bound_port}")
     for row in app.registry.list_models():
@@ -643,8 +918,9 @@ def run_server(
     except KeyboardInterrupt:
         pass
     finally:
+        signal.signal(signal.SIGTERM, previous_handler)
         server.server_close()
-        app.close()
+        app.drain()
 
 
 __all__ = ["ServeApp", "RequestError", "create_server", "run_server"]

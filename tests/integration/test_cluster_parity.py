@@ -60,7 +60,7 @@ def test_dispatcher_parity_for_saved_models(saved_models, small_problem, name):
         )
 
 
-def test_serveapp_cluster_parity_and_503(saved_models, small_problem):
+def test_serveapp_cluster_parity_and_crash_masking(saved_models, small_problem):
     queries = small_problem["test_features"][:24]
     registry = ModelRegistry()
     registry.register("ens", saved_models["ensemble"])
@@ -72,17 +72,17 @@ def test_serveapp_cluster_parity_and_503(saved_models, small_problem):
         assert response["top_k_labels"] == expected_labels.astype(int).tolist()
         assert response["top_k_scores"] == expected_scores.astype(float).tolist()
 
-        # Worker crash mid-batch: a clean 503, then recovery on retry.
-        from repro.serve.server import RequestError
-
+        # Worker crash mid-batch: the dead worker is respawned and the lost
+        # shard retried once on the healthy pool, so a single crash is
+        # masked entirely — the request still answers correctly.
         dispatcher = app._dispatchers["ens"][1]
         assert dispatcher is not None
         dispatcher.poison_worker(0)
-        with pytest.raises(RequestError) as excinfo:
-            app.predict({"features": queries.tolist()})
-        assert excinfo.value.status == 503
-        recovered = app.predict({"features": queries.tolist()})
-        assert recovered["labels"] == expected_labels[:, 0].astype(int).tolist()
+        masked = app.predict({"features": queries.tolist()})
+        assert masked["labels"] == expected_labels[:, 0].astype(int).tolist()
+        info = dispatcher.info()
+        assert info["respawns"] >= 1
+        assert info["failures"]["shard_retries"] >= 1
     finally:
         app.close()
 

@@ -108,8 +108,6 @@ class TestClusterTracePropagation:
     def test_worker_crash_keeps_the_trace_well_formed(
         self, saved_model, small_problem
     ):
-        from repro.serve.server import RequestError
-
         app, sink = _traced_app(saved_model, num_processes=2, cache_size=0)
         try:
             queries = small_problem["test_features"][:8]
@@ -119,22 +117,22 @@ class TestClusterTracePropagation:
                 d for _, d in app._dispatchers.values() if d is not None
             )
             dispatcher.poison_worker(0)
-            with pytest.raises(RequestError) as excinfo:
-                app.predict({"features": queries.tolist()})
-            assert excinfo.value.status == 503
-
-            # The failed request's trace is still a tree: the dispatch span
-            # was emitted (carrying the error), and any surviving worker
-            # span parents into it rather than dangling.
+            # The crash is masked by the retry-once path, but the trace must
+            # still be a tree — and the dispatch span must carry the
+            # evidence that a shard was retried.
+            masked = app.predict({"features": queries.tolist()})
+            assert "trace_id" in masked
             spans = list(sink.records)
             span_ids = {span["span"] for span in spans}
             for span in spans:
                 if span["parent"] is not None:
                     assert span["parent"] in span_ids
-            errored = [
-                span for span in spans if span["attrs"].get("error") is not None
+            retried = [
+                span
+                for span in spans
+                if span["attrs"].get("retried_shards") is not None
             ]
-            assert errored, "no span recorded the crash"
+            assert retried, "no span recorded the shard retry"
 
             # Recovery: the respawned pool produces a complete trace again.
             recovered = app.predict({"features": queries.tolist()})

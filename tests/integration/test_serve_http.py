@@ -184,3 +184,133 @@ class TestPredictErrors:
         with pytest.raises(urllib.error.HTTPError) as excinfo:
             urllib.request.urlopen(request, timeout=10)
         assert excinfo.value.code == 400
+
+    def test_error_bodies_carry_machine_readable_codes(self, served, small_problem):
+        row = small_problem["test_features"][0]
+        _, body = _post(served["port"], "/v1/predict", {"model": "har"})
+        assert body["code"] == "bad_request"
+        _, body = _post(
+            served["port"], "/v1/predict", {"model": "nope", "features": row.tolist()}
+        )
+        assert body["code"] == "not_found"
+
+
+@pytest.fixture()
+def hardened(small_problem):
+    """A server with admission control, deadlines, and the access log on."""
+    import logging
+
+    from repro.serve import PackedInferenceEngine
+
+    encoder = RecordEncoder(dimension=256, num_levels=8, tie_break="positive", seed=3)
+    pipeline = HDCPipeline(encoder, BaselineHDC(seed=3))
+    pipeline.fit(small_problem["train_features"], small_problem["train_labels"])
+    registry = ModelRegistry()
+    registry.register("har", PackedInferenceEngine(pipeline, name="har"))
+    app = ServeApp(
+        registry,
+        max_batch_size=16,
+        max_wait_ms=0.5,
+        cache_size=0,
+        max_concurrent=2,
+        max_queue_depth=64,
+    )
+    server = create_server(app, port=0, log_level="info")
+    port = server.server_address[1]
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    yield {"port": port, "app": app, "server": server}
+    server.shutdown()
+    server.server_close()
+    app.close()
+    # Detach the handler create_server added so repeated fixtures don't stack.
+    logging.getLogger("repro.serve.access").handlers.clear()
+
+
+def _wait_for_log_line(caplog, *needles, timeout=2.0):
+    """The access-log line is written by the server thread after the response
+    is sent, so the client can observe the response before the record exists
+    — poll briefly instead of asserting immediately.
+    """
+    import time
+
+    deadline = time.monotonic() + timeout
+    while True:
+        lines = [record.getMessage() for record in caplog.records]
+        if any(all(needle in line for needle in needles) for line in lines):
+            return
+        if time.monotonic() >= deadline:
+            raise AssertionError(f"no log line containing {needles}: {lines}")
+        time.sleep(0.01)
+
+
+class TestRobustness:
+    def test_readyz_reports_ready(self, hardened):
+        status, body = _get(hardened["port"], "/v1/readyz")
+        assert status == 200
+        assert body["status"] == "ready"
+
+    def test_shed_answers_429_with_code_and_retry_after(
+        self, hardened, small_problem, caplog
+    ):
+        import logging
+
+        row = small_problem["test_features"][0]
+        app = hardened["app"]
+        slot = app._admission_slot("har")
+        # Exhaust both admission slots so the next request must shed.
+        assert slot.acquire(blocking=False)
+        assert slot.acquire(blocking=False)
+        try:
+            request = urllib.request.Request(
+                f"http://127.0.0.1:{hardened['port']}/v1/predict",
+                data=json.dumps({"features": row.tolist()}).encode(),
+                headers={"Content-Type": "application/json"},
+            )
+            with caplog.at_level(logging.INFO, logger="repro.serve.access"):
+                with pytest.raises(urllib.error.HTTPError) as excinfo:
+                    urllib.request.urlopen(request, timeout=10)
+            assert excinfo.value.code == 429
+            assert excinfo.value.headers["Retry-After"] == "1"
+            body = json.loads(excinfo.value.read())
+            assert body["code"] == "overloaded"
+        finally:
+            slot.release()
+            slot.release()
+        # The structured access log must make the shed greppable.
+        _wait_for_log_line(caplog, "status=429", "code=overloaded")
+
+    def test_expired_deadline_answers_504_with_code(
+        self, hardened, small_problem, caplog
+    ):
+        import logging
+
+        row = small_problem["test_features"][0]
+        with caplog.at_level(logging.INFO, logger="repro.serve.access"):
+            status, body = _post(
+                hardened["port"],
+                "/v1/predict",
+                {"features": row.tolist(), "deadline_ms": 1e-6},
+            )
+        assert status == 504
+        assert body["code"] == "deadline_exceeded"
+        _wait_for_log_line(caplog, "status=504", "code=deadline_exceeded")
+        metrics = hardened["app"].metrics_snapshot()
+        assert metrics["models"]["har"]["deadline_exceeded"] == 1
+
+    def test_drain_flips_readyz_and_rejects_new_requests(
+        self, hardened, small_problem
+    ):
+        row = small_problem["test_features"][0]
+        status, _ = _get(hardened["port"], "/v1/readyz")
+        assert status == 200
+        hardened["app"].begin_drain()
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _get(hardened["port"], "/v1/readyz")
+        assert excinfo.value.code == 503
+        assert json.loads(excinfo.value.read())["status"] == "draining"
+        status, body = _post(
+            hardened["port"], "/v1/predict", {"features": row.tolist()}
+        )
+        assert status == 503
+        assert body["code"] == "draining"

@@ -1,7 +1,8 @@
-"""Unit tests for ClusterDispatcher: parity, crash recovery, cleanup."""
+"""Unit tests for ClusterDispatcher: parity, crash recovery, cleanup, faults."""
 
 from __future__ import annotations
 
+import time
 from multiprocessing import shared_memory
 
 import numpy as np
@@ -9,7 +10,13 @@ import pytest
 
 from repro.classifiers.baseline import BaselineHDC
 from repro.classifiers.pipeline import HDCPipeline
-from repro.cluster import ClusterDispatcher, SharedModelStore, WorkerCrashedError
+from repro.cluster import (
+    ClusterDispatcher,
+    DeadlineExceededError,
+    SharedModelStore,
+    WorkerCrashedError,
+)
+from repro.faults import FaultPlan, FaultRule
 from repro.hdc.encoders import RecordEncoder
 from repro.serve.engine import PackedInferenceEngine
 
@@ -84,17 +91,18 @@ class TestDispatch:
 
 
 class TestCrashRecovery:
-    def test_mid_batch_crash_raises_and_respawns(self, served):
+    def test_mid_batch_crash_is_masked_by_shard_retry(self, served):
         engine, queries = served
         with ClusterDispatcher(engine, num_workers=2) as dispatcher:
             dispatcher.poison_worker(0)
-            with pytest.raises(WorkerCrashedError):
-                dispatcher.top_k(queries, k=1)
-            # The dead slot is retired at crash time and respawned lazily on
-            # the next request, which must come back bit-identical.
+            # The poisoned worker dies mid-batch; the dispatcher retires the
+            # slot, respawns it, and retries the shard once — so the request
+            # itself succeeds, bit-identical, with the crash visible only in
+            # the counters.
             labels, _ = dispatcher.top_k(queries, k=1)
             assert np.array_equal(labels, engine.top_k(queries, k=1)[0])
             assert dispatcher.respawns == 1
+            assert dispatcher.shard_retries == 1
 
     def test_dead_worker_found_at_send_is_respawned_transparently(self, served):
         engine, queries = served
@@ -140,6 +148,126 @@ class TestCleanup:
         assert info["num_workers"] == 2
         assert info["shared_bank_bytes"] > 0
         assert len(info["worker_pids"]) == 2
+
+
+def _plan(*rules: FaultRule, hang_seconds: float = 30.0) -> FaultPlan:
+    return FaultPlan(rules=tuple(rules), seed=0, hang_seconds=hang_seconds)
+
+
+class TestFaultInjection:
+    """Injected worker faults must be masked by retry-once or surface typed."""
+
+    def test_hang_watchdog_retires_and_masks(self, served):
+        engine, queries = served
+        # Worker 0 hangs on its second request; the watchdog must detect the
+        # still-alive-but-silent worker at request_timeout, terminate it, and
+        # retry the shard on the respawned pool — the regression test for the
+        # hung-worker leak where `is_alive()` kept returning the same stuck
+        # process forever.
+        plan = _plan(FaultRule(kind="hang", at=2, workers=(0,)))
+        with ClusterDispatcher(
+            engine, num_workers=2, request_timeout=0.75, fault_plan=plan
+        ) as dispatcher:
+            dispatcher.top_k(queries[:4], k=1)  # count 1: healthy warm call
+            started = time.monotonic()
+            labels, _ = dispatcher.top_k(queries, k=1)
+            elapsed = time.monotonic() - started
+            assert np.array_equal(labels, engine.top_k(queries, k=1)[0])
+            assert dispatcher.hangs == 1
+            assert dispatcher.respawns == 1
+            assert dispatcher.shard_retries == 1
+            assert elapsed < 10.0  # watchdog, not the 30 s hang
+            # The respawned pool is healthy (count restarted, at=2 re-arms
+            # only on the second request of the new life — warm past it).
+            assert dispatcher.ping()
+
+    def test_repeated_hang_surfaces_worker_crashed(self, served):
+        engine, queries = served
+        # at=1 re-fires on every respawned life: the retry hangs too, so the
+        # dispatcher must give up with a typed error instead of looping.
+        plan = _plan(FaultRule(kind="hang", at=1, workers=(0,)))
+        with ClusterDispatcher(
+            engine, num_workers=2, request_timeout=0.5, fault_plan=plan
+        ) as dispatcher:
+            with pytest.raises(WorkerCrashedError):
+                dispatcher.top_k(queries, k=1)
+            assert dispatcher.hangs == 2
+
+    def test_error_reply_is_retried_without_respawn(self, served):
+        engine, queries = served
+        plan = _plan(FaultRule(kind="error", at=1, workers=(0,)))
+        with ClusterDispatcher(
+            engine, num_workers=2, fault_plan=plan
+        ) as dispatcher:
+            labels, _ = dispatcher.top_k(queries, k=1)
+            assert np.array_equal(labels, engine.top_k(queries, k=1)[0])
+            assert dispatcher.worker_faults == 1
+            assert dispatcher.shard_retries == 1
+            assert dispatcher.respawns == 0
+
+    def test_torn_shm_frame_is_retried_and_heals(self, served):
+        engine, queries = served
+        plan = _plan(FaultRule(kind="torn", at=1, workers=(0,)))
+        with ClusterDispatcher(
+            engine, num_workers=2, transport="shm", fault_plan=plan
+        ) as dispatcher:
+            labels, _ = dispatcher.top_k(queries, k=1)
+            assert np.array_equal(labels, engine.top_k(queries, k=1)[0])
+            assert dispatcher.transport_errors == 1
+            assert dispatcher.respawns == 0
+            # The ring generation re-syncs on the next request: no residue.
+            labels, _ = dispatcher.top_k(queries[:8], k=1)
+            assert np.array_equal(labels, engine.top_k(queries[:8], k=1)[0])
+
+    def test_dropped_tcp_socket_is_masked(self, served):
+        engine, queries = served
+        plan = _plan(FaultRule(kind="drop", at=2, workers=(0,)))
+        with ClusterDispatcher(
+            engine, num_workers=2, transport="tcp", fault_plan=plan
+        ) as dispatcher:
+            dispatcher.top_k(queries[:4], k=1)
+            labels, _ = dispatcher.top_k(queries, k=1)
+            assert np.array_equal(labels, engine.top_k(queries, k=1)[0])
+            assert dispatcher.respawns == 1
+
+    def test_expired_deadline_is_rejected_before_dispatch(self, served):
+        engine, queries = served
+        with ClusterDispatcher(engine, num_workers=2) as dispatcher:
+            with pytest.raises(DeadlineExceededError):
+                dispatcher.top_k(queries, k=1, deadline=time.monotonic() - 0.01)
+            # Request-level rejection; the pool is untouched.
+            assert dispatcher.ping()
+
+    def test_deadline_abandons_hung_worker_early(self, served):
+        engine, queries = served
+        # The deadline (0.5 s) is tighter than the watchdog (5 s): the
+        # dispatcher must answer 504-typed at the deadline instead of waiting
+        # out the full request_timeout.
+        plan = _plan(FaultRule(kind="hang", at=1, workers=(0,)))
+        with ClusterDispatcher(
+            engine, num_workers=2, request_timeout=5.0, fault_plan=plan
+        ) as dispatcher:
+            started = time.monotonic()
+            with pytest.raises(DeadlineExceededError):
+                dispatcher.top_k(queries, k=1, deadline=time.monotonic() + 0.5)
+            assert time.monotonic() - started < 2.0
+
+    def test_info_reports_fault_plan_and_failure_counters(self, served):
+        engine, _ = served
+        plan = _plan(FaultRule(kind="error", at=1, workers=(0,)))
+        with ClusterDispatcher(
+            engine, num_workers=2, fault_plan=plan
+        ) as dispatcher:
+            info = dispatcher.info()
+            assert info["fault_plan"]["rules"][0]["kind"] == "error"
+            assert set(info["failures"]) == {
+                "hangs",
+                "shard_retries",
+                "transport_errors",
+                "worker_faults",
+                "deadline_skips",
+            }
+            assert info["request_timeout"] == dispatcher.request_timeout
 
 
 class TestHotSwapRace:

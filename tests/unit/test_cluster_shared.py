@@ -185,3 +185,74 @@ class TestAdoptPackedBank:
         bank = pack_bipolar(classifier.class_hypervectors_)
         classifier.adopt_packed_bank(bank)
         assert classifier.packed_inference_bank() is bank
+
+
+def _shm_names() -> set:
+    from pathlib import Path
+
+    root = Path("/dev/shm")
+    return {entry.name for entry in root.iterdir()} if root.is_dir() else set()
+
+
+class TestShmHygieneUnderChaos:
+    """Crashes and teardown races must never leak shared-memory segments."""
+
+    def test_crash_during_drain_leaves_no_segments(self, fitted_engine, small_problem):
+        from repro.cluster import ClusterDispatcher
+        from repro.faults import FaultPlan, FaultRule
+
+        queries = small_problem["test_features"]
+        before = _shm_names()
+        plan = FaultPlan(
+            rules=(FaultRule(kind="crash", at=2, workers=(0,)),), seed=0
+        )
+        dispatcher = ClusterDispatcher(
+            fitted_engine, num_workers=2, transport="shm", fault_plan=plan
+        )
+        try:
+            dispatcher.top_k(queries[:4], k=1)  # healthy warm call
+            dispatcher.top_k(queries[:8], k=1)  # worker 0 crashes, masked
+            assert dispatcher.respawns == 1
+            # A worker dies again right as the pool shuts down: close() must
+            # still unlink the bank, the ring slabs, and the stats slab.
+            dispatcher._workers[0].process.kill()
+            dispatcher._workers[0].process.join(timeout=5.0)
+        finally:
+            dispatcher.close()
+        assert _shm_names() - before == set()
+
+    def test_unlink_vs_attach_race_is_clean(self, rng):
+        before = _shm_names()
+        store = SharedModelStore()
+        handle = store.publish("m@v1", _random_packed(rng))
+        store.close()  # the unlink wins the race
+        with pytest.raises(FileNotFoundError):
+            attach_bank(handle)
+        assert _shm_names() - before == set()
+
+    def test_serve_app_chaos_drain_leaves_no_segments(self, fitted_engine, small_problem):
+        from repro.faults import FaultPlan, FaultRule
+        from repro.serve import ModelRegistry, ServeApp
+
+        queries = small_problem["test_features"]
+        before = _shm_names()
+        registry = ModelRegistry()
+        registry.register("m", fitted_engine)
+        plan = FaultPlan(
+            rules=(FaultRule(kind="crash", at=2, workers=(0,)),), seed=0
+        )
+        app = ServeApp(
+            registry,
+            num_processes=2,
+            transport="shm",
+            cache_size=0,
+            max_wait_ms=0.5,
+            fault_plan=plan,
+        )
+        try:
+            app.predict({"features": queries[:4].tolist()})
+            app.predict({"features": queries[:4].tolist()})  # crash masked
+        finally:
+            app.begin_drain()
+            app.drain(grace_seconds=5.0)
+        assert _shm_names() - before == set()

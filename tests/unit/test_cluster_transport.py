@@ -22,7 +22,7 @@ import pytest
 from repro.classifiers.baseline import BaselineHDC
 from repro.classifiers.multimodel import MultiModelHDC
 from repro.classifiers.pipeline import HDCPipeline
-from repro.cluster import ClusterDispatcher, Transport, WorkerCrashedError
+from repro.cluster import ClusterDispatcher, Transport
 from repro.cluster.affinity import available_cpus, build_pin_map
 from repro.cluster.transport import (
     ShmParentEndpoint,
@@ -190,11 +190,12 @@ class TestShmRing:
         engine, queries = served
         with ClusterDispatcher(engine, num_workers=2, transport="shm") as d:
             d.poison_worker(0)
-            with pytest.raises(WorkerCrashedError):
-                d.top_k(queries, k=1)
-            labels, _ = d.top_k(queries, k=1)  # lazy respawn heals the pool
+            # The crash retires the worker and the lost shard is retried
+            # once on the respawned pool — a single poison is fully masked.
+            labels, _ = d.top_k(queries, k=1)
             assert np.array_equal(labels, engine.top_k(queries, k=1)[0])
             assert d.respawns == 1
+            assert d.shard_retries >= 1
 
     def test_kill_mid_batch_on_shm_path(self, served):
         engine, queries = served
@@ -229,12 +230,13 @@ class TestTcp:
         engine, queries = served
         with ClusterDispatcher(engine, num_workers=2, transport="tcp") as d:
             d.poison_worker(1)
-            with pytest.raises(WorkerCrashedError):
-                d.top_k(queries, k=1)
+            labels, _ = d.top_k(queries, k=1)  # masked by the retry-once path
+            assert np.array_equal(labels, engine.top_k(queries, k=1)[0])
             assert np.array_equal(
                 d.decision_scores(queries), engine.decision_scores(queries)
             )
             assert d.respawns == 1
+            assert d.shard_retries >= 1
 
 
 class TestSurfaces:

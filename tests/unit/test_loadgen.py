@@ -204,3 +204,97 @@ class TestReport:
         report = self._report()
         path = write_report(tmp_path / "soak" / "report.json", report)
         assert json.loads(path.read_text()) == report
+
+
+class TestResilience:
+    def _chaos_report(self, errors_by_status=None, errors_by_code=None,
+                      completed=95, errors=5, untyped=0, violations=0):
+        sampler = RequestSampler.from_arrays(np.zeros((4, 3)), seed=0)
+        return build_report(
+            target={"kind": "in-process", "model": None, "top_k": 1},
+            traffic={"mode": "closed", "concurrency": 2},
+            sampler=sampler,
+            num_requests=completed + errors,
+            warmup_requests=0,
+            warmup_errors=0,
+            latencies=[0.001] * completed,
+            errors=errors,
+            duration_seconds=0.5,
+            errors_by_status=errors_by_status or {"503": errors},
+            errors_by_code=errors_by_code or {"worker_crashed": errors},
+            untyped_errors=untyped,
+            deadline_violations=violations,
+            fault_plan={"seed": 0, "rules": []},
+        )
+
+    def test_resilience_block_and_availability(self):
+        from repro.loadgen import validate_resilience_report
+
+        report = self._chaos_report()
+        resilience = report["resilience"]
+        assert resilience["availability"] == pytest.approx(0.95)
+        assert resilience["errors_by_status"] == {"503": 5}
+        assert resilience["errors_by_code"] == {"worker_crashed": 5}
+        validate_resilience_report(report, min_availability=0.95)
+
+    def test_low_availability_rejected(self):
+        from repro.loadgen import validate_resilience_report
+
+        report = self._chaos_report(completed=80, errors=20)
+        with pytest.raises(ValueError, match="availability"):
+            validate_resilience_report(report, min_availability=0.95)
+
+    def test_untyped_errors_rejected(self):
+        from repro.loadgen import validate_resilience_report
+
+        report = self._chaos_report(untyped=1)
+        with pytest.raises(ValueError, match="untyped"):
+            validate_resilience_report(report)
+
+    def test_deadline_violations_rejected(self):
+        from repro.loadgen import validate_resilience_report
+
+        report = self._chaos_report(violations=2)
+        with pytest.raises(ValueError, match="deadline"):
+            validate_resilience_report(report)
+
+    def test_non_overload_status_rejected(self):
+        from repro.loadgen import validate_resilience_report
+
+        report = self._chaos_report(errors_by_status={"500": 2, "503": 3})
+        with pytest.raises(ValueError, match="non-overload"):
+            validate_resilience_report(report)
+
+    def test_typed_statuses_accepted(self):
+        from repro.loadgen import validate_resilience_report
+
+        report = self._chaos_report(
+            errors_by_status={"429": 2, "503": 2, "504": 1},
+            errors_by_code={"overloaded": 2, "worker_crashed": 2, "deadline_exceeded": 1},
+        )
+        validate_resilience_report(report)
+
+    def test_format_report_shows_resilience_under_faults(self):
+        text = format_report(self._chaos_report())
+        assert "availability" in text
+        assert "503" in text
+        assert "fault plan" in text
+
+    def test_typed_errors_flow_from_app_to_report(self, loadgen_app):
+        app, _ = loadgen_app
+        # Wrong feature width: every request is a typed 400 bad_request, so
+        # the breakdown must bucket them by status and code with zero
+        # untyped errors.
+        bad = RequestSampler.from_arrays(np.zeros((4, 3)), seed=0)
+        report = run_load_test(
+            InProcessTarget(app),
+            bad,
+            ClosedLoop(concurrency=2),
+            num_requests=10,
+            warmup_requests=0,
+        )
+        resilience = report["resilience"]
+        assert resilience["availability"] == 0.0
+        assert resilience["errors_by_status"] == {"400": 10}
+        assert resilience["errors_by_code"] == {"bad_request": 10}
+        assert resilience["untyped_errors"] == 0

@@ -13,6 +13,8 @@ def _snapshot():
                 "requests": 12,
                 "samples": 40,
                 "errors": 1,
+                "sheds": 2,
+                "deadline_exceeded": 1,
                 "batches": 5,
                 "cache": {"hits": 3, "misses": 9},
                 "latency": {
@@ -42,6 +44,7 @@ def _snapshot():
         "cluster": {
             "har": {
                 "respawns": 1,
+                "failures": {"hangs": 1, "shard_retries": 2},
                 "uptime_seconds": 10.0,
                 "workers": {
                     "per_worker": [
@@ -70,6 +73,12 @@ repro_samples_total{model="har"} 40
 # HELP repro_errors_total Failed requests.
 # TYPE repro_errors_total counter
 repro_errors_total{model="har"} 1
+# HELP repro_shed_total Requests rejected by admission control (HTTP 429).
+# TYPE repro_shed_total counter
+repro_shed_total{model="har"} 2
+# HELP repro_deadline_exceeded_total Requests that missed their deadline (HTTP 504).
+# TYPE repro_deadline_exceeded_total counter
+repro_deadline_exceeded_total{model="har"} 1
 # HELP repro_cache_hits_total Prediction-cache hits.
 # TYPE repro_cache_hits_total counter
 repro_cache_hits_total{model="har"} 3
@@ -107,6 +116,12 @@ repro_shm_resident_bytes 4096
 # HELP repro_cluster_respawns_total Worker respawns after crashes.
 # TYPE repro_cluster_respawns_total counter
 repro_cluster_respawns_total{dispatcher="har"} 1
+# HELP repro_cluster_hangs_total Worker hangs detected by the request-timeout watchdog.
+# TYPE repro_cluster_hangs_total counter
+repro_cluster_hangs_total{dispatcher="har"} 1
+# HELP repro_cluster_shard_retries_total Shards retried once after a worker fault.
+# TYPE repro_cluster_shard_retries_total counter
+repro_cluster_shard_retries_total{dispatcher="har"} 2
 # HELP repro_worker_requests_total Shards answered by each cluster worker.
 # TYPE repro_worker_requests_total counter
 repro_worker_requests_total{dispatcher="har",worker="0"} 6

@@ -221,3 +221,68 @@ class TestConcurrentSubmitters:
                     k = 1 + index % 3
                     assert labels.shape == (k,)
                     assert np.array_equal(labels, labels_k3[index, :k])
+
+
+class _StallEngine:
+    """An engine whose top_k blocks until released (to back the queue up)."""
+
+    def __init__(self, engine):
+        self._engine = engine
+        self.release = threading.Event()
+
+    def top_k(self, features, k):
+        self.release.wait(timeout=30)
+        return self._engine.top_k(features, k=k)
+
+
+class TestOverloadAndDeadlines:
+    def test_bounded_queue_sheds_when_full(self, engine, small_problem):
+        from repro.serve.batching import SchedulerOverloadedError
+
+        queries = small_problem["test_features"]
+        stall = _StallEngine(engine)
+        scheduler = BatchScheduler(
+            stall, max_batch_size=4, max_wait_ms=1.0, max_queue_depth=3
+        )
+        try:
+            futures = []
+            # Fill the (stalled) queue past its bound; the excess must shed
+            # synchronously instead of growing the backlog without limit.
+            with pytest.raises(SchedulerOverloadedError):
+                for index in range(32):
+                    futures.append(scheduler.submit(queries[index % len(queries)]))
+            assert len(futures) >= 3
+        finally:
+            stall.release.set()
+            scheduler.stop()
+
+    def test_rejects_negative_queue_depth(self, engine):
+        with pytest.raises(ValueError, match="max_queue_depth"):
+            BatchScheduler(engine, max_queue_depth=-1)
+
+    def test_expired_deadline_sheds_in_queue(self, engine, small_problem):
+        from repro.cluster.errors import DeadlineExceededError
+
+        row = small_problem["test_features"][0]
+        stall = _StallEngine(engine)
+        scheduler = BatchScheduler(stall, max_batch_size=4, max_wait_ms=1.0)
+        try:
+            # The first submit occupies the batch loop; the second's deadline
+            # expires while it waits behind the stalled batch.
+            blocker = scheduler.submit(row)
+            doomed = scheduler.submit(row, deadline=time.monotonic() + 0.05)
+            time.sleep(0.2)
+            stall.release.set()
+            with pytest.raises(DeadlineExceededError):
+                doomed.result(timeout=30)
+            assert blocker.result(timeout=30)
+        finally:
+            stall.release.set()
+            scheduler.stop()
+
+    def test_live_deadline_scores_normally(self, engine, small_problem):
+        row = small_problem["test_features"][0]
+        with BatchScheduler(engine, max_batch_size=4, max_wait_ms=1.0) as scheduler:
+            labels, _ = scheduler.top_k(row, k=1, deadline=time.monotonic() + 30.0)
+        expected, _ = engine.top_k(row[None, :], k=1)
+        np.testing.assert_array_equal(labels, expected[0])
