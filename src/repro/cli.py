@@ -195,6 +195,51 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     serve.add_argument(
+        "--max-resident-banks",
+        type=int,
+        default=None,
+        help=(
+            "fleet-wide cap on resident shared-memory model banks when "
+            "--workers > 1; the least-recently-used tenant's bank (and its "
+            "worker pool) is paged out, to be cold-loaded on next use "
+            "(default: unbounded)"
+        ),
+    )
+    serve.add_argument(
+        "--tenant-rps",
+        type=float,
+        default=None,
+        help=(
+            "per-tenant (per-model) token-bucket rate limit in requests/s; "
+            "excess answers 429 tenant_rate_limited + Retry-After"
+        ),
+    )
+    serve.add_argument(
+        "--tenant-burst",
+        type=float,
+        default=None,
+        help="token-bucket burst size (default: max(1, 2x --tenant-rps))",
+    )
+    serve.add_argument(
+        "--tenant-max-concurrent",
+        type=int,
+        default=None,
+        help=(
+            "per-tenant cap on in-flight requests; excess answers 429 "
+            "tenant_quota_exceeded + Retry-After"
+        ),
+    )
+    serve.add_argument(
+        "--tenant-quotas",
+        default=None,
+        metavar="FILE",
+        help=(
+            "JSON quota config with per-tenant overrides "
+            '({"defaults": {...}, "tenants": {name: {rps, burst, '
+            'max_concurrent}}}); flags above set the defaults'
+        ),
+    )
+    serve.add_argument(
         "--deadline-ms",
         type=float,
         default=None,
@@ -315,6 +360,65 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=None,
         help="per-model concurrency cap for the in-process target (sheds as 429)",
+    )
+    loadgen.add_argument(
+        "--models",
+        type=int,
+        default=1,
+        help=(
+            "multi-tenant fleet soak: register the trained model under this "
+            "many tenant names and spread requests over them with a Zipf "
+            "distribution (default 1: single tenant)"
+        ),
+    )
+    loadgen.add_argument(
+        "--zipf-s",
+        type=float,
+        default=1.1,
+        help="Zipf exponent for the tenant distribution (default 1.1)",
+    )
+    loadgen.add_argument(
+        "--max-resident-banks",
+        type=int,
+        default=None,
+        help=(
+            "fleet-wide cap on resident shared-memory banks for the "
+            "in-process target (LRU paging; requires --workers >= 2)"
+        ),
+    )
+    loadgen.add_argument(
+        "--tenant-rps",
+        type=float,
+        default=None,
+        help="per-tenant token-bucket rate limit for the in-process target",
+    )
+    loadgen.add_argument(
+        "--tenant-burst",
+        type=float,
+        default=None,
+        help="token-bucket burst size (default: max(1, 2x --tenant-rps))",
+    )
+    loadgen.add_argument(
+        "--tenant-max-concurrent",
+        type=int,
+        default=None,
+        help="per-tenant in-flight request cap for the in-process target",
+    )
+    loadgen.add_argument(
+        "--tenant-quotas",
+        default=None,
+        metavar="FILE",
+        help="JSON quota config for the in-process target (see repro serve)",
+    )
+    loadgen.add_argument(
+        "--retries",
+        type=int,
+        default=None,
+        help=(
+            "client-side retries of typed 429/503 answers, honouring "
+            "Retry-After with capped deterministic backoff (default: 3 when "
+            "the soak is multi-tenant or fault-injected, else 0)"
+        ),
     )
     loadgen.add_argument(
         "--deadline-ms",
@@ -638,6 +742,11 @@ def command_serve(args) -> int:  # pragma: no cover - blocking server loop
             print(f"error: bad --faults plan: {error}", file=sys.stderr)
             return 1
         print(f"chaos mode: injecting faults ({fault_plan.describe_short()})")
+    try:
+        tenant_quotas = _build_tenant_quotas(args)
+    except (OSError, ValueError) as error:
+        print(f"error: bad tenant quotas: {error}", file=sys.stderr)
+        return 1
     app = ServeApp(
         registry,
         max_batch_size=args.max_batch_size,
@@ -651,6 +760,8 @@ def command_serve(args) -> int:  # pragma: no cover - blocking server loop
         default_deadline_ms=args.deadline_ms,
         request_timeout=args.request_timeout,
         fault_plan=fault_plan,
+        tenant_quotas=tenant_quotas,
+        max_resident_banks=args.max_resident_banks,
     )
     try:
         run_server(
@@ -664,6 +775,28 @@ def command_serve(args) -> int:  # pragma: no cover - blocking server loop
         if tracer is not None:
             tracer.close()
     return 0
+
+
+def _build_tenant_quotas(args):
+    """``TenantQuotas`` from the CLI flags / config file, or ``None``.
+
+    Explicit flags win over the config file's ``defaults``; ``None`` flags
+    are simply not forwarded so the file's values survive.
+    """
+    from repro.serve.tenancy import TenantQuotas
+
+    overrides = {}
+    if args.tenant_rps is not None:
+        overrides["rps"] = args.tenant_rps
+    if args.tenant_burst is not None:
+        overrides["burst"] = args.tenant_burst
+    if args.tenant_max_concurrent is not None:
+        overrides["max_concurrent"] = args.tenant_max_concurrent
+    if args.tenant_quotas:
+        return TenantQuotas.from_file(args.tenant_quotas, **overrides)
+    if not overrides:
+        return None
+    return TenantQuotas(**overrides)
 
 
 def _list_shm_segments() -> set:
@@ -691,6 +824,7 @@ def command_loadgen(args) -> int:
         RequestSampler,
         format_report,
         run_load_test,
+        validate_fleet_report,
         validate_report,
         validate_resilience_report,
         write_report,
@@ -699,6 +833,24 @@ def command_loadgen(args) -> int:
     num_requests = args.requests if args.requests is not None else (120 if args.quick else 400)
     warmup = args.warmup if args.warmup is not None else (16 if args.quick else 40)
     dimension = min(args.dimension, 1000) if args.quick else args.dimension
+
+    if args.models < 1:
+        print("error: --models must be >= 1", file=sys.stderr)
+        return 1
+    if args.models > 1 and args.url:
+        print(
+            "error: --models drives the in-process target (it registers the "
+            "tenant fleet); register the models on the server for --url soaks",
+            file=sys.stderr,
+        )
+        return 1
+    if args.max_resident_banks is not None and args.workers < 2:
+        print(
+            "error: --max-resident-banks requires --workers >= 2 "
+            "(bank paging is a fleet feature)",
+            file=sys.stderr,
+        )
+        return 1
 
     fault_plan = None
     if args.faults:
@@ -728,8 +880,15 @@ def command_loadgen(args) -> int:
 
         tracer = configure_tracing(args.trace, sample_rate=args.trace_sample)
 
+    tenant_names = None
+    if args.models > 1:
+        tenant_names = [f"{args.dataset}-t{i:02d}" for i in range(args.models)]
     sampler = RequestSampler(
-        dataset=args.dataset, profile=args.profile, seed=args.seed
+        dataset=args.dataset,
+        profile=args.profile,
+        seed=args.seed,
+        models=tenant_names,
+        zipf_s=args.zipf_s,
     )
     if args.mode == "open":
         traffic = OpenLoop(rate_rps=args.rate, seed=args.seed)
@@ -742,10 +901,11 @@ def command_loadgen(args) -> int:
     else:
         from repro.serve import ModelRegistry, PackedInferenceEngine, ServeApp
 
-        registry = ModelRegistry()
+        registry = ModelRegistry(max_resident=max(4, args.models))
         if args.model:
             try:
-                registry.register(Path(args.model).stem, args.model)
+                for name in tenant_names or [Path(args.model).stem]:
+                    registry.register(name, args.model)
             except (OSError, ValueError) as error:
                 print(f"error: cannot load model {args.model!r}: {error}", file=sys.stderr)
                 return 1
@@ -760,9 +920,21 @@ def command_loadgen(args) -> int:
             )
             pipeline = HDCPipeline(encoder, BaselineHDC(seed=args.seed))
             pipeline.fit(sampler.train_features, sampler.train_labels)
-            registry.register(
-                args.dataset, PackedInferenceEngine(pipeline, name=args.dataset)
-            )
+            engine = PackedInferenceEngine(pipeline, name=args.dataset)
+            if tenant_names is None:
+                registry.register(args.dataset, engine)
+            else:
+                # Fleet soak: every tenant serves the same trained model
+                # (pinned, so registering N names costs one training run);
+                # banks and worker pools are still per-tenant, which is what
+                # the Zipf traffic pages in and out.
+                for tenant in tenant_names:
+                    registry.register(tenant, engine)
+        try:
+            tenant_quotas = _build_tenant_quotas(args)
+        except (OSError, ValueError) as error:
+            print(f"error: bad tenant quotas: {error}", file=sys.stderr)
+            return 1
         app = ServeApp(
             registry,
             max_batch_size=args.max_batch_size,
@@ -774,15 +946,24 @@ def command_loadgen(args) -> int:
             max_concurrent=args.max_concurrent,
             request_timeout=args.request_timeout,
             fault_plan=fault_plan,
+            tenant_quotas=tenant_quotas,
+            max_resident_banks=args.max_resident_banks,
         )
         target = InProcessTarget(
             app, top_k=args.top_k, deadline_ms=args.deadline_ms
         )
 
-    # Chaos runs also audit shm hygiene: every segment the soak creates must
-    # be gone once the app closes (a leak means a crashed worker or a missed
-    # unlink survived the faults).
-    shm_before = _list_shm_segments() if fault_plan is not None else None
+    # Chaos and fleet runs also audit shm hygiene: every segment the soak
+    # creates must be gone once the app closes (a leak means a crashed
+    # worker, a missed unlink, or an eviction that never reached close()).
+    audit_shm = fault_plan is not None or (args.models > 1 and args.workers > 1)
+    shm_before = _list_shm_segments() if audit_shm else None
+
+    retries = args.retries
+    if retries is None:
+        # Multi-tenant and chaos soaks shed/fail requests by design; the
+        # client's job is to retry the typed answers, so default those on.
+        retries = 3 if (args.models > 1 or fault_plan is not None) else 0
 
     try:
         report = run_load_test(
@@ -792,6 +973,7 @@ def command_loadgen(args) -> int:
             num_requests=num_requests,
             warmup_requests=warmup,
             fault_plan=fault_plan,
+            max_retries=retries,
         )
     finally:
         if app is not None:
@@ -807,10 +989,30 @@ def command_loadgen(args) -> int:
     if args.json:
         destination = write_report(args.json, report)
         print(f"report written to {destination}")
-    if fault_plan is not None:
-        if leaked:
-            print(f"error: leaked shm segments after chaos soak: {leaked}", file=sys.stderr)
+    if leaked:
+        print(f"error: leaked shm segments after soak: {leaked}", file=sys.stderr)
+        return 1
+    if args.models > 1 and args.workers > 1:
+        try:
+            validate_resilience_report(report, min_availability=args.min_availability)
+            validate_fleet_report(
+                report, max_resident_banks=args.max_resident_banks
+            )
+        except ValueError as error:
+            print(f"error: fleet soak failed: {error}", file=sys.stderr)
             return 1
+        delta = report.get("server_metrics_delta") or {}
+        fleet_after = delta.get("fleet_after") or {}
+        print(
+            "fleet soak validated: availability "
+            f"{report['resilience']['availability']:.2%}, "
+            f"{delta.get('cold_loads', 0)} cold loads, "
+            f"{delta.get('bank_evictions', 0)} evictions, "
+            f"{fleet_after.get('resident_banks', 0)} resident banks "
+            f"(cap {args.max_resident_banks or 'none'}), "
+            "zero leaked shm segments"
+        )
+    if fault_plan is not None:
         try:
             validate_resilience_report(report, min_availability=args.min_availability)
         except ValueError as error:
@@ -825,6 +1027,9 @@ def command_loadgen(args) -> int:
                 "shard_retries",
                 "transport_errors",
                 "worker_faults",
+                "bank_faults",
+                "bank_evictions",
+                "bank_restores",
             )
         )
         if not injected:
@@ -842,7 +1047,7 @@ def command_loadgen(args) -> int:
             "zero untyped errors, zero deadline violations, zero leaked "
             "shm segments"
         )
-    if args.quick and fault_plan is None:
+    if args.quick and fault_plan is None and args.models == 1:
         validate_report(report)
         print(
             "quick-mode report validated: non-zero throughput, "

@@ -34,6 +34,8 @@ which shards ``packed.bit_differences`` across a process pool.
 from repro.cluster.affinity import available_cpus, build_pin_map, pin_process
 from repro.cluster.dispatcher import ClusterDispatcher
 from repro.cluster.errors import (
+    BankEvictedError,
+    BankUnavailableError,
     ClusterError,
     DeadlineExceededError,
     DispatcherClosedError,
@@ -44,6 +46,7 @@ from repro.cluster.errors import (
 from repro.cluster.transport import TRANSPORT_NAMES, Transport, TransportError
 from repro.cluster.shared import (
     AttachedBank,
+    BankLease,
     SharedBankHandle,
     SharedModelStore,
     WorkerModelSpec,
@@ -54,6 +57,9 @@ from repro.cluster.shared import (
 
 __all__ = [
     "AttachedBank",
+    "BankEvictedError",
+    "BankLease",
+    "BankUnavailableError",
     "ClusterDispatcher",
     "ClusterError",
     "DeadlineExceededError",

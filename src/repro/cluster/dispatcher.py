@@ -68,6 +68,8 @@ import numpy as np
 
 from repro.cluster.affinity import build_pin_map, pin_process
 from repro.cluster.errors import (
+    BankEvictedError,
+    BankUnavailableError,
     DeadlineExceededError,
     DispatcherClosedError,
     WorkerCrashedError,
@@ -83,11 +85,49 @@ from repro.cluster.transport import (
     make_transport,
 )
 from repro.cluster.worker import worker_main
-from repro.faults import FaultPlan
+from repro.faults import PARENT_INDEX, PARENT_KINDS, FaultPlan
 from repro.obs.shm_metrics import WorkerStatsSlab, merge_worker_stats, stats_summary
 from repro.obs.trace import NULL_SPAN, Tracer, get_tracer
 
 _ROW_BYTES = 8  # labels/scores elements and packed words are 8-byte lanes
+
+#: Process-wide guard around the fork-critical window of a worker spawn.
+#: With the ``fork`` start method, two dispatchers spawning concurrently
+#: from different threads can fork a child while the *other* spawn holds a
+#: multiprocessing-internal lock; the child inherits the held lock and
+#: deadlocks in its bootstrap, silently eating the whole startup timeout.
+#: Serialising pipe creation + ``Process.start()`` (not the ready-wait,
+#: which may legitimately take a while) keeps the fork moment clean.
+_SPAWN_LOCK = threading.Lock()
+
+try:  # posix-only module; the ``fork`` start method implies it exists
+    from multiprocessing import resource_tracker as _resource_tracker
+except ImportError:  # pragma: no cover - non-posix platforms
+    _resource_tracker = None  # type: ignore[assignment]
+
+
+def _reset_tracker_lock_after_fork() -> None:
+    """Give the fork-inherited resource tracker a fresh, unheld lock.
+
+    ``multiprocessing.resource_tracker`` guards its pipe with an ordinary
+    ``threading`` lock and never re-initialises it after a fork.  In a busy
+    multi-tenant parent *any* thread — a shm publish, an eviction unlink —
+    may hold that lock at the fork moment; the child then deadlocks on its
+    very first shared-memory attach (``register`` → ``ensure_running``),
+    never reaches the ready handshake, and silently eats the whole startup
+    timeout while ``is_alive()`` stays true.  ``_SPAWN_LOCK`` cannot help:
+    the offending threads are not spawning workers.  A fresh lock in the
+    child is safe because the child only ever *sends* on the inherited
+    tracker pipe.
+    """
+    tracker = getattr(_resource_tracker, "_resource_tracker", None)
+    lock = getattr(tracker, "_lock", None)
+    if lock is not None:
+        tracker._lock = type(lock)()
+
+
+if _resource_tracker is not None and hasattr(os, "register_at_fork"):
+    os.register_at_fork(after_in_child=_reset_tracker_lock_after_fork)
 
 
 def _default_start_method() -> str:
@@ -98,12 +138,19 @@ def _default_start_method() -> str:
 
 
 class _Worker:
-    __slots__ = ("process", "connection", "endpoint")
+    __slots__ = ("process", "connection", "endpoint", "generation")
 
-    def __init__(self, process, connection, endpoint: ParentEndpoint):
+    def __init__(
+        self, process, connection, endpoint: ParentEndpoint, generation: int
+    ):
         self.process = process
         self.connection = connection
         self.endpoint = endpoint
+        # Generation of the bank segment this worker has attached.  Request
+        # headers only carry a (re-)attach handle when the leased bank has
+        # moved past this, so steady-state traffic pays zero header bytes
+        # for the fleet-paging protocol.
+        self.generation = generation
 
 
 class _WorkerCrash(Exception):
@@ -206,6 +253,14 @@ class ClusterDispatcher:
         self.startup_timeout = float(startup_timeout)
         self.request_timeout = float(request_timeout)
         self._fault_plan = fault_plan if fault_plan is not None else FaultPlan.from_env()
+        # Parent-side chaos cursor: the eviction-targeted kinds fire here,
+        # once per dispatch, under a pseudo worker index so their schedule is
+        # seed-stable and disjoint from every real worker's.
+        self._parent_injector = (
+            None
+            if self._fault_plan is None
+            else self._fault_plan.injector(PARENT_INDEX, kinds=PARENT_KINDS)
+        )
         self._transport = make_transport(transport)
         self.transport = self._transport.name
         self.cpu_count = os.cpu_count() or 1
@@ -249,6 +304,8 @@ class ClusterDispatcher:
         self.transport_errors = 0
         self.worker_faults = 0
         self.deadline_skips = 0
+        self.bank_restores = 0
+        self.bank_faults = 0
         self._started_monotonic = time.monotonic()
         # One stats slab per worker *slot*, owned by the dispatcher for its
         # whole lifetime: respawned workers inherit their slot's slab, so the
@@ -258,8 +315,18 @@ class ClusterDispatcher:
         try:
             for _ in range(self.num_workers):
                 self._slabs.append(WorkerStatsSlab.create())
-            for index in range(self.num_workers):
-                self._workers[index] = self._spawn(index)
+            # Pin the bank while the initial pool attaches.  Without a lease,
+            # a concurrent publish under the fleet residency cap can pick the
+            # brand-new segment as its LRU victim between our publish above
+            # and the workers' attach, and every worker then fails startup
+            # with FileNotFoundError.  The lease also restores the bank (and
+            # re-specs the handle) if that race already happened.
+            startup_lease = self._acquire_bank_lease()
+            try:
+                for index in range(self.num_workers):
+                    self._workers[index] = self._spawn(index)
+            finally:
+                startup_lease.release()
         except BaseException:
             self.close()
             raise
@@ -398,7 +465,9 @@ class ClusterDispatcher:
                     "transport_errors": self.transport_errors,
                     "worker_faults": self.worker_faults,
                     "deadline_skips": self.deadline_skips,
+                    "bank_faults": self.bank_faults,
                 },
+                "bank_restores": self.bank_restores,
                 "fault_plan": (
                     self._fault_plan.describe() if self._fault_plan else None
                 ),
@@ -466,6 +535,36 @@ class ClusterDispatcher:
         if self._closed:
             raise DispatcherClosedError("ClusterDispatcher is closed")
 
+    def _restore_bank(self, slow: bool = False):
+        """Bring an evicted bank back from the parent engine (cold restore).
+
+        The parent engine keeps the packed words resident, so a restore is a
+        copy into a fresh segment — no disk load.  The worker spec is updated
+        in place so respawned workers attach the current generation.
+        """
+        if slow and self._fault_plan is not None:
+            time.sleep(self._fault_plan.slow_seconds)
+        handle = self._store.restore(self._bank_key, self._engine.packed_bank)
+        if handle.generation != self._spec.bank_handle.generation:
+            self.bank_restores += 1
+            self._spec.bank_handle = handle
+        return handle
+
+    def _acquire_bank_lease(self, slow: bool = False):
+        """Pin the bank for one dispatch, cold-restoring it if paged out."""
+        for _ in range(3):
+            try:
+                return self._store.lease(self._bank_key)
+            except BankEvictedError:
+                self._restore_bank(slow=slow)
+                slow = False  # the injected slow cold-load sleeps once
+        return self._store.lease(self._bank_key)
+
+    def _refresh_bank_lease(self, lease):
+        """Re-pin after a bank-stale retry signal (segment may be gone)."""
+        lease.release()
+        return self._acquire_bank_lease()
+
     def _child_span(self, name: str, attrs=None):
         """A recording span only when the calling thread is already inside a
         sampled trace; the shared null span otherwise.
@@ -479,24 +578,40 @@ class ClusterDispatcher:
         return self._tracer.start_span(name, attrs=attrs)
 
     def _spawn(self, index: int) -> _Worker:
-        parent_connection, child_connection = self._context.Pipe(duplex=True)
-        endpoint = self._transport.create_endpoint(parent_connection)
-        process = None
+        with _SPAWN_LOCK:
+            if _resource_tracker is not None:
+                # Start the resource tracker (if needed) from the parent so
+                # a forked child only ever writes to the inherited pipe and
+                # never has to launch a tracker of its own mid-bootstrap.
+                _resource_tracker.ensure_running()
+            parent_connection, child_connection = self._context.Pipe(duplex=True)
+            endpoint = self._transport.create_endpoint(parent_connection)
+            # The child attaches whatever handle the spec carries at fork
+            # time; remember its generation so request headers can skip the
+            # re-attach handle while the worker is already current.
+            spawn_generation = self._spec.bank_handle.generation
+            process = None
+            try:
+                process = self._context.Process(
+                    target=worker_main,
+                    args=(
+                        self._spec,
+                        child_connection,
+                        self._slabs[index].name,
+                        index,
+                        endpoint.worker_spec(),
+                        self._fault_plan,
+                    ),
+                    name=f"repro-cluster-{self.name}-{index}",
+                    daemon=True,
+                )
+                process.start()
+            except BaseException:
+                endpoint.close()
+                parent_connection.close()
+                child_connection.close()
+                raise
         try:
-            process = self._context.Process(
-                target=worker_main,
-                args=(
-                    self._spec,
-                    child_connection,
-                    self._slabs[index].name,
-                    index,
-                    endpoint.worker_spec(),
-                    self._fault_plan,
-                ),
-                name=f"repro-cluster-{self.name}-{index}",
-                daemon=True,
-            )
-            process.start()
             child_connection.close()
             deadline = time.monotonic() + self.startup_timeout
             # TCP endpoints accept the worker's connection here; pipe/shm
@@ -531,7 +646,7 @@ class ClusterDispatcher:
         cpu = self._pin_map.get(index)
         if cpu is not None:
             self._pinned[index] = cpu if pin_process(process.pid, cpu) else None
-        return _Worker(process, parent_connection, endpoint)
+        return _Worker(process, parent_connection, endpoint, spawn_generation)
 
     def _ensure_worker(self, index: int) -> _Worker:
         """The live worker at *index*, respawning a retired/dead one.
@@ -597,6 +712,8 @@ class ClusterDispatcher:
                 raise TransportError(message)
             if kind == "InjectedFaultError":
                 raise WorkerFaultError(message)
+            if kind == "BankUnavailableError":
+                raise BankUnavailableError(message)
             raise RuntimeError(f"worker error ({kind}): {message}")
         # ``("ok", scalar, arrays, spans)`` — scalar carries ping/poison
         # results, arrays carry scoring results (1 array = scores, 2 = the
@@ -661,15 +778,26 @@ class ClusterDispatcher:
             try:
                 worker = self._ensure_worker(index)
             except WorkerStartupError as error:
+                # A respawn may have failed because its bank segment was
+                # yanked mid-churn; flag the bank stale so the retry round
+                # re-pins (and if needed restores) it before respawning.
                 state["spawn_error"] = state["spawn_error"] or error
                 state["retry_error"] = None
+                state["bank_stale"] = True
                 retry.append(shard_index)
                 continue
+            bank = state.get("bank")
+            if bank is not None and bank.generation == worker.generation:
+                # The worker already holds this materialisation: omit the
+                # handle so steady-state headers stay handle-free (the shm
+                # control channel is byte-budgeted).
+                bank = None
             header = {
                 "op": op[0],
                 "kind": kind,
                 "ctx": ctx,
                 "deadline": deadline,
+                "bank": bank,
                 "reply_nbytes_hint": self._reply_nbytes_hint(
                     op, int(shard.shape[0])
                 ),
@@ -683,8 +811,8 @@ class ClusterDispatcher:
                 state["retry_error"] = None
                 retry.append(shard_index)
                 continue
-            assignments.append((shard_index, index, worker))
-        for shard_index, index, worker in assignments:
+            assignments.append((shard_index, index, worker, bank))
+        for shard_index, index, worker, sent_bank in assignments:
             try:
                 payload, worker_spans = self._receive(worker, deadline)
             except _WorkerHang as hang:
@@ -727,9 +855,23 @@ class ClusterDispatcher:
                 state["retry_error"] = error
                 retry.append(shard_index)
                 continue
+            except BankUnavailableError as error:
+                # The worker lost the unlink-vs-attach race: the segment we
+                # addressed vanished before it could map it.  The reply was
+                # consumed and the worker is alive; retry after restoring
+                # the bank to a fresh segment.
+                self.bank_faults += 1
+                state["retry_error"] = error
+                state["bank_stale"] = True
+                retry.append(shard_index)
+                continue
             except (ValueError, RuntimeError) as error:
                 state["request_error"] = state["request_error"] or error
                 continue
+            if sent_bank is not None:
+                # A successful reply proves the worker followed the handle
+                # and re-attached; later headers can drop it again.
+                worker.generation = sent_bank.generation
             results[shard_index] = payload
             for record in worker_spans:
                 self._tracer.emit_record(record)
@@ -754,63 +896,93 @@ class ClusterDispatcher:
             "dispatch", attrs={"op": op[0], "rows": int(features.shape[0])}
         ) as span:
             self._check_open()
-            if self._ship_packed:
-                # Validate + encode + pack exactly once, parent-side: a bad
-                # feature width raises here (same ValueError/400 as the
-                # engine), and every transport then carries 1-bit-per-
-                # dimension words instead of float rows.
-                validated = self._engine._validate(features)
-                rows = self._engine._encode_packed(validated).words
-                kind = "packed"
-            else:
-                rows = features
-                kind = "dense"
-            # The span context (None when unsampled) rides each request
-            # header; workers reply with finished ``worker:score`` records
-            # that we stitch into the parent trace below — the worker never
-            # touches the trace file, so there is exactly one writer.
-            ctx = span.context
-            num_shards = max(1, min(self.num_workers, rows.shape[0]))
-            offset = self._round_robin
-            self._round_robin = (offset + num_shards) % self.num_workers
-            shards = np.array_split(rows, num_shards, axis=0)
-            span.set("shards", num_shards)
-            span.set("kind", kind)
-            results: list = [None] * num_shards
-            state: dict = {
-                "spawn_error": None,
-                "request_error": None,
-                "deadline_error": None,
-                "retry_error": None,
-            }
-            retry = self._run_shards(
-                op, kind, ctx, shards, range(num_shards), offset, deadline,
-                results, state,
+            # Parent-side chaos: the eviction-targeted kinds page our own
+            # bank out right here, so the lease acquisition below exercises
+            # the cold-restore path mid-stream.  "unlink" force-unlinks even
+            # under other dispatchers' leases; after the restore it yanks
+            # the fresh segment too, racing the workers' attach.
+            fault = (
+                self._parent_injector.draw()
+                if self._parent_injector is not None
+                else None
             )
-            if retry and state["deadline_error"] is None:
-                if deadline is not None and time.monotonic() >= deadline:
-                    state["deadline_error"] = DeadlineExceededError(
-                        f"deadline expired before shard retry on {self.name!r}"
-                    )
+            if fault is not None:
+                self._store.evict(self._bank_key, force=(fault == "unlink"))
+            lease = self._acquire_bank_lease(slow=(fault == "slow_load"))
+            try:
+                if fault == "unlink":
+                    self._store.evict(self._bank_key, force=True)
+                if self._ship_packed:
+                    # Validate + encode + pack exactly once, parent-side: a
+                    # bad feature width raises here (same ValueError/400 as
+                    # the engine), and every transport then carries 1-bit-
+                    # per-dimension words instead of float rows.
+                    validated = self._engine._validate(features)
+                    rows = self._engine._encode_packed(validated).words
+                    kind = "packed"
                 else:
-                    self.shard_retries += len(retry)
-                    span.set("retried_shards", len(retry))
-                    retry = self._run_shards(
-                        op, kind, ctx, shards, retry, offset, deadline,
-                        results, state,
-                    )
-            if state["deadline_error"] is not None:
-                raise state["deadline_error"]
-            if retry:
-                error = state["retry_error"]
-                if error is not None:
-                    raise error
-                raise WorkerCrashedError(
-                    f"shard(s) {sorted(retry)} of {self.name!r} failed twice "
-                    "(workers respawning on next use)"
-                ) from state["spawn_error"]
-            if state["request_error"] is not None:
-                raise state["request_error"]
+                    rows = features
+                    kind = "dense"
+                # The span context (None when unsampled) rides each request
+                # header; workers reply with finished ``worker:score``
+                # records that we stitch into the parent trace below — the
+                # worker never touches the trace file, so there is exactly
+                # one writer.
+                ctx = span.context
+                num_shards = max(1, min(self.num_workers, rows.shape[0]))
+                offset = self._round_robin
+                self._round_robin = (offset + num_shards) % self.num_workers
+                shards = np.array_split(rows, num_shards, axis=0)
+                span.set("shards", num_shards)
+                span.set("kind", kind)
+                results: list = [None] * num_shards
+                state: dict = {
+                    "spawn_error": None,
+                    "request_error": None,
+                    "deadline_error": None,
+                    "retry_error": None,
+                    "bank": lease.handle,
+                    "bank_stale": False,
+                }
+                retry = self._run_shards(
+                    op, kind, ctx, shards, range(num_shards), offset,
+                    deadline, results, state,
+                )
+                if retry and state["deadline_error"] is None:
+                    if deadline is not None and time.monotonic() >= deadline:
+                        state["deadline_error"] = DeadlineExceededError(
+                            f"deadline expired before shard retry on "
+                            f"{self.name!r}"
+                        )
+                    else:
+                        self.shard_retries += len(retry)
+                        span.set("retried_shards", len(retry))
+                        if state["bank_stale"]:
+                            # The segment the first round addressed is gone
+                            # (eviction churn won an unlink race); restore
+                            # before the retry so the respawned/re-attaching
+                            # workers find live words.
+                            lease = self._refresh_bank_lease(lease)
+                            state["bank"] = lease.handle
+                            state["bank_stale"] = False
+                        retry = self._run_shards(
+                            op, kind, ctx, shards, retry, offset, deadline,
+                            results, state,
+                        )
+                if state["deadline_error"] is not None:
+                    raise state["deadline_error"]
+                if retry:
+                    error = state["retry_error"]
+                    if error is not None:
+                        raise error
+                    raise WorkerCrashedError(
+                        f"shard(s) {sorted(retry)} of {self.name!r} failed "
+                        "twice (workers respawning on next use)"
+                    ) from state["spawn_error"]
+                if state["request_error"] is not None:
+                    raise state["request_error"]
+            finally:
+                lease.release()
         if self._metrics is not None:
             self._metrics.record_stage("dispatch", time.perf_counter() - started)
         return results

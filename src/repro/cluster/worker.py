@@ -83,12 +83,20 @@ def worker_main(
     import numpy as np
 
     from repro.classifiers.base import top_k_from_scores
+    from repro.cluster.shared import attach_bank
     from repro.cluster.transport import TransportError, build_worker_endpoint
+    from repro.faults import WORKER_KINDS
     from repro.kernels.packed import PackedHypervectors
     from repro.obs.shm_metrics import WorkerStatsSlab
     from repro.obs.trace import span_record
 
-    injector = None if fault_plan is None else fault_plan.injector(worker_index)
+    # Only the worker-side kinds: the eviction-targeted kinds in the same
+    # plan fire in the dispatcher, never here.
+    injector = (
+        None
+        if fault_plan is None
+        else fault_plan.injector(worker_index, kinds=WORKER_KINDS)
+    )
     stats = None
     endpoint = None
     try:
@@ -108,6 +116,28 @@ def worker_main(
             connection.close()
         return
     connection.send(("ready", os.getpid()))
+
+    def _maybe_reattach(header):
+        """Follow the bank across evictions: when the op header carries a
+        newer generation than the mapped segment, re-attach and adopt.
+
+        The old mapping stays valid even after its segment was unlinked
+        (POSIX keeps the pages alive until the last map drops), so a worker
+        that merely *holds* a superseded generation keeps scoring correctly;
+        this hook is what lets it catch up to the restored segment instead
+        of crashing.  Raises ``FileNotFoundError`` if the new segment lost
+        an unlink race — the caller turns that into a typed, retryable
+        ``BankUnavailableError`` reply.
+        """
+        nonlocal attached
+        handle = header.get("bank")
+        if handle is None or handle.generation == attached.handle.generation:
+            return
+        fresh = attach_bank(handle)
+        stale, attached = attached, fresh
+        engine.classifier.adopt_packed_bank(fresh.packed)
+        engine._packed_classes = engine.classifier.packed_inference_bank()
+        stale.close()
 
     def _score(header, arrays):
         """Run one scoring op; returns ``(arrays, spans)`` + records stats."""
@@ -210,6 +240,16 @@ def worker_main(
                     if action == "error":
                         endpoint.send_error(
                             "InjectedFaultError", "injected error-reply fault"
+                        )
+                        continue
+                    try:
+                        _maybe_reattach(header)
+                    except FileNotFoundError:
+                        bank = header.get("bank")
+                        endpoint.send_error(
+                            "BankUnavailableError",
+                            f"bank segment {getattr(bank, 'segment', '?')} "
+                            "vanished before attach",
                         )
                         continue
                     payload, spans = _score(header, arrays)

@@ -17,7 +17,10 @@ from repro.faults.plan import (
     ENV_SEED_VAR,
     ENV_VAR,
     FAULT_KINDS,
+    PARENT_INDEX,
+    PARENT_KINDS,
     PRESETS,
+    WORKER_KINDS,
     FaultInjector,
     FaultPlan,
     FaultRule,
@@ -27,6 +30,9 @@ __all__ = [
     "ENV_SEED_VAR",
     "ENV_VAR",
     "FAULT_KINDS",
+    "PARENT_INDEX",
+    "PARENT_KINDS",
+    "WORKER_KINDS",
     "FaultInjector",
     "FaultPlan",
     "FaultRule",

@@ -31,6 +31,22 @@ Fault kinds (the taxonomy is documented in ``docs/robustness.md``):
     Close the transport endpoint and exit without replying — a TCP
     reset / dropped socket as seen from the parent.
 
+Three further kinds target the fleet pager and fire in the *parent* (the
+dispatcher consults its own injector once per dispatch, as pseudo-worker
+index :data:`PARENT_INDEX`; worker-side injectors skip them):
+
+``evict``
+    Page the dispatcher's own bank out right before the dispatch — the
+    eviction-during-dispatch race.  The dispatch cold-restores the bank to
+    a fresh segment/generation and every worker re-attaches mid-stream.
+``unlink``
+    Force-unlink the restored segment before the scatter — the
+    unlink-vs-attach race.  Workers answer a typed ``BankUnavailableError``
+    and the retry round restores the bank again.
+``slow_load``
+    Like ``evict``, but the cold restore also sleeps ``slow_seconds`` —
+    a slow cold-load while requests queue behind the single-flight lock.
+
 Rules trigger in one of three deterministic modes: ``at`` (fire exactly when
 this process's request count equals ``at``), ``every``/``after`` (fire
 periodically starting at ``after``), or ``rate`` (a seed-stable hash draw per
@@ -47,7 +63,18 @@ import json
 import os
 from typing import Dict, Iterable, List, Optional, Tuple
 
-FAULT_KINDS = ("crash", "hang", "slow", "error", "torn", "drop")
+#: Worker-side kinds, injected inside ``worker_main`` per scoring request.
+WORKER_KINDS = ("crash", "hang", "slow", "error", "torn", "drop")
+
+#: Parent-side kinds, injected by the dispatcher per dispatch — they target
+#: the shared-bank pager, which only the parent can reach.
+PARENT_KINDS = ("evict", "unlink", "slow_load")
+
+FAULT_KINDS = WORKER_KINDS + PARENT_KINDS
+
+#: The pseudo worker index the dispatcher's own injector draws under, so
+#: parent-side schedules are seed-stable and disjoint from every real worker.
+PARENT_INDEX = -1
 
 ENV_VAR = "REPRO_FAULTS"
 ENV_SEED_VAR = "REPRO_FAULTS_SEED"
@@ -117,8 +144,10 @@ class FaultPlan:
     hang_seconds: float = 30.0
     slow_seconds: float = 0.05
 
-    def injector(self, worker_index: int) -> "FaultInjector":
-        return FaultInjector(self, worker_index)
+    def injector(
+        self, worker_index: int, kinds: Optional[Tuple[str, ...]] = None
+    ) -> "FaultInjector":
+        return FaultInjector(self, worker_index, kinds=kinds)
 
     # -- serialisation -----------------------------------------------------
 
@@ -264,17 +293,31 @@ class FaultInjector:
     ``draw()`` advances the request count and returns the fault kind to
     inject for this request (or ``None``).  Purely local state — no locks,
     no clock, no RNG object — so two runs of the same plan are identical.
+
+    ``kinds`` restricts which fault kinds this cursor may return: workers
+    pass :data:`WORKER_KINDS` and the dispatcher passes :data:`PARENT_KINDS`
+    (under :data:`PARENT_INDEX`), so one plan string drives both sides
+    without either injecting a fault it cannot express.  Skipped rules still
+    advance the count, keeping the schedule stable across restrictions.
     """
 
-    def __init__(self, plan: FaultPlan, worker_index: int):
+    def __init__(
+        self,
+        plan: FaultPlan,
+        worker_index: int,
+        kinds: Optional[Tuple[str, ...]] = None,
+    ):
         self.plan = plan
         self.worker_index = worker_index
+        self.kinds = None if kinds is None else tuple(kinds)
         self.count = 0
         self.injected: Dict[str, int] = {}
 
     def draw(self) -> Optional[str]:
         self.count += 1
         for rule in self.plan.rules:
+            if self.kinds is not None and rule.kind not in self.kinds:
+                continue
             if rule.fires(self.count, self.worker_index, self.plan.seed):
                 self.injected[rule.kind] = self.injected.get(rule.kind, 0) + 1
                 return rule.kind
@@ -317,6 +360,20 @@ PRESETS: Dict[str, FaultPlan] = {
             FaultRule(kind="slow", rate=0.05),
         ]
     ),
+    # Fleet-pager churn for the multi-tenant smoke: the parent-side kinds
+    # fire per *dispatch* (pseudo-worker -1), so every few batches a bank is
+    # paged out mid-stream, force-unlinked under an attach, or restored
+    # slowly — while a light worker-side error/slow mix keeps the ordinary
+    # retry machinery honest at the same time.
+    "evict-churn": _preset(
+        [
+            FaultRule(kind="evict", every=7, after=3),
+            FaultRule(kind="unlink", every=13, after=6),
+            FaultRule(kind="slow_load", every=17, after=9),
+            FaultRule(kind="error", every=19, after=8),
+            FaultRule(kind="slow", every=23, after=10),
+        ]
+    ),
 }
 
 
@@ -324,6 +381,9 @@ __all__ = [
     "ENV_SEED_VAR",
     "ENV_VAR",
     "FAULT_KINDS",
+    "PARENT_INDEX",
+    "PARENT_KINDS",
+    "WORKER_KINDS",
     "FaultInjector",
     "FaultPlan",
     "FaultRule",

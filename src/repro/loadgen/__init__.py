@@ -25,11 +25,18 @@ smoke mode (in-process target, fixed seed, report well-formedness asserted).
 from repro.loadgen.report import (
     build_report,
     format_report,
+    validate_fleet_report,
     validate_report,
     validate_resilience_report,
     write_report,
 )
-from repro.loadgen.runner import HTTPTarget, InProcessTarget, TargetError, run_load_test
+from repro.loadgen.runner import (
+    HTTPTarget,
+    InProcessTarget,
+    RetryPolicy,
+    TargetError,
+    run_load_test,
+)
 from repro.loadgen.sampler import RequestSampler
 from repro.loadgen.traffic import ClosedLoop, OpenLoop
 
@@ -39,10 +46,12 @@ __all__ = [
     "InProcessTarget",
     "OpenLoop",
     "RequestSampler",
+    "RetryPolicy",
     "TargetError",
     "build_report",
     "format_report",
     "run_load_test",
+    "validate_fleet_report",
     "validate_report",
     "validate_resilience_report",
     "write_report",

@@ -61,10 +61,40 @@ def server_metrics_delta(before: dict, after: dict) -> dict:
                 out[name] = out.get(name, 0) + count
         return out
 
+    def fleet_totals(snapshot: dict) -> dict:
+        fleet = snapshot.get("fleet") or {}
+        return {
+            "bank_evictions": fleet.get("evictions", 0),
+            "bank_restores": fleet.get("restores", 0)
+            + fleet.get("bank_restores", 0),
+            "cold_loads": fleet.get("cold_loads", 0),
+        }
+
+    def tenant_totals(snapshot: dict) -> dict:
+        out = {"tenant_rate_limited": 0, "tenant_quota_exceeded": 0}
+        tenants = (snapshot.get("tenancy") or {}).get("tenants", {})
+        for state in tenants.values():
+            out["tenant_rate_limited"] += state.get("rate_limited", 0)
+            out["tenant_quota_exceeded"] += state.get("quota_exceeded", 0)
+        return out
+
     first, last = totals(before), totals(after)
     delta = {key: last[key] - first[key] for key in last}
     first_w, last_w = worker_totals(before), worker_totals(after)
     delta.update({key: last_w[key] - first_w.get(key, 0) for key in last_w})
+    if "fleet" in after:
+        first_f, last_f = fleet_totals(before), fleet_totals(after)
+        delta.update({key: last_f[key] - first_f[key] for key in last_f})
+        fleet_after = after["fleet"]
+        delta["fleet_after"] = {
+            "resident_banks": fleet_after.get("resident_banks", 0),
+            "peak_resident_banks": fleet_after.get("peak_resident_banks", 0),
+            "max_resident": fleet_after.get("max_resident"),
+            "dispatchers": fleet_after.get("dispatchers", 0),
+        }
+    if "tenancy" in after:
+        first_t, last_t = tenant_totals(before), tenant_totals(after)
+        delta.update({key: last_t[key] - first_t[key] for key in last_t})
     gauges = {}
     for name, scheduler in after.get("schedulers", {}).items():
         gauges[name] = {"queue_depth": scheduler.get("queue_depth", 0)}
@@ -89,6 +119,9 @@ def build_report(
     untyped_errors: int = 0,
     deadline_violations: int = 0,
     fault_plan: Optional[dict] = None,
+    retries: int = 0,
+    retries_by_status: Optional[dict] = None,
+    retry_policy: Optional[dict] = None,
 ) -> dict:
     """Assemble the JSON-ready report dictionary from one measure phase."""
     latency_array = np.asarray(latencies, dtype=np.float64)
@@ -141,9 +174,19 @@ def build_report(
         ),
         "untyped_errors": int(untyped_errors),
         "deadline_violations": int(deadline_violations),
+        "retries": int(retries),
+        "retries_by_status": dict(
+            sorted((retries_by_status or {}).items(), key=lambda kv: kv[0])
+        ),
     }
     if fault_plan is not None:
         report["config"]["fault_plan"] = fault_plan
+    if retry_policy is not None:
+        report["config"]["retry_policy"] = retry_policy
+    models = getattr(sampler, "models", None)
+    if models is not None:
+        report["config"]["models"] = len(models)
+        report["config"]["zipf_s"] = sampler.zipf_s
     if server_metrics is not None:
         report["server_metrics_delta"] = server_metrics
     return report
@@ -226,6 +269,43 @@ def validate_resilience_report(report: dict, min_availability: float = 0.95) -> 
         raise ValueError("report recorded no completed requests")
 
 
+def validate_fleet_report(
+    report: dict, max_resident_banks: Optional[int] = None
+) -> None:
+    """Raise ``ValueError`` unless a multi-tenant soak actually exercised the
+    fleet pager: cold loads happened, banks were evicted (the residency cap
+    bit), and the post-run residency stayed at or under the cap.
+
+    A capped Zipf soak that records zero evictions was either uncapped or
+    never left the hot set — a vacuous pass either way — so this gate is
+    what makes the CI fleet-smoke meaningful.
+    """
+    delta = report.get("server_metrics_delta")
+    if delta is None:
+        raise ValueError("report has no server_metrics_delta block")
+    fleet_after = delta.get("fleet_after")
+    if fleet_after is None:
+        raise ValueError(
+            "server metrics have no fleet block — the target is not a "
+            "multi-process fleet"
+        )
+    if delta.get("cold_loads", 0) < 1:
+        raise ValueError("fleet soak recorded no cold loads")
+    if delta.get("bank_evictions", 0) < 1:
+        raise ValueError(
+            "fleet soak recorded no bank evictions — the residency cap "
+            "never engaged (cap too high for the tenant count?)"
+        )
+    if max_resident_banks is not None:
+        for gauge in ("resident_banks", "dispatchers"):
+            value = fleet_after.get(gauge, 0)
+            if value > max_resident_banks:
+                raise ValueError(
+                    f"{gauge} is {value}, above the residency cap "
+                    f"{max_resident_banks}"
+                )
+
+
 def format_report(report: dict) -> str:
     """Human-readable summary table of one report."""
     from repro.eval.tables import format_table
@@ -271,6 +351,12 @@ def format_report(report: dict) -> str:
         rows.append(
             ["deadline violations", str(resilience["deadline_violations"])]
         )
+    if resilience is not None and resilience.get("retries"):
+        breakdown = ", ".join(
+            f"{status}×{count}"
+            for status, count in resilience["retries_by_status"].items()
+        )
+        rows.append(["client retries", f"{resilience['retries']} ({breakdown})"])
     plan = config.get("fault_plan")
     if plan is not None:
         rows.append(
@@ -313,6 +399,37 @@ def format_report(report: dict) -> str:
                     ", ".join(f"{name}+{count}" for name, count in survived.items()),
                 ]
             )
+        fleet_after = delta.get("fleet_after")
+        if fleet_after is not None:
+            cap = fleet_after.get("max_resident")
+            rows.append(
+                [
+                    "fleet paging",
+                    f"+{delta.get('cold_loads', 0)} cold loads, "
+                    f"+{delta.get('bank_evictions', 0)} evictions, "
+                    f"+{delta.get('bank_restores', 0)} restores",
+                ]
+            )
+            rows.append(
+                [
+                    "fleet residency",
+                    f"{fleet_after.get('resident_banks', 0)} resident "
+                    f"(peak {fleet_after.get('peak_resident_banks', 0)}, "
+                    f"cap {'∞' if cap is None else cap})",
+                ]
+            )
+        shed = {
+            name: delta[name]
+            for name in ("tenant_rate_limited", "tenant_quota_exceeded")
+            if delta.get(name)
+        }
+        if shed:
+            rows.append(
+                [
+                    "tenant sheds",
+                    ", ".join(f"{name}+{count}" for name, count in shed.items()),
+                ]
+            )
     title = f"Load test (seed={config['seed']})"
     return format_table(["metric", "value"], rows, title=title)
 
@@ -334,6 +451,7 @@ __all__ = [
     "build_report",
     "format_report",
     "server_metrics_delta",
+    "validate_fleet_report",
     "validate_report",
     "validate_resilience_report",
     "write_report",

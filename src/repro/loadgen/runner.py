@@ -12,10 +12,19 @@ seed-stable stream, discards the warm-up prefix, and measures the rest under
 the chosen traffic model.  Latencies are kept exactly (one float per
 request) and summarised with ``np.percentile`` — no histogram bucketing —
 because a soak run is small enough to afford exactness.
+
+Multi-tenant soaks ride the same machinery: when the sampler carries a
+tenant list, each request is sent against its Zipf-assigned model name.  A
+:class:`RetryPolicy` makes the client a well-behaved citizen of a shedding
+server — typed 429/503 answers are retried after the server's
+``Retry-After`` hint (falling back to capped exponential backoff), with
+jitter derived deterministically from ``(seed, request index, attempt)`` so
+the retry schedule is as reproducible as the traffic itself.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 import threading
 import time
@@ -41,6 +50,10 @@ class TargetError(RuntimeError):
     response body.  Both stay ``None`` for transport-level failures (socket
     resets, malformed bodies) — the resilience report counts those as
     *untyped* errors, which a chaos soak requires to be zero.
+
+    ``retry_after`` carries the server's back-off hint in seconds (from the
+    ``Retry-After`` header or the in-process error object) when one was
+    given — :class:`RetryPolicy` honours it over its own backoff.
     """
 
     def __init__(
@@ -48,10 +61,12 @@ class TargetError(RuntimeError):
         message: str,
         status: Optional[int] = None,
         code: Optional[str] = None,
+        retry_after: Optional[float] = None,
     ):
         super().__init__(message)
         self.status = status
         self.code = code
+        self.retry_after = retry_after
 
 
 class InProcessTarget:
@@ -71,19 +86,23 @@ class InProcessTarget:
         self.top_k = int(top_k)
         self.deadline_ms = None if deadline_ms is None else float(deadline_ms)
 
-    def send(self, features: np.ndarray) -> dict:
+    def send(self, features: np.ndarray, model: Optional[str] = None) -> dict:
         from repro.serve.server import RequestError
 
         payload = {"features": features.tolist(), "top_k": self.top_k}
-        if self.model is not None:
-            payload["model"] = self.model
+        name = model if model is not None else self.model
+        if name is not None:
+            payload["model"] = name
         if self.deadline_ms is not None:
             payload["deadline_ms"] = self.deadline_ms
         try:
             return self.app.predict(payload)
         except RequestError as error:
             raise TargetError(
-                f"{error.status}: {error}", status=error.status, code=error.code
+                f"{error.status}: {error}",
+                status=error.status,
+                code=error.code,
+                retry_after=error.retry_after,
             )
 
     def metrics_snapshot(self) -> Optional[dict]:
@@ -119,10 +138,11 @@ class HTTPTarget:
         self.timeout = float(timeout)
         self.deadline_ms = None if deadline_ms is None else float(deadline_ms)
 
-    def send(self, features: np.ndarray) -> dict:
+    def send(self, features: np.ndarray, model: Optional[str] = None) -> dict:
         payload = {"features": features.tolist(), "top_k": self.top_k}
-        if self.model is not None:
-            payload["model"] = self.model
+        name = model if model is not None else self.model
+        if name is not None:
+            payload["model"] = name
         if self.deadline_ms is not None:
             payload["deadline_ms"] = self.deadline_ms
         request = urllib.request.Request(
@@ -136,14 +156,25 @@ class HTTPTarget:
                 return json.loads(response.read())
         except urllib.error.HTTPError as error:
             # A typed server answer: pull the machine-readable ``code`` out
-            # of the JSON error body (absent on non-JSON bodies).
+            # of the JSON error body (absent on non-JSON bodies) and the
+            # ``Retry-After`` back-off hint out of the headers.
             code = None
             try:
                 code = json.loads(error.read()).get("code")
             except Exception:
                 pass
+            retry_after = None
+            try:
+                header = error.headers.get("Retry-After")
+                if header is not None:
+                    retry_after = float(header)
+            except (TypeError, ValueError):
+                pass
             raise TargetError(
-                f"{error.code}: {error.reason}", status=int(error.code), code=code
+                f"{error.code}: {error.reason}",
+                status=int(error.code),
+                code=code,
+                retry_after=retry_after,
             )
         except (urllib.error.URLError, OSError, json.JSONDecodeError) as error:
             raise TargetError(str(error))
@@ -175,6 +206,67 @@ class HTTPTarget:
 #: loopback delivery may land slightly after the instant itself.
 DEADLINE_GRACE_SECONDS = 0.1
 
+#: Statuses a retry policy may retry: shed (429) and transient-unavailable
+#: (503) answers both say "come back" — 504 means the work is dead, 4xx
+#: means the request is wrong, so neither is retried.
+RETRYABLE_STATUSES = frozenset({429, 503})
+
+
+class RetryPolicy:
+    """Deterministic client-side retry of typed back-pressure answers.
+
+    Retries 429/503 failures up to ``max_retries`` times, sleeping the
+    server's ``Retry-After`` hint when one came back, else
+    ``backoff_seconds * 2**attempt``; either is capped at
+    ``max_backoff_seconds``.  The sleep is jittered by a factor in
+    ``[0.5, 1.0)`` derived from ``sha256(seed, request index, attempt)`` —
+    no randomness, so a soak's retry schedule replays exactly from its
+    seed, which keeps multi-tenant chaos reports comparable run to run.
+    """
+
+    def __init__(
+        self,
+        max_retries: int = 3,
+        backoff_seconds: float = 0.05,
+        max_backoff_seconds: float = 2.0,
+        seed: int = 0,
+    ):
+        if max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {max_retries}")
+        if backoff_seconds <= 0:
+            raise ValueError(f"backoff_seconds must be > 0, got {backoff_seconds}")
+        if max_backoff_seconds < backoff_seconds:
+            raise ValueError("max_backoff_seconds must be >= backoff_seconds")
+        self.max_retries = int(max_retries)
+        self.backoff_seconds = float(backoff_seconds)
+        self.max_backoff_seconds = float(max_backoff_seconds)
+        self.seed = int(seed)
+
+    def should_retry(self, error: TargetError, attempt: int) -> bool:
+        return (
+            attempt < self.max_retries
+            and error.status is not None
+            and error.status in RETRYABLE_STATUSES
+        )
+
+    def delay(self, error: TargetError, index: int, attempt: int) -> float:
+        base = error.retry_after
+        if base is None or base <= 0:
+            base = self.backoff_seconds * 2**attempt
+        base = min(float(base), self.max_backoff_seconds)
+        digest = hashlib.sha256(
+            f"{self.seed}:{index}:{attempt}".encode()
+        ).digest()
+        jitter = int.from_bytes(digest[:4], "big") / 2**32
+        return base * (0.5 + 0.5 * jitter)
+
+    def describe(self) -> dict:
+        return {
+            "max_retries": self.max_retries,
+            "backoff_seconds": self.backoff_seconds,
+            "max_backoff_seconds": self.max_backoff_seconds,
+        }
+
 
 class _Phase:
     """Latency/error accumulator for one phase (thread-safe).
@@ -192,6 +284,8 @@ class _Phase:
         self.errors_by_code: dict = {}
         self.untyped_errors = 0
         self.deadline_violations = 0
+        self.retries = 0
+        self.retries_by_status: dict = {}
         self._lock = threading.Lock()
 
     def record(self, seconds: float, deadline_seconds: Optional[float] = None) -> None:
@@ -207,6 +301,17 @@ class _Phase:
         with self._lock:
             self.deadline_violations += 1
 
+    def record_retry(self, status: Optional[int] = None) -> None:
+        """Record one retried attempt (the final outcome is counted
+        separately by :meth:`record` / :meth:`record_error`)."""
+        with self._lock:
+            self.retries += 1
+            if status is not None:
+                key = str(int(status))
+                self.retries_by_status[key] = (
+                    self.retries_by_status.get(key, 0) + 1
+                )
+
     def record_error(
         self, status: Optional[int] = None, code: Optional[str] = None
     ) -> None:
@@ -221,19 +326,74 @@ class _Phase:
                 self.errors_by_code[code] = self.errors_by_code.get(code, 0) + 1
 
 
-def _send_one(target, features: np.ndarray, phase: _Phase) -> None:
+def _send_attempts(
+    target,
+    features: np.ndarray,
+    phase: _Phase,
+    index: int = 0,
+    model: Optional[str] = None,
+    retry: Optional[RetryPolicy] = None,
+) -> Optional[float]:
+    """Send one request (with client-side retries); returns the final
+    attempt's duration in seconds, or ``None`` when it ultimately failed.
+
+    Only the last attempt's duration feeds the deadline-violation check —
+    the server's deadline clock restarts with each retry, so the back-off
+    sleeps must not be charged against it.
+    """
+    attempt = 0
+    while True:
+        attempt_started = time.perf_counter()
+        try:
+            if model is None:
+                target.send(features)
+            else:
+                target.send(features, model=model)
+        except TargetError as error:
+            if retry is not None and retry.should_retry(error, attempt):
+                phase.record_retry(error.status)
+                time.sleep(retry.delay(error, index, attempt))
+                attempt += 1
+                continue
+            phase.record_error(status=error.status, code=error.code)
+            return None
+        return time.perf_counter() - attempt_started
+
+
+def _send_one(
+    target,
+    features: np.ndarray,
+    phase: _Phase,
+    index: int = 0,
+    model: Optional[str] = None,
+    retry: Optional[RetryPolicy] = None,
+) -> None:
     deadline_ms = getattr(target, "deadline_ms", None)
     deadline_seconds = None if deadline_ms is None else deadline_ms / 1e3
     started = time.perf_counter()
-    try:
-        target.send(features)
-    except TargetError as error:
-        phase.record_error(status=error.status, code=error.code)
+    last_attempt = _send_attempts(
+        target, features, phase, index=index, model=model, retry=retry
+    )
+    if last_attempt is None:
         return
-    phase.record(time.perf_counter() - started, deadline_seconds=deadline_seconds)
+    # The recorded latency spans every attempt (what the caller felt); the
+    # deadline check uses only the winning attempt.
+    phase.record(time.perf_counter() - started)
+    if (
+        deadline_seconds is not None
+        and last_attempt > deadline_seconds + DEADLINE_GRACE_SECONDS
+    ):
+        phase.record_deadline_violation()
 
 
-def _run_closed(target, rows, concurrency: int, phase: _Phase) -> float:
+def _run_closed(
+    target,
+    rows,
+    concurrency: int,
+    phase: _Phase,
+    models=None,
+    retry: Optional[RetryPolicy] = None,
+) -> float:
     """Closed loop: *concurrency* clients drain the request list; returns wall seconds."""
     position = {"next": 0}
     lock = threading.Lock()
@@ -245,7 +405,14 @@ def _run_closed(target, rows, concurrency: int, phase: _Phase) -> float:
                 if index >= len(rows):
                     return
                 position["next"] = index + 1
-            _send_one(target, rows[index], phase)
+            _send_one(
+                target,
+                rows[index],
+                phase,
+                index=index,
+                model=None if models is None else models[index],
+                retry=retry,
+            )
 
     started = time.perf_counter()
     threads = [
@@ -259,7 +426,14 @@ def _run_closed(target, rows, concurrency: int, phase: _Phase) -> float:
     return time.perf_counter() - started
 
 
-def _run_open(target, rows, traffic: OpenLoop, phase: _Phase) -> float:
+def _run_open(
+    target,
+    rows,
+    traffic: OpenLoop,
+    phase: _Phase,
+    models=None,
+    retry: Optional[RetryPolicy] = None,
+) -> float:
     """Open loop: fire at the Poisson schedule; returns wall seconds.
 
     Dispatch threads are bounded by ``traffic.max_outstanding``; if the pool
@@ -272,23 +446,23 @@ def _run_open(target, rows, traffic: OpenLoop, phase: _Phase) -> float:
     deadline_ms = getattr(target, "deadline_ms", None)
     deadline_seconds = None if deadline_ms is None else deadline_ms / 1e3
 
-    def fire(row, intended: float):
-        sent = time.perf_counter()
-        try:
-            target.send(row)
-        except TargetError as error:
-            phase.record_error(status=error.status, code=error.code)
+    def fire(row, intended: float, index: int, model: Optional[str]):
+        last_attempt = _send_attempts(
+            target, row, phase, index=index, model=model, retry=retry
+        )
+        if last_attempt is None:
             return
         finished = time.perf_counter()
         # Latency from *intended arrival*, so schedule slip (server backlog)
         # is charged to the server, not silently forgiven.  The deadline
-        # check uses the actual send→response time — the server's deadline
-        # clock starts when the request reaches it, not at the intended
-        # arrival — so client-side slip cannot fake a violation.
+        # check uses the final attempt's send→response time — the server's
+        # deadline clock starts when the request reaches it, not at the
+        # intended arrival — so neither client-side slip nor retry back-off
+        # can fake a violation.
         phase.record(finished - base - intended)
         if (
             deadline_seconds is not None
-            and finished - sent > deadline_seconds + DEADLINE_GRACE_SECONDS
+            and last_attempt > deadline_seconds + DEADLINE_GRACE_SECONDS
         ):
             phase.record_deadline_violation()
 
@@ -296,11 +470,12 @@ def _run_open(target, rows, traffic: OpenLoop, phase: _Phase) -> float:
         max_workers=traffic.max_outstanding, thread_name_prefix="loadgen"
     ) as pool:
         futures = []
-        for row, offset in zip(rows, offsets):
+        for index, (row, offset) in enumerate(zip(rows, offsets)):
             delay = base + offset - time.perf_counter()
             if delay > 0:
                 time.sleep(delay)
-            futures.append(pool.submit(fire, row, offset))
+            model = None if models is None else models[index]
+            futures.append(pool.submit(fire, row, offset, index, model))
         for future in futures:
             future.result()
     return time.perf_counter() - base
@@ -313,6 +488,8 @@ def run_load_test(
     num_requests: int = 200,
     warmup_requests: int = 20,
     fault_plan=None,
+    max_retries: int = 0,
+    retry_backoff_seconds: float = 0.05,
 ) -> dict:
     """Run warm-up then measure phases; return a JSON-ready report.
 
@@ -322,14 +499,32 @@ def run_load_test(
     runs at the same concurrency as the measure phase; open-loop warm-up
     runs closed at the outstanding-request cap (warming at the Poisson rate
     would just prolong the test).
+
+    When the sampler carries a tenant list each request is routed to its
+    Zipf-assigned model.  ``max_retries > 0`` enables client-side retries of
+    typed 429/503 responses (see :class:`RetryPolicy`); retried requests
+    count once in the latency statistics but the per-status retry tallies
+    land in the report.
     """
     if num_requests < 1:
         raise ValueError(f"num_requests must be >= 1, got {num_requests}")
     if warmup_requests < 0:
         raise ValueError(f"warmup_requests must be >= 0, got {warmup_requests}")
+    if max_retries < 0:
+        raise ValueError(f"max_retries must be >= 0, got {max_retries}")
     total = warmup_requests + num_requests
     rows = [row for _, row in sampler.stream(total)]
     warmup_rows, measure_rows = rows[:warmup_requests], rows[warmup_requests:]
+    models = sampler.model_names(total)
+    warmup_models = None if models is None else models[:warmup_requests]
+    measure_models = None if models is None else models[warmup_requests:]
+    retry = None
+    if max_retries > 0:
+        retry = RetryPolicy(
+            max_retries=max_retries,
+            backoff_seconds=retry_backoff_seconds,
+            seed=sampler.seed,
+        )
 
     warmup_phase = _Phase()
     if warmup_rows:
@@ -338,7 +533,14 @@ def run_load_test(
             if isinstance(traffic, ClosedLoop)
             else traffic.max_outstanding
         )
-        _run_closed(target, warmup_rows, warmup_concurrency, warmup_phase)
+        _run_closed(
+            target,
+            warmup_rows,
+            warmup_concurrency,
+            warmup_phase,
+            models=warmup_models,
+            retry=retry,
+        )
 
     # Server-side view: snapshot the target's metrics around the measure
     # phase so the report can say what the *server* saw (cache hits, batch
@@ -348,10 +550,22 @@ def run_load_test(
     measure_phase = _Phase()
     if isinstance(traffic, ClosedLoop):
         duration = _run_closed(
-            target, measure_rows, traffic.concurrency, measure_phase
+            target,
+            measure_rows,
+            traffic.concurrency,
+            measure_phase,
+            models=measure_models,
+            retry=retry,
         )
     else:
-        duration = _run_open(target, measure_rows, traffic, measure_phase)
+        duration = _run_open(
+            target,
+            measure_rows,
+            traffic,
+            measure_phase,
+            models=measure_models,
+            retry=retry,
+        )
 
     metrics_after = _safe_metrics(target)
     server_metrics = None
@@ -374,6 +588,9 @@ def run_load_test(
         untyped_errors=measure_phase.untyped_errors,
         deadline_violations=measure_phase.deadline_violations,
         fault_plan=None if fault_plan is None else fault_plan.describe(),
+        retries=measure_phase.retries,
+        retries_by_status=measure_phase.retries_by_status,
+        retry_policy=None if retry is None else retry.describe(),
     )
 
 
@@ -390,6 +607,7 @@ def _safe_metrics(target) -> Optional[dict]:
 __all__ = [
     "HTTPTarget",
     "InProcessTarget",
+    "RetryPolicy",
     "TargetError",
     "run_load_test",
 ]

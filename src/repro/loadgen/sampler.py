@@ -13,7 +13,7 @@ can prove (and tests can assert) seed stability.
 from __future__ import annotations
 
 import hashlib
-from typing import Iterator, Optional, Tuple
+from typing import Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -33,6 +33,15 @@ class RequestSampler:
         ``"test"`` (default) or ``"train"``.
     seed:
         Seeds both the synthetic dataset generator and the index stream.
+    models:
+        Optional tenant (model-name) list for multi-tenant soaks: each
+        request is additionally assigned a tenant, Zipf-distributed so the
+        first names are hot and the tail is cold — the traffic shape that
+        actually exercises a fleet's bank paging.  ``None`` (default)
+        leaves requests tenant-less.
+    zipf_s:
+        Zipf exponent for the tenant distribution; larger is more skewed
+        (weight of rank ``r`` is proportional to ``r**-s``).
     """
 
     def __init__(
@@ -41,6 +50,8 @@ class RequestSampler:
         profile: str = "tiny",
         split: str = "test",
         seed: int = 0,
+        models: Optional[Sequence[str]] = None,
+        zipf_s: float = 1.1,
     ):
         if split not in ("test", "train"):
             raise ValueError(f"split must be 'test' or 'train', got {split!r}")
@@ -52,6 +63,7 @@ class RequestSampler:
         self.profile = profile
         self.split = split
         self.seed = int(seed)
+        self._init_models(models, zipf_s)
         self.features = np.ascontiguousarray(features, dtype=np.float64)
         self.train_features = np.ascontiguousarray(
             data.train_features, dtype=np.float64
@@ -59,19 +71,38 @@ class RequestSampler:
         self.train_labels = np.asarray(data.train_labels)
 
     @classmethod
-    def from_arrays(cls, features: np.ndarray, seed: int = 0) -> "RequestSampler":
+    def from_arrays(
+        cls,
+        features: np.ndarray,
+        seed: int = 0,
+        models: Optional[Sequence[str]] = None,
+        zipf_s: float = 1.1,
+    ) -> "RequestSampler":
         """Build a sampler over explicit feature rows (tests, custom corpora)."""
         sampler = cls.__new__(cls)
         sampler.dataset = "arrays"
         sampler.profile = "custom"
         sampler.split = "custom"
         sampler.seed = int(seed)
+        sampler._init_models(models, zipf_s)
         sampler.features = np.ascontiguousarray(
             np.atleast_2d(features), dtype=np.float64
         )
         sampler.train_features = sampler.features
         sampler.train_labels = np.zeros(len(sampler.features), dtype=np.int64)
         return sampler
+
+    def _init_models(
+        self, models: Optional[Sequence[str]], zipf_s: float
+    ) -> None:
+        if models is not None and not models:
+            raise ValueError("models must be a non-empty sequence or None")
+        if zipf_s <= 0:
+            raise ValueError(f"zipf_s must be > 0, got {zipf_s}")
+        self.models: Optional[List[str]] = (
+            None if models is None else [str(name) for name in models]
+        )
+        self.zipf_s = float(zipf_s)
 
     # ----------------------------------------------------------------- stream
     @property
@@ -90,21 +121,53 @@ class RequestSampler:
         for position, row_index in enumerate(self.indices(num_requests)):
             yield position, self.features[row_index]
 
+    def model_indices(self, num_requests: int) -> Optional[np.ndarray]:
+        """Zipf-distributed tenant index per request, pure in the seed.
+
+        A separate generator (derived from ``seed`` but independent of the
+        row stream) assigns each request a tenant rank, so adding ``models``
+        to an existing soak configuration changes *which tenant* each
+        request hits without perturbing *what* it sends.  ``None`` when the
+        sampler has no tenant list.
+        """
+        if self.models is None:
+            return None
+        if num_requests < 0:
+            raise ValueError(f"num_requests must be >= 0, got {num_requests}")
+        ranks = np.arange(1, len(self.models) + 1, dtype=np.float64)
+        weights = ranks ** (-self.zipf_s)
+        weights /= weights.sum()
+        rng = np.random.default_rng([self.seed, 0x21F])
+        return rng.choice(len(self.models), size=int(num_requests), p=weights)
+
+    def model_names(self, num_requests: int) -> Optional[List[str]]:
+        """The tenant name per request (``None`` without a tenant list)."""
+        indices = self.model_indices(num_requests)
+        if indices is None:
+            return None
+        return [self.models[index] for index in indices]
+
     def digest(self, num_requests: Optional[int] = None) -> str:
         """Hex digest of the request stream (indices + payload bytes).
 
         Two samplers with the same configuration produce the same digest on
         any platform; reports embed it so a regressed or non-deterministic
-        stream is caught by comparing strings.
+        stream is caught by comparing strings.  A tenant list folds the
+        per-request tenant assignment in too.
         """
         hasher = hashlib.sha256()
         hasher.update(
             f"{self.dataset}/{self.profile}/{self.split}/{self.seed}".encode()
         )
+        if self.models is not None:
+            hasher.update(f"|{','.join(self.models)}|{self.zipf_s}".encode())
         if num_requests is not None:
             indices = self.indices(num_requests)
             hasher.update(indices.tobytes())
             hasher.update(np.ascontiguousarray(self.features[indices]).tobytes())
+            model_indices = self.model_indices(num_requests)
+            if model_indices is not None:
+                hasher.update(model_indices.tobytes())
         else:
             hasher.update(self.features.tobytes())
         return hasher.hexdigest()

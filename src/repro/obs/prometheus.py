@@ -16,7 +16,10 @@ Conventions:
 * per-model series carry a ``model`` label, per-stage histograms add
   ``stage``, cluster-worker series carry ``dispatcher`` and ``worker``;
   transport byte/frame counters add ``transport`` and the ring gauges add
-  ``ring`` (``request_slab`` / ``response_slab``).
+  ``ring`` (``request_slab`` / ``response_slab``);
+* fleet-wide residency series are ``repro_fleet_*`` (resident banks,
+  evictions, restores, cold loads, leases) and per-tenant admission
+  counters are ``repro_tenant_*`` with a ``tenant`` label.
 """
 
 from __future__ import annotations
@@ -295,6 +298,105 @@ def render_prometheus(snapshot: Dict) -> str:
                     worker=index,
                     ring=ring,
                 )
+
+    fleet = snapshot.get("fleet")
+    if fleet is not None:
+        for name, kind, field, help_text in (
+            (
+                "repro_fleet_resident_banks",
+                "gauge",
+                "resident_banks",
+                "Shared model banks currently resident.",
+            ),
+            (
+                "repro_fleet_peak_resident_banks",
+                "gauge",
+                "peak_resident_banks",
+                "High-water mark of resident shared banks.",
+            ),
+            (
+                "repro_fleet_leases",
+                "gauge",
+                "leases",
+                "Bank leases held by in-flight dispatches.",
+            ),
+            (
+                "repro_fleet_dispatchers",
+                "gauge",
+                "dispatchers",
+                "Live cluster dispatchers (worker pools).",
+            ),
+            (
+                "repro_fleet_evictions_total",
+                "counter",
+                "evictions",
+                "Bank segments paged out of shared memory.",
+            ),
+            (
+                "repro_fleet_restores_total",
+                "counter",
+                "restores",
+                "Paged-out banks re-materialised on demand.",
+            ),
+            (
+                "repro_fleet_cold_loads_total",
+                "counter",
+                "cold_loads",
+                "Dispatcher cold loads (evicted models rebuilt).",
+            ),
+        ):
+            writer.declare(name, kind, help_text)
+            writer.sample(name, fleet.get(field, 0))
+        for model, breaker in sorted((fleet.get("breakers") or {}).items()):
+            writer.declare(
+                "repro_model_breaker_open",
+                "gauge",
+                "Cold-load circuit breaker (1 open, 0.5 half-open, 0 closed).",
+            )
+            state = {"open": 1.0, "half_open": 0.5}.get(breaker.get("state"), 0.0)
+            writer.sample("repro_model_breaker_open", state, model=model)
+
+    tenancy = snapshot.get("tenancy")
+    if tenancy is not None:
+        for tenant, stats in sorted((tenancy.get("tenants") or {}).items()):
+            writer.declare(
+                "repro_tenant_admitted_total",
+                "counter",
+                "Requests admitted past tenant quotas.",
+            )
+            writer.sample(
+                "repro_tenant_admitted_total",
+                stats.get("admitted", 0),
+                tenant=tenant,
+            )
+            writer.declare(
+                "repro_tenant_rate_limited_total",
+                "counter",
+                "Requests shed by the tenant token bucket (429).",
+            )
+            writer.sample(
+                "repro_tenant_rate_limited_total",
+                stats.get("rate_limited", 0),
+                tenant=tenant,
+            )
+            writer.declare(
+                "repro_tenant_quota_exceeded_total",
+                "counter",
+                "Requests shed at the tenant concurrency quota (429).",
+            )
+            writer.sample(
+                "repro_tenant_quota_exceeded_total",
+                stats.get("quota_exceeded", 0),
+                tenant=tenant,
+            )
+            writer.declare(
+                "repro_tenant_in_flight",
+                "gauge",
+                "Requests currently holding a tenant admission lease.",
+            )
+            writer.sample(
+                "repro_tenant_in_flight", stats.get("in_flight", 0), tenant=tenant
+            )
 
     return "\n".join(writer.lines) + "\n" if writer.lines else ""
 

@@ -24,9 +24,12 @@ Routes
                       server answers 504 instead of returning stale work.
 
 Every error response is machine-readable: ``{"error": message, "code":
-slug}`` with ``Retry-After`` on 429/503.  The retry taxonomy (which codes
-mean *back off*, *retry*, or *give up*) is documented in
-``docs/robustness.md``.
+slug}`` with ``Retry-After`` on 429/503.  Multi-tenant fleets add three
+codes to the taxonomy: ``tenant_rate_limited`` / ``tenant_quota_exceeded``
+(429, per-tenant admission — see :mod:`repro.serve.tenancy`) and
+``model_unavailable`` (503, the model's cold-load circuit breaker is
+open).  The full retry taxonomy (which codes mean *back off*, *retry*, or
+*give up*) is documented in ``docs/robustness.md``.
 
 Example::
 
@@ -38,6 +41,7 @@ from __future__ import annotations
 
 import contextlib
 import hashlib
+import itertools
 import json
 import logging
 import signal
@@ -64,6 +68,12 @@ from repro.obs.trace import NULL_SPAN, Tracer, get_tracer
 from repro.serve.batching import BatchScheduler, SchedulerOverloadedError
 from repro.serve.metrics import MetricsRegistry
 from repro.serve.registry import ModelRegistry
+from repro.serve.tenancy import (
+    CircuitBreaker,
+    TenantAdmissionError,
+    TenantQuotas,
+    retry_after_header,
+)
 from repro.utils.validation import check_finite
 
 #: Default machine-readable error codes by status; a more specific cause
@@ -172,6 +182,29 @@ class ServeApp:
     max_concurrent:
         Per-model cap on requests in flight (scheduler *and* direct 2-D
         paths); excess requests are shed with 429.  ``None`` disables.
+    tenant_quotas:
+        Optional :class:`~repro.serve.tenancy.TenantQuotas` gating every
+        predict on its tenant (model name): an empty token bucket answers
+        429 ``tenant_rate_limited``, a full concurrency quota 429
+        ``tenant_quota_exceeded`` — both with a ``Retry-After`` hint.
+    max_resident_banks:
+        Fleet residency cap: at most this many cluster dispatchers (each
+        owning one shared packed bank plus its worker pool) stay live; the
+        least-recently-used one is closed when a cold load would exceed the
+        cap, and the shared store is created with the same ``max_resident``
+        so bank segments page out under the identical bound.  ``None``
+        (default) keeps every dispatcher resident.  Re-building an evicted
+        model on its next request is a *cold load*: timed into the
+        ``cold_load`` stage histogram and counted in the fleet metrics.
+    cold_load_retries:
+        Transient cold-load failures (worker startup races, ...) are
+        retried this many times with capped exponential backoff before the
+        request fails.
+    breaker_threshold / breaker_reset_seconds:
+        Per-model circuit breaker over cold loads: after
+        ``breaker_threshold`` consecutive exhausted cold-load failures the
+        model fails fast with 503 ``model_unavailable`` until
+        ``breaker_reset_seconds`` admit a half-open probe.
     default_deadline_ms:
         Deadline applied to requests that do not send ``deadline_ms``
         themselves; ``None`` means no implicit deadline.
@@ -204,6 +237,11 @@ class ServeApp:
         cache_size: int = 1024,
         max_queue_depth: Optional[int] = None,
         max_concurrent: Optional[int] = None,
+        tenant_quotas: Optional[TenantQuotas] = None,
+        max_resident_banks: Optional[int] = None,
+        cold_load_retries: int = 2,
+        breaker_threshold: int = 3,
+        breaker_reset_seconds: float = 30.0,
         default_deadline_ms: Optional[float] = None,
         request_timeout: float = 60.0,
         fault_plan: Optional[FaultPlan] = None,
@@ -213,12 +251,27 @@ class ServeApp:
             raise ValueError(f"num_processes must be >= 0, got {num_processes}")
         if max_concurrent is not None and max_concurrent < 1:
             raise ValueError(f"max_concurrent must be >= 1, got {max_concurrent}")
+        if max_resident_banks is not None and max_resident_banks < 1:
+            raise ValueError(
+                f"max_resident_banks must be >= 1, got {max_resident_banks}"
+            )
+        if cold_load_retries < 0:
+            raise ValueError(
+                f"cold_load_retries must be >= 0, got {cold_load_retries}"
+            )
         self.registry = registry
         self.metrics = metrics or MetricsRegistry()
         self.tracer = tracer if tracer is not None else get_tracer()
         self.num_processes = int(num_processes)
         self.transport = transport
         self.max_concurrent = max_concurrent
+        self.tenant_quotas = tenant_quotas
+        self.max_resident_banks = (
+            None if max_resident_banks is None else int(max_resident_banks)
+        )
+        self.cold_load_retries = int(cold_load_retries)
+        self.breaker_threshold = int(breaker_threshold)
+        self.breaker_reset_seconds = float(breaker_reset_seconds)
         self.default_deadline_ms = default_deadline_ms
         self.request_timeout = float(request_timeout)
         self.fault_plan = fault_plan
@@ -236,6 +289,13 @@ class ServeApp:
         self._dispatchers: Dict[str, Tuple[int, Optional[ClusterDispatcher]]] = {}
         self._cluster_lock = threading.Lock()
         self._store: Optional[SharedModelStore] = None
+        #: single-flight cold loads: one build lock per model name, so a
+        #: thundering herd on a paged-out tenant spawns exactly one pool.
+        self._build_locks: Dict[str, threading.Lock] = {}
+        self._breakers: Dict[str, CircuitBreaker] = {}
+        self._dispatcher_clock = itertools.count(1)
+        self._dispatcher_last_used: Dict[str, int] = {}
+        self._cold_loads = 0
         self._draining = False
         self._inflight = 0
         self._inflight_cv = threading.Condition()
@@ -272,6 +332,10 @@ class ServeApp:
         with self._cluster_lock:
             dispatchers = [d for _, d in self._dispatchers.values() if d is not None]
             store = self._store
+            cold_loads = self._cold_loads
+            breakers = {
+                name: breaker.snapshot() for name, breaker in self._breakers.items()
+            }
         if dispatchers:
             snapshot["cluster"] = {d.name: d.info() for d in dispatchers}
         if store is not None:
@@ -280,6 +344,16 @@ class ServeApp:
                 "resident_bytes": store.resident_bytes,
                 "stats_slabs": sum(d.num_workers for d in dispatchers),
             }
+            fleet = dict(store.stats())
+            fleet["cold_loads"] = cold_loads
+            fleet["dispatchers"] = len(dispatchers)
+            fleet["max_resident_banks"] = self.max_resident_banks
+            fleet["bank_restores"] = sum(d.bank_restores for d in dispatchers)
+            if breakers:
+                fleet["breakers"] = breakers
+            snapshot["fleet"] = fleet
+        if self.tenant_quotas is not None:
+            snapshot["tenancy"] = self.tenant_quotas.snapshot()
         return snapshot
 
     def predict(self, payload: dict) -> dict:
@@ -382,23 +456,43 @@ class ServeApp:
         model_metrics.record_stage("validate", started - validate_started)
         root.set("model", name)
         root.set("rows", int(features.shape[0]) if features.ndim == 2 else 1)
-        slot = self._admission_slot(name)
-        if slot is not None and not slot.acquire(blocking=False):
-            model_metrics.record_shed()
-            model_metrics.record_error()
-            raise RequestError(
-                429,
-                f"model {name!r} is at its concurrency limit "
-                f"({self.max_concurrent} in flight)",
-                code="overloaded",
-            )
+        # Tenant admission is the outer gate: the per-tenant token bucket and
+        # concurrency quota shed *before* the request can touch the shared
+        # scheduler/worker capacity the other tenants are using.
+        lease = None
+        if self.tenant_quotas is not None:
+            try:
+                lease = self.tenant_quotas.admit(name)
+            except TenantAdmissionError as error:
+                model_metrics.record_shed()
+                model_metrics.record_error()
+                raise RequestError(
+                    429,
+                    str(error),
+                    code=error.code,
+                    retry_after=retry_after_header(error.retry_after),
+                )
         try:
-            return self._execute(
-                name, top_k, features, deadline, model_metrics, started, root
-            )
+            slot = self._admission_slot(name)
+            if slot is not None and not slot.acquire(blocking=False):
+                model_metrics.record_shed()
+                model_metrics.record_error()
+                raise RequestError(
+                    429,
+                    f"model {name!r} is at its concurrency limit "
+                    f"({self.max_concurrent} in flight)",
+                    code="overloaded",
+                )
+            try:
+                return self._execute(
+                    name, top_k, features, deadline, model_metrics, started, root
+                )
+            finally:
+                if slot is not None:
+                    slot.release()
         finally:
-            if slot is not None:
-                slot.release()
+            if lease is not None:
+                lease.release()
 
     def _admission_slot(self, name: str) -> Optional[threading.BoundedSemaphore]:
         if self.max_concurrent is None:
@@ -593,47 +687,141 @@ class ServeApp:
         with self._cluster_lock:
             entry = self._dispatchers.get(name)
             if entry is not None and entry[0] == version:
+                self._dispatcher_last_used[name] = next(self._dispatcher_clock)
                 dispatcher = entry[1]
                 return dispatcher if dispatcher is not None else engine
             if self._store is None:
-                self._store = SharedModelStore()
+                self._store = SharedModelStore(
+                    max_resident=self.max_resident_banks
+                )
             store = self._store
-        # Spawning workers and waiting for their ready handshakes can take
-        # seconds; doing it outside the lock keeps every other model (and
-        # /v1/metrics) serving.  Two threads may race to build the same
-        # dispatcher — the loser's pool is closed, like the registry's
-        # duplicate-load policy.
-        try:
-            dispatcher = ClusterDispatcher(
-                engine,
-                num_workers=self.num_processes,
-                store=store,
-                name=f"{name}@v{version}",
-                transport=self.transport,
-                request_timeout=self.request_timeout,
-                fault_plan=self.fault_plan,
-                tracer=self.tracer,
-                metrics=self.metrics.for_model(name),
+            build_lock = self._build_locks.setdefault(name, threading.Lock())
+            breaker = self._breakers.get(name)
+            if breaker is None:
+                breaker = self._breakers[name] = CircuitBreaker(
+                    threshold=self.breaker_threshold,
+                    reset_seconds=self.breaker_reset_seconds,
+                )
+        wait = breaker.check()
+        if wait is not None:
+            raise RequestError(
+                503,
+                f"model {name!r} is unavailable "
+                "(cold-load circuit breaker is open)",
+                code="model_unavailable",
+                retry_after=retry_after_header(wait),
             )
-        except ValueError:
-            # Dense-mode engines (no packed bank to share) stay in-process.
-            dispatcher = None
-        stale = loser = None
-        winner = dispatcher
-        with self._cluster_lock:
-            entry = self._dispatchers.get(name)
-            if entry is not None and entry[0] == version:
-                winner, loser = entry[1], dispatcher
-            else:
-                stale = entry
+        # Spawning workers and waiting for their ready handshakes can take
+        # seconds; the per-name build lock keeps that out of the cluster lock
+        # (every other model and /v1/metrics keep serving) while still
+        # single-flighting a thundering herd on one cold tenant — the losers
+        # block here, then find the winner's dispatcher on re-check.
+        with build_lock:
+            with self._cluster_lock:
+                entry = self._dispatchers.get(name)
+                if entry is not None and entry[0] == version:
+                    self._dispatcher_last_used[name] = next(self._dispatcher_clock)
+                    dispatcher = entry[1]
+                    return dispatcher if dispatcher is not None else engine
+            try:
+                dispatcher = self._build_dispatcher(name, version, engine, store)
+            except ValueError:
+                # Dense-mode engines (no packed bank to share) stay in-process.
+                dispatcher = None
+            breaker.record_success()
+            with self._cluster_lock:
+                stale = self._dispatchers.get(name)
                 self._dispatchers[name] = (version, dispatcher)
-        if loser is not None:
-            loser.close()
-        if stale is not None and stale[1] is not None:
-            # The superseded version's workers; close() waits behind the
-            # dispatcher's own lock for any in-flight batch to finish.
-            stale[1].close()
-        return winner if winner is not None else engine
+                self._dispatcher_last_used[name] = next(self._dispatcher_clock)
+                evicted = self._over_cap_dispatchers_locked(keep=name)
+            if stale is not None and stale[1] is not None:
+                # The superseded version's workers; close() waits behind the
+                # dispatcher's own lock for any in-flight batch to finish.
+                stale[1].close()
+            for old in evicted:
+                old.close()
+            return dispatcher if dispatcher is not None else engine
+
+    def _build_dispatcher(self, name: str, version: int, engine, store):
+        """Cold-load one model's worker pool: retry transient failures with
+        capped exponential backoff, time the winning attempt into the
+        ``cold_load`` stage histogram, and convert exhaustion into 503
+        ``model_unavailable`` (after informing the circuit breaker).
+
+        ``ValueError`` passes straight through — that is the dense-mode
+        "no packed bank" signal, a fallback, not a failure.
+        """
+        last_error = None
+        for attempt in range(self.cold_load_retries + 1):
+            if attempt:
+                time.sleep(min(0.05 * 2 ** (attempt - 1), 1.0))
+            started = time.perf_counter()
+            try:
+                dispatcher = ClusterDispatcher(
+                    engine,
+                    num_workers=self.num_processes,
+                    store=store,
+                    name=f"{name}@v{version}",
+                    transport=self.transport,
+                    # Cold loads sit in the request path: a worker that is
+                    # not up within 10s is pathological — fail the attempt
+                    # (typed, retried) rather than stall the tenant's whole
+                    # queue for the cluster-default 60s.
+                    startup_timeout=10.0,
+                    request_timeout=self.request_timeout,
+                    fault_plan=self.fault_plan,
+                    tracer=self.tracer,
+                    metrics=self.metrics.for_model(name),
+                )
+            except ValueError:
+                raise
+            except Exception as error:
+                last_error = error
+                continue
+            self.metrics.for_model(name).record_stage(
+                "cold_load", time.perf_counter() - started
+            )
+            with self._cluster_lock:
+                self._cold_loads += 1
+            return dispatcher
+        self._breakers[name].record_failure()
+        raise RequestError(
+            503,
+            f"model {name!r} failed to cold-load after "
+            f"{self.cold_load_retries + 1} attempts ({last_error})",
+            code="model_unavailable",
+        )
+
+    def _over_cap_dispatchers_locked(self, keep: str):
+        """LRU dispatchers to close so live pools fit ``max_resident_banks``.
+
+        Called under ``_cluster_lock``; pops the victims from the map (so no
+        new request resolves them) and returns them for the caller to close
+        *outside* the lock.  Closing releases the victim's shared bank (the
+        store unlinks it at refcount zero) and reaps its workers, which is
+        what actually bounds fleet memory.  The entry being installed
+        (``keep``) is never a victim; dense fallbacks hold no bank and never
+        count.
+        """
+        if self.max_resident_banks is None:
+            return []
+        live = [
+            (self._dispatcher_last_used.get(key, 0), key)
+            for key, (_, dispatcher) in self._dispatchers.items()
+            if dispatcher is not None and key != keep
+        ]
+        kept = self._dispatchers.get(keep)
+        count = len(live) + (1 if kept is not None and kept[1] is not None else 0)
+        excess = count - self.max_resident_banks
+        if excess <= 0:
+            return []
+        live.sort()
+        evicted = []
+        for _, key in live[:excess]:
+            _, dispatcher = self._dispatchers.pop(key)
+            self._dispatcher_last_used.pop(key, None)
+            evicted.append(dispatcher)
+        return evicted
 
     # ------------------------------------------------------------------- drain
     @property
@@ -676,6 +864,7 @@ class ServeApp:
         with self._cluster_lock:
             dispatchers, self._dispatchers = list(self._dispatchers.values()), {}
             store, self._store = self._store, None
+            self._dispatcher_last_used.clear()
         for _, dispatcher in dispatchers:
             if dispatcher is not None:
                 dispatcher.close()

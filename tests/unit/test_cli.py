@@ -201,3 +201,65 @@ class TestCommands:
         results = json.loads(json_path.read_text())
         assert results["config"]["quick"] is True
         assert results["retraining"]["bit_identical"] is True
+
+
+class TestTenantFlags:
+    def test_fleet_flag_defaults(self):
+        args = build_parser().parse_args(["loadgen"])
+        assert args.models == 1
+        assert args.zipf_s == 1.1
+        assert args.max_resident_banks is None
+        assert args.retries is None
+        assert args.tenant_rps is None
+        assert args.tenant_quotas is None
+
+    def test_serve_tenant_flags_parse(self):
+        args = build_parser().parse_args(
+            [
+                "serve", "--model", "m.npz",
+                "--max-resident-banks", "4",
+                "--tenant-rps", "50", "--tenant-burst", "100",
+                "--tenant-max-concurrent", "8",
+            ]
+        )
+        assert args.max_resident_banks == 4
+        assert args.tenant_rps == 50.0
+        assert args.tenant_burst == 100.0
+        assert args.tenant_max_concurrent == 8
+
+    def test_build_tenant_quotas_from_flags_and_file(self, tmp_path):
+        import json
+
+        from repro.cli import _build_tenant_quotas
+
+        assert _build_tenant_quotas(build_parser().parse_args(["loadgen"])) is None
+        flags_only = _build_tenant_quotas(
+            build_parser().parse_args(["loadgen", "--tenant-rps", "5"])
+        )
+        assert flags_only.default_rps == 5.0
+        path = tmp_path / "quotas.json"
+        path.write_text(json.dumps({"defaults": {"rps": 9, "max_concurrent": 3}}))
+        from_file = _build_tenant_quotas(
+            build_parser().parse_args(
+                ["loadgen", "--tenant-quotas", str(path)]
+            )
+        )
+        # File defaults survive when the flags are unset...
+        assert from_file.default_rps == 9.0
+        assert from_file.default_max_concurrent == 3
+        overridden = _build_tenant_quotas(
+            build_parser().parse_args(
+                ["loadgen", "--tenant-quotas", str(path), "--tenant-rps", "2"]
+            )
+        )
+        # ...and explicit flags beat the file.
+        assert overridden.default_rps == 2.0
+        assert overridden.default_max_concurrent == 3
+
+    def test_loadgen_fleet_validation(self, capsys):
+        from repro.cli import main
+
+        assert main(["loadgen", "--models", "0"]) == 1
+        assert "models" in capsys.readouterr().err
+        assert main(["loadgen", "--models", "4", "--url", "http://x:1"]) == 1
+        assert main(["loadgen", "--max-resident-banks", "2"]) == 1

@@ -266,6 +266,7 @@ class TestFaultInjection:
                 "transport_errors",
                 "worker_faults",
                 "deadline_skips",
+                "bank_faults",
             }
             assert info["request_timeout"] == dispatcher.request_timeout
 

@@ -10,6 +10,7 @@ import pytest
 from repro.classifiers.baseline import BaselineHDC
 from repro.classifiers.multimodel import MultiModelHDC
 from repro.classifiers.pipeline import HDCPipeline
+from repro.cluster.errors import BankEvictedError
 from repro.cluster.shared import (
     SharedModelStore,
     attach_bank,
@@ -78,10 +79,17 @@ class TestSharedModelStore:
         assert not _segment_exists(first.segment)
         assert len(store) == 0
 
-    def test_release_unknown_key_raises(self):
+    def test_release_unknown_key_is_noop(self):
         store = SharedModelStore()
-        with pytest.raises(KeyError):
-            store.release("nope")
+        assert store.release("nope") is False
+
+    def test_double_release_is_idempotent(self, rng):
+        store = SharedModelStore()
+        handle = store.publish("m@v1", _random_packed(rng))
+        assert store.release("m@v1") is True
+        assert not _segment_exists(handle.segment)
+        # A second (buggy or racing) release must not raise or unlink anew.
+        assert store.release("m@v1") is False
 
     def test_close_unlinks_everything(self, rng):
         store = SharedModelStore()
@@ -255,4 +263,105 @@ class TestShmHygieneUnderChaos:
         finally:
             app.begin_drain()
             app.drain(grace_seconds=5.0)
+        assert _shm_names() - before == set()
+
+
+class TestFleetPaging:
+    """Residency cap, lease/generation protocol, and eviction races."""
+
+    def test_residency_cap_evicts_lru_unleased(self, rng):
+        with SharedModelStore(max_resident=2) as store:
+            first = store.publish("a@v1", _random_packed(rng))
+            store.publish("b@v1", _random_packed(rng))
+            store.publish("c@v1", _random_packed(rng))  # evicts "a" (LRU)
+            stats = store.stats()
+            assert stats["resident_banks"] == 2
+            assert stats["evictions"] == 1
+            assert stats["peak_resident_banks"] == 2
+            assert not _segment_exists(first.segment)
+            with pytest.raises(BankEvictedError):
+                store.lease("a@v1")
+
+    def test_lease_pins_against_cap_eviction(self, rng):
+        with SharedModelStore(max_resident=2, evict_wait_seconds=0.2) as store:
+            store.publish("a@v1", _random_packed(rng))
+            store.publish("b@v1", _random_packed(rng))
+            with store.lease("a@v1"), store.lease("b@v1"):
+                # Every resident bank is pinned: a third publish must wait
+                # for a lease to drop, then give up — never unlink a leased
+                # segment.
+                with pytest.raises(RuntimeError, match="cap"):
+                    store.publish("c@v1", _random_packed(rng))
+            assert store.stats()["resident_banks"] == 2
+
+    def test_evict_defers_until_last_lease_drops(self, rng):
+        with SharedModelStore() as store:
+            handle = store.publish("a@v1", _random_packed(rng))
+            lease = store.lease("a@v1")
+            assert store.evict("a@v1") is False  # deferred, not unlinked
+            assert _segment_exists(handle.segment)
+            with pytest.raises(BankEvictedError):
+                store.lease("a@v1")  # draining: no new pins
+            lease.release()
+            assert not _segment_exists(handle.segment)
+
+    def test_restore_bumps_generation_and_counts(self, rng):
+        with SharedModelStore() as store:
+            packed = _random_packed(rng)
+            handle = store.publish("a@v1", packed)
+            store.evict("a@v1")
+            restored = store.restore("a@v1", packed)
+            assert restored.generation > handle.generation
+            assert store.stats()["restores"] == 1
+            with attach_bank(restored) as bank:
+                np.testing.assert_array_equal(bank.packed.words, packed.words)
+
+    def test_release_while_leased_defers_unlink(self, rng):
+        with SharedModelStore() as store:
+            handle = store.publish("a@v1", _random_packed(rng))
+            lease = store.lease("a@v1")
+            assert store.release("a@v1") is False  # deferred on the lease
+            assert _segment_exists(handle.segment)
+            with attach_bank(handle) as bank:
+                assert bank.packed.words.shape == (6, 3)
+            lease.release()
+            assert not _segment_exists(handle.segment)
+            assert len(store) == 0
+
+    def test_parallel_publish_release_is_consistent(self, rng):
+        import threading
+
+        before = _shm_names()
+        packs = [_random_packed(rng) for _ in range(4)]
+        with SharedModelStore(max_resident=2) as store:
+            barrier = threading.Barrier(8)
+            errors = []
+
+            def churn(index):
+                barrier.wait()
+                key = f"m{index % 4}@v1"
+                try:
+                    for _ in range(25):
+                        store.publish(key, packs[index % 4])
+                        try:
+                            lease = store.lease(key)
+                        except BankEvictedError:
+                            store.restore(key, packs[index % 4])
+                        else:
+                            lease.release()
+                        store.release(key)
+                except Exception as error:  # pragma: no cover - failure path
+                    errors.append(error)
+
+            threads = [
+                threading.Thread(target=churn, args=(i,)) for i in range(8)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            assert errors == []
+            stats = store.stats()
+            assert stats["leases"] == 0
+            assert stats["resident_banks"] <= 2
         assert _shm_names() - before == set()

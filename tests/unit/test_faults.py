@@ -103,9 +103,20 @@ class TestFaultPlan:
         assert seeded.seed == 42
 
     def test_presets_cover_every_kind(self):
-        for name, plan in PRESETS.items():
-            kinds = {rule.kind for rule in plan.rules}
-            assert kinds == set(FAULT_KINDS), name
+        from repro.faults import PARENT_KINDS, WORKER_KINDS
+
+        # The worker-chaos presets cover the whole worker taxonomy and the
+        # fleet-churn preset covers the whole parent taxonomy; together the
+        # named presets exercise every kind.
+        for name in ("quick", "soak"):
+            kinds = {rule.kind for rule in PRESETS[name].rules}
+            assert kinds == set(WORKER_KINDS), name
+        churn_kinds = {rule.kind for rule in PRESETS["evict-churn"].rules}
+        assert set(PARENT_KINDS) <= churn_kinds
+        all_kinds = {
+            rule.kind for plan in PRESETS.values() for rule in plan.rules
+        }
+        assert all_kinds == set(FAULT_KINDS)
 
     def test_describe_short_is_one_line(self):
         text = PRESETS["quick"].describe_short()

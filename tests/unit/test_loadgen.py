@@ -298,3 +298,251 @@ class TestResilience:
         assert resilience["errors_by_status"] == {"400": 10}
         assert resilience["errors_by_code"] == {"bad_request": 10}
         assert resilience["untyped_errors"] == 0
+
+
+class TestZipfTenants:
+    def test_model_stream_is_deterministic_in_the_seed(self):
+        models = [f"t{i:02d}" for i in range(8)]
+        first = RequestSampler(
+            dataset="ucihar", profile="tiny", seed=5, models=models, zipf_s=1.1
+        )
+        second = RequestSampler(
+            dataset="ucihar", profile="tiny", seed=5, models=models, zipf_s=1.1
+        )
+        assert first.model_names(64) == second.model_names(64)
+        assert first.digest(64) == second.digest(64)
+
+    def test_model_stream_independent_of_row_stream(self):
+        models = ["a", "b", "c"]
+        plain = RequestSampler(dataset="ucihar", profile="tiny", seed=5)
+        multi = RequestSampler(
+            dataset="ucihar", profile="tiny", seed=5, models=models
+        )
+        np.testing.assert_array_equal(plain.indices(32), multi.indices(32))
+        assert plain.digest(32) != multi.digest(32)  # tenants fold in
+
+    def test_zipf_skews_towards_low_ranks(self):
+        models = [f"t{i:02d}" for i in range(16)]
+        sampler = RequestSampler(
+            dataset="ucihar", profile="tiny", seed=5, models=models, zipf_s=1.5
+        )
+        indices = sampler.model_indices(2000)
+        head = float(np.mean(indices < 4))
+        assert head > 0.5  # the hot set dominates
+        assert len(np.unique(indices)) > 4  # but the tail is visited
+
+    def test_zipf_s_changes_the_stream(self):
+        models = ["a", "b", "c", "d"]
+        flat = RequestSampler(
+            dataset="ucihar", profile="tiny", seed=5, models=models, zipf_s=0.2
+        )
+        steep = RequestSampler(
+            dataset="ucihar", profile="tiny", seed=5, models=models, zipf_s=3.0
+        )
+        assert flat.model_names(128) != steep.model_names(128)
+
+    def test_no_models_means_no_model_stream(self):
+        sampler = RequestSampler(dataset="ucihar", profile="tiny", seed=5)
+        assert sampler.models is None
+        assert sampler.model_indices(8) is None
+        assert sampler.model_names(8) is None
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="models"):
+            RequestSampler(dataset="ucihar", profile="tiny", models=[])
+        with pytest.raises(ValueError, match="zipf_s"):
+            RequestSampler(
+                dataset="ucihar", profile="tiny", models=["a"], zipf_s=0
+            )
+
+
+class TestRetryPolicy:
+    def _error(self, status=503, retry_after=None):
+        from repro.loadgen.runner import TargetError
+
+        return TargetError("boom", status=status, retry_after=retry_after)
+
+    def test_retries_only_backpressure_statuses(self):
+        from repro.loadgen import RetryPolicy
+
+        policy = RetryPolicy(max_retries=2)
+        assert policy.should_retry(self._error(429), attempt=0)
+        assert policy.should_retry(self._error(503), attempt=1)
+        assert not policy.should_retry(self._error(503), attempt=2)  # spent
+        assert not policy.should_retry(self._error(400), attempt=0)
+        assert not policy.should_retry(self._error(500), attempt=0)
+        assert not policy.should_retry(self._error(None), attempt=0)  # untyped
+
+    def test_delay_honours_server_hint_and_caps(self):
+        from repro.loadgen import RetryPolicy
+
+        policy = RetryPolicy(
+            max_retries=3, backoff_seconds=0.1, max_backoff_seconds=1.0, seed=9
+        )
+        hinted = policy.delay(self._error(retry_after=0.5), index=0, attempt=0)
+        assert 0.25 <= hinted < 0.5  # hint times jitter in [0.5, 1.0)
+        capped = policy.delay(self._error(retry_after=30.0), index=0, attempt=0)
+        assert capped < 1.0  # the cap beats an absurd hint
+
+    def test_delay_backs_off_exponentially_without_a_hint(self):
+        from repro.loadgen import RetryPolicy
+
+        policy = RetryPolicy(
+            max_retries=4, backoff_seconds=0.1, max_backoff_seconds=10.0, seed=9
+        )
+        error = self._error(retry_after=None)
+        base = [0.1 * 2**attempt for attempt in range(3)]
+        for attempt, expected in enumerate(base):
+            delay = policy.delay(error, index=3, attempt=attempt)
+            assert 0.5 * expected <= delay < expected
+
+    def test_delays_are_seed_deterministic(self):
+        from repro.loadgen import RetryPolicy
+
+        error = self._error()
+        first = RetryPolicy(seed=7).delay(error, index=11, attempt=1)
+        second = RetryPolicy(seed=7).delay(error, index=11, attempt=1)
+        third = RetryPolicy(seed=8).delay(error, index=11, attempt=1)
+        assert first == second
+        assert first != third
+
+    def test_validation(self):
+        from repro.loadgen import RetryPolicy
+
+        with pytest.raises(ValueError):
+            RetryPolicy(max_retries=-1)
+        with pytest.raises(ValueError):
+            RetryPolicy(backoff_seconds=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(backoff_seconds=1.0, max_backoff_seconds=0.5)
+
+    def test_run_load_test_counts_retries(self):
+        from repro.loadgen import RetryPolicy  # noqa: F401 - exported
+
+        class FlakyTarget:
+            kind = "in-process"
+
+            def __init__(self):
+                self.calls = 0
+
+            def send(self, features):
+                from repro.loadgen.runner import TargetError
+
+                self.calls += 1
+                if self.calls % 3 == 0:
+                    raise TargetError(
+                        "shed", status=429, code="tenant_rate_limited",
+                        retry_after=0.001,
+                    )
+                return 0.0001
+
+            def describe(self):
+                return {"kind": self.kind, "model": None, "top_k": 1}
+
+        sampler = RequestSampler.from_arrays(np.zeros((4, 3)), seed=0)
+        report = run_load_test(
+            FlakyTarget(),
+            sampler,
+            ClosedLoop(concurrency=1),
+            num_requests=12,
+            warmup_requests=0,
+            max_retries=2,
+        )
+        resilience = report["resilience"]
+        assert report["results"]["errors"] == 0  # all sheds retried to success
+        assert resilience["retries"] > 0
+        assert resilience["retries_by_status"] == {
+            "429": resilience["retries"]
+        }
+        assert report["config"]["retry_policy"]["max_retries"] == 2
+
+
+class TestFleetReport:
+    def _fleet_report(self, cold_loads=5, evictions=3, resident=4, cap=4):
+        sampler = RequestSampler.from_arrays(
+            np.zeros((4, 3)), seed=0, models=["a", "b"], zipf_s=1.1
+        )
+        before = {
+            "requests": 0,
+            "fleet": {
+                "cold_loads": 0,
+                "evictions": 0,
+                "restores": 0,
+                "bank_restores": 0,
+                "resident_banks": 0,
+                "peak_resident_banks": 0,
+                "max_resident": cap,
+                "dispatchers": 0,
+            },
+        }
+        after = {
+            "requests": 20,
+            "fleet": {
+                "cold_loads": cold_loads,
+                "evictions": evictions,
+                "restores": 1,
+                "bank_restores": 0,
+                "resident_banks": resident,
+                "peak_resident_banks": max(resident, cap),
+                "max_resident": cap,
+                "dispatchers": resident,
+            },
+        }
+        from repro.loadgen.report import server_metrics_delta
+
+        return build_report(
+            target={"kind": "in-process", "model": None, "top_k": 1},
+            traffic={"mode": "closed", "concurrency": 2},
+            sampler=sampler,
+            num_requests=20,
+            warmup_requests=0,
+            warmup_errors=0,
+            latencies=[0.001] * 20,
+            errors=0,
+            duration_seconds=0.5,
+            server_metrics=server_metrics_delta(before, after),
+        )
+
+    def test_fleet_delta_and_config_recorded(self):
+        report = self._fleet_report()
+        delta = report["server_metrics_delta"]
+        assert delta["cold_loads"] == 5
+        assert delta["bank_evictions"] == 3
+        assert delta["fleet_after"]["resident_banks"] == 4
+        assert report["config"]["models"] == 2
+        assert report["config"]["zipf_s"] == 1.1
+
+    def test_validate_fleet_report_passes_engaged_pager(self):
+        from repro.loadgen import validate_fleet_report
+
+        validate_fleet_report(self._fleet_report(), max_resident_banks=4)
+
+    def test_validate_fleet_report_rejects_vacuous_runs(self):
+        from repro.loadgen import validate_fleet_report
+
+        with pytest.raises(ValueError, match="cold loads"):
+            validate_fleet_report(self._fleet_report(cold_loads=0))
+        with pytest.raises(ValueError, match="evictions"):
+            validate_fleet_report(self._fleet_report(evictions=0))
+        with pytest.raises(ValueError, match="residency cap"):
+            validate_fleet_report(
+                self._fleet_report(resident=6, cap=4), max_resident_banks=4
+            )
+
+    def test_validate_fleet_report_requires_fleet_target(self):
+        from repro.loadgen import validate_fleet_report
+
+        sampler = RequestSampler.from_arrays(np.zeros((4, 3)), seed=0)
+        report = build_report(
+            target={"kind": "in-process", "model": None, "top_k": 1},
+            traffic={"mode": "closed", "concurrency": 1},
+            sampler=sampler,
+            num_requests=4,
+            warmup_requests=0,
+            warmup_errors=0,
+            latencies=[0.001] * 4,
+            errors=0,
+            duration_seconds=0.1,
+        )
+        with pytest.raises(ValueError, match="server_metrics_delta"):
+            validate_fleet_report(report)
