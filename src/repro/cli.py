@@ -26,6 +26,10 @@ regenerated without writing any Python:
   ``--quick`` for CI smoke, ``--trace FILE`` to record and check traces;
 * ``python -m repro trace-summary trace.jsonl`` — per-stage latency
   breakdown (count/p50/p95/max per span name) of a recorded trace file;
+  ``--exemplars K`` lists the K slowest request traces by ID;
+* ``python -m repro top --url http://host:8080`` — live terminal dashboard
+  over ``/v1/metrics``: per-tenant QPS/percentiles/SLO budgets, worker
+  utilisation, fleet paging, breakers; ``--once --json`` for scripts;
 * ``python -m repro bench-serve`` — the serving throughput comparison
   (single-sample vs micro-batched, dense vs packed);
 * ``python -m repro bench-dispatch`` — the cluster-transport micro-benchmark
@@ -291,6 +295,17 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="P",
         help="probability a request is traced (default 1.0; e.g. 0.01 for soaks)",
     )
+    serve.add_argument(
+        "--slo-config",
+        default=None,
+        metavar="FILE",
+        help=(
+            "JSON SLO config ({'default': {availability, latency_ms, "
+            "latency_percentile}, 'tenants': {name: overrides}}); tenants "
+            "not listed use the fleet default — the engine always runs, so "
+            "omitting the flag applies the default objective to every tenant"
+        ),
+    )
 
     loadgen = subparsers.add_parser(
         "loadgen", help="soak-test a serving target with reproducible traffic"
@@ -474,6 +489,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="probability a request is traced (default 1.0)",
     )
     loadgen.add_argument(
+        "--slo-config",
+        default=None,
+        metavar="FILE",
+        help=(
+            "JSON SLO config for the in-process target (see repro serve); "
+            "after the soak the per-tenant verdict block is validated and "
+            "printed"
+        ),
+    )
+    loadgen.add_argument(
         "--quick",
         action="store_true",
         help="CI smoke: small sizes, then assert a well-formed non-degenerate report",
@@ -486,6 +511,45 @@ def build_parser() -> argparse.ArgumentParser:
     trace_summary.add_argument("trace_file", metavar="FILE", help="JSONL trace file")
     trace_summary.add_argument(
         "--json", default=None, metavar="PATH", help="also write the summary as JSON"
+    )
+    trace_summary.add_argument(
+        "--exemplars",
+        type=int,
+        nargs="?",
+        const=5,
+        default=None,
+        metavar="K",
+        help=(
+            "also list the K slowest request spans with their trace IDs "
+            "(default K=5) — the file-side view of the metrics exemplars"
+        ),
+    )
+
+    top = subparsers.add_parser(
+        "top",
+        help="live terminal dashboard over a serving endpoint's /v1/metrics",
+    )
+    top.add_argument(
+        "--url",
+        default="http://127.0.0.1:8080",
+        help="serving endpoint to poll (default http://127.0.0.1:8080)",
+    )
+    top.add_argument(
+        "--interval",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="poll interval (default 2.0)",
+    )
+    top.add_argument(
+        "--once",
+        action="store_true",
+        help="render a single poll and exit (no QPS column — rates need two)",
+    )
+    top.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the view as JSON instead of the ANSI screen (CI smoke mode)",
     )
 
     bench_serve = subparsers.add_parser(
@@ -747,6 +811,11 @@ def command_serve(args) -> int:  # pragma: no cover - blocking server loop
     except (OSError, ValueError) as error:
         print(f"error: bad tenant quotas: {error}", file=sys.stderr)
         return 1
+    try:
+        slo_config = _build_slo_config(args)
+    except (OSError, ValueError) as error:
+        print(f"error: bad SLO config: {error}", file=sys.stderr)
+        return 1
     app = ServeApp(
         registry,
         max_batch_size=args.max_batch_size,
@@ -762,6 +831,7 @@ def command_serve(args) -> int:  # pragma: no cover - blocking server loop
         fault_plan=fault_plan,
         tenant_quotas=tenant_quotas,
         max_resident_banks=args.max_resident_banks,
+        slo_config=slo_config,
     )
     try:
         run_server(
@@ -775,6 +845,16 @@ def command_serve(args) -> int:  # pragma: no cover - blocking server loop
         if tracer is not None:
             tracer.close()
     return 0
+
+
+def _build_slo_config(args):
+    """``SLOConfig`` from ``--slo-config``, or ``None`` (the engine then
+    applies the fleet-default objective to every tenant)."""
+    if not getattr(args, "slo_config", None):
+        return None
+    from repro.obs.slo import SLOConfig
+
+    return SLOConfig.from_file(args.slo_config)
 
 
 def _build_tenant_quotas(args):
@@ -827,6 +907,7 @@ def command_loadgen(args) -> int:
         validate_fleet_report,
         validate_report,
         validate_resilience_report,
+        validate_slo_report,
         write_report,
     )
 
@@ -848,6 +929,14 @@ def command_loadgen(args) -> int:
         print(
             "error: --max-resident-banks requires --workers >= 2 "
             "(bank paging is a fleet feature)",
+            file=sys.stderr,
+        )
+        return 1
+
+    if args.slo_config and args.url:
+        print(
+            "error: --slo-config drives the in-process target; start the "
+            "server with --slo-config instead for --url soaks",
             file=sys.stderr,
         )
         return 1
@@ -935,6 +1024,11 @@ def command_loadgen(args) -> int:
         except (OSError, ValueError) as error:
             print(f"error: bad tenant quotas: {error}", file=sys.stderr)
             return 1
+        try:
+            slo_config = _build_slo_config(args)
+        except (OSError, ValueError) as error:
+            print(f"error: bad SLO config: {error}", file=sys.stderr)
+            return 1
         app = ServeApp(
             registry,
             max_batch_size=args.max_batch_size,
@@ -948,6 +1042,7 @@ def command_loadgen(args) -> int:
             fault_plan=fault_plan,
             tenant_quotas=tenant_quotas,
             max_resident_banks=args.max_resident_banks,
+            slo_config=slo_config,
         )
         target = InProcessTarget(
             app, top_k=args.top_k, deadline_ms=args.deadline_ms
@@ -1047,6 +1142,24 @@ def command_loadgen(args) -> int:
             "zero untyped errors, zero deadline violations, zero leaked "
             "shm segments"
         )
+    if not args.url and (args.slo_config or args.quick):
+        # The soak's SLO verdict block is part of the CI contract: every
+        # tenant evaluated, verdicts well-formed, and — when tracing — at
+        # least one latency exemplar linking a bucket to a trace_id.
+        try:
+            validate_slo_report(report, require_exemplar=bool(args.trace))
+        except ValueError as error:
+            print(f"error: SLO verdict block invalid: {error}", file=sys.stderr)
+            return 1
+        tenants = report["slo"]["tenants"]
+        verdicts = ", ".join(
+            f"{name}={tenant['verdict']}" for name, tenant in sorted(tenants.items())
+        )
+        exemplar_count = len(report.get("exemplars") or [])
+        print(
+            f"slo verdicts validated: {verdicts} "
+            f"({exemplar_count} trace exemplars)"
+        )
     if args.quick and fault_plan is None and args.models == 1:
         validate_report(report)
         print(
@@ -1081,21 +1194,45 @@ def command_loadgen(args) -> int:
 
 
 def command_trace_summary(args) -> int:
-    from repro.obs import format_trace_summary, summarize_trace_file
+    from repro.obs import format_trace_summary, parse_trace_file, summarize_spans
+    from repro.obs.summary import format_exemplars, slowest_exemplars
 
     try:
-        summary = summarize_trace_file(args.trace_file)
+        spans = parse_trace_file(args.trace_file)
     except (OSError, ValueError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 1
+    summary = summarize_spans(spans)
     print(format_trace_summary(summary))
+    exemplars = None
+    if args.exemplars is not None:
+        try:
+            exemplars = slowest_exemplars(spans, k=args.exemplars)
+        except ValueError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 1
+        print(format_exemplars(exemplars))
     if args.json:
         import json
 
+        if exemplars is not None:
+            summary = dict(summary, exemplars=exemplars)
         with open(args.json, "w", encoding="utf-8") as handle:
             json.dump(summary, handle, indent=2)
         print(f"summary written to {args.json}")
     return 0
+
+
+def command_top(args) -> int:
+    from repro.obs.console import DEFAULT_INTERVAL, run_console
+
+    interval = args.interval if args.interval is not None else DEFAULT_INTERVAL
+    if interval <= 0:
+        print("error: --interval must be > 0", file=sys.stderr)
+        return 1
+    return run_console(
+        args.url, interval=interval, once=args.once, as_json=args.json
+    )
 
 
 def command_bench_serve(args) -> int:
@@ -1246,6 +1383,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return command_loadgen(args)
     if args.command == "trace-summary":
         return command_trace_summary(args)
+    if args.command == "top":
+        return command_top(args)
     if args.command == "bench-serve":
         return command_bench_serve(args)
     if args.command == "bench-dispatch":

@@ -86,7 +86,12 @@ from repro.cluster.transport import (
 )
 from repro.cluster.worker import worker_main
 from repro.faults import PARENT_INDEX, PARENT_KINDS, FaultPlan
-from repro.obs.shm_metrics import WorkerStatsSlab, merge_worker_stats, stats_summary
+from repro.obs.shm_metrics import (
+    WorkerStatsSlab,
+    merge_worker_stats,
+    stats_summary,
+    worker_summary,
+)
 from repro.obs.trace import NULL_SPAN, Tracer, get_tracer
 
 _ROW_BYTES = 8  # labels/scores elements and packed words are 8-byte lanes
@@ -500,11 +505,13 @@ class ClusterDispatcher:
         this is the single reader — so polling ``/v1/metrics`` never touches
         the request path.
         """
-        per_worker = [slab.read() for slab in self._slabs]
-        merged = merge_worker_stats(per_worker)
+        snapshots = [slab.read() for slab in self._slabs]
+        merged = merge_worker_stats(snapshots)
         uptime = time.monotonic() - self._started_monotonic
         return {
-            "per_worker": per_worker,
+            # Per-worker rows are the breakdown; the merged-sketch fleet
+            # summary is the headline (true pooled percentiles).
+            "per_worker": [worker_summary(entry) for entry in snapshots],
             "fleet": stats_summary(merged, uptime_seconds=uptime),
         }
 

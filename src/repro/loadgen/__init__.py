@@ -28,6 +28,7 @@ from repro.loadgen.report import (
     validate_fleet_report,
     validate_report,
     validate_resilience_report,
+    validate_slo_report,
     write_report,
 )
 from repro.loadgen.runner import (
@@ -54,5 +55,6 @@ __all__ = [
     "validate_fleet_report",
     "validate_report",
     "validate_resilience_report",
+    "validate_slo_report",
     "write_report",
 ]

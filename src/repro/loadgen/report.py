@@ -122,6 +122,8 @@ def build_report(
     retries: int = 0,
     retries_by_status: Optional[dict] = None,
     retry_policy: Optional[dict] = None,
+    slo: Optional[dict] = None,
+    exemplars: Optional[List[dict]] = None,
 ) -> dict:
     """Assemble the JSON-ready report dictionary from one measure phase."""
     latency_array = np.asarray(latencies, dtype=np.float64)
@@ -189,6 +191,13 @@ def build_report(
         report["config"]["zipf_s"] = sampler.zipf_s
     if server_metrics is not None:
         report["server_metrics_delta"] = server_metrics
+    if slo is not None:
+        # The server's end-of-run SLO snapshot: per-tenant verdicts, budget
+        # remaining, burn rates.  Cumulative (not a delta) — the budget is a
+        # property of the whole serving window, not of this soak alone.
+        report["slo"] = slo
+    if exemplars is not None:
+        report["exemplars"] = exemplars
     return report
 
 
@@ -267,6 +276,64 @@ def validate_resilience_report(report: dict, min_availability: float = 0.95) -> 
         raise ValueError(f"failures with non-overload statuses: {rogue}")
     if report.get("results", {}).get("completed", 0) < 1:
         raise ValueError("report recorded no completed requests")
+
+
+#: Verdicts the SLO engine may hand a tenant.
+SLO_VERDICTS = frozenset({"ok", "at_risk", "breached"})
+
+
+def validate_slo_report(report: dict, require_exemplar: bool = False) -> None:
+    """Raise ``ValueError`` unless the soak's SLO verdict block is well-formed:
+    at least one tenant evaluated, every verdict one of
+    ``ok``/``at_risk``/``breached``, budgets in ``[0, 1]``, burn rates
+    non-negative, and latency percentiles monotone where present.
+
+    With ``require_exemplar`` the report must also carry at least one trace
+    exemplar (a traced soak whose histograms captured no ``trace_id`` means
+    the exemplar plumbing is broken) — this is the CI SLO-smoke assertion.
+    """
+    slo = report.get("slo")
+    if slo is None:
+        raise ValueError("report has no slo block")
+    tenants = slo.get("tenants") or {}
+    if not tenants:
+        raise ValueError("slo block evaluated no tenants")
+    for name, tenant in tenants.items():
+        verdict = tenant.get("verdict")
+        if verdict not in SLO_VERDICTS:
+            raise ValueError(f"tenant {name!r} has bad verdict {verdict!r}")
+        budget = tenant.get("budget_remaining")
+        if budget is None or not 0.0 <= budget <= 1.0:
+            raise ValueError(
+                f"tenant {name!r} budget_remaining {budget!r} outside [0, 1]"
+            )
+        if tenant.get("requests", 0) < 1:
+            raise ValueError(f"tenant {name!r} was evaluated with no requests")
+        for window in ("fast", "slow"):
+            burn = tenant.get("windows", {}).get(window, {}).get("burn_rate")
+            if burn is None or burn < 0:
+                raise ValueError(
+                    f"tenant {name!r} {window}-window burn rate {burn!r} "
+                    "is missing or negative"
+                )
+        latency = tenant.get("latency") or {}
+        points = [latency.get(f"p{p:.0f}_ms") for p in PERCENTILES]
+        if all(value is not None for value in points) and not all(
+            earlier <= later for earlier, later in zip(points, points[1:])
+        ):
+            raise ValueError(
+                f"tenant {name!r} latency percentiles are not monotone: {points}"
+            )
+    if require_exemplar:
+        exemplars = report.get("exemplars") or []
+        if not exemplars:
+            raise ValueError(
+                "traced soak captured no latency exemplars — no histogram "
+                "bucket recorded a trace_id"
+            )
+        for exemplar in exemplars:
+            if not exemplar.get("trace_id"):
+                raise ValueError(f"exemplar without a trace_id: {exemplar}")
 
 
 def validate_fleet_report(
@@ -430,6 +497,29 @@ def format_report(report: dict) -> str:
                     ", ".join(f"{name}+{count}" for name, count in shed.items()),
                 ]
             )
+    slo = report.get("slo")
+    if slo is not None:
+        for name in sorted(slo.get("tenants", {})):
+            tenant = slo["tenants"][name]
+            windows = tenant.get("windows", {})
+            rows.append(
+                [
+                    f"slo {name}",
+                    f"{tenant.get('verdict', '?')} "
+                    f"(budget {tenant.get('budget_remaining', 0):.3f}, "
+                    f"burn {windows.get('fast', {}).get('burn_rate', 0):.1f}/"
+                    f"{windows.get('slow', {}).get('burn_rate', 0):.1f})",
+                ]
+            )
+    exemplars = report.get("exemplars")
+    if exemplars:
+        rows.append(
+            [
+                "trace exemplars",
+                f"{len(exemplars)} (slowest {exemplars[0]['trace_id']} "
+                f"@ {exemplars[0]['value_ms']:.2f} ms)",
+            ]
+        )
     title = f"Load test (seed={config['seed']})"
     return format_table(["metric", "value"], rows, title=title)
 
@@ -447,6 +537,7 @@ def write_report(path: Union[str, Path], report: dict) -> Path:
 __all__ = [
     "PERCENTILES",
     "REPORT_VERSION",
+    "SLO_VERDICTS",
     "TYPED_FAILURE_STATUSES",
     "build_report",
     "format_report",
@@ -454,5 +545,6 @@ __all__ = [
     "validate_fleet_report",
     "validate_report",
     "validate_resilience_report",
+    "validate_slo_report",
     "write_report",
 ]

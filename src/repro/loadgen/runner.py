@@ -572,6 +572,11 @@ def run_load_test(
     if metrics_before is not None and metrics_after is not None:
         server_metrics = server_metrics_delta(metrics_before, metrics_after)
 
+    slo = exemplars = None
+    if metrics_after is not None:
+        slo = metrics_after.get("slo")
+        exemplars = _collect_exemplars(metrics_after)
+
     return build_report(
         target=target.describe(),
         traffic=traffic.describe(),
@@ -591,7 +596,32 @@ def run_load_test(
         retries=measure_phase.retries,
         retries_by_status=measure_phase.retries_by_status,
         retry_policy=None if retry is None else retry.describe(),
+        slo=slo,
+        exemplars=exemplars,
     )
+
+
+def _collect_exemplars(snapshot: dict) -> Optional[list]:
+    """Latency-histogram trace exemplars from a ``/v1/metrics`` snapshot,
+    slowest first — the report's proof that the exemplar plumbing linked
+    slow buckets back to trace IDs during the soak."""
+    exemplars = []
+    for name, model in snapshot.get("models", {}).items():
+        for bucket in model.get("latency", {}).get("buckets", []):
+            exemplar = bucket.get("exemplar")
+            if exemplar is not None:
+                exemplars.append(
+                    {
+                        "model": name,
+                        "le": bucket.get("le"),
+                        "trace_id": exemplar.get("trace_id"),
+                        "value_ms": float(exemplar.get("value", 0.0)) * 1e3,
+                    }
+                )
+    if not exemplars:
+        return None
+    exemplars.sort(key=lambda row: row["value_ms"], reverse=True)
+    return exemplars
 
 
 def _safe_metrics(target) -> Optional[dict]:

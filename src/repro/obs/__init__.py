@@ -1,7 +1,6 @@
 """repro.obs — end-to-end observability for the serving/cluster stack.
 
-Three capabilities, each usable on its own and composed by the serving
-layer:
+Capabilities, each usable on its own and composed by the serving layer:
 
 * :mod:`repro.obs.trace` — request-scoped tracing: every sampled request
   gets a trace ID and a span tree (validate → cache lookup → queue wait →
@@ -9,26 +8,40 @@ layer:
   single writer; span context is a picklable tuple, so it rides the
   dispatcher's pipes and worker-side spans stitch back into the parent
   trace;
-* :mod:`repro.obs.shm_metrics` — lock-free per-worker counter slabs in
-  ``multiprocessing.shared_memory``, merged by the dispatcher into a
-  fleet-wide utilisation/latency view without touching the request path;
+* :mod:`repro.obs.sketch` — a DDSketch-style mergeable quantile sketch with
+  a bounded relative error and fixed memory; it backs every latency
+  percentile in the stack and merges exactly across workers (the fleet
+  p99 is the pooled stream's p99, never an average of per-worker p99s);
+* :mod:`repro.obs.shm_metrics` — lock-free per-worker counter slabs (plus
+  one sketch row each) in ``multiprocessing.shared_memory``, merged by the
+  dispatcher into a fleet-wide utilisation/latency view without touching
+  the request path;
+* :mod:`repro.obs.slo` — declarative per-tenant SLOs (availability +
+  latency objective) evaluated with multiwindow burn rates; structured
+  alerts on the ``repro.serve.slo`` logger, verdicts in ``/v1/metrics``;
 * :mod:`repro.obs.prometheus` — pure-function rendering of the
   ``/v1/metrics`` snapshot into Prometheus text exposition (served at
-  ``GET /metrics``);
+  ``GET /metrics``), with OpenMetrics trace exemplars on latency buckets;
 * :mod:`repro.obs.summary` — trace-file analysis behind
-  ``repro trace-summary`` (per-stage latency breakdowns, stitching checks).
+  ``repro trace-summary`` (per-stage latency breakdowns, stitching checks,
+  slowest-trace exemplars);
+* :mod:`repro.obs.console` — the ``repro top`` live terminal dashboard
+  over a serving endpoint's ``/v1/metrics``.
 
 This package deliberately imports nothing from :mod:`repro.serve` or
 :mod:`repro.cluster` — it is a leaf those layers build on.
 """
 
+from repro.obs.console import build_view, render_view, run_console
 from repro.obs.prometheus import CONTENT_TYPE, render_prometheus, validate_exposition
 from repro.obs.shm_metrics import (
-    STAGE_BOUNDS,
     WorkerStatsSlab,
     merge_worker_stats,
     stats_summary,
+    worker_summary,
 )
+from repro.obs.sketch import QuantileSketch, merge_rows, sketch_row_length
+from repro.obs.slo import SLOConfig, SLOEngine, SLOSpec
 from repro.obs.trace import (
     JsonlSink,
     MemorySink,
@@ -41,27 +54,42 @@ from repro.obs.trace import (
     set_tracer,
     span_record,
 )
-from repro.obs.summary import format_trace_summary, summarize_spans, summarize_trace_file
+from repro.obs.summary import (
+    format_trace_summary,
+    slowest_exemplars,
+    summarize_spans,
+    summarize_trace_file,
+)
 
 __all__ = [
     "CONTENT_TYPE",
-    "STAGE_BOUNDS",
     "JsonlSink",
     "MemorySink",
+    "QuantileSketch",
+    "SLOConfig",
+    "SLOEngine",
+    "SLOSpec",
     "Span",
     "SpanContext",
     "Tracer",
     "WorkerStatsSlab",
+    "build_view",
     "configure_tracing",
     "format_trace_summary",
     "get_tracer",
+    "merge_rows",
     "merge_worker_stats",
     "parse_trace_file",
     "render_prometheus",
+    "render_view",
+    "run_console",
     "set_tracer",
+    "sketch_row_length",
+    "slowest_exemplars",
     "span_record",
     "stats_summary",
     "summarize_spans",
     "summarize_trace_file",
     "validate_exposition",
+    "worker_summary",
 ]

@@ -19,14 +19,31 @@ Conventions:
   ``ring`` (``request_slab`` / ``response_slab``);
 * fleet-wide residency series are ``repro_fleet_*`` (resident banks,
   evictions, restores, cold loads, leases) and per-tenant admission
-  counters are ``repro_tenant_*`` with a ``tenant`` label.
+  counters are ``repro_tenant_*`` with a ``tenant`` label;
+* per-tenant SLO series are ``repro_slo_error_budget_remaining`` and
+  ``repro_slo_burn_rate`` (``window="fast"|"slow"``), from the ``slo``
+  snapshot block;
+* latency buckets that captured a traced request carry an OpenMetrics
+  exemplar annotation (``... 12 # {trace_id="..."} 0.089 1700000000``) so
+  a scrape can link a p99 spike to a span tree.  Exemplars are a pure
+  suffix — scrapers speaking only the classic text format can ignore them,
+  and :func:`validate_exposition` checks their syntax.
 """
 
 from __future__ import annotations
 
+import re
 from typing import Dict, List, Optional
 
 CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+#: OpenMetrics exemplar suffix: ``{label="value",...} value [timestamp]``.
+_EXEMPLAR_RE = re.compile(
+    r'^\{[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*"'
+    r'(?:,[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*")*\}'
+    r" -?\d+(?:\.\d+)?(?:[eE][+-]?\d+)?"
+    r"(?: \d+(?:\.\d+)?(?:[eE][+-]?\d+)?)?$"
+)
 
 
 def _escape(value: str) -> str:
@@ -61,8 +78,8 @@ class _Writer:
         self.lines.append(f"# HELP {name} {help_text}")
         self.lines.append(f"# TYPE {name} {kind}")
 
-    def sample(self, name: str, value, **labels) -> None:
-        self.lines.append(f"{name}{_labels(**labels)} {_number(value)}")
+    def sample(self, name: str, value, _suffix: str = "", **labels) -> None:
+        self.lines.append(f"{name}{_labels(**labels)} {_number(value)}{_suffix}")
 
 
 def _render_histogram(
@@ -73,13 +90,27 @@ def _render_histogram(
     **labels,
 ) -> None:
     """Emit one ``_bucket``/``_sum``/``_count`` triplet from a latency
-    snapshot carrying cumulative ``buckets`` (skipped when absent)."""
+    snapshot carrying cumulative ``buckets`` (skipped when absent).
+
+    Buckets carrying an ``exemplar`` (most recent traced observation in
+    that bucket's range) get an OpenMetrics exemplar suffix.
+    """
     buckets = latency.get("buckets")
     if buckets is None:
         return
     writer.declare(name, "histogram", help_text)
     for entry in buckets:
-        writer.sample(f"{name}_bucket", entry["count"], **labels, le=entry["le"])
+        suffix = ""
+        exemplar = entry.get("exemplar")
+        if exemplar:
+            suffix = (
+                f' # {{trace_id="{_escape(str(exemplar["trace_id"]))}"}}'
+                f' {_number(exemplar["value"])}'
+                f' {_number(exemplar.get("timestamp", 0.0))}'
+            )
+        writer.sample(
+            f"{name}_bucket", entry["count"], _suffix=suffix, **labels, le=entry["le"]
+        )
     writer.sample(f"{name}_sum", latency.get("sum_seconds", 0.0), **labels)
     writer.sample(f"{name}_count", latency.get("count", 0), **labels)
 
@@ -398,6 +429,43 @@ def render_prometheus(snapshot: Dict) -> str:
                 "repro_tenant_in_flight", stats.get("in_flight", 0), tenant=tenant
             )
 
+    slo = snapshot.get("slo")
+    if slo is not None:
+        for tenant, state in sorted((slo.get("tenants") or {}).items()):
+            writer.declare(
+                "repro_slo_error_budget_remaining",
+                "gauge",
+                "Fraction of the tenant's error budget left (1 = untouched).",
+            )
+            writer.sample(
+                "repro_slo_error_budget_remaining",
+                state.get("budget_remaining", 1.0),
+                tenant=tenant,
+            )
+            windows = state.get("windows") or {}
+            for window in ("fast", "slow"):
+                burn = (windows.get(window) or {}).get("burn_rate")
+                if burn is None:
+                    continue
+                writer.declare(
+                    "repro_slo_burn_rate",
+                    "gauge",
+                    "Error-budget burn rate over the fast/slow window.",
+                )
+                writer.sample(
+                    "repro_slo_burn_rate", burn, tenant=tenant, window=window
+                )
+            writer.declare(
+                "repro_slo_alerting",
+                "gauge",
+                "Multiwindow burn-rate alert firing (1) or quiet (0).",
+            )
+            writer.sample(
+                "repro_slo_alerting",
+                1.0 if state.get("alerting") else 0.0,
+                tenant=tenant,
+            )
+
     return "\n".join(writer.lines) + "\n" if writer.lines else ""
 
 
@@ -406,7 +474,9 @@ def validate_exposition(text: str) -> None:
 
     A light structural check used by tests and the CI smoke: every sample
     line parses as ``name{labels} value``, every samples' metric family was
-    declared with ``# TYPE``, and histogram bucket counts are cumulative.
+    declared with ``# TYPE``, histogram bucket counts are cumulative, and
+    OpenMetrics exemplar suffixes (`` # {trace_id="..."} value [ts]``) are
+    well-formed and only attached to ``_bucket`` samples.
     """
     declared = set()
     bucket_runs: Dict[str, List[float]] = {}
@@ -416,6 +486,7 @@ def validate_exposition(text: str) -> None:
         if line.startswith("# TYPE"):
             declared.add(line.split()[2])
             continue
+        line, exemplar_sep, exemplar = line.partition(" # ")
         name, _, rest = line.partition("{") if "{" in line else line.partition(" ")
         family = name.split("{")[0]
         base = family
@@ -424,6 +495,15 @@ def validate_exposition(text: str) -> None:
                 base = family[: -len(suffix)]
         if family not in declared and base not in declared:
             raise ValueError(f"line {line_number}: {family!r} has no # TYPE")
+        if exemplar_sep:
+            if not family.endswith("_bucket"):
+                raise ValueError(
+                    f"line {line_number}: exemplar on non-bucket sample {family!r}"
+                )
+            if not _EXEMPLAR_RE.match(exemplar):
+                raise ValueError(
+                    f"line {line_number}: malformed exemplar {exemplar!r}"
+                )
         try:
             float(line.rsplit(" ", 1)[1])
         except (IndexError, ValueError):

@@ -13,32 +13,30 @@ reads whenever someone asks for ``/v1/metrics``:
   dispatcher), both lock-free: slots are monotonically increasing float64
   cells, so a torn read can at worst lag by one in-flight update — fine for
   metrics, and nothing on the scoring path ever blocks on a lock;
-* recording is allocation-free: a slab update is four in-place adds on a
+* recording is allocation-free: a slab update is a few in-place adds on a
   pre-built NumPy view.
 
-Layout (all float64): ``requests, samples, errors, busy_seconds`` followed by
-the scoring-latency histogram bucket counts (:data:`STAGE_BOUNDS` upper
-bounds plus one overflow bucket).
+Layout (all float64): ``requests, samples, errors, busy_seconds`` followed
+by a :class:`~repro.obs.sketch.QuantileSketch` row tracking the scoring
+latency distribution.  Because sketch rows merge exactly (bucket counts are
+additive), :func:`merge_worker_stats` produces *true* fleet-wide scoring
+percentiles — identical to a single sketch fed every worker's stream — and
+:func:`stats_summary` headlines those, keeping per-worker numbers
+(:func:`worker_summary`) as a breakdown rather than the story.
 """
 
 from __future__ import annotations
 
-import bisect
 from multiprocessing import shared_memory
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Sequence
 
 import numpy as np
 
-#: Histogram bucket upper bounds in seconds: log-spaced from 50 µs to 20 s
-#: (the same bracketing the serving layer's latency histograms use).
-STAGE_BOUNDS = tuple(
-    round(base * scale, 9)
-    for scale in (1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0)
-    for base in (5.0, 10.0, 20.0)
-)
+from repro.obs.sketch import QuantileSketch, merge_rows, sketch_row_length
 
 _COUNTER_FIELDS = ("requests", "samples", "errors", "busy_seconds")
-_NUM_SLOTS = len(_COUNTER_FIELDS) + len(STAGE_BOUNDS) + 1
+_SKETCH_CELLS = sketch_row_length()
+_NUM_SLOTS = len(_COUNTER_FIELDS) + _SKETCH_CELLS
 
 
 def _attach_segment(name: str) -> shared_memory.SharedMemory:
@@ -64,6 +62,11 @@ class WorkerStatsSlab:
         self._slots = np.ndarray((_NUM_SLOTS,), dtype=np.float64, buffer=segment.buf)
         if owner:
             self._slots[:] = 0.0
+        # The sketch records straight into the shared row — attaching keeps
+        # whatever counts a previous worker incarnation left behind.
+        self._sketch = QuantileSketch.attach_row(
+            self._slots[len(_COUNTER_FIELDS) :]
+        )
 
     @classmethod
     def create(cls) -> "WorkerStatsSlab":
@@ -91,29 +94,35 @@ class WorkerStatsSlab:
         slots[0] += 1.0
         slots[1] += float(rows)
         slots[3] += float(seconds)
-        index = bisect.bisect_left(STAGE_BOUNDS, seconds)
-        slots[len(_COUNTER_FIELDS) + index] += 1.0
+        if seconds > 0.0:
+            self._sketch.record(seconds)
 
     def record_error(self) -> None:
         self._slots[2] += 1.0
 
     # ---------------------------------------------------------------- reading
     def read(self) -> Dict[str, object]:
-        """JSON-ready snapshot of this slot's counters (parent side)."""
+        """Full snapshot of this slot (parent side).
+
+        ``sketch_row`` is the flat scoring-latency sketch (JSON-ready list
+        of floats) — :func:`merge_worker_stats` folds these into the fleet
+        distribution; :func:`worker_summary` derives the per-worker
+        breakdown without shipping the raw row to clients.
+        """
         values = self._slots.copy()
         counters = dict(zip(_COUNTER_FIELDS, values[: len(_COUNTER_FIELDS)]))
-        buckets = values[len(_COUNTER_FIELDS) :]
         return {
             "requests": int(counters["requests"]),
             "samples": int(counters["samples"]),
             "errors": int(counters["errors"]),
             "busy_seconds": float(counters["busy_seconds"]),
-            "scoring_buckets": [int(count) for count in buckets],
+            "sketch_row": values[len(_COUNTER_FIELDS) :].tolist(),
         }
 
     # -------------------------------------------------------------- lifecycle
     def close(self) -> None:
         """Unmap (and, for the creating side, unlink) the segment."""
+        self._sketch = None
         self._slots = None
         try:
             self._segment.close()
@@ -133,49 +142,56 @@ class WorkerStatsSlab:
 
 
 def merge_worker_stats(stats: Sequence[Dict[str, object]]) -> Dict[str, object]:
-    """Fleet totals over per-worker :meth:`WorkerStatsSlab.read` snapshots."""
+    """Fleet totals over per-worker :meth:`WorkerStatsSlab.read` snapshots.
+
+    Counter fields add; sketch rows merge exactly, so the merged row is the
+    sketch of the pooled cross-worker scoring stream (not an average of
+    per-worker summaries).
+    """
     total = {
         "requests": 0,
         "samples": 0,
         "errors": 0,
         "busy_seconds": 0.0,
-        "scoring_buckets": [0] * (len(STAGE_BOUNDS) + 1),
+        "sketch_row": np.zeros(_SKETCH_CELLS, dtype=np.float64).tolist(),
     }
+    rows: List[Sequence[float]] = [total["sketch_row"]]
     for entry in stats:
         total["requests"] += entry["requests"]
         total["samples"] += entry["samples"]
         total["errors"] += entry["errors"]
         total["busy_seconds"] += entry["busy_seconds"]
-        for index, count in enumerate(entry["scoring_buckets"]):
-            total["scoring_buckets"][index] += count
+        rows.append(entry["sketch_row"])
+    total["sketch_row"] = merge_rows(rows).tolist()
     return total
 
 
-def bucket_percentile(
-    buckets: Sequence[int], p: float, bounds: Optional[Sequence[float]] = None
-) -> float:
-    """Approximate *p*-th percentile (seconds) from histogram bucket counts.
+def _scoring_sketch(entry: Dict[str, object]) -> QuantileSketch:
+    return QuantileSketch.from_row(entry["sketch_row"])
 
-    Reports the upper bound of the bucket containing the percentile rank;
-    the overflow bucket reports the last finite bound (an underestimate,
-    flagged by the caller if it matters).  Returns 0.0 when empty.
-    """
-    bounds = STAGE_BOUNDS if bounds is None else tuple(bounds)
-    total = sum(buckets)
-    if total == 0:
-        return 0.0
-    rank = p / 100.0 * total
-    cumulative = 0
-    for index, count in enumerate(buckets):
-        cumulative += count
-        if cumulative >= rank and count:
-            return bounds[min(index, len(bounds) - 1)]
-    return bounds[-1]
+
+def worker_summary(entry: Dict[str, object]) -> Dict[str, object]:
+    """JSON-ready per-worker breakdown of one :meth:`WorkerStatsSlab.read`
+    snapshot (counters plus this worker's own scoring percentiles)."""
+    sketch = _scoring_sketch(entry)
+    return {
+        "requests": entry["requests"],
+        "samples": entry["samples"],
+        "errors": entry["errors"],
+        "busy_seconds": entry["busy_seconds"],
+        "scoring_p50_ms": sketch.percentile(50) * 1e3,
+        "scoring_p99_ms": sketch.percentile(99) * 1e3,
+    }
 
 
 def stats_summary(merged: Dict[str, object], uptime_seconds: float) -> Dict[str, object]:
-    """Derive utilisation and latency percentiles from merged worker stats."""
-    buckets: List[int] = merged["scoring_buckets"]
+    """Fleet headline from :func:`merge_worker_stats` output.
+
+    The scoring percentiles come from the *merged* sketch — true pooled
+    cross-worker percentiles with the sketch's relative-error bound, not a
+    summary of per-worker summaries.
+    """
+    sketch = _scoring_sketch(merged)
     requests = merged["requests"]
     busy = merged["busy_seconds"]
     return {
@@ -184,16 +200,17 @@ def stats_summary(merged: Dict[str, object], uptime_seconds: float) -> Dict[str,
         "errors": merged["errors"],
         "busy_seconds": busy,
         "utilization": busy / uptime_seconds if uptime_seconds > 0 else 0.0,
-        "scoring_p50_ms": bucket_percentile(buckets, 50) * 1e3,
-        "scoring_p99_ms": bucket_percentile(buckets, 99) * 1e3,
+        "scoring_p50_ms": sketch.percentile(50) * 1e3,
+        "scoring_p95_ms": sketch.percentile(95) * 1e3,
+        "scoring_p99_ms": sketch.percentile(99) * 1e3,
         "mean_scoring_ms": (busy / requests * 1e3) if requests else 0.0,
+        "relative_accuracy": sketch.relative_accuracy,
     }
 
 
 __all__ = [
-    "STAGE_BOUNDS",
     "WorkerStatsSlab",
-    "bucket_percentile",
     "merge_worker_stats",
     "stats_summary",
+    "worker_summary",
 ]

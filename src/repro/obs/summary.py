@@ -66,6 +66,49 @@ def summarize_trace_file(path) -> Dict[str, object]:
     return summarize_spans(parse_trace_file(path))
 
 
+def slowest_exemplars(
+    spans: Sequence[Dict], k: int = 5, stage: str = "request"
+) -> List[Dict[str, object]]:
+    """The *k* slowest *stage* spans, slowest first — the trace-file side of
+    the exemplar story: the metrics exemplars point at the worst recent
+    ``trace_id``; this answers "which traces were worst over the whole file".
+    """
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    rows = sorted(
+        (span for span in spans if span["name"] == stage),
+        key=lambda span: float(span["dur_ms"]),
+        reverse=True,
+    )
+    return [
+        {
+            "trace_id": span["trace"],
+            "dur_ms": float(span["dur_ms"]),
+            "model": (span.get("attrs") or {}).get("model"),
+        }
+        for span in rows[:k]
+    ]
+
+
+def format_exemplars(exemplars: Sequence[Dict], stage: str = "request") -> str:
+    """Render :func:`slowest_exemplars` output as a table."""
+    from repro.eval.tables import format_table
+
+    rows = [
+        [
+            row["trace_id"],
+            row["model"] or "-",
+            f"{row['dur_ms']:.3f}",
+        ]
+        for row in exemplars
+    ]
+    return format_table(
+        ["trace id", "model", "dur ms"],
+        rows,
+        title=f"Slowest {stage!r} spans (trace exemplars)",
+    )
+
+
 def _stage_sort_key(name: str):
     try:
         return (0, STAGE_ORDER.index(name))
@@ -99,4 +142,11 @@ def format_trace_summary(summary: Dict[str, object], title: Optional[str] = None
     return format_table(header, rows, title=caption)
 
 
-__all__ = ["STAGE_ORDER", "format_trace_summary", "summarize_spans", "summarize_trace_file"]
+__all__ = [
+    "STAGE_ORDER",
+    "format_exemplars",
+    "format_trace_summary",
+    "slowest_exemplars",
+    "summarize_spans",
+    "summarize_trace_file",
+]

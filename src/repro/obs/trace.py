@@ -39,6 +39,7 @@ import random
 import threading
 import time
 import uuid
+from collections import deque
 from typing import Dict, List, NamedTuple, Optional
 
 SCHEMA_VERSION = 1
@@ -211,15 +212,34 @@ class JsonlSink:
 
 
 class MemorySink:
-    """In-memory sink collecting span records (tests, trace assertions)."""
+    """In-memory sink collecting span records (tests, trace assertions).
 
-    def __init__(self):
-        self.records: List[dict] = []
+    Retention is bounded: only the most recent ``max_records`` spans are
+    kept, so a long-lived tracer pointed at a MemorySink cannot grow without
+    limit.  ``dropped`` counts what aged out.
+    """
+
+    #: Default retention: plenty for tests, bounded for soaks.
+    DEFAULT_MAX_RECORDS = 10_000
+
+    def __init__(self, max_records: int = DEFAULT_MAX_RECORDS):
+        if max_records < 1:
+            raise ValueError(f"max_records must be >= 1, got {max_records}")
+        self.max_records = int(max_records)
+        self.dropped = 0
+        self._records: "deque[dict]" = deque(maxlen=self.max_records)
         self._lock = threading.Lock()
+
+    @property
+    def records(self) -> List[dict]:
+        with self._lock:
+            return list(self._records)
 
     def write(self, record: dict) -> None:
         with self._lock:
-            self.records.append(record)
+            if len(self._records) == self.max_records:
+                self.dropped += 1
+            self._records.append(record)
 
     def close(self) -> None:
         pass

@@ -343,7 +343,13 @@ class BatchScheduler:
         elapsed = time.perf_counter() - started
         if self._metrics is not None:
             self._metrics.record_batch(len(batch))
-            self._metrics.record_request(len(batch), elapsed)
+            # The batch's traced parent (if any) becomes the latency
+            # exemplar, linking the slow histogram bucket to a full trace.
+            self._metrics.record_request(
+                len(batch),
+                elapsed,
+                trace_id=batch_parent.trace_id if batch_parent is not None else None,
+            )
             self._metrics.record_stage("batch_execute", elapsed)
         finished = time.monotonic()
         for row, request in enumerate(batch):

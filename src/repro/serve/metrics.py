@@ -1,17 +1,27 @@
 """Serving metrics: per-model counters, latency histograms, batch-size stats.
 
-Everything here is pure stdlib + NumPy-free on the hot path (recording a
-latency is two dict updates under a lock), so the metrics layer never competes
-with the inference kernels it is measuring.  Snapshots are plain dictionaries
-ready for ``json.dumps`` — that is what ``GET /v1/metrics`` returns — and the
-same objects are reused by the serving benchmark to report percentiles.
+Recording a latency is a handful of in-place updates under a lock, so the
+metrics layer never competes with the inference kernels it is measuring.
+Snapshots are plain dictionaries ready for ``json.dumps`` — that is what
+``GET /v1/metrics`` returns — and the same objects are reused by the serving
+benchmark to report percentiles.
+
+Percentiles are answered by a mergeable
+:class:`~repro.obs.sketch.QuantileSketch` (bounded relative error, fixed
+memory — no retained sample lists), while the coarse fixed buckets are kept
+for Prometheus exposition.  Traced requests leave an *exemplar* — the most
+recent ``trace_id`` per latency bucket — so an operator can jump from a p99
+regression straight to a span tree.
 """
 
 from __future__ import annotations
 
 import bisect
 import threading
-from typing import Dict, List, Sequence
+import time
+from typing import Dict, List, Optional, Sequence
+
+from repro.obs.sketch import QuantileSketch
 
 #: Default latency bucket upper bounds in seconds: log-spaced from 50 µs to
 #: 20 s, which brackets everything from a packed single-sample lookup to a
@@ -27,7 +37,20 @@ DEFAULT_LATENCY_BOUNDS = _DEFAULT_BOUNDS
 
 
 class LatencyHistogram:
-    """A fixed-bucket histogram with approximate percentile queries.
+    """Latency distribution: sketch percentiles + fixed Prometheus buckets.
+
+    Two views over the same observations, updated atomically:
+
+    * a :class:`~repro.obs.sketch.QuantileSketch` answers percentile
+      queries with a bounded relative error (1% by default) in fixed
+      memory — no sample list is retained, so a week-long soak costs the
+      same as the first request;
+    * coarse fixed buckets (``bounds``, cumulative in snapshots) feed the
+      Prometheus exposition, where the bucket grid *is* the contract.
+
+    Traced observations additionally leave an exemplar — the most recent
+    ``(trace_id, value, timestamp)`` per bucket — surfaced in snapshots and
+    as OpenMetrics exemplar annotations.
 
     Parameters
     ----------
@@ -48,10 +71,12 @@ class LatencyHistogram:
         self._count = 0
         self._total = 0.0
         self._max = 0.0
+        self._sketch = QuantileSketch()
+        self._exemplars: Dict[int, Dict[str, object]] = {}
         self._lock = threading.Lock()
 
-    def record(self, seconds: float) -> None:
-        """Record one observation (in seconds)."""
+    def record(self, seconds: float, trace_id: Optional[str] = None) -> None:
+        """Record one observation (in seconds), optionally with its trace."""
         seconds = float(seconds)
         index = bisect.bisect_left(self._bounds, seconds)
         with self._lock:
@@ -60,6 +85,14 @@ class LatencyHistogram:
             self._total += seconds
             if seconds > self._max:
                 self._max = seconds
+            if seconds > 0.0:
+                self._sketch.record(seconds)
+            if trace_id:
+                self._exemplars[index] = {
+                    "trace_id": trace_id,
+                    "value": seconds,
+                    "timestamp": time.time(),
+                }
 
     @property
     def count(self) -> int:
@@ -72,31 +105,25 @@ class LatencyHistogram:
         with self._lock:
             return self._total / self._count if self._count else 0.0
 
-    def _percentile_locked(self, p: float) -> float:
-        """Percentile estimate; the caller must hold ``self._lock``."""
-        if self._count == 0:
-            return 0.0
-        rank = p / 100.0 * self._count
-        cumulative = 0
-        for index, bucket_count in enumerate(self._counts):
-            cumulative += bucket_count
-            if cumulative >= rank and bucket_count:
-                if index < len(self._bounds):
-                    return self._bounds[index]
-                return self._max
-        return self._max
-
     def percentile(self, p: float) -> float:
-        """Approximate *p*-th percentile in seconds (bucket upper bound).
+        """The *p*-th percentile in seconds, from the quantile sketch.
 
-        The estimate is the upper bound of the bucket containing the
-        percentile rank; the overflow bucket reports the maximum observation.
-        Returns 0.0 when nothing has been recorded.
+        The estimate is within the sketch's relative accuracy (1% by
+        default) of the exact nearest-rank sample value.  Returns 0.0 when
+        nothing has been recorded.
         """
         if not 0.0 <= p <= 100.0:
             raise ValueError(f"p must be in [0, 100], got {p}")
         with self._lock:
-            return self._percentile_locked(p)
+            return self._sketch.percentile(p) if self._sketch.count else 0.0
+
+    def slow_exemplars(self, k: int = 5) -> List[Dict[str, object]]:
+        """Up to *k* captured exemplars, slowest buckets first."""
+        with self._lock:
+            exemplars = sorted(
+                self._exemplars.values(), key=lambda e: e["value"], reverse=True
+            )
+        return [dict(exemplar) for exemplar in exemplars[:k]]
 
     def snapshot(self) -> Dict[str, object]:
         """Summary dictionary with millisecond-denominated statistics.
@@ -105,24 +132,37 @@ class LatencyHistogram:
         calls can never produce a torn view (e.g. a count that disagrees
         with the bucket totals or a stale ``max_ms``).  ``buckets`` carries
         the *cumulative* per-bound counts in Prometheus histogram form
-        (final bucket ``le="+Inf"``), and ``sum_seconds`` the exact total —
-        together they let ``GET /metrics`` expose a native histogram.
+        (final bucket ``le="+Inf"``); buckets whose range captured a traced
+        request carry its most recent exemplar.  Percentiles come from the
+        sketch (relative error <= ``relative_accuracy``).
         """
         with self._lock:
             buckets = []
             cumulative = 0
-            for bound, bucket_count in zip(self._bounds, self._counts):
+            for index, (bound, bucket_count) in enumerate(
+                zip(self._bounds, self._counts)
+            ):
                 cumulative += bucket_count
-                buckets.append({"le": bound, "count": cumulative})
-            buckets.append({"le": "+Inf", "count": self._count})
+                entry: Dict[str, object] = {"le": bound, "count": cumulative}
+                exemplar = self._exemplars.get(index)
+                if exemplar is not None:
+                    entry["exemplar"] = dict(exemplar)
+                buckets.append(entry)
+            overflow: Dict[str, object] = {"le": "+Inf", "count": self._count}
+            exemplar = self._exemplars.get(len(self._bounds))
+            if exemplar is not None:
+                overflow["exemplar"] = dict(exemplar)
+            buckets.append(overflow)
+            sketch = self._sketch
             return {
                 "count": self._count,
                 "mean_ms": (self._total / self._count if self._count else 0.0) * 1e3,
-                "p50_ms": self._percentile_locked(50) * 1e3,
-                "p95_ms": self._percentile_locked(95) * 1e3,
-                "p99_ms": self._percentile_locked(99) * 1e3,
+                "p50_ms": sketch.percentile(50) * 1e3,
+                "p95_ms": sketch.percentile(95) * 1e3,
+                "p99_ms": sketch.percentile(99) * 1e3,
                 "max_ms": self._max * 1e3,
                 "sum_seconds": self._total,
+                "relative_accuracy": sketch.relative_accuracy,
                 "buckets": buckets,
             }
 
@@ -149,9 +189,15 @@ class ModelMetrics:
         self._batch_sizes: Dict[int, int] = {}
         self._stages: Dict[str, LatencyHistogram] = {}
 
-    def record_request(self, num_samples: int, seconds: float) -> None:
-        """Record one successful inference call over *num_samples* samples."""
-        self.latency.record(seconds)
+    def record_request(
+        self, num_samples: int, seconds: float, trace_id: Optional[str] = None
+    ) -> None:
+        """Record one successful inference call over *num_samples* samples.
+
+        Passing the request's ``trace_id`` (when sampled) lets the latency
+        histogram capture it as an exemplar.
+        """
+        self.latency.record(seconds, trace_id=trace_id)
         with self._lock:
             self.requests += 1
             self.samples += int(num_samples)

@@ -14,7 +14,8 @@ Routes
                       here before in-flight batches finish;
 ``GET  /v1/models``   registry listing (every registered version);
 ``GET  /v1/metrics``  per-model counters, latency percentiles, queue depth,
-                      cluster fleet stats, shared-memory accounting (JSON);
+                      cluster fleet stats, shared-memory accounting, and the
+                      per-tenant SLO burn-rate block (JSON);
 ``GET  /metrics``     the same snapshot in Prometheus text exposition;
 ``POST /v1/predict``  body ``{"model": name?, "features": [...], "top_k": k?,
                       "deadline_ms": ms?}`` — a 1-D ``features`` list is one
@@ -64,6 +65,7 @@ from repro.cluster.shared import SharedModelStore
 from repro.faults import FaultPlan
 from repro.obs.prometheus import CONTENT_TYPE as _PROMETHEUS_CONTENT_TYPE
 from repro.obs.prometheus import render_prometheus
+from repro.obs.slo import SLOConfig, SLOEngine
 from repro.obs.trace import NULL_SPAN, Tracer, get_tracer
 from repro.serve.batching import BatchScheduler, SchedulerOverloadedError
 from repro.serve.metrics import MetricsRegistry
@@ -87,6 +89,12 @@ _DEFAULT_CODES = {
     503: "unavailable",
     504: "deadline_exceeded",
 }
+
+#: Statuses that do not spend the tenant's error budget: the client sent a
+#: request the server could never have answered (malformed body, unknown
+#: model, oversized payload), so counting it against the SLO would let one
+#: buggy client page the on-call for a healthy service.
+_SLO_EXEMPT_STATUSES = frozenset({400, 404, 413})
 
 
 class RequestError(Exception):
@@ -223,6 +231,15 @@ class ServeApp:
         spans and — under ``num_processes > 0`` — the dispatcher's
         ``dispatch`` / per-worker ``worker:score`` / ``merge`` spans.
         Defaults to the process-wide tracer (disabled unless configured).
+    slo_config:
+        Optional :class:`~repro.obs.slo.SLOConfig` with per-tenant
+        availability/latency objectives (usually loaded from the
+        ``--slo-config`` JSON file).  The app always runs an
+        :class:`~repro.obs.slo.SLOEngine` — omitting the config applies the
+        fleet-default objective to every tenant.  Every completed predict
+        is recorded per tenant (model name); client faults (400/404/413)
+        are exempt.  The engine's snapshot is the ``slo`` block of
+        ``/v1/metrics`` and burn-rate alerts log on ``repro.serve.slo``.
     """
 
     def __init__(
@@ -246,6 +263,7 @@ class ServeApp:
         request_timeout: float = 60.0,
         fault_plan: Optional[FaultPlan] = None,
         tracer: Optional[Tracer] = None,
+        slo_config: Optional[SLOConfig] = None,
     ):
         if num_processes < 0:
             raise ValueError(f"num_processes must be >= 0, got {num_processes}")
@@ -275,6 +293,7 @@ class ServeApp:
         self.default_deadline_ms = default_deadline_ms
         self.request_timeout = float(request_timeout)
         self.fault_plan = fault_plan
+        self.slo = SLOEngine(slo_config)
         self._batch_config = dict(
             max_batch_size=max_batch_size,
             max_wait_ms=max_wait_ms,
@@ -354,6 +373,7 @@ class ServeApp:
             snapshot["fleet"] = fleet
         if self.tenant_quotas is not None:
             snapshot["tenancy"] = self.tenant_quotas.snapshot()
+        snapshot["slo"] = self.slo.snapshot()
         return snapshot
 
     def predict(self, payload: dict) -> dict:
@@ -447,10 +467,21 @@ class ServeApp:
         sampled = root.sampled
         tracer = self.tracer
         validate_started = time.perf_counter()
-        with tracer.start_span("validate") if sampled else NULL_SPAN:
-            name, top_k, features, deadline = self._validate_predict_payload(
-                payload, self.registry, self.default_deadline_ms
-            )
+        try:
+            with tracer.start_span("validate") if sampled else NULL_SPAN:
+                name, top_k, features, deadline = self._validate_predict_payload(
+                    payload, self.registry, self.default_deadline_ms
+                )
+        except RequestError as error:
+            # Validation failures happen before the tenant name is resolved;
+            # attribute the access-log line to the *requested* model so bad
+            # traffic is still traceable to its sender.
+            requested = payload.get("model") if isinstance(payload, dict) else None
+            if isinstance(requested, str):
+                error.tenant = requested
+            if sampled:
+                error.trace_id = root.trace_id
+            raise
         started = time.perf_counter()
         model_metrics = self.metrics.for_model(name)
         model_metrics.record_stage("validate", started - validate_started)
@@ -459,40 +490,54 @@ class ServeApp:
         # Tenant admission is the outer gate: the per-tenant token bucket and
         # concurrency quota shed *before* the request can touch the shared
         # scheduler/worker capacity the other tenants are using.
-        lease = None
-        if self.tenant_quotas is not None:
-            try:
-                lease = self.tenant_quotas.admit(name)
-            except TenantAdmissionError as error:
-                model_metrics.record_shed()
-                model_metrics.record_error()
-                raise RequestError(
-                    429,
-                    str(error),
-                    code=error.code,
-                    retry_after=retry_after_header(error.retry_after),
-                )
         try:
-            slot = self._admission_slot(name)
-            if slot is not None and not slot.acquire(blocking=False):
-                model_metrics.record_shed()
-                model_metrics.record_error()
-                raise RequestError(
-                    429,
-                    f"model {name!r} is at its concurrency limit "
-                    f"({self.max_concurrent} in flight)",
-                    code="overloaded",
-                )
+            lease = None
+            if self.tenant_quotas is not None:
+                try:
+                    lease = self.tenant_quotas.admit(name)
+                except TenantAdmissionError as error:
+                    model_metrics.record_shed()
+                    model_metrics.record_error()
+                    raise RequestError(
+                        429,
+                        str(error),
+                        code=error.code,
+                        retry_after=retry_after_header(error.retry_after),
+                    )
             try:
-                return self._execute(
-                    name, top_k, features, deadline, model_metrics, started, root
-                )
+                slot = self._admission_slot(name)
+                if slot is not None and not slot.acquire(blocking=False):
+                    model_metrics.record_shed()
+                    model_metrics.record_error()
+                    raise RequestError(
+                        429,
+                        f"model {name!r} is at its concurrency limit "
+                        f"({self.max_concurrent} in flight)",
+                        code="overloaded",
+                    )
+                try:
+                    response = self._execute(
+                        name, top_k, features, deadline, model_metrics, started, root
+                    )
+                finally:
+                    if slot is not None:
+                        slot.release()
             finally:
-                if slot is not None:
-                    slot.release()
-        finally:
-            if lease is not None:
-                lease.release()
+                if lease is not None:
+                    lease.release()
+        except RequestError as error:
+            # Stamp the tenant / trace onto the error so the access log can
+            # carry them even though the response body never sees the model.
+            error.tenant = name
+            if sampled:
+                error.trace_id = root.trace_id
+            if error.status not in _SLO_EXEMPT_STATUSES:
+                self.slo.record(
+                    name, ok=False, latency_s=time.perf_counter() - started
+                )
+            raise
+        self.slo.record(name, ok=True, latency_s=time.perf_counter() - started)
+        return response
 
     def _admission_slot(self, name: str) -> Optional[threading.BoundedSemaphore]:
         if self.max_concurrent is None:
@@ -541,26 +586,42 @@ class ServeApp:
             model_metrics.record_cache_miss()
 
         try:
-            if deadline is not None and time.monotonic() >= deadline:
-                raise DeadlineExceededError("deadline expired before execution")
-            if features.ndim == 1:
-                # The request crosses into the collector thread here, so the
-                # root context is handed over explicitly; ambient nesting
-                # resumes inside the scheduler's executor thread.
-                labels, scores = self.scheduler_for(name).top_k(
-                    features, k=top_k, trace=root.context, deadline=deadline
-                )
-                labels, scores = labels[None, :], scores[None, :]
-                batched = True
-            else:
-                engine = self.engine_for(name)
-                kwargs = {}
-                if deadline is not None and getattr(
-                    engine, "accepts_deadline", False
-                ):
-                    kwargs["deadline"] = deadline
-                labels, scores = engine.top_k(features, k=top_k, **kwargs)
-                batched = False
+            for attempt in (0, 1):
+                try:
+                    if deadline is not None and time.monotonic() >= deadline:
+                        raise DeadlineExceededError(
+                            "deadline expired before execution"
+                        )
+                    if features.ndim == 1:
+                        # The request crosses into the collector thread here,
+                        # so the root context is handed over explicitly;
+                        # ambient nesting resumes inside the scheduler's
+                        # executor thread.
+                        labels, scores = self.scheduler_for(name).top_k(
+                            features, k=top_k, trace=root.context, deadline=deadline
+                        )
+                        labels, scores = labels[None, :], scores[None, :]
+                        batched = True
+                    else:
+                        engine = self.engine_for(name)
+                        kwargs = {}
+                        if deadline is not None and getattr(
+                            engine, "accepts_deadline", False
+                        ):
+                            kwargs["deadline"] = deadline
+                        labels, scores = engine.top_k(features, k=top_k, **kwargs)
+                        batched = False
+                    break
+                except DispatcherClosedError:
+                    # Hot-swap / eviction race: this request resolved a
+                    # dispatcher that a concurrent promote or LRU eviction
+                    # closed before the batch ran.  The swap has finished, so
+                    # re-resolving lands on the new pool — retry once
+                    # in-process (scoring is idempotent and the deadline
+                    # check above still governs) instead of bouncing a
+                    # retryable 503 off the client.
+                    if attempt:
+                        raise
             if deadline is not None and time.monotonic() >= deadline:
                 # The answer exists but arrived late — a deadline is a
                 # promise, so the caller gets 504, not stale work.
@@ -605,7 +666,11 @@ class ServeApp:
         # Scheduler batches already record engine latency; the request-level
         # numbers below include queueing, which is what callers experience.
         if not batched:
-            model_metrics.record_request(features.shape[0], elapsed)
+            model_metrics.record_request(
+                features.shape[0],
+                elapsed,
+                trace_id=root.trace_id if sampled else None,
+            )
         if cache_key is not None:
             self._cache.put(cache_key, (labels, scores))
         return self._respond(name, labels, scores, top_k, started, root)
@@ -904,17 +969,26 @@ class _Handler(BaseHTTPRequestHandler):
         status: int,
         started: float,
         code: Optional[str] = None,
+        tenant: Optional[str] = None,
+        trace_id: Optional[str] = None,
     ) -> None:
         """One structured line per answered request (when logging is on).
 
         Error responses append their machine-readable ``code=`` so shed
         (429/overloaded) and timed-out (504/deadline_exceeded) requests are
         greppable in aggregated logs without parsing response bodies.
+        Predicts that resolved a model append ``tenant=``, and sampled
+        requests append ``trace_id=`` — the same ID the trace file and the
+        metrics exemplars carry, so one grep pivots between all three.
         """
         logger = getattr(self.server, "access_logger", None)
         if logger is None or not logger.isEnabledFor(logging.INFO):
             return
         suffix = "" if code is None else f" code={code}"
+        if tenant is not None:
+            suffix += f" tenant={tenant}"
+        if trace_id is not None:
+            suffix += f" trace_id={trace_id}"
         logger.info(
             "method=%s path=%s status=%d dur_ms=%.3f client=%s%s",
             method,
@@ -955,13 +1029,20 @@ class _Handler(BaseHTTPRequestHandler):
     def do_POST(self) -> None:  # noqa: N802 - stdlib naming
         started = time.perf_counter()
         code: Optional[str] = None
+        tenant: Optional[str] = None
+        trace_id: Optional[str] = None
         try:
             if self.path != "/v1/predict":
                 raise RequestError(404, f"no route {self.path!r}")
             payload = self._read_json()
-            status = self._send_json(200, self.app.predict(payload))
+            response = self.app.predict(payload)
+            tenant = response.get("model")
+            trace_id = response.get("trace_id")
+            status = self._send_json(200, response)
         except RequestError as error:
             code = error.code
+            tenant = getattr(error, "tenant", None)
+            trace_id = getattr(error, "trace_id", None)
             status = self._send_json(
                 error.status,
                 {"error": str(error), "code": code},
@@ -973,7 +1054,9 @@ class _Handler(BaseHTTPRequestHandler):
             # (when verbose), never over the wire.
             code = "internal"
             status = self._send_internal_error()
-        self._log_access("POST", status, started, code=code)
+        self._log_access(
+            "POST", status, started, code=code, tenant=tenant, trace_id=trace_id
+        )
 
     def _send_internal_error(self) -> int:
         import traceback

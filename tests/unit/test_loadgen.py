@@ -20,6 +20,7 @@ from repro.loadgen import (
     format_report,
     run_load_test,
     validate_report,
+    validate_slo_report,
     write_report,
 )
 from repro.serve import ModelRegistry, PackedInferenceEngine, ServeApp
@@ -546,3 +547,119 @@ class TestFleetReport:
         )
         with pytest.raises(ValueError, match="server_metrics_delta"):
             validate_fleet_report(report)
+
+
+class TestSLOReport:
+    def _slo_block(self, verdict="ok", budget=0.9):
+        return {
+            "alert_burn_rate": 14.4,
+            "tenants": {
+                "ucihar": {
+                    "verdict": verdict,
+                    "budget_remaining": budget,
+                    "requests": 40,
+                    "windows": {
+                        "fast": {"burn_rate": 0.5},
+                        "slow": {"burn_rate": 0.2},
+                    },
+                    "latency": {"p50_ms": 1.0, "p95_ms": 2.0, "p99_ms": 3.0},
+                },
+            },
+        }
+
+    def _report(self, slo=None, exemplars=None):
+        sampler = RequestSampler.from_arrays(np.zeros((4, 3)), seed=0)
+        return build_report(
+            target={"kind": "in-process", "model": None, "top_k": 1},
+            traffic={"mode": "closed", "concurrency": 2},
+            sampler=sampler,
+            num_requests=8,
+            warmup_requests=2,
+            warmup_errors=0,
+            latencies=[0.001, 0.002, 0.003, 0.004],
+            errors=0,
+            duration_seconds=0.5,
+            slo=slo,
+            exemplars=exemplars,
+        )
+
+    def test_valid_block_passes(self):
+        report = self._report(slo=self._slo_block())
+        validate_slo_report(report)
+
+    def test_breached_verdict_is_well_formed(self):
+        # "breached" is a valid verdict: the gate checks shape, not success.
+        validate_slo_report(
+            self._report(slo=self._slo_block(verdict="breached", budget=0.0))
+        )
+
+    def test_missing_block_rejected(self):
+        with pytest.raises(ValueError, match="no slo block"):
+            validate_slo_report(self._report())
+
+    def test_empty_tenants_rejected(self):
+        slo = self._slo_block()
+        slo["tenants"] = {}
+        with pytest.raises(ValueError, match="no tenants"):
+            validate_slo_report(self._report(slo=slo))
+
+    def test_bad_verdict_rejected(self):
+        with pytest.raises(ValueError, match="bad verdict"):
+            validate_slo_report(self._report(slo=self._slo_block(verdict="meh")))
+
+    def test_budget_out_of_range_rejected(self):
+        with pytest.raises(ValueError, match="outside"):
+            validate_slo_report(self._report(slo=self._slo_block(budget=1.5)))
+
+    def test_missing_burn_rate_rejected(self):
+        slo = self._slo_block()
+        del slo["tenants"]["ucihar"]["windows"]["slow"]
+        with pytest.raises(ValueError, match="slow-window burn rate"):
+            validate_slo_report(self._report(slo=slo))
+
+    def test_exemplar_requirement(self):
+        report = self._report(slo=self._slo_block())
+        with pytest.raises(ValueError, match="no latency exemplars"):
+            validate_slo_report(report, require_exemplar=True)
+        good = self._report(
+            slo=self._slo_block(),
+            exemplars=[
+                {"model": "ucihar", "le": "0.01", "trace_id": "ab" * 8,
+                 "value_ms": 4.2}
+            ],
+        )
+        validate_slo_report(good, require_exemplar=True)
+
+    def test_format_report_shows_verdicts_and_exemplars(self):
+        text = format_report(
+            self._report(
+                slo=self._slo_block(),
+                exemplars=[
+                    {"model": "ucihar", "le": "0.01", "trace_id": "ab" * 8,
+                     "value_ms": 4.2}
+                ],
+            )
+        )
+        assert "slo ucihar" in text
+        assert "ok (budget 0.900" in text
+        assert "trace exemplars" in text
+
+    def test_runner_collects_slo_and_exemplars(self, loadgen_app):
+        # The in-process app always runs an SLO engine; a traced soak must
+        # surface its verdicts and at least one histogram exemplar.
+        from repro.obs.trace import MemorySink, Tracer
+
+        app, sampler = loadgen_app
+        app.tracer = Tracer(MemorySink(), sample_rate=1.0)
+        app.metrics  # noqa: B018 - document the app is live
+        report = run_load_test(
+            InProcessTarget(app),
+            sampler,
+            ClosedLoop(concurrency=2),
+            num_requests=20,
+            warmup_requests=2,
+        )
+        validate_slo_report(report, require_exemplar=True)
+        tenant = report["slo"]["tenants"]["ucihar"]
+        assert tenant["requests"] >= 20
+        assert report["exemplars"][0]["trace_id"]

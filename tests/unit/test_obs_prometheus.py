@@ -22,7 +22,15 @@ def _snapshot():
                     "sum_seconds": 0.06,
                     "buckets": [
                         {"le": "0.001", "count": 2},
-                        {"le": "0.01", "count": 10},
+                        {
+                            "le": "0.01",
+                            "count": 10,
+                            "exemplar": {
+                                "trace_id": "deadbeefdeadbeef",
+                                "value": 0.0089,
+                                "timestamp": 1700000000.0,
+                            },
+                        },
                         {"le": "+Inf", "count": 12},
                     ],
                 },
@@ -53,10 +61,24 @@ def _snapshot():
                             "samples": 20,
                             "errors": 0,
                             "busy_seconds": 2.5,
-                            "scoring_buckets": [6],
+                            "scoring_p50_ms": 400.0,
+                            "scoring_p99_ms": 430.0,
                         },
                     ],
                     "fleet": {"requests": 6, "busy_seconds": 2.5},
+                },
+            },
+        },
+        "slo": {
+            "alert_burn_rate": 14.4,
+            "tenants": {
+                "har": {
+                    "budget_remaining": 0.75,
+                    "windows": {
+                        "fast": {"burn_rate": 2.0},
+                        "slow": {"burn_rate": 0.5},
+                    },
+                    "alerting": False,
                 },
             },
         },
@@ -91,7 +113,7 @@ repro_batches_total{model="har"} 5
 # HELP repro_request_latency_seconds End-to-end request latency.
 # TYPE repro_request_latency_seconds histogram
 repro_request_latency_seconds_bucket{model="har",le="0.001"} 2
-repro_request_latency_seconds_bucket{model="har",le="0.01"} 10
+repro_request_latency_seconds_bucket{model="har",le="0.01"} 10 # {trace_id="deadbeefdeadbeef"} 0.0089 1700000000
 repro_request_latency_seconds_bucket{model="har",le="+Inf"} 12
 repro_request_latency_seconds_sum{model="har"} 0.06
 repro_request_latency_seconds_count{model="har"} 12
@@ -131,6 +153,16 @@ repro_worker_busy_seconds_total{dispatcher="har",worker="0"} 2.5
 # HELP repro_worker_utilization Worker busy fraction since the dispatcher started.
 # TYPE repro_worker_utilization gauge
 repro_worker_utilization{dispatcher="har",worker="0"} 0.25
+# HELP repro_slo_error_budget_remaining Fraction of the tenant's error budget left (1 = untouched).
+# TYPE repro_slo_error_budget_remaining gauge
+repro_slo_error_budget_remaining{tenant="har"} 0.75
+# HELP repro_slo_burn_rate Error-budget burn rate over the fast/slow window.
+# TYPE repro_slo_burn_rate gauge
+repro_slo_burn_rate{tenant="har",window="fast"} 2
+repro_slo_burn_rate{tenant="har",window="slow"} 0.5
+# HELP repro_slo_alerting Multiwindow burn-rate alert firing (1) or quiet (0).
+# TYPE repro_slo_alerting gauge
+repro_slo_alerting{tenant="har"} 0
 """
 
 
@@ -176,3 +208,39 @@ class TestValidate:
         )
         with pytest.raises(ValueError, match="cumulative"):
             validate_exposition(text)
+
+    def test_accepts_exemplar_on_bucket(self):
+        text = (
+            "# TYPE h histogram\n"
+            'h_bucket{le="0.1"} 5 # {trace_id="abcd1234abcd1234"} 0.042 1700000000\n'
+            'h_bucket{le="+Inf"} 5\n'
+        )
+        validate_exposition(text)
+
+    def test_accepts_exemplar_without_timestamp(self):
+        text = (
+            "# TYPE h histogram\n"
+            'h_bucket{le="+Inf"} 5 # {trace_id="abcd1234abcd1234"} 0.042\n'
+        )
+        validate_exposition(text)
+
+    def test_rejects_exemplar_on_non_bucket_sample(self):
+        text = (
+            "# TYPE c_total counter\n"
+            'c_total 5 # {trace_id="abcd1234abcd1234"} 0.042\n'
+        )
+        with pytest.raises(ValueError, match="non-bucket"):
+            validate_exposition(text)
+
+    def test_rejects_malformed_exemplar(self):
+        text = (
+            "# TYPE h histogram\n"
+            'h_bucket{le="+Inf"} 5 # {trace_id=unquoted} 0.042\n'
+        )
+        with pytest.raises(ValueError, match="malformed exemplar"):
+            validate_exposition(text)
+        with pytest.raises(ValueError, match="malformed exemplar"):
+            validate_exposition(
+                "# TYPE h histogram\n"
+                'h_bucket{le="+Inf"} 5 # {trace_id="abc"} not-a-number\n'
+            )

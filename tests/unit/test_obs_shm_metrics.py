@@ -3,12 +3,12 @@
 import pytest
 
 from repro.obs.shm_metrics import (
-    STAGE_BOUNDS,
     WorkerStatsSlab,
-    bucket_percentile,
     merge_worker_stats,
     stats_summary,
+    worker_summary,
 )
+from repro.obs.sketch import QuantileSketch, sketch_row_length
 
 
 class TestWorkerStatsSlab:
@@ -19,7 +19,7 @@ class TestWorkerStatsSlab:
             assert snapshot["samples"] == 0
             assert snapshot["errors"] == 0
             assert snapshot["busy_seconds"] == 0.0
-            assert sum(snapshot["scoring_buckets"]) == 0
+            assert sum(snapshot["sketch_row"]) == 0.0
 
     def test_record_accumulates(self):
         with WorkerStatsSlab.create() as slab:
@@ -31,7 +31,9 @@ class TestWorkerStatsSlab:
             assert snapshot["samples"] == 5
             assert snapshot["errors"] == 1
             assert snapshot["busy_seconds"] == pytest.approx(0.0025)
-            assert sum(snapshot["scoring_buckets"]) == 2
+            sketch = QuantileSketch.from_row(snapshot["sketch_row"])
+            assert sketch.count == 2
+            assert sketch.max == pytest.approx(0.002)
 
     def test_attach_sees_creators_writes_without_resetting(self):
         owner = WorkerStatsSlab.create()
@@ -39,25 +41,34 @@ class TestWorkerStatsSlab:
             owner.record(rows=3, seconds=0.001)
             borrowed = WorkerStatsSlab.attach(owner.name)
             assert borrowed.read()["samples"] == 3
-            # The attached side is the writer in production.
+            # The attached side is the writer in production; its sketch
+            # inherits the previous incarnation's counts.
             borrowed.record(rows=2, seconds=0.001)
             borrowed.close()
-            assert owner.read()["samples"] == 5
+            snapshot = owner.read()
+            assert snapshot["samples"] == 5
+            assert QuantileSketch.from_row(snapshot["sketch_row"]).count == 2
         finally:
             owner.close()
 
-    def test_overflow_latency_lands_in_last_bucket(self):
+    def test_scoring_sketch_tracks_percentiles(self):
         with WorkerStatsSlab.create() as slab:
-            slab.record(rows=1, seconds=100.0)  # beyond the 20 s top bound
-            assert slab.read()["scoring_buckets"][-1] == 1
+            for _ in range(99):
+                slab.record(rows=1, seconds=0.001)
+            slab.record(rows=1, seconds=1.0)
+            summary = worker_summary(slab.read())
+            assert summary["scoring_p50_ms"] == pytest.approx(1.0, rel=0.02)
+            assert summary["scoring_p99_ms"] == pytest.approx(1.0, rel=0.02)
 
     def test_slab_is_small(self):
         with WorkerStatsSlab.create() as slab:
-            assert slab.nbytes <= 4096
+            # Counters + the sketch row: a handful of KB per worker slot.
+            assert slab.nbytes <= 16384
+            assert slab.nbytes == (4 + sketch_row_length()) * 8
 
 
 class TestMergeAndSummary:
-    def test_merge_sums_fields_and_buckets(self):
+    def test_merge_sums_fields_and_sketches(self):
         first = WorkerStatsSlab.create()
         second = WorkerStatsSlab.create()
         try:
@@ -69,28 +80,51 @@ class TestMergeAndSummary:
             assert merged["samples"] == 5
             assert merged["errors"] == 1
             assert merged["busy_seconds"] == pytest.approx(0.011)
-            assert sum(merged["scoring_buckets"]) == 2
+            sketch = QuantileSketch.from_row(merged["sketch_row"])
+            assert sketch.count == 2
+            assert sketch.min == pytest.approx(0.001)
+            assert sketch.max == pytest.approx(0.010)
         finally:
             first.close()
             second.close()
 
+    def test_merged_percentiles_are_pooled_not_averaged(self):
+        # One fast worker, one slow worker: the fleet p50 must reflect the
+        # pooled stream (mostly fast), not an average of per-worker p50s.
+        fast = WorkerStatsSlab.create()
+        slow = WorkerStatsSlab.create()
+        try:
+            for _ in range(90):
+                fast.record(rows=1, seconds=0.001)
+            for _ in range(10):
+                slow.record(rows=1, seconds=1.0)
+            merged = merge_worker_stats([fast.read(), slow.read()])
+            summary = stats_summary(merged, uptime_seconds=10.0)
+            assert summary["scoring_p50_ms"] == pytest.approx(1.0, rel=0.02)
+            assert summary["scoring_p95_ms"] == pytest.approx(1000.0, rel=0.02)
+            assert summary["scoring_p99_ms"] == pytest.approx(1000.0, rel=0.02)
+        finally:
+            fast.close()
+            slow.close()
+
     def test_merge_of_nothing_is_zero(self):
         merged = merge_worker_stats([])
         assert merged["requests"] == 0
-        assert len(merged["scoring_buckets"]) == len(STAGE_BOUNDS) + 1
+        assert len(merged["sketch_row"]) == sketch_row_length()
 
     def test_stats_summary_utilization(self):
-        merged = {
-            "requests": 10,
-            "samples": 40,
-            "errors": 0,
-            "busy_seconds": 2.0,
-            "scoring_buckets": [10] + [0] * len(STAGE_BOUNDS),
-        }
-        summary = stats_summary(merged, uptime_seconds=8.0)
-        assert summary["utilization"] == pytest.approx(0.25)
-        assert summary["mean_scoring_ms"] == pytest.approx(200.0)
-        assert summary["scoring_p50_ms"] > 0
+        first = WorkerStatsSlab.create()
+        try:
+            for _ in range(10):
+                first.record(rows=4, seconds=0.2)
+            merged = merge_worker_stats([first.read()])
+            summary = stats_summary(merged, uptime_seconds=8.0)
+            assert summary["utilization"] == pytest.approx(0.25)
+            assert summary["mean_scoring_ms"] == pytest.approx(200.0)
+            assert summary["scoring_p50_ms"] == pytest.approx(200.0, rel=0.02)
+            assert 0.0 < summary["relative_accuracy"] < 1.0
+        finally:
+            first.close()
 
     def test_stats_summary_handles_idle_fleet(self):
         merged = merge_worker_stats([])
@@ -99,19 +133,11 @@ class TestMergeAndSummary:
         assert summary["mean_scoring_ms"] == 0.0
         assert summary["scoring_p50_ms"] == 0.0
 
+    def test_worker_summary_is_json_ready(self):
+        import json
 
-class TestBucketPercentile:
-    def test_empty_is_zero(self):
-        assert bucket_percentile([0, 0, 0], 99) == 0.0
-
-    def test_percentile_reports_bucket_upper_bound(self):
-        bounds = (0.001, 0.01, 0.1)
-        # 10 fast, 1 slow: p50 in the first bucket, p99 in the last.
-        buckets = [10, 0, 1]
-        assert bucket_percentile(buckets, 50, bounds) == pytest.approx(0.001)
-        assert bucket_percentile(buckets, 99, bounds) == pytest.approx(0.1)
-
-    def test_overflow_reports_last_finite_bound(self):
-        bounds = (0.001, 0.01)
-        buckets = [0, 0, 5]  # everything beyond the top bound
-        assert bucket_percentile(buckets, 50, bounds) == pytest.approx(0.01)
+        with WorkerStatsSlab.create() as slab:
+            slab.record(rows=1, seconds=0.004)
+            summary = worker_summary(slab.read())
+            json.dumps(summary)
+            assert "sketch_row" not in summary  # breakdown, not the raw row

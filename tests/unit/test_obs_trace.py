@@ -201,3 +201,19 @@ class TestGlobalTracer:
         tracer = configure_tracing(tmp_path / "cfg.jsonl", sample_rate=0.5)
         assert get_tracer() is tracer
         tracer.close()
+
+
+class TestMemorySinkRetention:
+    def test_keeps_only_the_most_recent_records(self):
+        sink = MemorySink(max_records=3)
+        for index in range(5):
+            sink.write({"name": f"span-{index}"})
+        assert [r["name"] for r in sink.records] == ["span-2", "span-3", "span-4"]
+        assert sink.dropped == 2
+
+    def test_default_cap_is_bounded(self):
+        assert MemorySink().max_records == MemorySink.DEFAULT_MAX_RECORDS
+
+    def test_rejects_non_positive_cap(self):
+        with pytest.raises(ValueError, match="max_records"):
+            MemorySink(max_records=0)
